@@ -1,0 +1,143 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//!
+//! * LLC replacement policy (LRU vs BIP vs DIP vs Random) under the Fig. 1
+//!   parallel-contention scenario — quantifies how much of the contention is
+//!   a property of the replacement policy;
+//! * pollution-monitoring strategy (direct PMCs vs socket dedication vs
+//!   simulator attribution) under the Fig. 5 scenario — quantifies the cost
+//!   of accurate attribution;
+//! * scheduler tick length — quantifies the cost of finer-grained
+//!   scheduling/monitoring (the knob swept in Fig. 12).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kyoto_bench::bench_config;
+use kyoto_core::ks4::ks4xen_hypervisor;
+use kyoto_core::monitor::{MonitoringStrategy, SocketDedicationConfig};
+use kyoto_hypervisor::hypervisor::HypervisorConfig;
+use kyoto_hypervisor::vm::VmConfig;
+use kyoto_hypervisor::xen_hypervisor;
+use kyoto_sim::replacement::ReplacementPolicy;
+use kyoto_sim::topology::{CoreId, Machine, MachineConfig};
+use kyoto_workloads::spec::{SpecApp, SpecWorkload};
+use std::time::Duration;
+
+const TICKS: u64 = 8;
+
+fn contention_run(policy: ReplacementPolicy, scale: u64) -> f64 {
+    let machine_config = MachineConfig::scaled_paper_machine(scale).with_llc_policy(policy);
+    let mut hv = xen_hypervisor(Machine::new(machine_config), HypervisorConfig::default());
+    let sensitive = hv
+        .add_vm_with(
+            VmConfig::new("gcc").pinned_to(vec![CoreId(0)]),
+            Box::new(SpecWorkload::new(SpecApp::Gcc, scale, 1)),
+        )
+        .expect("valid VM");
+    hv.add_vm_with(
+        VmConfig::new("lbm").pinned_to(vec![CoreId(1)]),
+        Box::new(SpecWorkload::new(SpecApp::Lbm, scale, 2)),
+    )
+    .expect("valid VM");
+    hv.run_ticks(TICKS);
+    hv.report(sensitive).expect("vm exists").ipc()
+}
+
+fn kyoto_run(strategy: MonitoringStrategy, scale: u64) -> u64 {
+    let machine = Machine::new(MachineConfig::scaled_paper_numa_machine(scale));
+    let mut hv = ks4xen_hypervisor(machine, HypervisorConfig::default(), strategy);
+    if matches!(strategy, MonitoringStrategy::SimulatorAttribution) {
+        hv.engine_mut()
+            .enable_shadow_attribution()
+            .expect("valid LLC geometry");
+    }
+    let permit = 500.0 / (scale as f64 / 128.0);
+    hv.add_vm_with(
+        VmConfig::new("gcc").with_llc_cap(permit),
+        Box::new(SpecWorkload::new(SpecApp::Gcc, scale, 1)),
+    )
+    .expect("valid VM");
+    let dis = hv
+        .add_vm_with(
+            VmConfig::new("lbm").with_llc_cap(permit),
+            Box::new(SpecWorkload::new(SpecApp::Lbm, scale, 2)),
+        )
+        .expect("valid VM");
+    hv.run_ticks(TICKS);
+    hv.report(dis).expect("vm exists").punishments
+}
+
+fn tick_length_run(tick_ms: u64, scale: u64) -> f64 {
+    let machine = Machine::new(MachineConfig::scaled_paper_machine(scale));
+    let config = HypervisorConfig::default().with_tick_ms(tick_ms);
+    let mut hv = xen_hypervisor(machine, config);
+    let vm = hv
+        .add_vm_with(
+            VmConfig::new("povray").pinned_to(vec![CoreId(0)]),
+            Box::new(SpecWorkload::new(SpecApp::Povray, scale, 1)),
+        )
+        .expect("valid VM");
+    hv.run_ms(80);
+    hv.report(vm).expect("vm exists").ipc()
+}
+
+fn bench_replacement_policies(c: &mut Criterion) {
+    let scale = bench_config().scale;
+    let mut group = c.benchmark_group("ablation_replacement_policy");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    for policy in [
+        ReplacementPolicy::Lru,
+        ReplacementPolicy::Bip,
+        ReplacementPolicy::Dip,
+        ReplacementPolicy::Random,
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(policy), &policy, |b, &policy| {
+            b.iter(|| contention_run(policy, scale))
+        });
+    }
+    group.finish();
+}
+
+fn bench_monitoring_strategies(c: &mut Criterion) {
+    let scale = bench_config().scale;
+    let mut group = c.benchmark_group("ablation_monitoring_strategy");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    let strategies = [
+        ("direct-pmc", MonitoringStrategy::DirectPmc),
+        (
+            "socket-dedication",
+            MonitoringStrategy::SocketDedication(SocketDedicationConfig::default()),
+        ),
+        ("simulator", MonitoringStrategy::SimulatorAttribution),
+    ];
+    for (name, strategy) in strategies {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &strategy, |b, &strategy| {
+            b.iter(|| kyoto_run(strategy, scale))
+        });
+    }
+    group.finish();
+}
+
+fn bench_tick_length(c: &mut Criterion) {
+    let scale = bench_config().scale;
+    let mut group = c.benchmark_group("ablation_tick_length");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    for tick_ms in [2u64, 5, 10, 20] {
+        group.bench_with_input(BenchmarkId::from_parameter(tick_ms), &tick_ms, |b, &tick_ms| {
+            b.iter(|| tick_length_run(tick_ms, scale))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    ablations,
+    bench_replacement_policies,
+    bench_monitoring_strategies,
+    bench_tick_length
+);
+criterion_main!(ablations);

@@ -1,0 +1,145 @@
+//! Criterion benches: one group per table/figure of the paper.
+//!
+//! Each bench measures the end-to-end generation of the corresponding
+//! figure's dataset at the (small) bench fidelity, so `cargo bench` both
+//! regenerates every result and tracks the cost of doing so.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kyoto_bench::bench_config;
+use kyoto_experiments::{
+    fig1, fig10, fig11, fig12, fig2, fig3, fig4, fig5, fig6, fig8, fig9, tables,
+};
+use kyoto_workloads::spec::SpecApp;
+use std::time::Duration;
+
+fn configure(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    group
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let mut group = configure(c);
+    group.bench_function("table1", |b| b.iter(|| tables::table1().to_table()));
+    group.bench_function("table2", |b| b.iter(|| tables::table2().to_table()));
+    group.finish();
+}
+
+fn bench_fig1(c: &mut Criterion) {
+    let config = bench_config();
+    let mut group = configure(c);
+    group.bench_function("fig1_contention_matrix", |b| b.iter(|| fig1::run(&config)));
+    group.finish();
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    let config = bench_config();
+    let mut group = configure(c);
+    group.bench_function("fig2_llcm_traces", |b| b.iter(|| fig2::run_slices(&config, 3)));
+    group.finish();
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let config = bench_config();
+    let mut group = configure(c);
+    group.bench_function("fig3_cpu_lever", |b| {
+        b.iter(|| fig3::run_with_caps(&config, &[20, 60, 100]))
+    });
+    group.finish();
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let config = bench_config();
+    let apps = [
+        SpecApp::Lbm,
+        SpecApp::Blockie,
+        SpecApp::Mcf,
+        SpecApp::Gcc,
+        SpecApp::Bzip,
+    ];
+    let mut group = configure(c);
+    group.bench_function("fig4_indicator_ranking", |b| {
+        b.iter(|| fig4::run_with_apps(&config, &apps))
+    });
+    group.finish();
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let config = bench_config();
+    let mut group = configure(c);
+    group.bench_function("fig5_ks4xen_effectiveness", |b| {
+        b.iter(|| fig5::run_with_trace_ticks(&config, 24))
+    });
+    group.finish();
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let config = bench_config();
+    let mut group = configure(c);
+    group.bench_function("fig6_scalability", |b| {
+        b.iter(|| fig6::run_with_counts(&config, &[1, 4, 8]))
+    });
+    group.finish();
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let config = bench_config();
+    let mut group = configure(c);
+    group.bench_function("fig8_pisces_comparison", |b| b.iter(|| fig8::run(&config)));
+    group.finish();
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    let config = bench_config();
+    let apps = [SpecApp::Lbm, SpecApp::Milc, SpecApp::Bzip];
+    let mut group = configure(c);
+    group.bench_function("fig9_migration_overhead", |b| {
+        b.iter(|| fig9::run_with_apps(&config, &apps))
+    });
+    group.finish();
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    let config = bench_config();
+    let mut group = configure(c);
+    group.bench_function("fig10_isolation_skipping", |b| b.iter(|| fig10::run(&config)));
+    group.finish();
+}
+
+fn bench_fig11(c: &mut Criterion) {
+    let config = bench_config();
+    let apps = [SpecApp::Lbm, SpecApp::Gcc, SpecApp::Hmmer];
+    let mut group = configure(c);
+    group.bench_function("fig11_simulator_attribution", |b| {
+        b.iter(|| fig11::run_with_apps(&config, &apps))
+    });
+    group.finish();
+}
+
+fn bench_fig12(c: &mut Criterion) {
+    let config = bench_config();
+    let mut group = configure(c);
+    group.bench_function("fig12_overhead", |b| {
+        b.iter(|| fig12::run_with_slices(&config, &[10, 30]))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_tables,
+    bench_fig1,
+    bench_fig2,
+    bench_fig3,
+    bench_fig4,
+    bench_fig5,
+    bench_fig6,
+    bench_fig8,
+    bench_fig9,
+    bench_fig10,
+    bench_fig11,
+    bench_fig12
+);
+criterion_main!(figures);

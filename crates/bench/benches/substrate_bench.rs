@@ -1,0 +1,124 @@
+//! Micro-benchmarks of the simulation substrate itself: cache lookups,
+//! hierarchy walks, engine throughput, workload generation and scheduler
+//! decisions. These bound how much simulated time the figure benches can
+//! afford.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use kyoto_hypervisor::credit::{CreditConfig, CreditScheduler};
+use kyoto_hypervisor::scheduler::Scheduler;
+use kyoto_hypervisor::vm::{VcpuId, VmConfig, VmId};
+use kyoto_sim::cache::{Cache, CacheConfig};
+use kyoto_sim::engine::{ExecSlot, SimEngine};
+use kyoto_sim::topology::{CoreId, Machine, MachineConfig};
+use kyoto_sim::workload::Workload;
+use kyoto_workloads::micro::PointerChase;
+use kyoto_workloads::spec::{SpecApp, SpecWorkload};
+use std::time::Duration;
+
+fn bench_cache_access(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate_cache");
+    group.throughput(Throughput::Elements(10_000));
+    group.measurement_time(Duration::from_secs(3));
+    group.bench_function("llc_lookup_hit_heavy", |b| {
+        let mut cache = Cache::new(CacheConfig::new(640 * 1024, 20, 64)).unwrap();
+        let mut i = 0u64;
+        b.iter(|| {
+            for _ in 0..10_000 {
+                cache.access((i % 4096) * 64, 1);
+                i += 1;
+            }
+        })
+    });
+    group.bench_function("llc_lookup_miss_heavy", |b| {
+        let mut cache = Cache::new(CacheConfig::new(640 * 1024, 20, 64)).unwrap();
+        let mut i = 0u64;
+        b.iter(|| {
+            for _ in 0..10_000 {
+                cache.access(i * 64, (i % 4) as u16 + 1);
+                i += 1;
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_engine_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate_engine");
+    group.measurement_time(Duration::from_secs(3));
+    group.sample_size(20);
+    for slots in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("run_slots_100k_cycles", slots),
+            &slots,
+            |b, &slots| {
+                let machine = Machine::new(MachineConfig::scaled_paper_machine(64));
+                let mut engine = SimEngine::new(machine);
+                let mut workloads: Vec<SpecWorkload> = (0..slots)
+                    .map(|i| SpecWorkload::new(SpecApp::Gcc, 64, i as u64))
+                    .collect();
+                b.iter(|| {
+                    let mut slot_refs: Vec<ExecSlot<'_>> = workloads
+                        .iter_mut()
+                        .enumerate()
+                        .map(|(i, w)| ExecSlot::new(CoreId(i), i as u16 + 1, w))
+                        .collect();
+                    engine.run_slots(&mut slot_refs, 100_000)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_workload_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate_workloads");
+    group.throughput(Throughput::Elements(100_000));
+    group.measurement_time(Duration::from_secs(3));
+    group.bench_function("pointer_chase_ops", |b| {
+        let mut chase = PointerChase::new(1 << 20, 1);
+        b.iter(|| {
+            for _ in 0..100_000 {
+                criterion::black_box(chase.next_op());
+            }
+        })
+    });
+    group.bench_function("spec_lbm_ops", |b| {
+        let mut lbm = SpecWorkload::new(SpecApp::Lbm, 64, 1);
+        b.iter(|| {
+            for _ in 0..100_000 {
+                criterion::black_box(lbm.next_op());
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_scheduler_decisions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate_scheduler");
+    group.throughput(Throughput::Elements(10_000));
+    group.measurement_time(Duration::from_secs(3));
+    group.bench_function("credit_pick_next_16_vcpus", |b| {
+        let mut scheduler = CreditScheduler::new(CreditConfig::new(4, 100_000, 3));
+        let vcpus: Vec<VcpuId> = (0..16)
+            .map(|i| VcpuId::new(VmId(i as u16 + 1), 0))
+            .collect();
+        for (i, vcpu) in vcpus.iter().enumerate() {
+            scheduler.add_vcpu(*vcpu, &VmConfig::new(format!("vm{i}")));
+        }
+        b.iter(|| {
+            for core in 0..10_000 {
+                criterion::black_box(scheduler.pick_next(CoreId(core % 4), &vcpus));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    substrate,
+    bench_cache_access,
+    bench_engine_throughput,
+    bench_workload_generation,
+    bench_scheduler_decisions
+);
+criterion_main!(substrate);

@@ -1,0 +1,73 @@
+//! Regenerates every table and figure of the paper.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p kyoto-bench --bin figures -- all
+//! cargo run --release -p kyoto-bench --bin figures -- fig1 fig5
+//! cargo run --release -p kyoto-bench --bin figures -- --quick all
+//! ```
+
+use kyoto_bench::{figures_config, figures_quick_config};
+use kyoto_experiments::config::ExperimentConfig;
+use kyoto_experiments::{
+    fig1, fig10, fig11, fig12, fig2, fig3, fig4, fig5, fig6, fig8, fig9, tables,
+};
+use std::time::Instant;
+
+const ALL_TARGETS: [&str; 13] = [
+    "table1", "table2", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig8", "fig9", "fig10",
+    "fig11", "fig12",
+];
+
+fn print_target(target: &str, config: &ExperimentConfig) {
+    let start = Instant::now();
+    let output = match target {
+        "table1" => tables::table1().to_table(),
+        "table2" => tables::table2().to_table(),
+        "fig1" => fig1::run(config).to_table(),
+        "fig2" => fig2::run(config).to_table(),
+        "fig3" => fig3::run(config).to_table(),
+        "fig4" => fig4::run(config).to_table(),
+        "fig5" => fig5::run(config).to_table(),
+        "fig6" => fig6::run(config).to_table(),
+        "fig8" => fig8::run(config).to_table(),
+        "fig9" => fig9::run(config).to_table(),
+        "fig10" => fig10::run(config).to_table(),
+        "fig11" => fig11::run(config).to_table(),
+        "fig12" => fig12::run(config).to_table(),
+        other => {
+            eprintln!("unknown target `{other}` (known: {ALL_TARGETS:?})");
+            return;
+        }
+    };
+    println!("{output}");
+    println!("[{} generated in {:.1?}]", target, start.elapsed());
+    println!("{}", "=".repeat(72));
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let config = if quick {
+        figures_quick_config()
+    } else {
+        figures_config()
+    };
+    let mut targets: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|a| a.as_str())
+        .collect();
+    if targets.is_empty() || targets.contains(&"all") {
+        targets = ALL_TARGETS.to_vec();
+    }
+    println!(
+        "Kyoto figure regeneration (scale 1/{}, {} warm-up + {} measured ticks per scenario)",
+        config.scale, config.warmup_ticks, config.measure_ticks
+    );
+    println!("{}", "=".repeat(72));
+    for target in targets {
+        print_target(target, &config);
+    }
+}

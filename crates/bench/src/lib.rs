@@ -1,0 +1,60 @@
+//! # kyoto-bench — benchmark harness for the Kyoto reproduction
+//!
+//! * the [`figures`](../figures/index.html) binary regenerates every table
+//!   and figure of the paper (`cargo run -p kyoto-bench --bin figures --release -- all`);
+//! * `benches/figures_bench.rs` measures the scenario generation of each
+//!   figure with Criterion;
+//! * `benches/ablation_bench.rs` runs the design-choice ablations called out
+//!   in `DESIGN.md` (LLC replacement policy, monitoring strategy, tick
+//!   length);
+//! * `benches/substrate_bench.rs` measures the raw substrate (cache lookups,
+//!   engine throughput, scheduler decisions).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use kyoto_experiments::config::ExperimentConfig;
+
+/// The configuration used by the Criterion benches: small enough that each
+/// iteration completes in well under a second, large enough that contention
+/// phenomena are visible.
+pub fn bench_config() -> ExperimentConfig {
+    ExperimentConfig {
+        scale: 256,
+        seed: 42,
+        warmup_ticks: 2,
+        measure_ticks: 5,
+    }
+}
+
+/// The configuration used by the `figures` binary at standard fidelity.
+pub fn figures_config() -> ExperimentConfig {
+    ExperimentConfig {
+        scale: 64,
+        seed: 42,
+        warmup_ticks: 9,
+        measure_ticks: 30,
+    }
+}
+
+/// The configuration used by the `figures` binary at quick fidelity.
+pub fn figures_quick_config() -> ExperimentConfig {
+    ExperimentConfig {
+        scale: 128,
+        seed: 42,
+        warmup_ticks: 5,
+        measure_ticks: 12,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_configs_are_ordered_by_cost() {
+        assert!(bench_config().total_ticks() <= figures_quick_config().total_ticks());
+        assert!(figures_quick_config().total_ticks() <= figures_config().total_ticks());
+        assert!(figures_config().scale <= figures_quick_config().scale);
+    }
+}

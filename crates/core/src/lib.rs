@@ -1,0 +1,71 @@
+//! # kyoto-core — the Kyoto polluters-pay mechanism
+//!
+//! This crate is the primary contribution of the reproduced paper
+//! ("Mitigating performance unpredictability in the IaaS using the Kyoto
+//! principle", Middleware 2016): a software mechanism that turns last-level
+//! cache pollution into a bookable, enforceable resource.
+//!
+//! * [`permit`] — the `llc_cap` pollution permit and the runtime pollution
+//!   quota (earned per slice, debited by measured pollution).
+//! * [`equation`] — Equation 1 (`llc_misses * cpu_freq_khz /
+//!   unhalted_core_cycles`) and the raw-LLCM alternative indicator.
+//! * [`monitor`] — the three pollution-attribution strategies: raw per-vCPU
+//!   counters, socket dedication (with its skip heuristics) and
+//!   simulator-based attribution.
+//! * [`ks4`] — [`ks4::KyotoScheduler`], the quota-enforcement layer over any
+//!   substrate scheduler, with the paper's three prototypes as aliases:
+//!   [`ks4::Ks4Xen`], [`ks4::Ks4Linux`] and [`ks4::Ks4Pisces`].
+//! * [`policy`] — the provider-side permit catalogue and billing helper
+//!   (Section 5).
+//!
+//! # Example: protecting a sensitive VM from an aggressive neighbour
+//!
+//! ```
+//! use kyoto_core::ks4::ks4xen_hypervisor;
+//! use kyoto_core::monitor::MonitoringStrategy;
+//! use kyoto_hypervisor::hypervisor::HypervisorConfig;
+//! use kyoto_hypervisor::vm::VmConfig;
+//! use kyoto_sim::topology::{CoreId, Machine, MachineConfig};
+//! use kyoto_workloads::spec::{SpecApp, SpecWorkload};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let scale = 64;
+//! let machine = Machine::new(MachineConfig::scaled_paper_machine(scale));
+//! let mut hypervisor = ks4xen_hypervisor(
+//!     machine,
+//!     HypervisorConfig::default(),
+//!     MonitoringStrategy::DirectPmc,
+//! );
+//! // The sensitive VM books a generous permit, the polluter a small one.
+//! let sensitive = hypervisor.add_vm_with(
+//!     VmConfig::new("gcc").pinned_to(vec![CoreId(0)]).with_llc_cap(250_000.0 / scale as f64),
+//!     Box::new(SpecWorkload::new(SpecApp::Gcc, scale, 1)),
+//! )?;
+//! hypervisor.add_vm_with(
+//!     VmConfig::new("lbm").pinned_to(vec![CoreId(1)]).with_llc_cap(50_000.0 / scale as f64),
+//!     Box::new(SpecWorkload::new(SpecApp::Lbm, scale, 2)),
+//! )?;
+//! hypervisor.run_ms(300);
+//! let report = hypervisor.report(sensitive).expect("vm exists");
+//! assert!(report.pmcs.instructions > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod equation;
+pub mod ks4;
+pub mod monitor;
+pub mod permit;
+pub mod policy;
+
+pub use equation::{llc_cap_act, llc_cap_act_from_pmcs, llcm_indicator, Indicator};
+pub use ks4::{
+    ks4linux, ks4linux_hypervisor, ks4pisces, ks4pisces_hypervisor, ks4xen, ks4xen_hypervisor,
+    Ks4Linux, Ks4Pisces, Ks4Xen, KyotoConfig, KyotoScheduler,
+};
+pub use monitor::{DedicationSampler, MonitoringStrategy, SocketDedicationConfig};
+pub use permit::{LlcCap, PollutionQuota};
+pub use policy::{Bill, InstanceFamily, InstanceType, PermitCatalog};

@@ -1,0 +1,90 @@
+//! Property-based tests of the Kyoto quota accounting and Equation 1.
+
+use kyoto_core::equation::llc_cap_act;
+use kyoto_core::permit::{LlcCap, PollutionQuota};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Equation 1 is linear in misses and inversely proportional to cycles.
+    #[test]
+    fn equation_1_scaling_laws(
+        misses in 1u64..1_000_000,
+        cycles in 1u64..1_000_000_000,
+        freq in 1_000u64..10_000_000,
+    ) {
+        let base = llc_cap_act(misses, cycles, freq);
+        let double_misses = llc_cap_act(misses * 2, cycles, freq);
+        let double_cycles = llc_cap_act(misses, cycles * 2, freq);
+        prop_assert!((double_misses - base * 2.0).abs() <= base * 1e-9 + 1e-9);
+        prop_assert!((double_cycles - base / 2.0).abs() <= base * 1e-9 + 1e-9);
+        prop_assert!(base >= 0.0);
+    }
+
+    /// The pollution quota state machine: the punished flag is exactly
+    /// `quota < 0`, punishments only increase, and the banked quota never
+    /// exceeds its cap.
+    #[test]
+    fn quota_state_machine_invariants(
+        booked in 0.0f64..10_000.0,
+        events in prop::collection::vec(prop_oneof![
+            (0.0f64..50_000.0).prop_map(|m| (true, m)),   // debit of m misses
+            (1.0f64..100.0).prop_map(|ms| (false, ms)),   // slice end of ms milliseconds
+        ], 1..200),
+    ) {
+        let slice_ms = 30.0;
+        let mut quota = PollutionQuota::new(LlcCap::new(booked), slice_ms);
+        let mut last_punishments = 0;
+        for &(is_debit, value) in &events {
+            if is_debit {
+                quota.debit(value);
+            } else {
+                quota.earn(value);
+            }
+            // Punished flag always mirrors the sign of the quota once it has
+            // gone negative; a non-negative quota is never punished.
+            if quota.quota() >= 0.0 {
+                prop_assert!(!quota.is_punished());
+            } else {
+                prop_assert!(quota.is_punished());
+            }
+            prop_assert!(quota.punishments() >= last_punishments);
+            last_punishments = quota.punishments();
+            // Banked quota can never exceed the configured multiple of the
+            // largest earn seen so far (2 x 100 ms worth at most here).
+            prop_assert!(quota.quota() <= booked * 100.0 * 2.0 + booked * slice_ms + 1e-6);
+        }
+        prop_assert!(quota.total_debited() >= 0.0);
+        prop_assert!(quota.total_earned() >= 0.0);
+    }
+
+    /// A VM that pollutes strictly less than it books is never punished.
+    #[test]
+    fn under_permit_vms_are_never_punished(
+        booked in 100.0f64..10_000.0,
+        ticks in 1usize..300,
+    ) {
+        let slice_ms = 30.0;
+        let mut quota = PollutionQuota::new(LlcCap::new(booked), slice_ms);
+        // Each tick is 10 ms and debits 80% of the per-tick allowance; every
+        // third tick the slice ends and the quota is replenished.
+        for tick in 0..ticks {
+            quota.debit(booked * 10.0 * 0.8);
+            if tick % 3 == 2 {
+                quota.earn(slice_ms);
+            }
+            prop_assert!(!quota.is_punished(), "tick {tick}: quota {}", quota.quota());
+        }
+        prop_assert_eq!(quota.punishments(), 0);
+    }
+
+    /// Permit scaling is monotone and proportional.
+    #[test]
+    fn permit_scaling(paper in 0.0f64..1e9, scale in 1u64..1024) {
+        let permit = LlcCap::new(paper);
+        let scaled = permit.scaled(scale);
+        prop_assert!(scaled.misses_per_ms() <= permit.misses_per_ms());
+        prop_assert!((scaled.misses_per_ms() * scale as f64 - permit.misses_per_ms()).abs() < 1e-6 * permit.misses_per_ms().max(1.0));
+    }
+}

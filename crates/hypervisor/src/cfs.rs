@@ -1,0 +1,267 @@
+//! A simplified Linux CFS (Completely Fair Scheduler), the substrate of the
+//! paper's KS4Linux prototype (KVM runs VMs as ordinary Linux threads
+//! scheduled by CFS).
+//!
+//! Each vCPU accumulates *virtual runtime* inversely proportional to its
+//! weight; the scheduler always runs the candidate with the smallest virtual
+//! runtime. An optional bandwidth cap (the CFS quota/period mechanism) limits
+//! how much CPU a vCPU may consume per accounting window, which is what the
+//! Kyoto extension uses as its punishment lever on Linux.
+
+use crate::scheduler::{Priority, Scheduler, TickReport};
+use crate::vm::{VcpuId, VmConfig};
+use kyoto_sim::topology::CoreId;
+use std::collections::HashMap;
+
+/// Default CFS weight corresponding to nice 0 (Linux's `NICE_0_LOAD`).
+pub const NICE_0_WEIGHT: u32 = 1024;
+
+/// Timing parameters of the fair scheduler's bandwidth control.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CfsConfig {
+    /// Cycle budget of one tick on one core.
+    pub cycles_per_tick: u64,
+    /// Ticks per bandwidth-accounting period.
+    pub ticks_per_period: u32,
+}
+
+impl CfsConfig {
+    /// Creates a configuration; values are clamped to at least 1.
+    pub fn new(cycles_per_tick: u64, ticks_per_period: u32) -> Self {
+        CfsConfig {
+            cycles_per_tick: cycles_per_tick.max(1),
+            ticks_per_period: ticks_per_period.max(1),
+        }
+    }
+
+    /// Cycle budget of one accounting period on one core.
+    pub fn cycles_per_period(&self) -> u64 {
+        self.cycles_per_tick * u64::from(self.ticks_per_period)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct VcpuState {
+    weight: u32,
+    cap_percent: Option<u32>,
+    vruntime: u128,
+    window_consumed: u64,
+}
+
+/// A weighted-fair vCPU scheduler modelled on Linux CFS.
+#[derive(Debug, Clone)]
+pub struct CfsScheduler {
+    config: CfsConfig,
+    vcpus: HashMap<VcpuId, VcpuState>,
+}
+
+impl CfsScheduler {
+    /// Creates an empty fair scheduler.
+    pub fn new(config: CfsConfig) -> Self {
+        CfsScheduler {
+            config,
+            vcpus: HashMap::new(),
+        }
+    }
+
+    /// The scheduler's timing configuration.
+    pub fn config(&self) -> CfsConfig {
+        self.config
+    }
+
+    /// Virtual runtime of a vCPU (weighted cycles); `0` for unknown vCPUs.
+    pub fn vruntime(&self, vcpu: VcpuId) -> u128 {
+        self.vcpus.get(&vcpu).map(|s| s.vruntime).unwrap_or(0)
+    }
+
+    /// Whether a vCPU exhausted its bandwidth for the current period.
+    pub fn is_throttled(&self, vcpu: VcpuId) -> bool {
+        self.vcpus
+            .get(&vcpu)
+            .map(|s| Self::throttled(&self.config, s))
+            .unwrap_or(false)
+    }
+
+    fn throttled(config: &CfsConfig, state: &VcpuState) -> bool {
+        match state.cap_percent {
+            None => false,
+            Some(cap) => {
+                let allowance = config.cycles_per_period() * u64::from(cap) / 100;
+                state.window_consumed >= allowance
+            }
+        }
+    }
+
+    fn min_vruntime(&self) -> u128 {
+        self.vcpus.values().map(|s| s.vruntime).min().unwrap_or(0)
+    }
+}
+
+impl Scheduler for CfsScheduler {
+    fn add_vcpu(&mut self, vcpu: VcpuId, config: &VmConfig) {
+        // New tasks start at the current minimum vruntime so they neither
+        // starve nor monopolise the CPU (CFS places them at min_vruntime).
+        let start = self.min_vruntime();
+        self.vcpus.insert(
+            vcpu,
+            VcpuState {
+                weight: config.weight.max(1),
+                cap_percent: config.cap_percent,
+                vruntime: start,
+                window_consumed: 0,
+            },
+        );
+    }
+
+    fn remove_vcpu(&mut self, vcpu: VcpuId) {
+        self.vcpus.remove(&vcpu);
+    }
+
+    fn pick_next(&mut self, _core: CoreId, candidates: &[VcpuId]) -> Option<VcpuId> {
+        candidates
+            .iter()
+            .filter_map(|&vcpu| {
+                let state = self.vcpus.get(&vcpu)?;
+                if Self::throttled(&self.config, state) {
+                    None
+                } else {
+                    Some((state.vruntime, vcpu.as_key(), vcpu))
+                }
+            })
+            .min()
+            .map(|(_, _, vcpu)| vcpu)
+    }
+
+    fn account(&mut self, vcpu: VcpuId, report: &TickReport) {
+        if let Some(state) = self.vcpus.get_mut(&vcpu) {
+            // vruntime advances by consumed * NICE_0_LOAD / weight, exactly
+            // like CFS's weighted virtual time.
+            state.vruntime += u128::from(report.consumed_cycles) * u128::from(NICE_0_WEIGHT)
+                / u128::from(state.weight);
+            state.window_consumed += report.consumed_cycles;
+        }
+    }
+
+    fn on_tick(&mut self, tick: u64) {
+        if (tick + 1) % u64::from(self.config.ticks_per_period) == 0 {
+            for state in self.vcpus.values_mut() {
+                state.window_consumed = 0;
+            }
+        }
+    }
+
+    fn priority(&self, vcpu: VcpuId) -> Priority {
+        if self.is_throttled(vcpu) {
+            Priority::Over
+        } else {
+            Priority::Under
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "cfs"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vm::VmId;
+    use kyoto_sim::pmc::PmcSet;
+
+    fn vcpu(vm: u16) -> VcpuId {
+        VcpuId::new(VmId(vm), 0)
+    }
+
+    fn report(consumed: u64) -> TickReport {
+        TickReport {
+            consumed_cycles: consumed,
+            budget_cycles: 100_000,
+            pmc_delta: PmcSet::default(),
+            pollution_events: 0,
+            shadow_llc_misses: None,
+            tick_ms: 10,
+        }
+    }
+
+    fn scheduler() -> CfsScheduler {
+        CfsScheduler::new(CfsConfig::new(100_000, 3))
+    }
+
+    #[test]
+    fn picks_the_smallest_vruntime() {
+        let mut s = scheduler();
+        s.add_vcpu(vcpu(1), &VmConfig::new("a"));
+        s.add_vcpu(vcpu(2), &VmConfig::new("b"));
+        s.account(vcpu(1), &report(100_000));
+        assert_eq!(s.pick_next(CoreId(0), &[vcpu(1), vcpu(2)]), Some(vcpu(2)));
+    }
+
+    #[test]
+    fn weights_slow_down_vruntime_growth() {
+        let mut s = scheduler();
+        s.add_vcpu(vcpu(1), &VmConfig::new("heavy").with_weight(2048));
+        s.add_vcpu(vcpu(2), &VmConfig::new("light").with_weight(1024));
+        s.account(vcpu(1), &report(100_000));
+        s.account(vcpu(2), &report(100_000));
+        assert!(s.vruntime(vcpu(1)) < s.vruntime(vcpu(2)));
+    }
+
+    #[test]
+    fn alternates_between_equal_tasks() {
+        let mut s = scheduler();
+        s.add_vcpu(vcpu(1), &VmConfig::new("a"));
+        s.add_vcpu(vcpu(2), &VmConfig::new("b"));
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..10 {
+            let chosen = s.pick_next(CoreId(0), &[vcpu(1), vcpu(2)]).unwrap();
+            s.account(chosen, &report(100_000));
+            *counts.entry(chosen).or_insert(0) += 1;
+        }
+        assert_eq!(counts[&vcpu(1)], 5);
+        assert_eq!(counts[&vcpu(2)], 5);
+    }
+
+    #[test]
+    fn new_tasks_start_at_min_vruntime() {
+        let mut s = scheduler();
+        s.add_vcpu(vcpu(1), &VmConfig::new("a"));
+        s.account(vcpu(1), &report(1_000_000));
+        s.add_vcpu(vcpu(2), &VmConfig::new("late"));
+        // The latecomer starts at the current minimum vruntime (vm1's value):
+        // it is neither infinitely favoured nor starved.
+        assert_eq!(s.vruntime(vcpu(2)), s.vruntime(vcpu(1)));
+        // Once vm1 runs a little more, the latecomer is preferred.
+        s.account(vcpu(1), &report(10_000));
+        assert_eq!(s.pick_next(CoreId(0), &[vcpu(1), vcpu(2)]), Some(vcpu(2)));
+    }
+
+    #[test]
+    fn cap_throttles_within_a_period_and_resets() {
+        let mut s = scheduler();
+        s.add_vcpu(vcpu(1), &VmConfig::new("a").with_cap_percent(50));
+        s.account(vcpu(1), &report(200_000)); // > 50% of 300k
+        assert!(s.is_throttled(vcpu(1)));
+        assert_eq!(s.priority(vcpu(1)), Priority::Over);
+        assert_eq!(s.pick_next(CoreId(0), &[vcpu(1)]), None);
+        s.on_tick(2);
+        assert!(!s.is_throttled(vcpu(1)));
+        assert_eq!(s.priority(vcpu(1)), Priority::Under);
+    }
+
+    #[test]
+    fn unknown_vcpus_are_never_picked() {
+        let mut s = scheduler();
+        assert_eq!(s.pick_next(CoreId(0), &[vcpu(7)]), None);
+        assert!(!s.is_throttled(vcpu(7)));
+    }
+
+    #[test]
+    fn remove_and_name() {
+        let mut s = scheduler();
+        s.add_vcpu(vcpu(1), &VmConfig::new("a"));
+        s.remove_vcpu(vcpu(1));
+        assert_eq!(s.pick_next(CoreId(0), &[vcpu(1)]), None);
+        assert_eq!(s.name(), "cfs");
+    }
+}

@@ -1,0 +1,368 @@
+//! The Xen credit scheduler (XCS), the substrate KS4Xen extends.
+//!
+//! Semantics follow Section 3.2 of the paper and Cherkasova et al.'s
+//! description of the Xen credit scheduler:
+//!
+//! * every VM (vCPU) is configured with a credit *weight* and an optional
+//!   *cap*;
+//! * a running vCPU burns credit proportional to the CPU time it consumes;
+//! * a vCPU whose remaining credit is positive has priority `UNDER`, one
+//!   whose credit is exhausted has priority `OVER` and only runs when no
+//!   `UNDER` vCPU is runnable (work-conserving);
+//! * every accounting period (a 30 ms time slice, i.e. three 10 ms ticks)
+//!   credits are redistributed proportionally to weights;
+//! * a capped vCPU stops running for the rest of the slice once it has
+//!   consumed its cap share, even if the machine is otherwise idle.
+
+use crate::scheduler::{Priority, Scheduler, TickReport};
+use crate::vm::{VcpuId, VmConfig};
+use kyoto_sim::topology::CoreId;
+use std::collections::HashMap;
+
+/// Timing parameters of the credit scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CreditConfig {
+    /// Number of physical cores whose capacity is distributed as credit.
+    pub num_cores: usize,
+    /// Cycle budget of one tick on one core.
+    pub cycles_per_tick: u64,
+    /// Ticks per accounting slice (Xen: 3 ticks of 10 ms = 30 ms).
+    pub ticks_per_slice: u32,
+}
+
+impl CreditConfig {
+    /// Creates a configuration; values are clamped to at least 1.
+    pub fn new(num_cores: usize, cycles_per_tick: u64, ticks_per_slice: u32) -> Self {
+        CreditConfig {
+            num_cores: num_cores.max(1),
+            cycles_per_tick: cycles_per_tick.max(1),
+            ticks_per_slice: ticks_per_slice.max(1),
+        }
+    }
+
+    /// Cycle budget of one slice on one core.
+    pub fn cycles_per_slice(&self) -> u64 {
+        self.cycles_per_tick * u64::from(self.ticks_per_slice)
+    }
+
+    /// Total machine capacity distributed as credit per slice.
+    pub fn capacity_per_slice(&self) -> u64 {
+        self.cycles_per_slice() * self.num_cores as u64
+    }
+}
+
+#[derive(Debug, Clone)]
+struct VcpuState {
+    weight: u32,
+    cap_percent: Option<u32>,
+    remain_credit: i64,
+    window_consumed: u64,
+    last_picked: u64,
+}
+
+/// The Xen credit scheduler.
+#[derive(Debug, Clone)]
+pub struct CreditScheduler {
+    config: CreditConfig,
+    vcpus: HashMap<VcpuId, VcpuState>,
+    pick_clock: u64,
+}
+
+impl CreditScheduler {
+    /// Creates an empty credit scheduler.
+    pub fn new(config: CreditConfig) -> Self {
+        CreditScheduler {
+            config,
+            vcpus: HashMap::new(),
+            pick_clock: 0,
+        }
+    }
+
+    /// The scheduler's timing configuration.
+    pub fn config(&self) -> CreditConfig {
+        self.config
+    }
+
+    /// Remaining credit of a vCPU (cycles); `0` for unknown vCPUs.
+    pub fn remaining_credit(&self, vcpu: VcpuId) -> i64 {
+        self.vcpus.get(&vcpu).map(|s| s.remain_credit).unwrap_or(0)
+    }
+
+    /// Whether a vCPU has hit its cap for the current slice.
+    pub fn is_capped_out(&self, vcpu: VcpuId) -> bool {
+        self.vcpus
+            .get(&vcpu)
+            .map(|s| Self::capped_out(&self.config, s))
+            .unwrap_or(false)
+    }
+
+    fn capped_out(config: &CreditConfig, state: &VcpuState) -> bool {
+        match state.cap_percent {
+            None => false,
+            Some(cap) => {
+                let allowance = config.cycles_per_slice() * u64::from(cap) / 100;
+                state.window_consumed >= allowance
+            }
+        }
+    }
+
+    /// Registered vCPUs (in no particular order).
+    pub fn vcpus(&self) -> impl Iterator<Item = VcpuId> + '_ {
+        self.vcpus.keys().copied()
+    }
+
+    fn refill_credits(&mut self) {
+        let total_weight: u64 = self.vcpus.values().map(|s| u64::from(s.weight)).sum();
+        if total_weight == 0 {
+            return;
+        }
+        let capacity = self.config.capacity_per_slice();
+        for state in self.vcpus.values_mut() {
+            let share = (capacity as u128 * u128::from(state.weight) / u128::from(total_weight))
+                as i64;
+            // Credit accumulation is capped (like Xen) so an idle VM cannot
+            // hoard unbounded credit and then monopolise the machine.
+            state.remain_credit = (state.remain_credit + share).min(share.saturating_mul(2));
+            state.window_consumed = 0;
+        }
+    }
+}
+
+impl Scheduler for CreditScheduler {
+    fn add_vcpu(&mut self, vcpu: VcpuId, config: &VmConfig) {
+        // A new vCPU starts with one slice worth of fair-share credit so it
+        // can run immediately.
+        let state = VcpuState {
+            weight: config.weight.max(1),
+            cap_percent: config.cap_percent,
+            remain_credit: self.config.cycles_per_slice() as i64,
+            window_consumed: 0,
+            last_picked: 0,
+        };
+        self.vcpus.insert(vcpu, state);
+    }
+
+    fn remove_vcpu(&mut self, vcpu: VcpuId) {
+        self.vcpus.remove(&vcpu);
+    }
+
+    fn pick_next(&mut self, _core: CoreId, candidates: &[VcpuId]) -> Option<VcpuId> {
+        self.pick_clock += 1;
+        let mut best: Option<(Priority, u64, u64, VcpuId)> = None;
+        for &vcpu in candidates {
+            let Some(state) = self.vcpus.get(&vcpu) else {
+                continue;
+            };
+            if Self::capped_out(&self.config, state) {
+                continue;
+            }
+            let priority = if state.remain_credit > 0 {
+                Priority::Under
+            } else {
+                Priority::Over
+            };
+            // Order: UNDER before OVER, then least recently picked, then
+            // stable key for determinism.
+            let rank = (priority, state.last_picked, vcpu.as_key(), vcpu);
+            let better = match &best {
+                None => true,
+                Some((bp, blp, bkey, _)) => {
+                    (priority_rank(priority), state.last_picked, vcpu.as_key())
+                        < (priority_rank(*bp), *blp, *bkey)
+                }
+            };
+            if better {
+                best = Some(rank);
+            }
+        }
+        let chosen = best.map(|(_, _, _, vcpu)| vcpu);
+        if let Some(vcpu) = chosen {
+            if let Some(state) = self.vcpus.get_mut(&vcpu) {
+                state.last_picked = self.pick_clock;
+            }
+        }
+        chosen
+    }
+
+    fn account(&mut self, vcpu: VcpuId, report: &TickReport) {
+        if let Some(state) = self.vcpus.get_mut(&vcpu) {
+            state.remain_credit -= report.consumed_cycles as i64;
+            state.window_consumed += report.consumed_cycles;
+        }
+    }
+
+    fn on_tick(&mut self, tick: u64) {
+        if (tick + 1) % u64::from(self.config.ticks_per_slice) == 0 {
+            self.refill_credits();
+        }
+    }
+
+    fn priority(&self, vcpu: VcpuId) -> Priority {
+        match self.vcpus.get(&vcpu) {
+            Some(state) if state.remain_credit > 0 => Priority::Under,
+            _ => Priority::Over,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "xcs"
+    }
+}
+
+fn priority_rank(priority: Priority) -> u8 {
+    match priority {
+        Priority::Under => 0,
+        Priority::Over => 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vm::VmId;
+    use kyoto_sim::pmc::PmcSet;
+
+    fn vcpu(vm: u16) -> VcpuId {
+        VcpuId::new(VmId(vm), 0)
+    }
+
+    fn report(consumed: u64, budget: u64) -> TickReport {
+        TickReport {
+            consumed_cycles: consumed,
+            budget_cycles: budget,
+            pmc_delta: PmcSet::default(),
+            pollution_events: 0,
+            shadow_llc_misses: None,
+            tick_ms: 10,
+        }
+    }
+
+    fn scheduler() -> CreditScheduler {
+        CreditScheduler::new(CreditConfig::new(4, 100_000, 3))
+    }
+
+    #[test]
+    fn new_vcpus_start_under_and_runnable() {
+        let mut s = scheduler();
+        s.add_vcpu(vcpu(1), &VmConfig::new("a"));
+        assert_eq!(s.priority(vcpu(1)), Priority::Under);
+        assert_eq!(s.pick_next(CoreId(0), &[vcpu(1)]), Some(vcpu(1)));
+    }
+
+    #[test]
+    fn unknown_vcpus_are_over_and_never_picked() {
+        let mut s = scheduler();
+        assert_eq!(s.priority(vcpu(9)), Priority::Over);
+        assert_eq!(s.pick_next(CoreId(0), &[vcpu(9)]), None);
+    }
+
+    #[test]
+    fn burning_credit_flips_priority_to_over() {
+        let mut s = scheduler();
+        s.add_vcpu(vcpu(1), &VmConfig::new("a"));
+        // Consume far more than one slice of credit.
+        s.account(vcpu(1), &report(10_000_000, 100_000));
+        assert_eq!(s.priority(vcpu(1)), Priority::Over);
+        assert!(s.remaining_credit(vcpu(1)) < 0);
+    }
+
+    #[test]
+    fn refill_restores_under_priority() {
+        let mut s = scheduler();
+        s.add_vcpu(vcpu(1), &VmConfig::new("a"));
+        s.account(vcpu(1), &report(400_000, 100_000));
+        assert_eq!(s.priority(vcpu(1)), Priority::Over);
+        // Slice boundary at tick 2 (ticks 0,1,2 form the first slice).
+        s.on_tick(0);
+        s.on_tick(1);
+        assert_eq!(s.priority(vcpu(1)), Priority::Over);
+        s.on_tick(2);
+        // Sole vCPU: gets the whole 4-core capacity (1.2M cycles) as credit.
+        assert_eq!(s.priority(vcpu(1)), Priority::Under);
+    }
+
+    #[test]
+    fn under_vcpus_are_preferred_over_over_vcpus() {
+        let mut s = scheduler();
+        s.add_vcpu(vcpu(1), &VmConfig::new("a"));
+        s.add_vcpu(vcpu(2), &VmConfig::new("b"));
+        s.account(vcpu(1), &report(10_000_000, 100_000)); // vm1 goes OVER
+        assert_eq!(s.pick_next(CoreId(0), &[vcpu(1), vcpu(2)]), Some(vcpu(2)));
+    }
+
+    #[test]
+    fn over_vcpus_still_run_when_nothing_else_is_runnable() {
+        let mut s = scheduler();
+        s.add_vcpu(vcpu(1), &VmConfig::new("a"));
+        s.account(vcpu(1), &report(10_000_000, 100_000));
+        assert_eq!(s.priority(vcpu(1)), Priority::Over);
+        // Work-conserving: the only candidate runs even though it is OVER.
+        assert_eq!(s.pick_next(CoreId(0), &[vcpu(1)]), Some(vcpu(1)));
+    }
+
+    #[test]
+    fn round_robin_between_equal_vcpus() {
+        let mut s = scheduler();
+        s.add_vcpu(vcpu(1), &VmConfig::new("a"));
+        s.add_vcpu(vcpu(2), &VmConfig::new("b"));
+        let first = s.pick_next(CoreId(0), &[vcpu(1), vcpu(2)]).unwrap();
+        let second = s.pick_next(CoreId(0), &[vcpu(1), vcpu(2)]).unwrap();
+        assert_ne!(first, second, "equal-credit vCPUs should alternate");
+    }
+
+    #[test]
+    fn capped_vcpu_stops_after_its_allowance() {
+        let mut s = scheduler();
+        // 25 % cap of a 300k-cycle slice = 75k cycles per slice.
+        s.add_vcpu(vcpu(1), &VmConfig::new("a").with_cap_percent(25));
+        assert!(!s.is_capped_out(vcpu(1)));
+        s.account(vcpu(1), &report(80_000, 100_000));
+        assert!(s.is_capped_out(vcpu(1)));
+        assert_eq!(s.pick_next(CoreId(0), &[vcpu(1)]), None);
+        // The cap window resets at the slice boundary.
+        s.on_tick(2);
+        assert!(!s.is_capped_out(vcpu(1)));
+        assert_eq!(s.pick_next(CoreId(0), &[vcpu(1)]), Some(vcpu(1)));
+    }
+
+    #[test]
+    fn weights_bias_credit_distribution() {
+        let mut s = scheduler();
+        s.add_vcpu(vcpu(1), &VmConfig::new("heavy").with_weight(512));
+        s.add_vcpu(vcpu(2), &VmConfig::new("light").with_weight(256));
+        // Drain both, then refill.
+        s.account(vcpu(1), &report(300_000, 100_000));
+        s.account(vcpu(2), &report(300_000, 100_000));
+        s.on_tick(2);
+        let heavy = s.remaining_credit(vcpu(1));
+        let light = s.remaining_credit(vcpu(2));
+        assert!(heavy > light, "heavier weight should receive more credit ({heavy} vs {light})");
+    }
+
+    #[test]
+    fn credit_accumulation_is_bounded() {
+        let mut s = scheduler();
+        s.add_vcpu(vcpu(1), &VmConfig::new("idle"));
+        // An idle vCPU over many slices must not accumulate unbounded credit.
+        for tick in 0..300 {
+            s.on_tick(tick);
+        }
+        let credit = s.remaining_credit(vcpu(1));
+        let one_slice_full_share = s.config().capacity_per_slice() as i64;
+        assert!(credit <= one_slice_full_share * 2);
+    }
+
+    #[test]
+    fn remove_vcpu_forgets_state() {
+        let mut s = scheduler();
+        s.add_vcpu(vcpu(1), &VmConfig::new("a"));
+        s.remove_vcpu(vcpu(1));
+        assert_eq!(s.vcpus().count(), 0);
+        assert_eq!(s.pick_next(CoreId(0), &[vcpu(1)]), None);
+    }
+
+    #[test]
+    fn scheduler_name() {
+        assert_eq!(scheduler().name(), "xcs");
+    }
+}

@@ -1,0 +1,739 @@
+//! The hypervisor run loop: binds VMs, a scheduler and the simulated machine.
+//!
+//! Time advances in fixed ticks (10 ms in Xen). Every tick the hypervisor
+//! asks the scheduler to place runnable vCPUs on cores, runs the chosen
+//! vCPUs for one tick on the simulated machine (which is where LLC
+//! contention physically happens), then feeds the per-vCPU execution reports
+//! back into the scheduler for accounting.
+
+use crate::scheduler::{Scheduler, TickReport};
+use crate::vm::{VcpuId, VmConfig, VmId, VmReport};
+use kyoto_sim::engine::{ExecSlot, SimEngine};
+use kyoto_sim::pmc::{PmcSet, VirtualPmu};
+use kyoto_sim::topology::{CoreId, Machine};
+use kyoto_sim::workload::Workload;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the hypervisor API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum HypervisorError {
+    /// `add_vm` was called with a number of workloads different from the
+    /// configured vCPU count.
+    WorkloadCountMismatch {
+        /// Configured vCPUs.
+        expected: usize,
+        /// Provided workloads.
+        provided: usize,
+    },
+    /// A VM configuration pins a vCPU to a core that does not exist.
+    InvalidPinning {
+        /// The offending core index.
+        core: usize,
+    },
+    /// The referenced VM does not exist.
+    UnknownVm {
+        /// The VM id.
+        vm: VmId,
+    },
+}
+
+impl fmt::Display for HypervisorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HypervisorError::WorkloadCountMismatch { expected, provided } => write!(
+                f,
+                "expected {expected} workloads (one per vCPU) but {provided} were provided"
+            ),
+            HypervisorError::InvalidPinning { core } => {
+                write!(f, "vCPU pinned to non-existent core {core}")
+            }
+            HypervisorError::UnknownVm { vm } => write!(f, "unknown VM {vm}"),
+        }
+    }
+}
+
+impl Error for HypervisorError {}
+
+/// Timing configuration of the hypervisor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HypervisorConfig {
+    /// Tick duration in milliseconds (Xen: 10 ms).
+    pub tick_ms: u64,
+    /// Ticks per scheduler time slice (Xen: 3, i.e. a 30 ms slice).
+    pub ticks_per_slice: u32,
+    /// Record a per-vCPU, per-tick history (needed by the trace figures,
+    /// Fig. 2 and Fig. 5; costs memory on long runs).
+    pub record_history: bool,
+}
+
+impl Default for HypervisorConfig {
+    fn default() -> Self {
+        HypervisorConfig {
+            tick_ms: 10,
+            ticks_per_slice: 3,
+            record_history: false,
+        }
+    }
+}
+
+impl HypervisorConfig {
+    /// Enables per-tick history recording.
+    pub fn with_history(mut self) -> Self {
+        self.record_history = true;
+        self
+    }
+
+    /// Sets the tick duration in milliseconds.
+    pub fn with_tick_ms(mut self, tick_ms: u64) -> Self {
+        self.tick_ms = tick_ms.max(1);
+        self
+    }
+}
+
+/// One row of the per-tick execution history.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TickSample {
+    /// Tick index (0-based).
+    pub tick: u64,
+    /// The vCPU this sample describes.
+    pub vcpu: VcpuId,
+    /// Whether the vCPU was scheduled during the tick.
+    pub scheduled: bool,
+    /// Cycles consumed during the tick (0 when not scheduled).
+    pub consumed_cycles: u64,
+    /// Counter delta of the tick (all-zero when not scheduled).
+    pub pmc_delta: PmcSet,
+}
+
+struct VcpuRuntime {
+    id: VcpuId,
+    workload: Box<dyn Workload>,
+    pmcs: PmcSet,
+    cycles_run: u64,
+    ticks_scheduled: u64,
+}
+
+struct VmRuntime {
+    id: VmId,
+    config: VmConfig,
+    vcpus: Vec<VcpuRuntime>,
+    ticks_elapsed: u64,
+}
+
+/// The hypervisor: VMs + a scheduler + the simulated machine.
+pub struct Hypervisor<S: Scheduler> {
+    engine: SimEngine,
+    scheduler: S,
+    config: HypervisorConfig,
+    vms: Vec<VmRuntime>,
+    next_vm_id: u16,
+    tick: u64,
+    pmu: VirtualPmu,
+    history: Vec<TickSample>,
+}
+
+impl<S: Scheduler> fmt::Debug for Hypervisor<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Hypervisor")
+            .field("scheduler", &self.scheduler.name())
+            .field("vms", &self.vms.len())
+            .field("tick", &self.tick)
+            .finish()
+    }
+}
+
+impl<S: Scheduler> Hypervisor<S> {
+    /// Creates a hypervisor managing `machine` with `scheduler`.
+    pub fn new(machine: Machine, scheduler: S, config: HypervisorConfig) -> Self {
+        Hypervisor {
+            engine: SimEngine::new(machine),
+            scheduler,
+            config,
+            vms: Vec::new(),
+            next_vm_id: 1,
+            tick: 0,
+            pmu: VirtualPmu::new(),
+            history: Vec::new(),
+        }
+    }
+
+    /// The hypervisor's timing configuration.
+    pub fn config(&self) -> HypervisorConfig {
+        self.config
+    }
+
+    /// Cycle budget of one tick on one core.
+    pub fn cycles_per_tick(&self) -> u64 {
+        self.engine.machine().config().freq_khz * self.config.tick_ms
+    }
+
+    /// The underlying simulation engine.
+    pub fn engine(&self) -> &SimEngine {
+        &self.engine
+    }
+
+    /// Mutable access to the underlying simulation engine (e.g. to enable
+    /// shadow attribution before starting a run).
+    pub fn engine_mut(&mut self) -> &mut SimEngine {
+        &mut self.engine
+    }
+
+    /// The scheduler.
+    pub fn scheduler(&self) -> &S {
+        &self.scheduler
+    }
+
+    /// Mutable access to the scheduler (e.g. to reconfigure a Kyoto permit).
+    pub fn scheduler_mut(&mut self) -> &mut S {
+        &mut self.scheduler
+    }
+
+    /// The virtualised PMU (the perfctr-xen stand-in).
+    pub fn pmu(&self) -> &VirtualPmu {
+        &self.pmu
+    }
+
+    /// Elapsed ticks since construction.
+    pub fn current_tick(&self) -> u64 {
+        self.tick
+    }
+
+    /// Elapsed simulated milliseconds since construction.
+    pub fn elapsed_ms(&self) -> u64 {
+        self.tick * self.config.tick_ms
+    }
+
+    /// Recorded per-tick history (empty unless
+    /// [`HypervisorConfig::record_history`] is set).
+    pub fn history(&self) -> &[TickSample] {
+        &self.history
+    }
+
+    /// Creates a VM with one workload per vCPU and registers its vCPUs with
+    /// the scheduler.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HypervisorError::WorkloadCountMismatch`] when the number of
+    /// workloads differs from `config.vcpus`, and
+    /// [`HypervisorError::InvalidPinning`] when a pinned core does not exist.
+    pub fn add_vm(
+        &mut self,
+        config: VmConfig,
+        workloads: Vec<Box<dyn Workload>>,
+    ) -> Result<VmId, HypervisorError> {
+        if workloads.len() != config.vcpus {
+            return Err(HypervisorError::WorkloadCountMismatch {
+                expected: config.vcpus,
+                provided: workloads.len(),
+            });
+        }
+        if let Some(pinning) = &config.pinning {
+            let num_cores = self.engine.machine().num_cores();
+            if let Some(core) = pinning.iter().find(|c| c.0 >= num_cores) {
+                return Err(HypervisorError::InvalidPinning { core: core.0 });
+            }
+        }
+        let vm_id = VmId(self.next_vm_id);
+        self.next_vm_id += 1;
+        let mut vcpus = Vec::with_capacity(workloads.len());
+        for (index, workload) in workloads.into_iter().enumerate() {
+            let vcpu_id = VcpuId::new(vm_id, index as u32);
+            self.scheduler.add_vcpu(vcpu_id, &config);
+            self.pmu.register(vcpu_id.as_key());
+            vcpus.push(VcpuRuntime {
+                id: vcpu_id,
+                workload,
+                pmcs: PmcSet::default(),
+                cycles_run: 0,
+                ticks_scheduled: 0,
+            });
+        }
+        self.vms.push(VmRuntime {
+            id: vm_id,
+            config,
+            vcpus,
+            ticks_elapsed: 0,
+        });
+        Ok(vm_id)
+    }
+
+    /// Convenience wrapper for single-vCPU VMs (the common case in the
+    /// paper's experiments).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Hypervisor::add_vm`].
+    pub fn add_vm_with(
+        &mut self,
+        config: VmConfig,
+        workload: Box<dyn Workload>,
+    ) -> Result<VmId, HypervisorError> {
+        self.add_vm(config.with_vcpus(1), vec![workload])
+    }
+
+    /// Destroys a VM: unregisters its vCPUs and flushes its cache lines.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HypervisorError::UnknownVm`] when the VM does not exist.
+    pub fn remove_vm(&mut self, vm: VmId) -> Result<(), HypervisorError> {
+        let Some(pos) = self.vms.iter().position(|v| v.id == vm) else {
+            return Err(HypervisorError::UnknownVm { vm });
+        };
+        let runtime = self.vms.remove(pos);
+        for vcpu in &runtime.vcpus {
+            self.scheduler.remove_vcpu(vcpu.id);
+            self.pmu.unregister(vcpu.id.as_key());
+        }
+        self.engine.machine_mut().flush_owner(vm.0);
+        self.engine
+            .shadow_mut()
+            .map(|shadow| shadow.remove_owner(vm.0));
+        Ok(())
+    }
+
+    /// The ids of every VM currently managed, in creation order.
+    pub fn vm_ids(&self) -> Vec<VmId> {
+        self.vms.iter().map(|v| v.id).collect()
+    }
+
+    /// Looks a VM up by its configured name.
+    pub fn vm_by_name(&self, name: &str) -> Option<VmId> {
+        self.vms.iter().find(|v| v.config.name == name).map(|v| v.id)
+    }
+
+    /// Runs the machine for `ticks` scheduler ticks.
+    pub fn run_ticks(&mut self, ticks: u64) {
+        for _ in 0..ticks {
+            self.step_tick();
+        }
+    }
+
+    /// Runs the machine for `ms` simulated milliseconds (rounded down to
+    /// whole ticks, at least one).
+    pub fn run_ms(&mut self, ms: u64) {
+        let ticks = (ms / self.config.tick_ms).max(1);
+        self.run_ticks(ticks);
+    }
+
+    /// Executes a single scheduler tick.
+    pub fn step_tick(&mut self) {
+        let cycles_per_tick = self.cycles_per_tick();
+        let tick = self.tick;
+        let tick_ms = self.config.tick_ms;
+        let record_history = self.config.record_history;
+
+        // Phase 1: placement. Ask the scheduler, core by core, which vCPU
+        // runs next. A vCPU runs on at most one core per tick.
+        let cores: Vec<CoreId> = self.engine.machine().cores().collect();
+        let mut placed: HashSet<VcpuId> = HashSet::new();
+        let mut assignment: Vec<(CoreId, VcpuId)> = Vec::new();
+        for &core in &cores {
+            let candidates: Vec<VcpuId> = self
+                .vms
+                .iter()
+                .flat_map(|vm| {
+                    let config = &vm.config;
+                    vm.vcpus.iter().filter_map(move |vcpu| {
+                        let allowed = match config.pinned_core(vcpu.id.index) {
+                            Some(pinned) => pinned == core,
+                            None => true,
+                        };
+                        allowed.then_some(vcpu.id)
+                    })
+                })
+                .filter(|vcpu| !placed.contains(vcpu))
+                .collect();
+            if let Some(chosen) = self.scheduler.pick_next(core, &candidates) {
+                placed.insert(chosen);
+                assignment.push((core, chosen));
+            }
+        }
+
+        // Phase 2: execution. Build one slot per placed vCPU and let the
+        // engine interleave them over the shared machine.
+        let Hypervisor {
+            engine,
+            scheduler,
+            vms,
+            pmu,
+            history,
+            ..
+        } = self;
+
+        let shadow_before: Vec<Option<u64>> = assignment
+            .iter()
+            .map(|(_, vcpu)| engine.shadow().map(|s| s.solo_misses(vcpu.vm.0)))
+            .collect();
+
+        let mut slots: Vec<ExecSlot<'_>> = Vec::with_capacity(assignment.len());
+        let mut slot_vcpus: Vec<VcpuId> = Vec::with_capacity(assignment.len());
+        for vm in vms.iter_mut() {
+            let vm_id = vm.id;
+            let numa_node = vm.config.numa_node;
+            for vcpu in vm.vcpus.iter_mut() {
+                if let Some((core, _)) = assignment.iter().find(|(_, v)| *v == vcpu.id) {
+                    let overrides = scheduler.overrides(vcpu.id);
+                    let mut slot = ExecSlot::new(*core, vm_id.0, vcpu.workload.as_mut())
+                        .with_force_remote(overrides.force_remote);
+                    if let Some(node) = numa_node {
+                        slot = slot.with_data_node(node);
+                    }
+                    slot_vcpus.push(vcpu.id);
+                    slots.push(slot);
+                }
+            }
+        }
+        let reports = engine.run_slots(&mut slots, cycles_per_tick);
+        drop(slots);
+
+        // Phase 3: accounting.
+        let mut scheduled_info: Vec<(VcpuId, TickReport)> = Vec::with_capacity(reports.len());
+        for (i, vcpu_id) in slot_vcpus.iter().enumerate() {
+            let report = &reports[i];
+            let shadow_delta = match (shadow_before[assignment
+                .iter()
+                .position(|(_, v)| v == vcpu_id)
+                .unwrap_or(i)], engine.shadow())
+            {
+                (Some(before), Some(shadow)) => {
+                    Some(shadow.solo_misses(vcpu_id.vm.0).saturating_sub(before))
+                }
+                _ => None,
+            };
+            let tick_report = TickReport {
+                consumed_cycles: report.consumed_cycles,
+                budget_cycles: cycles_per_tick,
+                pmc_delta: report.pmc_delta,
+                pollution_events: report.pollution_events,
+                shadow_llc_misses: shadow_delta,
+                tick_ms,
+            };
+            scheduled_info.push((*vcpu_id, tick_report));
+        }
+
+        for (vcpu_id, tick_report) in &scheduled_info {
+            scheduler.account(*vcpu_id, tick_report);
+            pmu.record_for(vcpu_id.as_key(), tick_report.pmc_delta);
+        }
+
+        for vm in vms.iter_mut() {
+            vm.ticks_elapsed += 1;
+            for vcpu in vm.vcpus.iter_mut() {
+                let scheduled = scheduled_info.iter().find(|(v, _)| *v == vcpu.id);
+                if let Some((_, tick_report)) = scheduled {
+                    vcpu.pmcs += tick_report.pmc_delta;
+                    vcpu.cycles_run += tick_report.consumed_cycles;
+                    vcpu.ticks_scheduled += 1;
+                }
+                if record_history {
+                    history.push(TickSample {
+                        tick,
+                        vcpu: vcpu.id,
+                        scheduled: scheduled.is_some(),
+                        consumed_cycles: scheduled.map(|(_, r)| r.consumed_cycles).unwrap_or(0),
+                        pmc_delta: scheduled.map(|(_, r)| r.pmc_delta).unwrap_or_default(),
+                    });
+                }
+            }
+        }
+
+        scheduler.on_tick(tick);
+        self.tick += 1;
+    }
+
+    /// The execution report of one VM.
+    pub fn report(&self, vm: VmId) -> Option<VmReport> {
+        let runtime = self.vms.iter().find(|v| v.id == vm)?;
+        let mut pmcs = PmcSet::default();
+        let mut cycles_run = 0;
+        let mut ticks_scheduled = 0;
+        let mut punishments = 0;
+        for vcpu in &runtime.vcpus {
+            pmcs += vcpu.pmcs;
+            cycles_run += vcpu.cycles_run;
+            ticks_scheduled += vcpu.ticks_scheduled;
+            punishments += self.scheduler.punishments(vcpu.id);
+        }
+        Some(VmReport {
+            vm,
+            name: runtime.config.name.clone(),
+            pmcs,
+            cycles_run,
+            ticks_scheduled,
+            ticks_elapsed: runtime.ticks_elapsed,
+            punishments,
+        })
+    }
+
+    /// Execution reports of every VM, in creation order.
+    pub fn reports(&self) -> Vec<VmReport> {
+        self.vms.iter().filter_map(|vm| self.report(vm.id)).collect()
+    }
+
+    /// The per-tick history restricted to one vCPU.
+    pub fn history_of(&self, vcpu: VcpuId) -> Vec<TickSample> {
+        self.history
+            .iter()
+            .copied()
+            .filter(|sample| sample.vcpu == vcpu)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::credit::{CreditConfig, CreditScheduler};
+    use crate::pisces::PiscesScheduler;
+    use kyoto_sim::topology::MachineConfig;
+    use kyoto_sim::workload::ComputeOnly;
+    use kyoto_workloads::spec::{SpecApp, SpecWorkload};
+    use kyoto_workloads::synthetic::Streaming;
+
+    const SCALE: u64 = 64;
+
+    fn machine() -> Machine {
+        Machine::new(MachineConfig::scaled_paper_machine(SCALE))
+    }
+
+    fn xen_hypervisor(machine: Machine) -> Hypervisor<CreditScheduler> {
+        let hconfig = HypervisorConfig::default();
+        let cycles_per_tick = machine.config().freq_khz * hconfig.tick_ms;
+        let scheduler = CreditScheduler::new(CreditConfig::new(
+            machine.num_cores(),
+            cycles_per_tick,
+            hconfig.ticks_per_slice,
+        ));
+        Hypervisor::new(machine, scheduler, hconfig)
+    }
+
+    #[test]
+    fn add_vm_validates_workload_count_and_pinning() {
+        let mut hv = xen_hypervisor(machine());
+        let err = hv
+            .add_vm(VmConfig::new("x").with_vcpus(2), vec![Box::new(ComputeOnly::new(1))])
+            .unwrap_err();
+        assert!(matches!(err, HypervisorError::WorkloadCountMismatch { expected: 2, provided: 1 }));
+        let err = hv
+            .add_vm_with(
+                VmConfig::new("y").pinned_to(vec![CoreId(99)]),
+                Box::new(ComputeOnly::new(1)),
+            )
+            .unwrap_err();
+        assert!(matches!(err, HypervisorError::InvalidPinning { core: 99 }));
+        assert!(err.to_string().contains("99"));
+    }
+
+    #[test]
+    fn vm_ids_are_unique_and_lookup_by_name_works() {
+        let mut hv = xen_hypervisor(machine());
+        let a = hv
+            .add_vm_with(VmConfig::new("gcc"), Box::new(ComputeOnly::new(1)))
+            .unwrap();
+        let b = hv
+            .add_vm_with(VmConfig::new("lbm"), Box::new(ComputeOnly::new(1)))
+            .unwrap();
+        assert_ne!(a, b);
+        assert_eq!(hv.vm_by_name("gcc"), Some(a));
+        assert_eq!(hv.vm_by_name("nope"), None);
+        assert_eq!(hv.vm_ids(), vec![a, b]);
+    }
+
+    #[test]
+    fn a_single_vm_gets_the_whole_machine() {
+        let mut hv = xen_hypervisor(machine());
+        let vm = hv
+            .add_vm_with(VmConfig::new("solo"), Box::new(ComputeOnly::new(1)))
+            .unwrap();
+        hv.run_ticks(6);
+        let report = hv.report(vm).unwrap();
+        assert_eq!(report.ticks_elapsed, 6);
+        assert_eq!(report.ticks_scheduled, 6, "a lone VM should run every tick");
+        assert!((report.ipc() - 1.0).abs() < 1e-9);
+        assert!(report.cycles_run >= 6 * hv.cycles_per_tick());
+    }
+
+    #[test]
+    fn unknown_vm_report_is_none_and_remove_errors() {
+        let mut hv = xen_hypervisor(machine());
+        assert!(hv.report(VmId(42)).is_none());
+        assert!(matches!(
+            hv.remove_vm(VmId(42)),
+            Err(HypervisorError::UnknownVm { .. })
+        ));
+    }
+
+    #[test]
+    fn pinned_vms_share_a_core_in_alternation() {
+        let mut hv = xen_hypervisor(machine());
+        let a = hv
+            .add_vm_with(
+                VmConfig::new("a").pinned_to(vec![CoreId(0)]),
+                Box::new(ComputeOnly::new(1)),
+            )
+            .unwrap();
+        let b = hv
+            .add_vm_with(
+                VmConfig::new("b").pinned_to(vec![CoreId(0)]),
+                Box::new(ComputeOnly::new(1)),
+            )
+            .unwrap();
+        hv.run_ticks(30);
+        let ra = hv.report(a).unwrap();
+        let rb = hv.report(b).unwrap();
+        // Both share core 0: each runs roughly half of the ticks.
+        assert_eq!(ra.ticks_scheduled + rb.ticks_scheduled, 30);
+        assert!(ra.ticks_scheduled >= 12 && ra.ticks_scheduled <= 18, "{}", ra.ticks_scheduled);
+        assert!(rb.ticks_scheduled >= 12 && rb.ticks_scheduled <= 18, "{}", rb.ticks_scheduled);
+    }
+
+    #[test]
+    fn unpinned_vms_spread_across_cores() {
+        let mut hv = xen_hypervisor(machine());
+        let mut vms = Vec::new();
+        for i in 0..4 {
+            vms.push(
+                hv.add_vm_with(VmConfig::new(format!("vm{i}")), Box::new(ComputeOnly::new(1)))
+                    .unwrap(),
+            );
+        }
+        hv.run_ticks(10);
+        for vm in vms {
+            let report = hv.report(vm).unwrap();
+            assert_eq!(
+                report.ticks_scheduled, 10,
+                "4 VMs on 4 cores should all run every tick"
+            );
+        }
+    }
+
+    #[test]
+    fn caps_limit_cpu_share() {
+        let mut hv = xen_hypervisor(machine());
+        let capped = hv
+            .add_vm_with(
+                VmConfig::new("capped").with_cap_percent(30),
+                Box::new(ComputeOnly::new(1)),
+            )
+            .unwrap();
+        hv.run_ticks(60);
+        let report = hv.report(capped).unwrap();
+        let share = report.cpu_share();
+        assert!(share < 0.5, "a 30% cap must keep CPU share well below 1.0, got {share}");
+        assert!(share > 0.1, "the capped VM must still make progress, got {share}");
+    }
+
+    #[test]
+    fn history_records_every_vcpu_every_tick_when_enabled() {
+        let m = machine();
+        let hconfig = HypervisorConfig::default().with_history();
+        let cycles_per_tick = m.config().freq_khz * hconfig.tick_ms;
+        let scheduler = CreditScheduler::new(CreditConfig::new(
+            m.num_cores(),
+            cycles_per_tick,
+            hconfig.ticks_per_slice,
+        ));
+        let mut hv = Hypervisor::new(m, scheduler, hconfig);
+        let a = hv
+            .add_vm_with(VmConfig::new("a"), Box::new(ComputeOnly::new(1)))
+            .unwrap();
+        hv.add_vm_with(VmConfig::new("b"), Box::new(ComputeOnly::new(1)))
+            .unwrap();
+        hv.run_ticks(5);
+        assert_eq!(hv.history().len(), 10, "2 vCPUs x 5 ticks");
+        let a_history = hv.history_of(VcpuId::new(a, 0));
+        assert_eq!(a_history.len(), 5);
+        assert!(a_history.iter().all(|s| s.scheduled));
+    }
+
+    #[test]
+    fn contention_emerges_between_parallel_vms() {
+        // A gcc-like sensitive VM co-located with an lbm-like disruptor on
+        // the same socket runs slower than alone: the core phenomenon of the
+        // paper (Section 2.2), emerging from the shared LLC model.
+        let solo_ipc = {
+            let mut hv = xen_hypervisor(machine());
+            let vm = hv
+                .add_vm_with(
+                    VmConfig::new("gcc").pinned_to(vec![CoreId(0)]),
+                    Box::new(SpecWorkload::new(SpecApp::Gcc, SCALE, 1)),
+                )
+                .unwrap();
+            hv.run_ticks(30);
+            hv.report(vm).unwrap().ipc()
+        };
+        let contended_ipc = {
+            let mut hv = xen_hypervisor(machine());
+            let vm = hv
+                .add_vm_with(
+                    VmConfig::new("gcc").pinned_to(vec![CoreId(0)]),
+                    Box::new(SpecWorkload::new(SpecApp::Gcc, SCALE, 1)),
+                )
+                .unwrap();
+            hv.add_vm_with(
+                VmConfig::new("lbm").pinned_to(vec![CoreId(1)]),
+                Box::new(SpecWorkload::new(SpecApp::Lbm, SCALE, 2)),
+            )
+            .unwrap();
+            hv.run_ticks(30);
+            hv.report(vm).unwrap().ipc()
+        };
+        assert!(
+            contended_ipc < solo_ipc * 0.95,
+            "LLC contention should degrade the sensitive VM (solo {solo_ipc:.3}, contended {contended_ipc:.3})"
+        );
+    }
+
+    #[test]
+    fn remove_vm_releases_cache_and_scheduler_state() {
+        let mut hv = xen_hypervisor(machine());
+        let vm = hv
+            .add_vm_with(
+                VmConfig::new("victim"),
+                Box::new(Streaming::new(1 << 20, 1)),
+            )
+            .unwrap();
+        hv.run_ticks(3);
+        assert!(hv.report(vm).is_some());
+        hv.remove_vm(vm).unwrap();
+        assert!(hv.report(vm).is_none());
+        assert_eq!(
+            hv.engine()
+                .machine()
+                .llc_occupancy_of(kyoto_sim::topology::SocketId(0), vm.0),
+            0
+        );
+    }
+
+    #[test]
+    fn pisces_hypervisor_runs_enclaves_in_parallel() {
+        let m = machine();
+        let scheduler = PiscesScheduler::new(m.num_cores());
+        let mut hv = Hypervisor::new(m, scheduler, HypervisorConfig::default());
+        let a = hv
+            .add_vm_with(VmConfig::new("hpc-a"), Box::new(ComputeOnly::new(1)))
+            .unwrap();
+        let b = hv
+            .add_vm_with(VmConfig::new("hpc-b"), Box::new(ComputeOnly::new(1)))
+            .unwrap();
+        hv.run_ticks(10);
+        assert_eq!(hv.report(a).unwrap().ticks_scheduled, 10);
+        assert_eq!(hv.report(b).unwrap().ticks_scheduled, 10);
+    }
+
+    #[test]
+    fn elapsed_time_advances_with_ticks() {
+        let mut hv = xen_hypervisor(machine());
+        hv.add_vm_with(VmConfig::new("a"), Box::new(ComputeOnly::new(1)))
+            .unwrap();
+        hv.run_ms(100);
+        assert_eq!(hv.current_tick(), 10);
+        assert_eq!(hv.elapsed_ms(), 100);
+    }
+}

@@ -1,0 +1,138 @@
+//! # kyoto-hypervisor — virtualisation substrate for the Kyoto reproduction
+//!
+//! The paper implements Kyoto as a scheduler extension inside three
+//! virtualisation systems: Xen (credit scheduler), KVM/Linux (CFS) and the
+//! Pisces co-kernel. This crate provides those substrates as faithful,
+//! self-contained models plus the hypervisor run loop that drives VMs on the
+//! simulated machine of `kyoto-sim`:
+//!
+//! * [`vm`] — VM/vCPU identifiers, configuration (weight, cap, pollution
+//!   permit, pinning) and execution reports;
+//! * [`scheduler`] — the [`scheduler::Scheduler`] trait every scheduler
+//!   implements, and that the Kyoto schedulers of `kyoto-core` wrap;
+//! * [`credit`] — the Xen credit scheduler (XCS, Section 3.2 of the paper);
+//! * [`cfs`] — a simplified Linux CFS (the KVM substrate);
+//! * [`pisces`] — a Pisces-like static core partitioner (the HPC co-kernel
+//!   substrate, Fig. 7);
+//! * [`hypervisor`] — the tick-based run loop binding machine, scheduler and
+//!   VMs together.
+//!
+//! # Example: two VMs time-sharing a core under the Xen credit scheduler
+//!
+//! ```
+//! use kyoto_hypervisor::credit::{CreditConfig, CreditScheduler};
+//! use kyoto_hypervisor::hypervisor::{Hypervisor, HypervisorConfig};
+//! use kyoto_hypervisor::vm::VmConfig;
+//! use kyoto_sim::topology::{CoreId, Machine, MachineConfig};
+//! use kyoto_sim::workload::ComputeOnly;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let machine = Machine::new(MachineConfig::scaled_paper_machine(64));
+//! let config = HypervisorConfig::default();
+//! let scheduler = CreditScheduler::new(CreditConfig::new(
+//!     machine.num_cores(),
+//!     machine.config().freq_khz * config.tick_ms,
+//!     config.ticks_per_slice,
+//! ));
+//! let mut hypervisor = Hypervisor::new(machine, scheduler, config);
+//! let a = hypervisor.add_vm_with(
+//!     VmConfig::new("a").pinned_to(vec![CoreId(0)]),
+//!     Box::new(ComputeOnly::new(1)),
+//! )?;
+//! hypervisor.add_vm_with(
+//!     VmConfig::new("b").pinned_to(vec![CoreId(0)]),
+//!     Box::new(ComputeOnly::new(1)),
+//! )?;
+//! hypervisor.run_ms(300);
+//! let report = hypervisor.report(a).expect("vm exists");
+//! assert!(report.cpu_share() < 1.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cfs;
+pub mod credit;
+pub mod hypervisor;
+pub mod pisces;
+pub mod scheduler;
+pub mod vm;
+
+pub use cfs::{CfsConfig, CfsScheduler};
+pub use credit::{CreditConfig, CreditScheduler};
+pub use hypervisor::{Hypervisor, HypervisorConfig, HypervisorError, TickSample};
+pub use pisces::PiscesScheduler;
+pub use scheduler::{ExecOverrides, Priority, Scheduler, TickReport};
+pub use vm::{VcpuId, VmConfig, VmId, VmReport};
+
+/// Builds a Xen-like hypervisor (credit scheduler) for `machine` with the
+/// given timing configuration — the baseline system of the paper's
+/// evaluation.
+pub fn xen_hypervisor(
+    machine: kyoto_sim::topology::Machine,
+    config: HypervisorConfig,
+) -> Hypervisor<CreditScheduler> {
+    let scheduler = CreditScheduler::new(CreditConfig::new(
+        machine.num_cores(),
+        machine.config().freq_khz * config.tick_ms,
+        config.ticks_per_slice,
+    ));
+    Hypervisor::new(machine, scheduler, config)
+}
+
+/// Builds a KVM-like hypervisor (CFS) for `machine`.
+pub fn kvm_hypervisor(
+    machine: kyoto_sim::topology::Machine,
+    config: HypervisorConfig,
+) -> Hypervisor<CfsScheduler> {
+    let scheduler = CfsScheduler::new(CfsConfig::new(
+        machine.config().freq_khz * config.tick_ms,
+        config.ticks_per_slice,
+    ));
+    Hypervisor::new(machine, scheduler, config)
+}
+
+/// Builds a Pisces-like partitioned system for `machine`.
+pub fn pisces_system(
+    machine: kyoto_sim::topology::Machine,
+    config: HypervisorConfig,
+) -> Hypervisor<PiscesScheduler> {
+    let scheduler = PiscesScheduler::new(machine.num_cores());
+    Hypervisor::new(machine, scheduler, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kyoto_sim::topology::{Machine, MachineConfig};
+    use kyoto_sim::workload::ComputeOnly;
+
+    #[test]
+    fn convenience_constructors_wire_the_right_schedulers() {
+        let machine = || Machine::new(MachineConfig::scaled_paper_machine(64));
+        let config = HypervisorConfig::default();
+        assert_eq!(xen_hypervisor(machine(), config).scheduler().name(), "xcs");
+        assert_eq!(kvm_hypervisor(machine(), config).scheduler().name(), "cfs");
+        assert_eq!(pisces_system(machine(), config).scheduler().name(), "pisces");
+    }
+
+    #[test]
+    fn all_three_systems_run_a_vm() {
+        let config = HypervisorConfig::default();
+        let machine = || Machine::new(MachineConfig::scaled_paper_machine(64));
+        let mut xen = xen_hypervisor(machine(), config);
+        let mut kvm = kvm_hypervisor(machine(), config);
+        let mut pisces = pisces_system(machine(), config);
+        let x = xen.add_vm_with(VmConfig::new("a"), Box::new(ComputeOnly::new(1))).unwrap();
+        let k = kvm.add_vm_with(VmConfig::new("a"), Box::new(ComputeOnly::new(1))).unwrap();
+        let p = pisces.add_vm_with(VmConfig::new("a"), Box::new(ComputeOnly::new(1))).unwrap();
+        xen.run_ticks(3);
+        kvm.run_ticks(3);
+        pisces.run_ticks(3);
+        assert!(xen.report(x).unwrap().pmcs.instructions > 0);
+        assert!(kvm.report(k).unwrap().pmcs.instructions > 0);
+        assert!(pisces.report(p).unwrap().pmcs.instructions > 0);
+    }
+}

@@ -1,0 +1,180 @@
+//! A Pisces-like co-kernel partition (Ouyang et al., HPDC 2015), the
+//! substrate of the paper's KS4Pisces prototype.
+//!
+//! Pisces achieves performance isolation for HPC applications by giving each
+//! *enclave* (a lightweight co-kernel running one application/VM) exclusive
+//! control of its assigned cores and memory: there is no hypervisor-level
+//! time sharing at all, so the interference caused by shared virtualisation
+//! components disappears. Crucially for the paper (Fig. 8), the last-level
+//! cache is still shared between enclaves of the same socket, so LLC
+//! contention persists — which is exactly what KS4Pisces then mitigates.
+//!
+//! The scheduler below models that architecture: every vCPU is statically
+//! assigned a dedicated core at registration time and always runs on it;
+//! cores are never time-shared between enclaves.
+
+use crate::scheduler::{Priority, Scheduler, TickReport};
+use crate::vm::{VcpuId, VmConfig};
+use kyoto_sim::topology::CoreId;
+use std::collections::HashMap;
+
+/// A static core-partitioning scheduler modelling the Pisces co-kernel.
+#[derive(Debug, Clone)]
+pub struct PiscesScheduler {
+    num_cores: usize,
+    /// core -> enclave vCPU owning it.
+    assignments: HashMap<usize, VcpuId>,
+    /// vCPU -> core it owns.
+    placements: HashMap<VcpuId, CoreId>,
+    /// vCPUs that could not get a dedicated core (machine over-committed).
+    unplaced: Vec<VcpuId>,
+}
+
+impl PiscesScheduler {
+    /// Creates a partitioning scheduler for a machine with `num_cores` cores.
+    pub fn new(num_cores: usize) -> Self {
+        PiscesScheduler {
+            num_cores: num_cores.max(1),
+            assignments: HashMap::new(),
+            placements: HashMap::new(),
+            unplaced: Vec::new(),
+        }
+    }
+
+    /// The core an enclave vCPU owns, if it received one.
+    pub fn core_of(&self, vcpu: VcpuId) -> Option<CoreId> {
+        self.placements.get(&vcpu).copied()
+    }
+
+    /// vCPUs that could not be given a dedicated core. Pisces refuses to
+    /// over-commit; such enclaves simply never run, and the caller should
+    /// treat their presence as a provisioning error.
+    pub fn unplaced(&self) -> &[VcpuId] {
+        &self.unplaced
+    }
+
+    fn first_free_core(&self, preferred: Option<CoreId>) -> Option<usize> {
+        if let Some(core) = preferred {
+            if core.0 < self.num_cores && !self.assignments.contains_key(&core.0) {
+                return Some(core.0);
+            }
+        }
+        (0..self.num_cores).find(|core| !self.assignments.contains_key(core))
+    }
+}
+
+impl Scheduler for PiscesScheduler {
+    fn add_vcpu(&mut self, vcpu: VcpuId, config: &VmConfig) {
+        let preferred = config.pinned_core(vcpu.index);
+        match self.first_free_core(preferred) {
+            Some(core) => {
+                self.assignments.insert(core, vcpu);
+                self.placements.insert(vcpu, CoreId(core));
+            }
+            None => self.unplaced.push(vcpu),
+        }
+    }
+
+    fn remove_vcpu(&mut self, vcpu: VcpuId) {
+        if let Some(core) = self.placements.remove(&vcpu) {
+            self.assignments.remove(&core.0);
+        }
+        self.unplaced.retain(|&v| v != vcpu);
+    }
+
+    fn pick_next(&mut self, core: CoreId, candidates: &[VcpuId]) -> Option<VcpuId> {
+        // A core only ever runs the enclave that owns it.
+        let owner = self.assignments.get(&core.0)?;
+        candidates.contains(owner).then_some(*owner)
+    }
+
+    fn account(&mut self, _vcpu: VcpuId, _report: &TickReport) {
+        // Enclaves own their cores outright: no credit or bandwidth
+        // accounting is performed.
+    }
+
+    fn on_tick(&mut self, _tick: u64) {}
+
+    fn priority(&self, vcpu: VcpuId) -> Priority {
+        if self.placements.contains_key(&vcpu) {
+            Priority::Under
+        } else {
+            Priority::Over
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "pisces"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vm::VmId;
+
+    fn vcpu(vm: u16) -> VcpuId {
+        VcpuId::new(VmId(vm), 0)
+    }
+
+    #[test]
+    fn each_enclave_gets_a_dedicated_core() {
+        let mut s = PiscesScheduler::new(4);
+        s.add_vcpu(vcpu(1), &VmConfig::new("a"));
+        s.add_vcpu(vcpu(2), &VmConfig::new("b"));
+        let c1 = s.core_of(vcpu(1)).unwrap();
+        let c2 = s.core_of(vcpu(2)).unwrap();
+        assert_ne!(c1, c2);
+    }
+
+    #[test]
+    fn pinning_is_honoured_when_free() {
+        let mut s = PiscesScheduler::new(4);
+        s.add_vcpu(vcpu(1), &VmConfig::new("a").pinned_to(vec![CoreId(2)]));
+        assert_eq!(s.core_of(vcpu(1)), Some(CoreId(2)));
+        // A second enclave asking for the same core falls back to a free one.
+        s.add_vcpu(vcpu(2), &VmConfig::new("b").pinned_to(vec![CoreId(2)]));
+        assert_ne!(s.core_of(vcpu(2)), Some(CoreId(2)));
+    }
+
+    #[test]
+    fn cores_are_never_time_shared() {
+        let mut s = PiscesScheduler::new(2);
+        s.add_vcpu(vcpu(1), &VmConfig::new("a"));
+        s.add_vcpu(vcpu(2), &VmConfig::new("b"));
+        let c1 = s.core_of(vcpu(1)).unwrap();
+        // Even if both are offered as candidates, the core only runs its owner.
+        assert_eq!(s.pick_next(c1, &[vcpu(1), vcpu(2)]), Some(vcpu(1)));
+        let c2 = s.core_of(vcpu(2)).unwrap();
+        assert_eq!(s.pick_next(c2, &[vcpu(1), vcpu(2)]), Some(vcpu(2)));
+    }
+
+    #[test]
+    fn overcommit_is_refused() {
+        let mut s = PiscesScheduler::new(1);
+        s.add_vcpu(vcpu(1), &VmConfig::new("a"));
+        s.add_vcpu(vcpu(2), &VmConfig::new("b"));
+        assert_eq!(s.unplaced(), &[vcpu(2)]);
+        assert_eq!(s.priority(vcpu(2)), Priority::Over);
+        assert_eq!(s.priority(vcpu(1)), Priority::Under);
+        // The unplaced enclave never runs anywhere.
+        assert_eq!(s.pick_next(CoreId(0), &[vcpu(2)]), None);
+    }
+
+    #[test]
+    fn removing_an_enclave_frees_its_core() {
+        let mut s = PiscesScheduler::new(1);
+        s.add_vcpu(vcpu(1), &VmConfig::new("a"));
+        s.remove_vcpu(vcpu(1));
+        s.add_vcpu(vcpu(2), &VmConfig::new("b"));
+        assert_eq!(s.core_of(vcpu(2)), Some(CoreId(0)));
+    }
+
+    #[test]
+    fn idle_cores_stay_idle() {
+        let mut s = PiscesScheduler::new(4);
+        s.add_vcpu(vcpu(1), &VmConfig::new("a"));
+        assert_eq!(s.pick_next(CoreId(3), &[vcpu(1)]), None);
+        assert_eq!(s.name(), "pisces");
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based tests of the scheduler substrates.
+
+use kyoto_hypervisor::cfs::{CfsConfig, CfsScheduler};
+use kyoto_hypervisor::credit::{CreditConfig, CreditScheduler};
+use kyoto_hypervisor::scheduler::{Scheduler, TickReport};
+use kyoto_hypervisor::vm::{VcpuId, VmConfig, VmId};
+use kyoto_sim::pmc::PmcSet;
+use kyoto_sim::topology::CoreId;
+use proptest::prelude::*;
+
+fn report(consumed: u64) -> TickReport {
+    TickReport {
+        consumed_cycles: consumed,
+        budget_cycles: 100_000,
+        pmc_delta: PmcSet {
+            instructions: consumed / 2,
+            unhalted_core_cycles: consumed,
+            ..PmcSet::default()
+        },
+        pollution_events: 0,
+        shadow_llc_misses: None,
+        tick_ms: 10,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The credit scheduler only ever picks one of the offered candidates,
+    /// never a capped-out vCPU, and stays deterministic for a given history.
+    #[test]
+    fn credit_scheduler_picks_valid_runnable_candidates(
+        vcpu_count in 1usize..6,
+        caps in prop::collection::vec(prop::option::of(10u32..100), 6),
+        schedule in prop::collection::vec((0usize..6, 1_000u64..200_000), 1..100),
+    ) {
+        let config = CreditConfig::new(2, 100_000, 3);
+        let mut scheduler = CreditScheduler::new(config);
+        let vcpus: Vec<VcpuId> = (0..vcpu_count)
+            .map(|i| VcpuId::new(VmId(i as u16 + 1), 0))
+            .collect();
+        for (i, vcpu) in vcpus.iter().enumerate() {
+            let mut vm_config = VmConfig::new(format!("vm{i}"));
+            if let Some(cap) = caps[i] {
+                vm_config = vm_config.with_cap_percent(cap);
+            }
+            scheduler.add_vcpu(*vcpu, &vm_config);
+        }
+        for (tick, &(who, consumed)) in schedule.iter().enumerate() {
+            if let Some(chosen) = scheduler.pick_next(CoreId(0), &vcpus) {
+                prop_assert!(vcpus.contains(&chosen));
+                prop_assert!(!scheduler.is_capped_out(chosen), "picked a capped-out vCPU");
+            }
+            // Account arbitrary consumption against an arbitrary vCPU.
+            let target = vcpus[who % vcpus.len()];
+            scheduler.account(target, &report(consumed));
+            scheduler.on_tick(tick as u64);
+        }
+    }
+
+    /// Credit is conserved: after a refill no vCPU holds more than twice its
+    /// fair share, and the scheduler always finds someone runnable when no
+    /// cap is configured (work conservation).
+    #[test]
+    fn credit_scheduler_is_work_conserving_without_caps(
+        vcpu_count in 1usize..5,
+        burns in prop::collection::vec(1_000u64..1_000_000, 1..60),
+    ) {
+        let config = CreditConfig::new(4, 100_000, 3);
+        let mut scheduler = CreditScheduler::new(config);
+        let vcpus: Vec<VcpuId> = (0..vcpu_count)
+            .map(|i| VcpuId::new(VmId(i as u16 + 1), 0))
+            .collect();
+        for (i, vcpu) in vcpus.iter().enumerate() {
+            scheduler.add_vcpu(*vcpu, &VmConfig::new(format!("vm{i}")));
+        }
+        for (tick, &burn) in burns.iter().enumerate() {
+            let chosen = scheduler.pick_next(CoreId(0), &vcpus);
+            prop_assert!(chosen.is_some(), "an uncapped scheduler must always run someone");
+            scheduler.account(chosen.unwrap(), &report(burn));
+            scheduler.on_tick(tick as u64);
+            for vcpu in &vcpus {
+                let fair_share = config.capacity_per_slice() as i64;
+                prop_assert!(scheduler.remaining_credit(*vcpu) <= fair_share * 2);
+            }
+        }
+    }
+
+    /// CFS fairness: with equal weights and a long alternating schedule, the
+    /// vruntime spread between any two vCPUs stays within one tick's worth.
+    #[test]
+    fn cfs_keeps_equal_weight_tasks_close(rounds in 10usize..200) {
+        let mut scheduler = CfsScheduler::new(CfsConfig::new(100_000, 3));
+        let a = VcpuId::new(VmId(1), 0);
+        let b = VcpuId::new(VmId(2), 0);
+        scheduler.add_vcpu(a, &VmConfig::new("a"));
+        scheduler.add_vcpu(b, &VmConfig::new("b"));
+        for tick in 0..rounds {
+            let chosen = scheduler.pick_next(CoreId(0), &[a, b]).unwrap();
+            scheduler.account(chosen, &report(100_000));
+            scheduler.on_tick(tick as u64);
+        }
+        let spread = scheduler.vruntime(a).abs_diff(scheduler.vruntime(b));
+        // One tick of weight-1024-normalised runtime for weight 256 is 400_000.
+        prop_assert!(spread <= 100_000 * 1024 / 256);
+    }
+}

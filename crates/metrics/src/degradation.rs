@@ -1,0 +1,65 @@
+//! Performance degradation and normalised performance.
+//!
+//! Throughout the paper a VM's "performance" is the execution time of a
+//! fixed amount of work (SPEC runs), so in the simulation we use throughput
+//! (instructions per unit of wall-clock time) as its inverse:
+//!
+//! * degradation % = `(solo - colocated) / solo * 100` on a throughput
+//!   metric (Fig. 1, Fig. 3, Fig. 9);
+//! * normalised performance = `colocated / solo` (Fig. 5, Fig. 6), where
+//!   `1.0` means the co-located run is as fast as the solo run.
+
+/// Percentage of performance degradation of `colocated` relative to `solo`,
+/// both expressed as throughputs (higher is better).
+///
+/// Returns `0` when the solo throughput is not positive. A negative result
+/// means the co-located run was *faster* (within noise).
+pub fn degradation_percent(solo_throughput: f64, colocated_throughput: f64) -> f64 {
+    if solo_throughput <= 0.0 {
+        0.0
+    } else {
+        (solo_throughput - colocated_throughput) / solo_throughput * 100.0
+    }
+}
+
+/// Normalised performance of `colocated` relative to `solo`
+/// (`1.0` = identical, `0.5` = twice as slow).
+///
+/// Returns `0` when the solo throughput is not positive.
+pub fn normalized_performance(solo_throughput: f64, colocated_throughput: f64) -> f64 {
+    if solo_throughput <= 0.0 {
+        0.0
+    } else {
+        colocated_throughput / solo_throughput
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_degradation_when_equal() {
+        assert_eq!(degradation_percent(100.0, 100.0), 0.0);
+        assert_eq!(normalized_performance(100.0, 100.0), 1.0);
+    }
+
+    #[test]
+    fn half_throughput_is_fifty_percent_degradation() {
+        assert!((degradation_percent(200.0, 100.0) - 50.0).abs() < 1e-12);
+        assert!((normalized_performance(200.0, 100.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedups_are_negative_degradation() {
+        assert!(degradation_percent(100.0, 110.0) < 0.0);
+        assert!(normalized_performance(100.0, 110.0) > 1.0);
+    }
+
+    #[test]
+    fn zero_baseline_is_handled() {
+        assert_eq!(degradation_percent(0.0, 50.0), 0.0);
+        assert_eq!(normalized_performance(0.0, 50.0), 0.0);
+        assert_eq!(degradation_percent(-1.0, 50.0), 0.0);
+    }
+}

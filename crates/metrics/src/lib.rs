@@ -1,0 +1,22 @@
+//! # kyoto-metrics — metrics and statistics for the Kyoto reproduction
+//!
+//! The paper quantifies its results with a handful of metrics: instructions
+//! per cycle (IPC) and cache misses per millisecond (Section 2.2.3),
+//! percentage of performance degradation (Fig. 1, Fig. 3, Fig. 9),
+//! normalised performance (Fig. 5, Fig. 6), and Kendall's tau to compare
+//! aggressiveness orderings (Section 4.2 / Fig. 4). This crate implements
+//! them plus the small time-series and summary-statistics helpers the
+//! experiment harness uses.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod degradation;
+pub mod kendall;
+pub mod series;
+pub mod stats;
+
+pub use degradation::{degradation_percent, normalized_performance};
+pub use kendall::{kendall_tau, rank_by_score};
+pub use series::TimeSeries;
+pub use stats::Summary;

@@ -1,0 +1,60 @@
+//! Property-based tests of the metric helpers.
+
+use kyoto_metrics::degradation::{degradation_percent, normalized_performance};
+use kyoto_metrics::kendall::{kendall_tau, rank_by_score};
+use kyoto_metrics::stats::Summary;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Kendall's tau is bounded, symmetric in sign under reversal, and equal
+    /// to one for identical orderings.
+    #[test]
+    fn kendall_tau_properties(perm in prop::collection::vec(0u32..50, 2..20)) {
+        // Deduplicate to get a valid ordering.
+        let mut order: Vec<u32> = perm.clone();
+        order.sort_unstable();
+        order.dedup();
+        prop_assume!(order.len() >= 2);
+        let tau_self = kendall_tau(&order, &order);
+        prop_assert!((tau_self - 1.0).abs() < 1e-12);
+        let reversed: Vec<u32> = order.iter().rev().copied().collect();
+        let tau_rev = kendall_tau(&order, &reversed);
+        prop_assert!((tau_rev + 1.0).abs() < 1e-12);
+        let shuffled: Vec<u32> = order.iter().rev().chain(order.iter()).copied().collect();
+        let tau_any = kendall_tau(&order, &shuffled);
+        prop_assert!((-1.0..=1.0).contains(&tau_any));
+    }
+
+    /// Ranking by score puts higher scores strictly earlier.
+    #[test]
+    fn rank_by_score_is_descending(scores in prop::collection::vec(-1e6f64..1e6, 1..30)) {
+        let items: Vec<(usize, f64)> = scores.iter().copied().enumerate().collect();
+        let ranked = rank_by_score(&items);
+        prop_assert_eq!(ranked.len(), items.len());
+        for pair in ranked.windows(2) {
+            prop_assert!(scores[pair[0]] >= scores[pair[1]]);
+        }
+    }
+
+    /// Degradation and normalised performance are consistent with each other:
+    /// degradation% == (1 - normalised) * 100.
+    #[test]
+    fn degradation_and_normalisation_agree(solo in 0.001f64..1e9, colocated in 0.0f64..1e9) {
+        let degradation = degradation_percent(solo, colocated);
+        let normalised = normalized_performance(solo, colocated);
+        prop_assert!((degradation - (1.0 - normalised) * 100.0).abs() < 1e-6);
+    }
+
+    /// Summary statistics: min <= mean <= max and stddev is never negative.
+    #[test]
+    fn summary_bounds(values in prop::collection::vec(-1e6f64..1e6, 1..100)) {
+        let summary = Summary::of(&values);
+        prop_assert_eq!(summary.count, values.len());
+        prop_assert!(summary.min <= summary.mean + 1e-9);
+        prop_assert!(summary.mean <= summary.max + 1e-9);
+        prop_assert!(summary.stddev >= 0.0);
+        prop_assert!(summary.range() >= 0.0);
+    }
+}

@@ -1,0 +1,586 @@
+//! Set-associative cache model with per-owner occupancy accounting.
+//!
+//! The LLC contention the Kyoto paper addresses is an eviction phenomenon:
+//! lines of a *sensitive* VM are evicted by the access stream of a
+//! *disruptive* VM sharing the same set-associative last-level cache. This
+//! module models exactly that mechanism: a cache is a vector of sets, each a
+//! small array of tagged lines ordered by recency, and every line remembers
+//! which owner (VM) inserted it so that pollution can be attributed.
+
+use crate::error::SimError;
+use crate::replacement::{InsertPosition, ReplacementPolicy, ReplacementState};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of the entity (typically a VM) that owns a cache line.
+///
+/// Owner `0` is reserved for "nobody/hypervisor"; workloads attached to VMs
+/// use the VM's numeric id.
+pub type OwnerId = u16;
+
+/// Geometry of a cache.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (number of ways per set).
+    pub ways: u32,
+    /// Cache line size in bytes.
+    pub line_size: u32,
+    /// Replacement policy.
+    pub policy: ReplacementPolicy,
+}
+
+impl CacheConfig {
+    /// Creates an LRU cache configuration.
+    pub fn new(size_bytes: u64, ways: u32, line_size: u32) -> Self {
+        CacheConfig {
+            size_bytes,
+            ways,
+            line_size,
+            policy: ReplacementPolicy::Lru,
+        }
+    }
+
+    /// Returns the same geometry with a different replacement policy.
+    pub fn with_policy(mut self, policy: ReplacementPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Number of sets implied by the geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidCacheConfig`] when the geometry is
+    /// impossible (zero sizes, capacity not divisible by `ways * line_size`).
+    pub fn num_sets(&self) -> Result<u64, SimError> {
+        if self.size_bytes == 0 || self.ways == 0 || self.line_size == 0 {
+            return Err(SimError::InvalidCacheConfig {
+                reason: format!(
+                    "size ({}), ways ({}) and line size ({}) must all be non-zero",
+                    self.size_bytes, self.ways, self.line_size
+                ),
+            });
+        }
+        let way_bytes = u64::from(self.ways) * u64::from(self.line_size);
+        if self.size_bytes % way_bytes != 0 {
+            return Err(SimError::InvalidCacheConfig {
+                reason: format!(
+                    "size {} is not a multiple of ways*line_size = {}",
+                    self.size_bytes, way_bytes
+                ),
+            });
+        }
+        Ok(self.size_bytes / way_bytes)
+    }
+
+    /// Total number of lines the cache can hold.
+    pub fn num_lines(&self) -> u64 {
+        self.size_bytes / u64::from(self.line_size)
+    }
+
+    /// Divides the capacity by `factor`, keeping associativity and line size.
+    ///
+    /// Used to build scaled-down machines that exhibit the same contention
+    /// behaviour with proportionally smaller working sets, so experiments run
+    /// quickly. `factor` values that would drop below one set are clamped.
+    pub fn scaled(&self, factor: u64) -> Self {
+        let min_size = u64::from(self.ways) * u64::from(self.line_size);
+        let size = (self.size_bytes / factor.max(1)).max(min_size);
+        // Round down to a whole number of sets.
+        let sets = (size / min_size).max(1);
+        CacheConfig {
+            size_bytes: sets * min_size,
+            ways: self.ways,
+            line_size: self.line_size,
+            policy: self.policy,
+        }
+    }
+}
+
+/// Aggregate statistics for one cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Number of lookups.
+    pub accesses: u64,
+    /// Lookups that hit.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Valid lines evicted to make room for a fill.
+    pub evictions: u64,
+    /// Evictions where the evicted line belonged to a different owner than
+    /// the inserting access ("pollution" events in the paper's terminology).
+    pub cross_owner_evictions: u64,
+}
+
+impl CacheStats {
+    /// Miss ratio in `[0, 1]`; `0` when the cache was never accessed.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// Hit ratio in `[0, 1]`; `0` when the cache was never accessed.
+    pub fn hit_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// Result of a single cache lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LookupResult {
+    /// Whether the access hit.
+    pub hit: bool,
+    /// Owner of a valid line evicted by the fill triggered by this access.
+    pub evicted_owner: Option<OwnerId>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct CacheLine {
+    tag: u64,
+    owner: OwnerId,
+    last_use: u64,
+    valid: bool,
+}
+
+impl CacheLine {
+    const INVALID: CacheLine = CacheLine {
+        tag: 0,
+        owner: 0,
+        last_use: 0,
+        valid: false,
+    };
+}
+
+/// A set-associative cache.
+///
+/// Addresses are split into `(tag, set, offset)` using the configured line
+/// size and set count. Different owners never share lines (the engine places
+/// every owner in a disjoint address-space slice), but they do share sets —
+/// which is precisely how LLC contention arises.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    num_sets: u64,
+    lines: Vec<CacheLine>,
+    replacement: ReplacementState,
+    clock: u64,
+    stats: CacheStats,
+    // Per-owner counters indexed by owner id (owner ids are small: VM ids).
+    owner_lines: Vec<u64>,
+    owner_misses: Vec<u64>,
+    owner_accesses: Vec<u64>,
+}
+
+fn bump(counters: &mut Vec<u64>, owner: OwnerId, delta: i64) {
+    let idx = usize::from(owner);
+    if counters.len() <= idx {
+        counters.resize(idx + 1, 0);
+    }
+    if delta >= 0 {
+        counters[idx] += delta as u64;
+    } else {
+        counters[idx] = counters[idx].saturating_sub((-delta) as u64);
+    }
+}
+
+fn read(counters: &[u64], owner: OwnerId) -> u64 {
+    counters.get(usize::from(owner)).copied().unwrap_or(0)
+}
+
+impl Cache {
+    /// Builds a cache from its geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidCacheConfig`] if the geometry is invalid.
+    pub fn new(config: CacheConfig) -> Result<Self, SimError> {
+        Self::with_seed(config, 0x6b796f746f)
+    }
+
+    /// Builds a cache with an explicit seed for the replacement-policy RNG.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidCacheConfig`] if the geometry is invalid.
+    pub fn with_seed(config: CacheConfig, seed: u64) -> Result<Self, SimError> {
+        let num_sets = config.num_sets()?;
+        let total_lines = (num_sets * u64::from(config.ways)) as usize;
+        Ok(Cache {
+            replacement: ReplacementState::new(config.policy, seed),
+            config,
+            num_sets,
+            lines: vec![CacheLine::INVALID; total_lines],
+            clock: 0,
+            stats: CacheStats::default(),
+            owner_lines: Vec::new(),
+            owner_misses: Vec::new(),
+            owner_accesses: Vec::new(),
+        })
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> u64 {
+        self.num_sets
+    }
+
+    /// Aggregate statistics since construction or the last [`Cache::reset_stats`].
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Clears the statistics but keeps cache contents.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+        self.owner_misses.clear();
+        self.owner_accesses.clear();
+    }
+
+    /// Number of valid lines currently owned by `owner`.
+    pub fn occupancy_of(&self, owner: OwnerId) -> u64 {
+        read(&self.owner_lines, owner)
+    }
+
+    /// Total number of valid lines.
+    pub fn occupancy(&self) -> u64 {
+        self.owner_lines.iter().sum()
+    }
+
+    /// Misses attributed to `owner` since the last stats reset.
+    pub fn misses_of(&self, owner: OwnerId) -> u64 {
+        read(&self.owner_misses, owner)
+    }
+
+    /// Accesses attributed to `owner` since the last stats reset.
+    pub fn accesses_of(&self, owner: OwnerId) -> u64 {
+        read(&self.owner_accesses, owner)
+    }
+
+    fn set_of(&self, addr: u64) -> u64 {
+        (addr / u64::from(self.config.line_size)) % self.num_sets
+    }
+
+    fn tag_of(&self, addr: u64) -> u64 {
+        (addr / u64::from(self.config.line_size)) / self.num_sets
+    }
+
+    /// Performs a lookup, filling the line on a miss.
+    ///
+    /// Returns whether the access hit and, on a miss that displaced a valid
+    /// line, the owner of the evicted line.
+    pub fn access(&mut self, addr: u64, owner: OwnerId) -> LookupResult {
+        self.clock += 1;
+        self.stats.accesses += 1;
+        bump(&mut self.owner_accesses, owner, 1);
+
+        let set = self.set_of(addr) as usize;
+        let tag = self.tag_of(addr);
+        let ways = self.config.ways as usize;
+        let base = set * ways;
+
+        // Hit path: promote to MRU.
+        for way in 0..ways {
+            let line = &mut self.lines[base + way];
+            if line.valid && line.tag == tag && line.owner == owner {
+                line.last_use = self.clock;
+                self.stats.hits += 1;
+                return LookupResult {
+                    hit: true,
+                    evicted_owner: None,
+                };
+            }
+        }
+
+        // Miss path.
+        self.stats.misses += 1;
+        bump(&mut self.owner_misses, owner, 1);
+        self.replacement
+            .on_miss(set, self.num_sets as usize);
+
+        // Prefer an invalid way.
+        let mut victim_way = None;
+        for way in 0..ways {
+            if !self.lines[base + way].valid {
+                victim_way = Some(way);
+                break;
+            }
+        }
+        let (victim_way, evicted_owner) = match victim_way {
+            Some(way) => (way, None),
+            None => {
+                let timestamps: Vec<u64> =
+                    (0..ways).map(|w| self.lines[base + w].last_use).collect();
+                let way = self.replacement.pick_victim(&timestamps);
+                let evicted = self.lines[base + way];
+                self.stats.evictions += 1;
+                if evicted.owner != owner {
+                    self.stats.cross_owner_evictions += 1;
+                }
+                bump(&mut self.owner_lines, evicted.owner, -1);
+                (way, Some(evicted.owner))
+            }
+        };
+
+        let insert_pos = self
+            .replacement
+            .insert_position(set, self.num_sets as usize);
+        // LRU insertion is modelled by giving the line the oldest timestamp
+        // in the set (it becomes the next victim unless reused).
+        let last_use = match insert_pos {
+            InsertPosition::Mru => self.clock,
+            InsertPosition::Lru => {
+                let oldest = (0..ways)
+                    .filter(|&w| w != victim_way && self.lines[base + w].valid)
+                    .map(|w| self.lines[base + w].last_use)
+                    .min()
+                    .unwrap_or(self.clock);
+                oldest.saturating_sub(1)
+            }
+        };
+
+        self.lines[base + victim_way] = CacheLine {
+            tag,
+            owner,
+            last_use,
+            valid: true,
+        };
+        bump(&mut self.owner_lines, owner, 1);
+
+        LookupResult {
+            hit: false,
+            evicted_owner,
+        }
+    }
+
+    /// Checks whether `addr` is resident for `owner` without touching
+    /// recency or statistics.
+    pub fn probe(&self, addr: u64, owner: OwnerId) -> bool {
+        let set = self.set_of(addr) as usize;
+        let tag = self.tag_of(addr);
+        let ways = self.config.ways as usize;
+        let base = set * ways;
+        (0..ways).any(|way| {
+            let line = &self.lines[base + way];
+            line.valid && line.tag == tag && line.owner == owner
+        })
+    }
+
+    /// Invalidates every line belonging to `owner` (e.g. on VM destruction).
+    pub fn flush_owner(&mut self, owner: OwnerId) {
+        for line in &mut self.lines {
+            if line.valid && line.owner == owner {
+                line.valid = false;
+            }
+        }
+        if let Some(count) = self.owner_lines.get_mut(usize::from(owner)) {
+            *count = 0;
+        }
+    }
+
+    /// Invalidates every line in the cache.
+    pub fn flush(&mut self) {
+        for line in &mut self.lines {
+            line.valid = false;
+        }
+        self.owner_lines.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cache(ways: u32) -> Cache {
+        // 4 sets x `ways` ways x 64-byte lines.
+        Cache::new(CacheConfig::new(u64::from(ways) * 4 * 64, ways, 64)).unwrap()
+    }
+
+    #[test]
+    fn geometry_is_computed_correctly() {
+        let config = CacheConfig::new(10 * 1024 * 1024, 20, 64);
+        assert_eq!(config.num_sets().unwrap(), 8192);
+        assert_eq!(config.num_lines(), 163_840);
+    }
+
+    #[test]
+    fn invalid_geometry_is_rejected() {
+        assert!(CacheConfig::new(0, 8, 64).num_sets().is_err());
+        assert!(CacheConfig::new(1000, 8, 64).num_sets().is_err());
+        assert!(Cache::new(CacheConfig::new(4096, 0, 64)).is_err());
+    }
+
+    #[test]
+    fn first_access_misses_then_hits() {
+        let mut cache = small_cache(2);
+        assert!(!cache.access(0x1000, 1).hit);
+        assert!(cache.access(0x1000, 1).hit);
+        assert_eq!(cache.stats().accesses, 2);
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn different_owners_do_not_share_lines() {
+        let mut cache = small_cache(4);
+        cache.access(0x1000, 1);
+        // Same address but another owner: must miss (owners live in disjoint
+        // guest-physical spaces; sharing would hide contention).
+        assert!(!cache.access(0x1000, 2).hit);
+    }
+
+    #[test]
+    fn lru_evicts_oldest_line_in_full_set() {
+        let mut cache = small_cache(2);
+        let set_stride = 4 * 64; // 4 sets * 64B lines: same set every stride.
+        cache.access(0, 1);
+        cache.access(set_stride, 1);
+        // Touch line 0 again so line at `set_stride` becomes LRU.
+        cache.access(0, 1);
+        // Third distinct line in the same set evicts the LRU one.
+        cache.access(2 * set_stride, 1);
+        assert!(cache.probe(0, 1));
+        assert!(!cache.probe(set_stride, 1));
+        assert!(cache.probe(2 * set_stride, 1));
+    }
+
+    #[test]
+    fn cross_owner_eviction_is_counted() {
+        let mut cache = small_cache(1);
+        cache.access(0, 1);
+        let result = cache.access(0, 2); // same set, different owner, 1-way
+        assert!(!result.hit);
+        assert_eq!(result.evicted_owner, Some(1));
+        assert_eq!(cache.stats().cross_owner_evictions, 1);
+    }
+
+    #[test]
+    fn occupancy_tracks_insertions_and_evictions() {
+        let mut cache = small_cache(2);
+        for i in 0..4u64 {
+            cache.access(i * 64, 1);
+        }
+        assert_eq!(cache.occupancy_of(1), 4);
+        assert_eq!(cache.occupancy(), 4);
+        // Fill the whole cache with owner 2: owner 1 lines get evicted.
+        for i in 0..8u64 {
+            cache.access(i * 64, 2);
+        }
+        assert_eq!(cache.occupancy_of(2), 8);
+        assert_eq!(cache.occupancy_of(1), 0);
+        assert!(cache.occupancy() <= cache.config().num_lines());
+    }
+
+    #[test]
+    fn flush_owner_removes_only_that_owner() {
+        let mut cache = small_cache(2);
+        cache.access(0, 1);
+        cache.access(64, 2);
+        cache.flush_owner(1);
+        assert!(!cache.probe(0, 1));
+        assert!(cache.probe(64, 2));
+    }
+
+    #[test]
+    fn flush_clears_everything() {
+        let mut cache = small_cache(2);
+        cache.access(0, 1);
+        cache.flush();
+        assert_eq!(cache.occupancy(), 0);
+        assert!(!cache.probe(0, 1));
+    }
+
+    #[test]
+    fn per_owner_miss_accounting() {
+        let mut cache = small_cache(2);
+        cache.access(0, 1);
+        cache.access(0, 1);
+        cache.access(64, 2);
+        assert_eq!(cache.misses_of(1), 1);
+        assert_eq!(cache.accesses_of(1), 2);
+        assert_eq!(cache.misses_of(2), 1);
+        assert_eq!(cache.misses_of(3), 0);
+    }
+
+    #[test]
+    fn reset_stats_keeps_contents() {
+        let mut cache = small_cache(2);
+        cache.access(0, 1);
+        cache.reset_stats();
+        assert_eq!(cache.stats().accesses, 0);
+        assert!(cache.access(0, 1).hit, "contents must survive a stats reset");
+    }
+
+    #[test]
+    fn miss_ratio_bounds() {
+        let mut cache = small_cache(2);
+        assert_eq!(cache.stats().miss_ratio(), 0.0);
+        for i in 0..100u64 {
+            cache.access(i * 64, 1);
+        }
+        let stats = cache.stats();
+        assert!(stats.miss_ratio() > 0.0 && stats.miss_ratio() <= 1.0);
+        assert!((stats.miss_ratio() + stats.hit_ratio() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaled_config_preserves_ways_and_line_size() {
+        let config = CacheConfig::new(10 * 1024 * 1024, 20, 64);
+        let scaled = config.scaled(16);
+        assert_eq!(scaled.ways, 20);
+        assert_eq!(scaled.line_size, 64);
+        assert_eq!(scaled.size_bytes, 10 * 1024 * 1024 / 16);
+        assert!(scaled.num_sets().is_ok());
+    }
+
+    #[test]
+    fn scaled_config_never_drops_below_one_set() {
+        let config = CacheConfig::new(4096, 8, 64);
+        let scaled = config.scaled(1_000_000);
+        assert!(scaled.num_sets().unwrap() >= 1);
+    }
+
+    #[test]
+    fn bip_protects_against_streaming() {
+        // A small working set is repeatedly reused while a streaming scan
+        // pours through the cache. BIP should keep more of the reused set
+        // resident than LRU.
+        let run = |policy: ReplacementPolicy| -> u64 {
+            let config = CacheConfig::new(16 * 1024, 8, 64).with_policy(policy);
+            let mut cache = Cache::new(config).unwrap();
+            let reused: Vec<u64> = (0..32u64).map(|i| i * 64).collect();
+            let mut stream_addr = 1 << 20;
+            let mut reused_hits = 0;
+            for round in 0..200 {
+                for &addr in &reused {
+                    if cache.access(addr, 1).hit && round > 0 {
+                        reused_hits += 1;
+                    }
+                }
+                for _ in 0..256 {
+                    cache.access(stream_addr, 2);
+                    stream_addr += 64;
+                }
+            }
+            reused_hits
+        };
+        let lru_hits = run(ReplacementPolicy::Lru);
+        let bip_hits = run(ReplacementPolicy::Bip);
+        assert!(
+            bip_hits > lru_hits,
+            "BIP ({bip_hits}) should preserve the reused working set better than LRU ({lru_hits})"
+        );
+    }
+}

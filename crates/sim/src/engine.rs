@@ -1,0 +1,459 @@
+//! Deterministic time-stepped simulation engine.
+//!
+//! The engine executes a set of *slots* — (core, owner, workload) bindings —
+//! for a common cycle budget, interleaving their memory accesses over the
+//! shared machine in cycle order. This models the two contention modes of
+//! Section 2.2 of the paper:
+//!
+//! * **parallel execution**: slots on different cores of the same socket are
+//!   interleaved within the same call, so their access streams compete for
+//!   LLC sets concurrently;
+//! * **alternative execution**: slots scheduled on the same core in
+//!   *successive* calls (as the hypervisor's scheduler time-shares the core)
+//!   find the LLC state left behind by the previous occupant.
+
+use crate::cache::OwnerId;
+use crate::error::SimError;
+use crate::hierarchy::AccessKind;
+use crate::pmc::PmcSet;
+use crate::shadow::ShadowAttribution;
+use crate::topology::{CoreId, Machine, NumaNode};
+use crate::workload::{Op, Workload};
+
+/// An execution binding: a workload running on behalf of `owner` on `core`.
+pub struct ExecSlot<'a> {
+    /// Core the slot runs on.
+    pub core: CoreId,
+    /// Owner (VM id) of the memory traffic.
+    pub owner: OwnerId,
+    /// The workload generating micro-operations.
+    pub workload: &'a mut dyn Workload,
+    /// NUMA node where the owner's memory lives.
+    pub data_node: NumaNode,
+    /// When set, every LLC miss pays the remote-memory latency regardless of
+    /// placement. Used to model a vCPU migrated away from its memory by the
+    /// socket-dedication pollution monitor (Fig. 9).
+    pub force_remote: bool,
+    /// Cumulative counters across every call this slot participated in.
+    pub pmcs: PmcSet,
+}
+
+impl std::fmt::Debug for ExecSlot<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecSlot")
+            .field("core", &self.core)
+            .field("owner", &self.owner)
+            .field("workload", &self.workload.name())
+            .field("data_node", &self.data_node)
+            .field("force_remote", &self.force_remote)
+            .field("pmcs", &self.pmcs)
+            .finish()
+    }
+}
+
+impl<'a> ExecSlot<'a> {
+    /// Creates a slot with data local to the core's socket and no forced
+    /// remote accesses.
+    pub fn new(core: CoreId, owner: OwnerId, workload: &'a mut dyn Workload) -> Self {
+        ExecSlot {
+            core,
+            owner,
+            workload,
+            data_node: NumaNode(usize::MAX), // resolved lazily to the core's node
+            force_remote: false,
+            pmcs: PmcSet::default(),
+        }
+    }
+
+    /// Places the owner's memory on an explicit NUMA node.
+    pub fn with_data_node(mut self, node: NumaNode) -> Self {
+        self.data_node = node;
+        self
+    }
+
+    /// Forces LLC misses to pay the remote-memory latency.
+    pub fn with_force_remote(mut self, force: bool) -> Self {
+        self.force_remote = force;
+        self
+    }
+}
+
+/// Per-slot outcome of one [`SimEngine::run_slots`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QuantumReport {
+    /// Cycles actually consumed (>= the requested budget, because the last
+    /// op may overshoot it slightly).
+    pub consumed_cycles: u64,
+    /// Counter delta produced during this call.
+    pub pmc_delta: PmcSet,
+    /// Number of LLC fills that evicted another owner's line.
+    pub pollution_events: u64,
+}
+
+impl QuantumReport {
+    /// Instructions per cycle achieved during this quantum.
+    pub fn ipc(&self) -> f64 {
+        self.pmc_delta.ipc()
+    }
+}
+
+/// The time-stepped simulation engine.
+#[derive(Debug)]
+pub struct SimEngine {
+    machine: Machine,
+    shadow: Option<ShadowAttribution>,
+    elapsed_cycles: u64,
+}
+
+impl SimEngine {
+    /// Creates an engine around a machine, without shadow attribution.
+    pub fn new(machine: Machine) -> Self {
+        SimEngine {
+            machine,
+            shadow: None,
+            elapsed_cycles: 0,
+        }
+    }
+
+    /// Enables simulator-based pollution attribution (the McSimA+ stand-in):
+    /// LLC-level accesses are additionally replayed into per-owner shadow
+    /// caches.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidCacheConfig`] if the machine's LLC
+    /// geometry is invalid (cannot happen for a validated machine).
+    pub fn enable_shadow_attribution(&mut self) -> Result<(), SimError> {
+        if self.shadow.is_none() {
+            self.shadow = Some(ShadowAttribution::new(self.machine.config().llc.clone())?);
+        }
+        Ok(())
+    }
+
+    /// Disables shadow attribution and drops its state.
+    pub fn disable_shadow_attribution(&mut self) {
+        self.shadow = None;
+    }
+
+    /// The shadow attribution component, if enabled.
+    pub fn shadow(&self) -> Option<&ShadowAttribution> {
+        self.shadow.as_ref()
+    }
+
+    /// Mutable access to the shadow attribution component, if enabled.
+    pub fn shadow_mut(&mut self) -> Option<&mut ShadowAttribution> {
+        self.shadow.as_mut()
+    }
+
+    /// The simulated machine.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Mutable access to the simulated machine.
+    pub fn machine_mut(&mut self) -> &mut Machine {
+        &mut self.machine
+    }
+
+    /// Total cycles executed by the busiest slot so far (a logical clock).
+    pub fn elapsed_cycles(&self) -> u64 {
+        self.elapsed_cycles
+    }
+
+    /// Runs every slot for `cycle_budget` cycles, interleaving their
+    /// execution in cycle order.
+    ///
+    /// Returns one report per slot, in the order of `slots`. Slots also
+    /// accumulate the counter deltas into their own [`ExecSlot::pmcs`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a slot references a core that does not exist on the machine
+    /// (a programming error in the hypervisor layer).
+    pub fn run_slots(&mut self, slots: &mut [ExecSlot<'_>], cycle_budget: u64) -> Vec<QuantumReport> {
+        let n = slots.len();
+        let mut reports = vec![QuantumReport::default(); n];
+        if n == 0 || cycle_budget == 0 {
+            return reports;
+        }
+
+        // Resolve lazy data-node placement and validate cores up front.
+        let mut local_nodes = Vec::with_capacity(n);
+        for slot in slots.iter_mut() {
+            let node = self
+                .machine
+                .numa_node_of(slot.core)
+                .expect("slot references an unknown core");
+            if slot.data_node.0 == usize::MAX {
+                slot.data_node = node;
+            }
+            local_nodes.push(node);
+        }
+
+        // Interleave in cycle order: always advance the slot that is the
+        // furthest behind. With at most a few tens of slots a linear scan is
+        // faster than a heap.
+        loop {
+            let mut next: Option<usize> = None;
+            let mut min_cycles = u64::MAX;
+            for (i, report) in reports.iter().enumerate() {
+                if report.consumed_cycles < cycle_budget && report.consumed_cycles < min_cycles {
+                    min_cycles = report.consumed_cycles;
+                    next = Some(i);
+                }
+            }
+            let Some(i) = next else { break };
+
+            let slot = &mut slots[i];
+            let op = slot.workload.next_op();
+            let (cycles, delta, polluted) = match op {
+                Op::Compute { cycles } => {
+                    let cycles = u64::from(cycles.max(1));
+                    (
+                        cycles,
+                        PmcSet {
+                            instructions: 1,
+                            unhalted_core_cycles: cycles,
+                            ..PmcSet::default()
+                        },
+                        false,
+                    )
+                }
+                Op::Load { addr } | Op::Store { addr } => {
+                    let kind = op.access_kind().unwrap_or(AccessKind::Load);
+                    let outcome = self
+                        .machine
+                        .access(slot.core, addr, kind, slot.owner, slot.data_node, slot.force_remote)
+                        .expect("slot references an unknown core");
+                    if outcome.level.reached_llc() {
+                        if let Some(shadow) = self.shadow.as_mut() {
+                            shadow.observe(slot.owner, addr);
+                        }
+                    }
+                    // Memory-level parallelism: streaming workloads overlap
+                    // independent misses, so the per-access charge of an LLC
+                    // miss shrinks by the declared parallelism factor.
+                    let effective_latency = if outcome.level.is_llc_miss() {
+                        let mlp = slot.workload.mem_parallelism().max(1.0);
+                        ((f64::from(outcome.latency) / mlp).round() as u32).max(1)
+                    } else {
+                        outcome.latency
+                    };
+                    let cycles = u64::from(effective_latency) + 1;
+                    let delta = PmcSet {
+                        instructions: 1,
+                        unhalted_core_cycles: cycles,
+                        memory_accesses: 1,
+                        ilc_misses: u64::from(outcome.level.reached_llc()),
+                        llc_references: u64::from(outcome.level.reached_llc()),
+                        llc_misses: u64::from(outcome.level.is_llc_miss()),
+                        remote_accesses: u64::from(
+                            outcome.level == crate::hierarchy::MemLevel::RemoteMemory,
+                        ),
+                    };
+                    (cycles, delta, outcome.polluted_llc)
+                }
+            };
+
+            let report = &mut reports[i];
+            report.consumed_cycles += cycles;
+            report.pmc_delta += delta;
+            if polluted {
+                report.pollution_events += 1;
+            }
+            slot.pmcs += delta;
+        }
+
+        self.elapsed_cycles += cycle_budget;
+        reports
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::MachineConfig;
+    use crate::workload::{ComputeOnly, FixedSequence};
+
+    fn engine() -> SimEngine {
+        SimEngine::new(Machine::new(MachineConfig::scaled_paper_machine(64)))
+    }
+
+    #[test]
+    fn empty_slots_or_zero_budget_are_noops() {
+        let mut e = engine();
+        assert!(e.run_slots(&mut [], 1000).is_empty());
+        let mut wl = ComputeOnly::new(1);
+        let mut slot = ExecSlot::new(CoreId(0), 1, &mut wl);
+        let reports = e.run_slots(std::slice::from_mut(&mut slot), 0);
+        assert_eq!(reports[0].consumed_cycles, 0);
+    }
+
+    #[test]
+    fn compute_only_reaches_ipc_one() {
+        let mut e = engine();
+        let mut wl = ComputeOnly::new(1);
+        let mut slot = ExecSlot::new(CoreId(0), 1, &mut wl);
+        let reports = e.run_slots(std::slice::from_mut(&mut slot), 10_000);
+        assert!(reports[0].consumed_cycles >= 10_000);
+        assert!((reports[0].ipc() - 1.0).abs() < 1e-9);
+        assert_eq!(reports[0].pmc_delta.llc_misses, 0);
+    }
+
+    #[test]
+    fn memory_ops_cost_hierarchy_latency() {
+        let mut e = engine();
+        let mut wl = FixedSequence::new("one-line", vec![Op::Load { addr: 0 }]);
+        let mut slot = ExecSlot::new(CoreId(0), 1, &mut wl);
+        let reports = e.run_slots(std::slice::from_mut(&mut slot), 1_000);
+        let pmc = reports[0].pmc_delta;
+        // First access misses everywhere (~181 cycles) then hits L1 (5 cycles).
+        assert_eq!(pmc.llc_misses, 1);
+        assert!(pmc.instructions > 100);
+        assert!(reports[0].consumed_cycles >= 1_000);
+    }
+
+    #[test]
+    fn all_slots_consume_the_full_budget() {
+        let mut e = engine();
+        let mut fast = ComputeOnly::new(1);
+        let mut slow = FixedSequence::new("mem", vec![Op::Load { addr: 0 }, Op::Load { addr: 1 << 20 }]);
+        let mut slots = vec![
+            ExecSlot::new(CoreId(0), 1, &mut fast),
+            ExecSlot::new(CoreId(1), 2, &mut slow),
+        ];
+        let reports = e.run_slots(&mut slots, 5_000);
+        for report in &reports {
+            assert!(report.consumed_cycles >= 5_000);
+            // Overshoot is bounded by the cost of a single op.
+            assert!(report.consumed_cycles < 5_000 + 400);
+        }
+    }
+
+    #[test]
+    fn parallel_slots_on_same_socket_contend_for_the_llc() {
+        // A "sensitive" workload whose working set fits the LLC but not the
+        // L2, co-run with a streaming "disruptive" workload.
+        let config = MachineConfig::scaled_paper_machine(64);
+        let llc_lines = config.llc.num_lines();
+        let sensitive_lines: Vec<Op> = (0..llc_lines / 2)
+            .map(|i| Op::Load { addr: i * 64 })
+            .collect();
+
+        let solo_misses = {
+            let mut e = SimEngine::new(Machine::new(config.clone()));
+            let mut wl = FixedSequence::new("sensitive", sensitive_lines.clone());
+            let mut slot = ExecSlot::new(CoreId(0), 1, &mut wl);
+            // Warm up, then measure.
+            e.run_slots(std::slice::from_mut(&mut slot), 200_000);
+            slot.pmcs = PmcSet::default();
+            let r = e.run_slots(std::slice::from_mut(&mut slot), 200_000);
+            r[0].pmc_delta.llc_misses
+        };
+
+        let contended_misses = {
+            let mut e = SimEngine::new(Machine::new(config));
+            let mut wl = FixedSequence::new("sensitive", sensitive_lines);
+            let disruptor_ops: Vec<Op> = (0..4096u64).map(|i| Op::Load { addr: (1 << 30) + i * 64 }).collect();
+            let mut dis =
+                FixedSequence::new("disruptor", disruptor_ops).with_mem_parallelism(8.0);
+            let mut slots = vec![
+                ExecSlot::new(CoreId(0), 1, &mut wl),
+                ExecSlot::new(CoreId(1), 2, &mut dis),
+            ];
+            e.run_slots(&mut slots, 200_000);
+            slots[0].pmcs = PmcSet::default();
+            let r = e.run_slots(&mut slots, 200_000);
+            r[0].pmc_delta.llc_misses
+        };
+
+        assert!(
+            contended_misses > solo_misses * 2,
+            "co-running a streaming disruptor should inflate LLC misses (solo={solo_misses}, contended={contended_misses})"
+        );
+    }
+
+    #[test]
+    fn force_remote_increases_remote_access_count() {
+        let mut e = SimEngine::new(Machine::new(MachineConfig::scaled_paper_numa_machine(64)));
+        let ops: Vec<Op> = (0..512u64).map(|i| Op::Load { addr: i * 4096 }).collect();
+        let mut wl = FixedSequence::new("mem", ops);
+        let mut slot = ExecSlot::new(CoreId(0), 1, &mut wl).with_force_remote(true);
+        let reports = e.run_slots(std::slice::from_mut(&mut slot), 50_000);
+        assert!(reports[0].pmc_delta.remote_accesses > 0);
+        assert_eq!(
+            reports[0].pmc_delta.remote_accesses,
+            reports[0].pmc_delta.llc_misses
+        );
+    }
+
+    #[test]
+    fn shadow_attribution_tracks_solo_misses_under_contention() {
+        let config = MachineConfig::scaled_paper_machine(64);
+        let mut e = SimEngine::new(Machine::new(config.clone()));
+        e.enable_shadow_attribution().unwrap();
+        // Small reused set for owner 1, huge stream for owner 2.
+        let reused: Vec<Op> = (0..64u64).map(|i| Op::Load { addr: i * 64 }).collect();
+        let stream: Vec<Op> = (0..100_000u64).map(|i| Op::Load { addr: (1 << 32) + i * 64 }).collect();
+        let mut wl1 = FixedSequence::new("reused", reused);
+        let mut wl2 = FixedSequence::new("stream", stream).with_mem_parallelism(8.0);
+        let mut slots = vec![
+            ExecSlot::new(CoreId(0), 1, &mut wl1),
+            ExecSlot::new(CoreId(1), 2, &mut wl2),
+        ];
+        e.run_slots(&mut slots, 300_000);
+        let shadow = e.shadow().unwrap();
+        // In the shared LLC owner 1 suffers from owner 2's stream, but its
+        // shadow (solo) miss count stays at the cold-miss level.
+        assert!(shadow.solo_misses(1) <= 64 * 3);
+        assert!(shadow.solo_misses(2) > 1000);
+        assert!(slots[0].pmcs.llc_misses >= shadow.solo_misses(1));
+    }
+
+    #[test]
+    fn pollution_events_are_reported_for_the_polluter() {
+        let config = MachineConfig::scaled_paper_machine(64);
+        let llc_lines = config.llc.num_lines();
+        let mut e = SimEngine::new(Machine::new(config));
+        let victim_ops: Vec<Op> = (0..llc_lines / 2).map(|i| Op::Load { addr: i * 64 }).collect();
+        let stream: Vec<Op> = (0..1_000_000u64).map(|i| Op::Load { addr: (1 << 32) + i * 64 }).collect();
+        let mut victim = FixedSequence::new("victim", victim_ops);
+        let mut polluter = FixedSequence::new("polluter", stream).with_mem_parallelism(8.0);
+        let mut slots = vec![
+            ExecSlot::new(CoreId(0), 1, &mut victim),
+            ExecSlot::new(CoreId(1), 2, &mut polluter),
+        ];
+        // Warm the LLC with the victim, then let both run.
+        e.run_slots(&mut slots[..1], 200_000);
+        let reports = e.run_slots(&mut slots, 200_000);
+        assert!(reports[1].pollution_events > 0, "the streaming owner should evict victim lines");
+    }
+
+    #[test]
+    fn mem_parallelism_speeds_up_streaming_workloads() {
+        let ops: Vec<Op> = (0..100_000u64).map(|i| Op::Load { addr: i * 4096 }).collect();
+        let run = |mlp: f64| -> u64 {
+            let mut e = engine();
+            let mut wl = FixedSequence::new("stream", ops.clone()).with_mem_parallelism(mlp);
+            let mut slot = ExecSlot::new(CoreId(0), 1, &mut wl);
+            let r = e.run_slots(std::slice::from_mut(&mut slot), 100_000);
+            r[0].pmc_delta.llc_misses
+        };
+        let dependent = run(1.0);
+        let streaming = run(8.0);
+        assert!(
+            streaming > dependent * 3,
+            "an MLP of 8 should let the stream touch far more lines per cycle (dependent={dependent}, streaming={streaming})"
+        );
+    }
+
+    #[test]
+    fn elapsed_cycles_accumulate() {
+        let mut e = engine();
+        let mut wl = ComputeOnly::new(1);
+        let mut slot = ExecSlot::new(CoreId(0), 1, &mut wl);
+        e.run_slots(std::slice::from_mut(&mut slot), 1000);
+        e.run_slots(std::slice::from_mut(&mut slot), 500);
+        assert_eq!(e.elapsed_cycles(), 1500);
+    }
+}

@@ -1,0 +1,269 @@
+//! The workload abstraction consumed by the simulation engine.
+//!
+//! A workload is a deterministic generator of micro-operations: pure compute
+//! bursts and memory accesses. Concrete models (the Drepper pointer-chase
+//! micro-benchmark, SPEC CPU2006-like profiles, blockie) live in the
+//! `kyoto-workloads` crate; this module only defines the contract plus a few
+//! trivial implementations that are useful for tests.
+
+use crate::hierarchy::AccessKind;
+use serde::{Deserialize, Serialize};
+
+/// A single micro-operation produced by a workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Op {
+    /// Pure computation consuming `cycles` core cycles (no memory traffic).
+    Compute {
+        /// Number of cycles of computation.
+        cycles: u32,
+    },
+    /// A data load from `addr` (byte address in the workload's own
+    /// address space).
+    Load {
+        /// Byte address accessed.
+        addr: u64,
+    },
+    /// A data store to `addr`.
+    Store {
+        /// Byte address accessed.
+        addr: u64,
+    },
+}
+
+impl Op {
+    /// The access kind of a memory op, or `None` for compute ops.
+    pub fn access_kind(&self) -> Option<AccessKind> {
+        match self {
+            Op::Compute { .. } => None,
+            Op::Load { .. } => Some(AccessKind::Load),
+            Op::Store { .. } => Some(AccessKind::Store),
+        }
+    }
+
+    /// The address of a memory op, or `None` for compute ops.
+    pub fn addr(&self) -> Option<u64> {
+        match self {
+            Op::Compute { .. } => None,
+            Op::Load { addr } | Op::Store { addr } => Some(*addr),
+        }
+    }
+}
+
+/// A deterministic generator of micro-operations.
+///
+/// Implementations must be deterministic for a given construction seed so
+/// that experiments are reproducible.
+pub trait Workload {
+    /// Produces the next micro-operation.
+    fn next_op(&mut self) -> Op;
+
+    /// Short human-readable name (e.g. the SPEC application being modelled).
+    fn name(&self) -> &str;
+
+    /// Size of the data the workload actively touches, in bytes.
+    fn working_set_bytes(&self) -> u64;
+
+    /// Memory-level parallelism: how many independent outstanding misses the
+    /// workload sustains on average.
+    ///
+    /// Dependent-load workloads (the Drepper pointer chase, mcf-like pointer
+    /// chasing) cannot overlap misses and should return `1.0` (the default).
+    /// Streaming workloads (lbm, blockie, milc) overlap many misses, which is
+    /// what makes them effective polluters: the engine divides the LLC-miss
+    /// latency by this factor.
+    fn mem_parallelism(&self) -> f64 {
+        1.0
+    }
+
+    /// Resets internal progress (e.g. restart the pointer chase). The default
+    /// implementation does nothing, which is acceptable for stateless models.
+    fn reset(&mut self) {}
+}
+
+impl<W: Workload + ?Sized> Workload for Box<W> {
+    fn next_op(&mut self) -> Op {
+        (**self).next_op()
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn working_set_bytes(&self) -> u64 {
+        (**self).working_set_bytes()
+    }
+
+    fn mem_parallelism(&self) -> f64 {
+        (**self).mem_parallelism()
+    }
+
+    fn reset(&mut self) {
+        (**self).reset()
+    }
+}
+
+/// A purely compute-bound workload: never touches memory.
+///
+/// Useful to model an idle/CPU-bound vCPU and as a baseline in tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ComputeOnly {
+    cycles_per_op: u32,
+}
+
+impl ComputeOnly {
+    /// Creates a compute-only workload whose every op burns `cycles_per_op`.
+    pub fn new(cycles_per_op: u32) -> Self {
+        ComputeOnly {
+            cycles_per_op: cycles_per_op.max(1),
+        }
+    }
+}
+
+impl Default for ComputeOnly {
+    fn default() -> Self {
+        ComputeOnly::new(1)
+    }
+}
+
+impl Workload for ComputeOnly {
+    fn next_op(&mut self) -> Op {
+        Op::Compute {
+            cycles: self.cycles_per_op,
+        }
+    }
+
+    fn name(&self) -> &str {
+        "compute-only"
+    }
+
+    fn working_set_bytes(&self) -> u64 {
+        0
+    }
+}
+
+/// Replays a fixed operation sequence in a loop. Only useful in tests.
+#[derive(Debug, Clone)]
+pub struct FixedSequence {
+    ops: Vec<Op>,
+    next: usize,
+    name: String,
+    mem_parallelism: f64,
+}
+
+impl FixedSequence {
+    /// Creates a looping replay of `ops`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ops` is empty.
+    pub fn new(name: impl Into<String>, ops: Vec<Op>) -> Self {
+        assert!(!ops.is_empty(), "a fixed sequence needs at least one op");
+        FixedSequence {
+            ops,
+            next: 0,
+            name: name.into(),
+            mem_parallelism: 1.0,
+        }
+    }
+
+    /// Declares the memory-level parallelism of the replayed stream
+    /// (see [`Workload::mem_parallelism`]).
+    pub fn with_mem_parallelism(mut self, mlp: f64) -> Self {
+        self.mem_parallelism = mlp.max(1.0);
+        self
+    }
+}
+
+impl Workload for FixedSequence {
+    fn next_op(&mut self) -> Op {
+        let op = self.ops[self.next];
+        self.next = (self.next + 1) % self.ops.len();
+        op
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn working_set_bytes(&self) -> u64 {
+        let lines: std::collections::HashSet<u64> = self
+            .ops
+            .iter()
+            .filter_map(|op| op.addr().map(|a| a / 64))
+            .collect();
+        lines.len() as u64 * 64
+    }
+
+    fn mem_parallelism(&self) -> f64 {
+        self.mem_parallelism
+    }
+
+    fn reset(&mut self) {
+        self.next = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_accessors() {
+        assert_eq!(Op::Compute { cycles: 3 }.access_kind(), None);
+        assert_eq!(Op::Load { addr: 64 }.access_kind(), Some(AccessKind::Load));
+        assert_eq!(Op::Store { addr: 64 }.access_kind(), Some(AccessKind::Store));
+        assert_eq!(Op::Load { addr: 64 }.addr(), Some(64));
+        assert_eq!(Op::Compute { cycles: 3 }.addr(), None);
+    }
+
+    #[test]
+    fn compute_only_never_accesses_memory() {
+        let mut wl = ComputeOnly::new(5);
+        for _ in 0..100 {
+            assert!(matches!(wl.next_op(), Op::Compute { cycles: 5 }));
+        }
+        assert_eq!(wl.working_set_bytes(), 0);
+    }
+
+    #[test]
+    fn compute_only_clamps_zero_cycles() {
+        let mut wl = ComputeOnly::new(0);
+        assert!(matches!(wl.next_op(), Op::Compute { cycles: 1 }));
+    }
+
+    #[test]
+    fn fixed_sequence_loops_and_resets() {
+        let mut wl = FixedSequence::new(
+            "seq",
+            vec![Op::Load { addr: 0 }, Op::Load { addr: 64 }, Op::Compute { cycles: 1 }],
+        );
+        assert_eq!(wl.next_op(), Op::Load { addr: 0 });
+        assert_eq!(wl.next_op(), Op::Load { addr: 64 });
+        assert_eq!(wl.next_op(), Op::Compute { cycles: 1 });
+        assert_eq!(wl.next_op(), Op::Load { addr: 0 });
+        wl.reset();
+        assert_eq!(wl.next_op(), Op::Load { addr: 0 });
+    }
+
+    #[test]
+    fn fixed_sequence_working_set_counts_distinct_lines() {
+        let wl = FixedSequence::new(
+            "seq",
+            vec![Op::Load { addr: 0 }, Op::Load { addr: 8 }, Op::Store { addr: 64 }],
+        );
+        assert_eq!(wl.working_set_bytes(), 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one op")]
+    fn empty_fixed_sequence_panics() {
+        let _ = FixedSequence::new("empty", vec![]);
+    }
+
+    #[test]
+    fn boxed_workload_delegates() {
+        let mut wl: Box<dyn Workload> = Box::new(ComputeOnly::new(2));
+        assert_eq!(wl.name(), "compute-only");
+        assert!(matches!(wl.next_op(), Op::Compute { cycles: 2 }));
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests of the cache and PMC invariants.
+
+use kyoto_sim::cache::{Cache, CacheConfig};
+use kyoto_sim::pmc::PmcSet;
+use kyoto_sim::replacement::ReplacementPolicy;
+use kyoto_sim::topology::{CoreId, Machine, MachineConfig, NumaNode};
+use kyoto_sim::hierarchy::AccessKind;
+use proptest::prelude::*;
+
+fn arb_policy() -> impl Strategy<Value = ReplacementPolicy> {
+    prop_oneof![
+        Just(ReplacementPolicy::Lru),
+        Just(ReplacementPolicy::Bip),
+        Just(ReplacementPolicy::Dip),
+        Just(ReplacementPolicy::Random),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whatever the access stream, the cache never holds more lines than its
+    /// capacity, every owner's occupancy is consistent, and the hit/miss
+    /// accounting closes.
+    #[test]
+    fn cache_accounting_closes(
+        policy in arb_policy(),
+        accesses in prop::collection::vec((0u64..4096, 1u16..4), 1..500),
+    ) {
+        let config = CacheConfig::new(8 * 1024, 4, 64).with_policy(policy);
+        let mut cache = Cache::new(config.clone()).unwrap();
+        for &(line, owner) in &accesses {
+            cache.access(line * 64, owner);
+        }
+        let stats = cache.stats();
+        prop_assert_eq!(stats.accesses, accesses.len() as u64);
+        prop_assert_eq!(stats.hits + stats.misses, stats.accesses);
+        prop_assert!(cache.occupancy() <= config.num_lines());
+        let per_owner: u64 = (0..4u16).map(|o| cache.occupancy_of(o)).sum();
+        prop_assert_eq!(per_owner, cache.occupancy());
+        // Evictions can never exceed misses (only misses insert lines).
+        prop_assert!(stats.evictions <= stats.misses);
+    }
+
+    /// A line that was just accessed is always resident immediately after.
+    #[test]
+    fn most_recent_access_is_resident(
+        policy in arb_policy(),
+        accesses in prop::collection::vec((0u64..2048, 1u16..3), 1..300),
+    ) {
+        let config = CacheConfig::new(4 * 1024, 4, 64).with_policy(policy);
+        let mut cache = Cache::new(config).unwrap();
+        for &(line, owner) in &accesses {
+            cache.access(line * 64, owner);
+            prop_assert!(cache.probe(line * 64, owner));
+        }
+    }
+
+    /// Flushing an owner removes exactly that owner's lines.
+    #[test]
+    fn flush_owner_is_selective(
+        accesses in prop::collection::vec((0u64..1024, 1u16..4), 1..200),
+        victim in 1u16..4,
+    ) {
+        let mut cache = Cache::new(CacheConfig::new(8 * 1024, 8, 64)).unwrap();
+        for &(line, owner) in &accesses {
+            cache.access(line * 64, owner);
+        }
+        let others: u64 = (1..4u16).filter(|&o| o != victim).map(|o| cache.occupancy_of(o)).sum();
+        cache.flush_owner(victim);
+        prop_assert_eq!(cache.occupancy_of(victim), 0);
+        let others_after: u64 = (1..4u16).filter(|&o| o != victim).map(|o| cache.occupancy_of(o)).sum();
+        prop_assert_eq!(others, others_after);
+    }
+
+    /// PMC delta/accumulate round-trips: (a + b) - a == b.
+    #[test]
+    fn pmc_add_then_delta_roundtrips(
+        a in prop::array::uniform7(0u64..1_000_000),
+        b in prop::array::uniform7(0u64..1_000_000),
+    ) {
+        let make = |v: [u64; 7]| PmcSet {
+            instructions: v[0],
+            unhalted_core_cycles: v[1],
+            memory_accesses: v[2],
+            ilc_misses: v[3],
+            llc_references: v[4],
+            llc_misses: v[5],
+            remote_accesses: v[6],
+        };
+        let (a, b) = (make(a), make(b));
+        prop_assert_eq!((a + b).delta_since(&a), b);
+        prop_assert_eq!((a + b) - b, a);
+    }
+
+    /// Machine accesses always report a latency consistent with the level
+    /// that served them, and hits never pay memory latency.
+    #[test]
+    fn machine_latencies_match_levels(
+        lines in prop::collection::vec(0u64..100_000, 1..200),
+    ) {
+        let mut machine = Machine::new(MachineConfig::scaled_paper_numa_machine(64));
+        let latency = machine.config().latency;
+        for &line in &lines {
+            let out = machine
+                .access(CoreId(0), line * 64, AccessKind::Load, 1, NumaNode(0), false)
+                .unwrap();
+            prop_assert_eq!(out.latency, latency.of(out.level));
+        }
+        // Re-access the last line: it must now hit in a cache level.
+        let last = lines[lines.len() - 1] * 64;
+        let out = machine
+            .access(CoreId(0), last, AccessKind::Load, 1, NumaNode(0), false)
+            .unwrap();
+        prop_assert!(!out.level.is_llc_miss());
+    }
+}

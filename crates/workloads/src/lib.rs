@@ -1,0 +1,48 @@
+//! # kyoto-workloads — workload models for the Kyoto reproduction
+//!
+//! The paper drives its evaluation with three families of applications:
+//!
+//! * a **micro benchmark** (Section 2.2.2) following Ulrich Drepper's
+//!   pointer-chase pattern: a circular linked list of randomly chained
+//!   elements whose total size is the working set;
+//! * **SPEC CPU2006** applications (gcc, omnetpp, soplex, lbm, mcf, milc,
+//!   xalan, astar, bzip, hmmer, povray) used as sensitive and disruptive VMs
+//!   (Table 2 and Fig. 4);
+//! * **blockie**, the most contentious kernel from Mars & Soffa's contention
+//!   benchmark suite.
+//!
+//! Real SPEC binaries cannot run inside a simulation library, so each
+//! application is modelled as a parameterised memory-access generator whose
+//! working-set size, memory intensity, locality and memory-level parallelism
+//! are chosen to match the application's published memory behaviour. What
+//! matters for reproducing the paper is the *relative* behaviour — which
+//! applications are sensitive, which are aggressive, and how the two ranking
+//! indicators of Fig. 4 disagree — and those orderings are preserved.
+//!
+//! All models implement [`kyoto_sim::workload::Workload`] and are
+//! deterministic for a given seed.
+//!
+//! # Example
+//!
+//! ```
+//! use kyoto_workloads::spec::{SpecApp, SpecWorkload};
+//! use kyoto_sim::workload::Workload;
+//!
+//! // A gcc-like VM workload on a 16x scaled-down machine.
+//! let mut gcc = SpecWorkload::new(SpecApp::Gcc, 16, 42);
+//! assert_eq!(gcc.name(), "gcc");
+//! let _op = gcc.next_op();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod category;
+pub mod micro;
+pub mod spec;
+pub mod synthetic;
+
+pub use category::Category;
+pub use micro::PointerChase;
+pub use spec::{SpecApp, SpecProfile, SpecWorkload};
+pub use synthetic::{RandomAccess, Streaming};

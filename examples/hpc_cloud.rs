@@ -1,0 +1,109 @@
+//! An HPC cloud consolidation scenario (the paper's motivating use case).
+//!
+//! A provider consolidates one latency-sensitive HPC tenant (soplex) with a
+//! growing number of batch tenants (lbm) on a single four-core host — the
+//! ~4 vCPUs-per-core ratio the paper cites. The example compares the HPC
+//! tenant's performance predictability (coefficient of variation across
+//! consolidation levels) under plain Xen and under KS4Xen with pollution
+//! permits, reproducing the spirit of Fig. 5/Fig. 6.
+//!
+//! Run with `cargo run --release --example hpc_cloud`.
+
+use kyoto::core::ks4::ks4xen_hypervisor;
+use kyoto::core::monitor::MonitoringStrategy;
+use kyoto::hypervisor::{xen_hypervisor, HypervisorConfig, VmConfig};
+use kyoto::metrics::stats::Summary;
+use kyoto::sim::topology::{CoreId, Machine, MachineConfig};
+use kyoto::workloads::spec::{SpecApp, SpecWorkload};
+use kyoto::EXAMPLE_SCALE;
+
+const RUN_MS: u64 = 450;
+const HPC_PERMIT: f64 = 3_000.0;
+const BATCH_PERMIT: f64 = 150.0;
+
+fn machine() -> Machine {
+    Machine::new(MachineConfig::scaled_paper_machine(EXAMPLE_SCALE))
+}
+
+fn hpc_throughput_xen(batch_tenants: usize) -> f64 {
+    let mut cloud = xen_hypervisor(machine(), HypervisorConfig::default());
+    let hpc = cloud
+        .add_vm_with(
+            VmConfig::new("hpc-soplex").pinned_to(vec![CoreId(0)]),
+            Box::new(SpecWorkload::new(SpecApp::Soplex, EXAMPLE_SCALE, 1)),
+        )
+        .expect("valid VM");
+    for i in 0..batch_tenants {
+        cloud
+            .add_vm_with(
+                VmConfig::new(format!("batch-{i}")).pinned_to(vec![CoreId(1 + i % 3)]),
+                Box::new(SpecWorkload::new(SpecApp::Lbm, EXAMPLE_SCALE, 10 + i as u64)),
+            )
+            .expect("valid VM");
+    }
+    cloud.run_ms(RUN_MS);
+    cloud.report(hpc).expect("hpc exists").instructions_per_tick()
+}
+
+fn hpc_throughput_kyoto(batch_tenants: usize) -> f64 {
+    let mut cloud = ks4xen_hypervisor(
+        machine(),
+        HypervisorConfig::default(),
+        MonitoringStrategy::SimulatorAttribution,
+    );
+    cloud
+        .engine_mut()
+        .enable_shadow_attribution()
+        .expect("valid LLC geometry");
+    let hpc = cloud
+        .add_vm_with(
+            VmConfig::new("hpc-soplex")
+                .pinned_to(vec![CoreId(0)])
+                .with_llc_cap(HPC_PERMIT),
+            Box::new(SpecWorkload::new(SpecApp::Soplex, EXAMPLE_SCALE, 1)),
+        )
+        .expect("valid VM");
+    for i in 0..batch_tenants {
+        cloud
+            .add_vm_with(
+                VmConfig::new(format!("batch-{i}"))
+                    .pinned_to(vec![CoreId(1 + i % 3)])
+                    .with_llc_cap(BATCH_PERMIT),
+                Box::new(SpecWorkload::new(SpecApp::Lbm, EXAMPLE_SCALE, 10 + i as u64)),
+            )
+            .expect("valid VM");
+    }
+    cloud.run_ms(RUN_MS);
+    cloud.report(hpc).expect("hpc exists").instructions_per_tick()
+}
+
+fn main() {
+    let consolidation_levels = [0usize, 1, 2, 3, 6, 9];
+    println!("HPC tenant throughput (instructions/tick) per consolidation level");
+    println!("  #batch   plain Xen      KS4Xen");
+
+    let mut xen_normalised = Vec::new();
+    let mut kyoto_normalised = Vec::new();
+    let xen_baseline = hpc_throughput_xen(0);
+    let kyoto_baseline = hpc_throughput_kyoto(0);
+    for &n in &consolidation_levels {
+        let xen = hpc_throughput_xen(n);
+        let kyoto = hpc_throughput_kyoto(n);
+        println!("  {n:6}   {xen:12.0} {kyoto:12.0}");
+        xen_normalised.push(xen / xen_baseline);
+        kyoto_normalised.push(kyoto / kyoto_baseline);
+    }
+
+    let xen_summary = Summary::of(&xen_normalised);
+    let kyoto_summary = Summary::of(&kyoto_normalised);
+    println!();
+    println!(
+        "predictability (coefficient of variation of normalised perf): Xen {:.3}, KS4Xen {:.3}",
+        xen_summary.coefficient_of_variation(),
+        kyoto_summary.coefficient_of_variation()
+    );
+    println!(
+        "worst-case normalised perf:                                    Xen {:.2}, KS4Xen {:.2}",
+        xen_summary.min, kyoto_summary.min
+    );
+}

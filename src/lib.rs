@@ -1,0 +1,62 @@
+//! # kyoto — reproduction of the Kyoto polluters-pay LLC mechanism
+//!
+//! This facade crate re-exports the full stack of the reproduction of
+//! *"Mitigating performance unpredictability in the IaaS using the Kyoto
+//! principle"* (Tchana et al., Middleware 2016):
+//!
+//! * [`sim`] — the micro-architectural substrate (caches, topology, PMCs,
+//!   simulation engine);
+//! * [`workloads`] — pointer-chase micro-benchmark, SPEC CPU2006-like
+//!   profiles and the blockie contention kernel;
+//! * [`hypervisor`] — VM model, Xen credit scheduler, CFS, Pisces co-kernel
+//!   and the hypervisor run loop;
+//! * [`core`] — the paper's contribution: pollution permits, Equation 1,
+//!   pollution monitors and the KS4Xen / KS4Linux / KS4Pisces schedulers;
+//! * [`metrics`] — IPC, degradation, Kendall's tau, summary statistics;
+//! * [`experiments`] — one module per table/figure of the paper's
+//!   evaluation.
+//!
+//! See the `examples/` directory for runnable end-to-end scenarios and
+//! `EXPERIMENTS.md` for the paper-vs-measured record.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use kyoto::core::ks4::ks4xen_hypervisor;
+//! use kyoto::core::monitor::MonitoringStrategy;
+//! use kyoto::hypervisor::{HypervisorConfig, VmConfig};
+//! use kyoto::sim::topology::{CoreId, Machine, MachineConfig};
+//! use kyoto::workloads::spec::{SpecApp, SpecWorkload};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let scale = 128;
+//! let machine = Machine::new(MachineConfig::scaled_paper_machine(scale));
+//! let mut cloud = ks4xen_hypervisor(
+//!     machine,
+//!     HypervisorConfig::default(),
+//!     MonitoringStrategy::SimulatorAttribution,
+//! );
+//! cloud.engine_mut().enable_shadow_attribution()?;
+//! let gcc = cloud.add_vm_with(
+//!     VmConfig::new("gcc").pinned_to(vec![CoreId(0)]).with_llc_cap(2_000.0),
+//!     Box::new(SpecWorkload::new(SpecApp::Gcc, scale, 1)),
+//! )?;
+//! cloud.run_ms(300);
+//! assert!(cloud.report(gcc).expect("vm exists").pmcs.instructions > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use kyoto_core as core;
+pub use kyoto_experiments as experiments;
+pub use kyoto_hypervisor as hypervisor;
+pub use kyoto_metrics as metrics;
+pub use kyoto_sim as sim;
+pub use kyoto_workloads as workloads;
+
+/// The scale factor used by the examples: the paper's machine divided by 128
+/// runs every scenario in seconds while preserving the contention behaviour.
+pub const EXAMPLE_SCALE: u64 = 128;

@@ -1,0 +1,105 @@
+//! End-to-end checks of the problem-assessment pipeline (Section 2.2 of the
+//! paper): LLC contention must emerge from the simulated substrate with the
+//! shape reported by Fig. 1 and Fig. 2.
+
+use kyoto::experiments::config::ExperimentConfig;
+use kyoto::experiments::harness::ExecutionMode;
+use kyoto::experiments::{fig1, fig2};
+use kyoto::workloads::category::Category;
+
+fn test_config() -> ExperimentConfig {
+    ExperimentConfig {
+        scale: 256,
+        seed: 123,
+        warmup_ticks: 3,
+        measure_ticks: 8,
+    }
+}
+
+#[test]
+fn fig1_c1_representatives_are_insensitive() {
+    let result = fig1::run(&test_config());
+    for mode in ExecutionMode::CONTENDED {
+        for dis in Category::ALL {
+            let row = result.row(Category::C1, dis, mode).expect("row exists");
+            assert!(
+                row.degradation_percent < 10.0,
+                "a C1 representative should be (almost) immune to contention, got {:.1}% vs {dis} in {}",
+                row.degradation_percent,
+                mode.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn fig1_sensitive_vms_suffer_from_llc_thrashing_disruptors() {
+    let result = fig1::run(&test_config());
+    // C2 representative vs C2/C3 disruptors in parallel: the paper's worst
+    // cases (up to ~70 %). We only require a clearly visible degradation.
+    let parallel_c2 = result
+        .row(Category::C2, Category::C2, ExecutionMode::Parallel)
+        .unwrap()
+        .degradation_percent;
+    let parallel_c3 = result
+        .row(Category::C2, Category::C3, ExecutionMode::Parallel)
+        .unwrap()
+        .degradation_percent;
+    assert!(
+        parallel_c2 > 15.0 || parallel_c3 > 15.0,
+        "parallel LLC thrashing must visibly degrade a C2 representative (got {parallel_c2:.1}% / {parallel_c3:.1}%)"
+    );
+    // And the C1 disruptor must hurt far less than the C2/C3 ones.
+    let parallel_c1 = result
+        .row(Category::C2, Category::C1, ExecutionMode::Parallel)
+        .unwrap()
+        .degradation_percent;
+    assert!(parallel_c1 < parallel_c2.max(parallel_c3));
+}
+
+#[test]
+fn fig1_parallel_contention_is_worse_than_alternative() {
+    let result = fig1::run(&test_config());
+    let mut parallel_total = 0.0;
+    let mut alternative_total = 0.0;
+    for rep in [Category::C2, Category::C3] {
+        for dis in [Category::C2, Category::C3] {
+            parallel_total += result
+                .row(rep, dis, ExecutionMode::Parallel)
+                .unwrap()
+                .degradation_percent;
+            alternative_total += result
+                .row(rep, dis, ExecutionMode::Alternative)
+                .unwrap()
+                .degradation_percent;
+        }
+    }
+    assert!(
+        parallel_total > alternative_total,
+        "parallel execution should be the more devastating mode ({parallel_total:.1} vs {alternative_total:.1} cumulative %)"
+    );
+}
+
+#[test]
+fn fig2_traces_reproduce_the_papers_shapes() {
+    let config = test_config();
+    let result = fig2::run_slices(&config, 4);
+    let alone = result.series_for(ExecutionMode::Alone).unwrap();
+    let alternative = result.series_for(ExecutionMode::Alternative).unwrap();
+    let parallel = result.series_for(ExecutionMode::Parallel).unwrap();
+
+    // Alone: after the data-loading slice, misses vanish.
+    let alone_tail: f64 = alone.values().iter().skip(3).sum();
+    // Parallel: misses keep flowing for the whole trace.
+    let parallel_tail: f64 = parallel.values().iter().skip(3).sum();
+    assert!(
+        parallel_tail > alone_tail * 2.0,
+        "parallel trace should keep missing after warm-up (alone tail {alone_tail}, parallel tail {parallel_tail})"
+    );
+
+    // Alternative: the VM only runs on some ticks (zig-zag), so its trace
+    // contains both zero ticks (descheduled) and miss bursts (reloads).
+    let alt_values = alternative.values();
+    assert!(alt_values.iter().any(|&v| v == 0.0));
+    assert!(alt_values.iter().skip(3).any(|&v| v > 0.0));
+}

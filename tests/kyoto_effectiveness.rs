@@ -1,0 +1,86 @@
+//! End-to-end checks of the Kyoto mechanism itself: the shapes of Fig. 3,
+//! Fig. 5, Fig. 6 and Fig. 8.
+
+use kyoto::experiments::config::ExperimentConfig;
+use kyoto::experiments::{fig3, fig5, fig6, fig8};
+use kyoto::workloads::spec::SpecApp;
+
+fn test_config() -> ExperimentConfig {
+    ExperimentConfig {
+        scale: 256,
+        seed: 321,
+        warmup_ticks: 3,
+        measure_ticks: 9,
+    }
+}
+
+#[test]
+fn fig3_the_processor_is_a_good_lever() {
+    let result = fig3::run_with_caps(&test_config(), &[20, 60, 100]);
+    // For each sensitive VM, degradation should not decrease as the
+    // disruptor gets more CPU, and the full-speed disruptor must hurt more
+    // than the heavily capped one.
+    for app in SpecApp::SENSITIVE_VMS {
+        let series = result.series_of(app);
+        assert_eq!(series.len(), 3, "{app}");
+        let low = series[0].1;
+        let high = series[2].1;
+        assert!(
+            high >= low,
+            "{app}: degradation with a 100% disruptor ({high:.1}%) must be at least that with 20% ({low:.1}%)"
+        );
+    }
+    let gcc = result.series_of(SpecApp::Gcc);
+    assert!(gcc[2].1 > gcc[0].1, "gcc must show a clear upward trend");
+}
+
+#[test]
+fn fig5_ks4xen_protects_the_sensitive_vm_and_punishes_disruptors() {
+    let result = fig5::run_with_trace_ticks(&test_config(), 24);
+    for (dis, perf) in &result.normalized_perf {
+        assert!(
+            *perf > 0.6,
+            "vsen1 normalised performance against {dis} should stay high, got {perf:.2}"
+        );
+    }
+    for (dis, sen_punished, dis_punished) in &result.punishments {
+        assert!(
+            dis_punished >= sen_punished,
+            "the disruptor {dis} must collect at least as many punishments ({dis_punished}) as vsen1 ({sen_punished})"
+        );
+    }
+    // The disruptor must be punished at least once across the three scenarios.
+    assert!(result.punishments.iter().any(|(_, _, d)| *d > 0));
+    // KS4Xen cuts the polluter's CPU occupancy compared to XCS.
+    assert!(result.cpu_trace_ks4xen.mean() < result.cpu_trace_xcs.mean());
+    // The quota trace must dip below zero whenever punishment kicks in.
+    assert!(result.quota_trace_ks4xen.values().iter().any(|&q| q < 0.0));
+}
+
+#[test]
+fn fig6_ks4xen_scales_with_the_number_of_disruptors() {
+    let result = fig6::run_with_counts(&test_config(), &[1, 4, 8]);
+    assert_eq!(result.normalized_perf.len(), 3);
+    for (count, perf) in &result.normalized_perf {
+        assert!(
+            *perf > 0.45,
+            "with {count} punished disruptor vCPUs vsen1 should keep most of its performance, got {perf:.2}"
+        );
+    }
+}
+
+#[test]
+fn fig8_pisces_alone_is_not_enough_and_ks4pisces_fixes_it() {
+    let result = fig8::run(&test_config());
+    assert!(
+        result.pisces_gap_percent() > 5.0,
+        "plain Pisces must exhibit an LLC-contention gap, got {:.1}%",
+        result.pisces_gap_percent()
+    );
+    assert!(
+        result.ks4pisces_gap_percent() < result.pisces_gap_percent() * 0.8,
+        "KS4Pisces ({:.1}%) must substantially shrink the Pisces gap ({:.1}%)",
+        result.ks4pisces_gap_percent(),
+        result.pisces_gap_percent()
+    );
+}

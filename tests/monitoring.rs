@@ -1,0 +1,109 @@
+//! End-to-end checks of the pollution-monitoring results: Fig. 4 (indicator
+//! comparison), Fig. 9 (migration overhead), Fig. 10 (skipping isolation),
+//! Fig. 11 (simulator attribution) and Fig. 12 (overhead).
+
+use kyoto::experiments::config::ExperimentConfig;
+use kyoto::experiments::{fig10, fig11, fig12, fig4, fig9};
+use kyoto::workloads::spec::SpecApp;
+
+fn test_config() -> ExperimentConfig {
+    ExperimentConfig {
+        scale: 256,
+        seed: 777,
+        warmup_ticks: 3,
+        measure_ticks: 8,
+    }
+}
+
+#[test]
+fn fig4_equation_1_orders_aggressiveness_at_least_as_well_as_llcm() {
+    // A six-application subset keeps the pairwise co-run matrix small while
+    // still containing polluters (lbm, blockie, mcf) and quiet apps.
+    let apps = [
+        SpecApp::Lbm,
+        SpecApp::Blockie,
+        SpecApp::Mcf,
+        SpecApp::Gcc,
+        SpecApp::Astar,
+        SpecApp::Bzip,
+    ];
+    let result = fig4::run_with_apps(&test_config(), &apps);
+    assert!(
+        result.equation1_wins(),
+        "Equation 1 (tau {:.3}) should rank no worse than LLCM (tau {:.3})",
+        result.tau_equation1,
+        result.tau_llcm
+    );
+    // The heavy polluters must occupy the top of the measured order.
+    let top2: Vec<SpecApp> = result.aggressiveness_order.iter().take(2).copied().collect();
+    assert!(
+        top2.contains(&SpecApp::Lbm) || top2.contains(&SpecApp::Blockie),
+        "lbm/blockie should top the aggressiveness order, got {top2:?}"
+    );
+    // And the quiet apps must be at the bottom half.
+    let bzip_rank = result
+        .aggressiveness_order
+        .iter()
+        .position(|&a| a == SpecApp::Bzip)
+        .unwrap();
+    assert!(bzip_rank >= 2, "bzip should not be among the most aggressive apps");
+}
+
+#[test]
+fn fig9_migration_hurts_memory_bound_apps_most() {
+    let apps = [SpecApp::Lbm, SpecApp::Milc, SpecApp::Bzip, SpecApp::Astar];
+    let result = fig9::run_with_apps(&test_config(), &apps);
+    let memory_bound = result.degradation_of(SpecApp::Lbm).unwrap()
+        + result.degradation_of(SpecApp::Milc).unwrap();
+    let cache_friendly = result.degradation_of(SpecApp::Bzip).unwrap()
+        + result.degradation_of(SpecApp::Astar).unwrap();
+    assert!(
+        memory_bound > cache_friendly,
+        "memory-bound apps ({memory_bound:.1}%) must pay more for migrations than cache-friendly ones ({cache_friendly:.1}%)"
+    );
+    assert!(
+        result.degradation_of(SpecApp::Lbm).unwrap() > 0.0,
+        "lbm must show a positive migration overhead"
+    );
+}
+
+#[test]
+fn fig10_low_miss_situations_do_not_need_isolation() {
+    let result = fig10::run(&test_config());
+    // hmmer is a low polluter: even its non-isolated measurement stays tiny
+    // compared to a real polluter.
+    assert!(result.hmmer.isolated >= 0.0);
+    assert!(
+        result.bzip.relative_error_percent() < 60.0,
+        "bzip among quiet neighbours should measure close to its solo value (error {:.1}%)",
+        result.bzip.relative_error_percent()
+    );
+}
+
+#[test]
+fn fig11_simulator_attribution_preserves_the_polluter_ordering() {
+    let apps = [SpecApp::Lbm, SpecApp::Gcc, SpecApp::Hmmer];
+    let result = fig11::run_with_apps(&test_config(), &apps);
+    let value = |app: SpecApp, dedicated: bool| {
+        let row = result.row_of(app).unwrap();
+        if dedicated {
+            row.with_dedication
+        } else {
+            row.without_dedication
+        }
+    };
+    // Both measurement methods must agree on who the polluter is.
+    assert!(value(SpecApp::Lbm, true) > value(SpecApp::Hmmer, true));
+    assert!(value(SpecApp::Lbm, false) > value(SpecApp::Hmmer, false));
+}
+
+#[test]
+fn fig12_ks4xen_overhead_is_near_zero() {
+    let result = fig12::run_with_slices(&test_config(), &[10, 20, 30]);
+    assert_eq!(result.points.len(), 3);
+    assert!(
+        result.max_overhead_percent() < 5.0,
+        "the Kyoto monitoring must not slow down CPU-bound VMs (max overhead {:.2}%)",
+        result.max_overhead_percent()
+    );
+}
