@@ -91,9 +91,11 @@ fn bench_replacement_policies(c: &mut Criterion) {
         ReplacementPolicy::Dip,
         ReplacementPolicy::Random,
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(policy), &policy, |b, &policy| {
-            b.iter(|| contention_run(policy, scale))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(policy),
+            &policy,
+            |b, &policy| b.iter(|| contention_run(policy, scale)),
+        );
     }
     group.finish();
 }
@@ -113,9 +115,11 @@ fn bench_monitoring_strategies(c: &mut Criterion) {
         ("simulator", MonitoringStrategy::SimulatorAttribution),
     ];
     for (name, strategy) in strategies {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &strategy, |b, &strategy| {
-            b.iter(|| kyoto_run(strategy, scale))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &strategy,
+            |b, &strategy| b.iter(|| kyoto_run(strategy, scale)),
+        );
     }
     group.finish();
 }
@@ -127,9 +131,11 @@ fn bench_tick_length(c: &mut Criterion) {
     group.warm_up_time(Duration::from_millis(300));
     group.measurement_time(Duration::from_secs(2));
     for tick_ms in [2u64, 5, 10, 20] {
-        group.bench_with_input(BenchmarkId::from_parameter(tick_ms), &tick_ms, |b, &tick_ms| {
-            b.iter(|| tick_length_run(tick_ms, scale))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(tick_ms),
+            &tick_ms,
+            |b, &tick_ms| b.iter(|| tick_length_run(tick_ms, scale)),
+        );
     }
     group.finish();
 }

@@ -37,7 +37,9 @@ fn bench_fig1(c: &mut Criterion) {
 fn bench_fig2(c: &mut Criterion) {
     let config = bench_config();
     let mut group = configure(c);
-    group.bench_function("fig2_llcm_traces", |b| b.iter(|| fig2::run_slices(&config, 3)));
+    group.bench_function("fig2_llcm_traces", |b| {
+        b.iter(|| fig2::run_slices(&config, 3))
+    });
     group.finish();
 }
 
@@ -104,7 +106,9 @@ fn bench_fig9(c: &mut Criterion) {
 fn bench_fig10(c: &mut Criterion) {
     let config = bench_config();
     let mut group = configure(c);
-    group.bench_function("fig10_isolation_skipping", |b| b.iter(|| fig10::run(&config)));
+    group.bench_function("fig10_isolation_skipping", |b| {
+        b.iter(|| fig10::run(&config))
+    });
     group.finish();
 }
 

@@ -66,6 +66,27 @@ fn bench_engine_throughput(c: &mut Criterion) {
                 })
             },
         );
+        // The per-op baseline the batched path is measured against (the two
+        // are bit-identical in results; see the engine equivalence tests).
+        group.bench_with_input(
+            BenchmarkId::new("run_slots_reference_100k_cycles", slots),
+            &slots,
+            |b, &slots| {
+                let machine = Machine::new(MachineConfig::scaled_paper_machine(64));
+                let mut engine = SimEngine::new(machine);
+                let mut workloads: Vec<SpecWorkload> = (0..slots)
+                    .map(|i| SpecWorkload::new(SpecApp::Gcc, 64, i as u64))
+                    .collect();
+                b.iter(|| {
+                    let mut slot_refs: Vec<ExecSlot<'_>> = workloads
+                        .iter_mut()
+                        .enumerate()
+                        .map(|(i, w)| ExecSlot::new(CoreId(i), i as u16 + 1, w))
+                        .collect();
+                    engine.run_slots_reference(&mut slot_refs, 100_000)
+                })
+            },
+        );
     }
     group.finish();
 }

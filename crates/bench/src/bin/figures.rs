@@ -6,23 +6,31 @@
 //! cargo run --release -p kyoto-bench --bin figures -- all
 //! cargo run --release -p kyoto-bench --bin figures -- fig1 fig5
 //! cargo run --release -p kyoto-bench --bin figures -- --quick all
+//! cargo run --release -p kyoto-bench --bin figures -- --jobs 4 all
 //! ```
+//!
+//! Figure scenarios are independent: each builds its own machine, engine and
+//! hypervisor from the shared [`ExperimentConfig`] and derives deterministic
+//! per-VM seeds from it. `--jobs N` therefore runs them on `N` scoped worker
+//! threads; outputs are buffered and printed in the requested order, so the
+//! report is byte-identical whatever the parallelism.
 
 use kyoto_bench::{figures_config, figures_quick_config};
 use kyoto_experiments::config::ExperimentConfig;
 use kyoto_experiments::{
     fig1, fig10, fig11, fig12, fig2, fig3, fig4, fig5, fig6, fig8, fig9, tables,
 };
-use std::time::Instant;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 const ALL_TARGETS: [&str; 13] = [
     "table1", "table2", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig8", "fig9", "fig10",
     "fig11", "fig12",
 ];
 
-fn print_target(target: &str, config: &ExperimentConfig) {
-    let start = Instant::now();
-    let output = match target {
+fn render_target(target: &str, config: &ExperimentConfig) -> Option<String> {
+    Some(match target {
         "table1" => tables::table1().to_table(),
         "table2" => tables::table2().to_table(),
         "fig1" => fig1::run(config).to_table(),
@@ -36,38 +44,111 @@ fn print_target(target: &str, config: &ExperimentConfig) {
         "fig10" => fig10::run(config).to_table(),
         "fig11" => fig11::run(config).to_table(),
         "fig12" => fig12::run(config).to_table(),
-        other => {
-            eprintln!("unknown target `{other}` (known: {ALL_TARGETS:?})");
-            return;
+        _ => return None,
+    })
+}
+
+/// A rendered target: its table (when the name was known) plus how long the
+/// scenario took.
+type Rendered = (Option<String>, Duration);
+
+/// Renders every target on up to `jobs` worker threads, returning outputs in
+/// input order.
+fn render_all(targets: &[&str], config: &ExperimentConfig, jobs: usize) -> Vec<Rendered> {
+    let results: Mutex<Vec<Option<Rendered>>> = Mutex::new(vec![None; targets.len()]);
+    let cursor = AtomicUsize::new(0);
+    let workers = jobs.clamp(1, targets.len().max(1));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let index = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(target) = targets.get(index) else {
+                    break;
+                };
+                let start = Instant::now();
+                let output = render_target(target, config);
+                let elapsed = start.elapsed();
+                results.lock().expect("no poisoned worker")[index] = Some((output, elapsed));
+            });
         }
+    });
+    results
+        .into_inner()
+        .expect("no poisoned worker")
+        .into_iter()
+        .map(|entry| entry.expect("every target rendered"))
+        .collect()
+}
+
+fn parse_jobs(args: &[String]) -> usize {
+    let default = || {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     };
-    println!("{output}");
-    println!("[{} generated in {:.1?}]", target, start.elapsed());
-    println!("{}", "=".repeat(72));
+    for (i, arg) in args.iter().enumerate() {
+        if let Some(value) = arg.strip_prefix("--jobs=") {
+            return value.parse().unwrap_or_else(|_| default()).max(1);
+        }
+        if arg == "--jobs" {
+            // Only a numeric follower is the value; `--jobs fig1` keeps
+            // fig1 as a target and uses the default parallelism.
+            if let Some(jobs) = args.get(i + 1).and_then(|v| v.parse().ok()) {
+                return 1usize.max(jobs);
+            }
+            return default();
+        }
+    }
+    default()
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let jobs = parse_jobs(&args);
     let config = if quick {
         figures_quick_config()
     } else {
         figures_config()
     };
+    let mut skip_next = false;
     let mut targets: Vec<&str> = args
         .iter()
-        .filter(|a| !a.starts_with("--"))
+        .filter(|a| {
+            if skip_next {
+                skip_next = false;
+                // Consume the value only when it is numeric; `--jobs fig1`
+                // keeps fig1 as a target.
+                if a.parse::<usize>().is_ok() {
+                    return false;
+                }
+            }
+            if a.as_str() == "--jobs" {
+                skip_next = true;
+                return false;
+            }
+            !a.starts_with("--")
+        })
         .map(|a| a.as_str())
         .collect();
     if targets.is_empty() || targets.contains(&"all") {
         targets = ALL_TARGETS.to_vec();
     }
     println!(
-        "Kyoto figure regeneration (scale 1/{}, {} warm-up + {} measured ticks per scenario)",
-        config.scale, config.warmup_ticks, config.measure_ticks
+        "Kyoto figure regeneration (scale 1/{}, {} warm-up + {} measured ticks per scenario, {} jobs)",
+        config.scale, config.warmup_ticks, config.measure_ticks, jobs
     );
     println!("{}", "=".repeat(72));
-    for target in targets {
-        print_target(target, &config);
+    let start = Instant::now();
+    for (target, (output, elapsed)) in targets.iter().zip(render_all(&targets, &config, jobs)) {
+        match output {
+            Some(table) => {
+                println!("{table}");
+                println!("[{} generated in {:.1?}]", target, elapsed);
+            }
+            None => eprintln!("unknown target `{target}` (known: {ALL_TARGETS:?})"),
+        }
+        println!("{}", "=".repeat(72));
     }
+    println!("[all targets done in {:.1?}]", start.elapsed());
 }

@@ -1,0 +1,245 @@
+//! Measures the raw simulation substrate and writes `BENCH_substrate.json`.
+//!
+//! The figure benches tell us what a whole scenario costs; this binary
+//! isolates the two hot paths underneath every scenario — `Cache::access`
+//! and `SimEngine::run_slots` — and records their throughput, plus the
+//! speedup of the batched/epoch engine path over the per-op reference path,
+//! as a committed JSON baseline. Subsequent PRs rerun it to track the
+//! substrate's performance trajectory (see `DESIGN.md` for how to read the
+//! file).
+//!
+//! ```text
+//! cargo run --release -p kyoto-bench --bin substrate_baseline
+//! cargo run --release -p kyoto-bench --bin substrate_baseline -- --stdout
+//! ```
+
+use kyoto_bench::bench_config;
+use kyoto_bench::legacy::{
+    legacy_run_slots, LegacyCache, LegacyMachine, LegacySlot, LegacySpecWorkload,
+};
+use kyoto_sim::cache::{Cache, CacheConfig};
+use kyoto_sim::engine::{ExecSlot, SimEngine};
+use kyoto_sim::pmc::PmcSet;
+use kyoto_sim::topology::{CoreId, Machine, MachineConfig};
+use kyoto_workloads::spec::{SpecApp, SpecWorkload};
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Measurement repetitions; the best (fastest) repetition is reported to
+/// suppress scheduling noise.
+const REPS: usize = 9;
+
+struct Sample {
+    name: &'static str,
+    unit: &'static str,
+    value: f64,
+}
+
+/// Runs `work` (which processes `amount` units per call) and returns the
+/// best units/second over [`REPS`] repetitions.
+fn best_rate(amount: f64, mut work: impl FnMut()) -> f64 {
+    // One untimed warm-up.
+    work();
+    let mut best = f64::MIN;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        work();
+        let rate = amount / start.elapsed().as_secs_f64();
+        best = best.max(rate);
+    }
+    best
+}
+
+fn cache_samples(samples: &mut Vec<Sample>) {
+    const OPS: u64 = 200_000;
+    let mut cache = Cache::new(CacheConfig::new(640 * 1024, 20, 64)).unwrap();
+    let mut i = 0u64;
+    let hit_rate = best_rate(OPS as f64, || {
+        for _ in 0..OPS {
+            black_box(cache.access((i % 4096) * 64, 1));
+            i += 1;
+        }
+    });
+    samples.push(Sample {
+        name: "cache_access_hit_heavy",
+        unit: "Mops/s",
+        value: hit_rate / 1e6,
+    });
+
+    let mut cache = Cache::new(CacheConfig::new(640 * 1024, 20, 64)).unwrap();
+    let mut i = 0u64;
+    let miss_rate = best_rate(OPS as f64, || {
+        for _ in 0..OPS {
+            black_box(cache.access(i * 64, (i % 4) as u16 + 1));
+            i += 1;
+        }
+    });
+    samples.push(Sample {
+        name: "cache_access_miss_heavy",
+        unit: "Mops/s",
+        value: miss_rate / 1e6,
+    });
+
+    // The seed's cache (div/mod split, per-eviction Vec, growing tables) on
+    // the same access streams.
+    let mut cache = LegacyCache::with_seed(CacheConfig::new(640 * 1024, 20, 64), 0x6b796f746f);
+    let mut i = 0u64;
+    let hit_rate = best_rate(OPS as f64, || {
+        for _ in 0..OPS {
+            black_box(cache.access((i % 4096) * 64, 1));
+            i += 1;
+        }
+    });
+    samples.push(Sample {
+        name: "cache_access_hit_heavy_seed",
+        unit: "Mops/s",
+        value: hit_rate / 1e6,
+    });
+    let mut cache = LegacyCache::with_seed(CacheConfig::new(640 * 1024, 20, 64), 0x6b796f746f);
+    let mut i = 0u64;
+    let miss_rate = best_rate(OPS as f64, || {
+        for _ in 0..OPS {
+            black_box(cache.access(i * 64, (i % 4) as u16 + 1));
+            i += 1;
+        }
+    });
+    samples.push(Sample {
+        name: "cache_access_miss_heavy_seed",
+        unit: "Mops/s",
+        value: miss_rate / 1e6,
+    });
+}
+
+/// Throughput of the frozen seed hot path (`kyoto_bench::legacy`) on the
+/// same scenario as [`engine_rate`].
+fn seed_engine_rate(slots: usize, scale: u64) -> f64 {
+    const BUDGET: u64 = 100_000;
+    let mut machine = LegacyMachine::new(MachineConfig::scaled_paper_machine(scale));
+    let mut workloads: Vec<LegacySpecWorkload> = (0..slots)
+        .map(|i| LegacySpecWorkload::new(SpecApp::Gcc, scale, i as u64))
+        .collect();
+    best_rate((BUDGET * slots as u64) as f64, || {
+        let mut slot_refs: Vec<LegacySlot<'_>> = workloads
+            .iter_mut()
+            .enumerate()
+            .map(|(i, w)| LegacySlot {
+                core: CoreId(i),
+                owner: i as u16 + 1,
+                workload: w,
+                pmcs: PmcSet::default(),
+            })
+            .collect();
+        black_box(legacy_run_slots(&mut machine, &mut slot_refs, BUDGET));
+    })
+}
+
+fn engine_rate(slots: usize, scale: u64, batched: bool) -> f64 {
+    const BUDGET: u64 = 100_000;
+    let machine = Machine::new(MachineConfig::scaled_paper_machine(scale));
+    let mut engine = SimEngine::new(machine);
+    let mut workloads: Vec<SpecWorkload> = (0..slots)
+        .map(|i| SpecWorkload::new(SpecApp::Gcc, scale, i as u64))
+        .collect();
+    best_rate((BUDGET * slots as u64) as f64, || {
+        let mut slot_refs: Vec<ExecSlot<'_>> = workloads
+            .iter_mut()
+            .enumerate()
+            .map(|(i, w)| ExecSlot::new(CoreId(i), i as u16 + 1, w))
+            .collect();
+        let reports = if batched {
+            engine.run_slots(&mut slot_refs, BUDGET)
+        } else {
+            engine.run_slots_reference(&mut slot_refs, BUDGET)
+        };
+        black_box(reports);
+    })
+}
+
+fn main() {
+    let stdout_only = std::env::args().any(|a| a == "--stdout");
+    let config = bench_config();
+    let mut samples = Vec::new();
+    cache_samples(&mut samples);
+
+    let mut speedups: Vec<(usize, f64)> = Vec::new();
+    let mut seed_speedups: Vec<(usize, f64)> = Vec::new();
+    for slots in [1usize, 2, 4] {
+        let batched = engine_rate(slots, config.scale, true);
+        let reference = engine_rate(slots, config.scale, false);
+        let seed = seed_engine_rate(slots, config.scale);
+        let name: &'static str = match slots {
+            1 => "run_slots_batched_1slot",
+            2 => "run_slots_batched_2slots",
+            _ => "run_slots_batched_4slots",
+        };
+        samples.push(Sample {
+            name,
+            unit: "Msimcycles/s",
+            value: batched / 1e6,
+        });
+        let ref_name: &'static str = match slots {
+            1 => "run_slots_reference_1slot",
+            2 => "run_slots_reference_2slots",
+            _ => "run_slots_reference_4slots",
+        };
+        samples.push(Sample {
+            name: ref_name,
+            unit: "Msimcycles/s",
+            value: reference / 1e6,
+        });
+        let seed_name: &'static str = match slots {
+            1 => "run_slots_seed_1slot",
+            2 => "run_slots_seed_2slots",
+            _ => "run_slots_seed_4slots",
+        };
+        samples.push(Sample {
+            name: seed_name,
+            unit: "Msimcycles/s",
+            value: seed / 1e6,
+        });
+        speedups.push((slots, batched / reference));
+        seed_speedups.push((slots, batched / seed));
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"kyoto-substrate-bench/v1\",\n");
+    let _ = writeln!(
+        json,
+        "  \"config\": {{ \"scale\": {}, \"seed\": {}, \"engine_cycle_budget\": 100000 }},",
+        config.scale, config.seed
+    );
+    json.push_str("  \"results\": [\n");
+    for (i, sample) in samples.iter().enumerate() {
+        let comma = if i + 1 == samples.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{ \"name\": \"{}\", \"unit\": \"{}\", \"value\": {:.2} }}{}",
+            sample.name, sample.unit, sample.value, comma
+        );
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"batched_vs_reference_speedup\": {\n");
+    for (i, (slots, speedup)) in speedups.iter().enumerate() {
+        let comma = if i + 1 == speedups.len() { "" } else { "," };
+        let _ = writeln!(json, "    \"{slots}_slots\": {speedup:.2}{comma}");
+    }
+    json.push_str("  },\n");
+    json.push_str("  \"optimized_vs_seed_speedup\": {\n");
+    for (i, (slots, speedup)) in seed_speedups.iter().enumerate() {
+        let comma = if i + 1 == seed_speedups.len() {
+            ""
+        } else {
+            ","
+        };
+        let _ = writeln!(json, "    \"{slots}_slots\": {speedup:.2}{comma}");
+    }
+    json.push_str("  }\n}\n");
+
+    print!("{json}");
+    if !stdout_only {
+        std::fs::write("BENCH_substrate.json", &json).expect("write BENCH_substrate.json");
+        eprintln!("[baseline written to BENCH_substrate.json]");
+    }
+}

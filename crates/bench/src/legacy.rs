@@ -1,0 +1,483 @@
+//! Frozen copy of the seed's simulation hot path (the PR 1 baseline).
+//!
+//! The hot-path overhaul (shift/mask cache indexing, pre-sized owner
+//! tables, allocation-free victim scans, batched op streams, epoch
+//! interleaving) rewrote the code this module preserves. It exists so the
+//! substrate benchmarks can keep measuring the optimized path against the
+//! exact pre-optimization implementation — same cost model, same results,
+//! different bookkeeping — instead of against a moving target.
+//!
+//! **Do not optimize this module.** Its slowness is the point. A unit test
+//! asserts it still produces bit-identical simulation results to
+//! `SimEngine::run_slots`, which keeps the comparison honest.
+
+use kyoto_sim::cache::{CacheConfig, OwnerId};
+use kyoto_sim::hierarchy::{AccessKind, MemLevel};
+use kyoto_sim::pmc::PmcSet;
+use kyoto_sim::replacement::{InsertPosition, ReplacementState};
+use kyoto_sim::topology::{CoreId, LatencyConfig, MachineConfig, NumaNode};
+use kyoto_sim::workload::{Op, Workload};
+
+#[derive(Debug, Clone, Copy)]
+struct CacheLine {
+    tag: u64,
+    owner: OwnerId,
+    last_use: u64,
+    valid: bool,
+}
+
+impl CacheLine {
+    const INVALID: CacheLine = CacheLine {
+        tag: 0,
+        owner: 0,
+        last_use: 0,
+        valid: false,
+    };
+}
+
+fn bump(counters: &mut Vec<u64>, owner: OwnerId, delta: i64) {
+    let idx = usize::from(owner);
+    if counters.len() <= idx {
+        counters.resize(idx + 1, 0);
+    }
+    if delta >= 0 {
+        counters[idx] += delta as u64;
+    } else {
+        counters[idx] = counters[idx].saturating_sub((-delta) as u64);
+    }
+}
+
+/// The seed's set-associative cache: div/mod address split, grow-on-access
+/// owner tables, a `Vec` of timestamps collected per eviction.
+pub struct LegacyCache {
+    config: CacheConfig,
+    num_sets: u64,
+    lines: Vec<CacheLine>,
+    replacement: ReplacementState,
+    clock: u64,
+    owner_lines: Vec<u64>,
+    owner_misses: Vec<u64>,
+    owner_accesses: Vec<u64>,
+    /// Lookups that missed (kept so comparisons can sanity-check totals).
+    pub misses: u64,
+    /// Total lookups.
+    pub accesses: u64,
+}
+
+impl LegacyCache {
+    /// Builds the cache the way the seed's `Cache::with_seed` did.
+    pub fn with_seed(config: CacheConfig, seed: u64) -> Self {
+        let num_sets = config.num_sets().expect("valid geometry");
+        let total_lines = (num_sets * u64::from(config.ways)) as usize;
+        LegacyCache {
+            replacement: ReplacementState::new(config.policy, seed),
+            config,
+            num_sets,
+            lines: vec![CacheLine::INVALID; total_lines],
+            clock: 0,
+            owner_lines: Vec::new(),
+            owner_misses: Vec::new(),
+            owner_accesses: Vec::new(),
+            misses: 0,
+            accesses: 0,
+        }
+    }
+
+    fn set_of(&self, addr: u64) -> u64 {
+        (addr / u64::from(self.config.line_size)) % self.num_sets
+    }
+
+    fn tag_of(&self, addr: u64) -> u64 {
+        (addr / u64::from(self.config.line_size)) / self.num_sets
+    }
+
+    /// The seed's `Cache::access`, verbatim modulo struct names: hit scan,
+    /// then a second scan for an invalid way, then a `Vec`-collecting
+    /// eviction scan.
+    pub fn access(&mut self, addr: u64, owner: OwnerId) -> (bool, Option<OwnerId>) {
+        self.clock += 1;
+        self.accesses += 1;
+        bump(&mut self.owner_accesses, owner, 1);
+
+        let set = self.set_of(addr) as usize;
+        let tag = self.tag_of(addr);
+        let ways = self.config.ways as usize;
+        let base = set * ways;
+
+        for way in 0..ways {
+            let line = &mut self.lines[base + way];
+            if line.valid && line.tag == tag && line.owner == owner {
+                line.last_use = self.clock;
+                return (true, None);
+            }
+        }
+
+        self.misses += 1;
+        bump(&mut self.owner_misses, owner, 1);
+        self.replacement.on_miss(set, self.num_sets as usize);
+
+        let mut victim_way = None;
+        for way in 0..ways {
+            if !self.lines[base + way].valid {
+                victim_way = Some(way);
+                break;
+            }
+        }
+        let (victim_way, evicted_owner) = match victim_way {
+            Some(way) => (way, None),
+            None => {
+                let timestamps: Vec<u64> =
+                    (0..ways).map(|w| self.lines[base + w].last_use).collect();
+                let way = self.replacement.pick_victim(&timestamps);
+                let evicted = self.lines[base + way];
+                bump(&mut self.owner_lines, evicted.owner, -1);
+                (way, Some(evicted.owner))
+            }
+        };
+
+        let insert_pos = self
+            .replacement
+            .insert_position(set, self.num_sets as usize);
+        let last_use = match insert_pos {
+            InsertPosition::Mru => self.clock,
+            InsertPosition::Lru => {
+                let oldest = (0..ways)
+                    .filter(|&w| w != victim_way && self.lines[base + w].valid)
+                    .map(|w| self.lines[base + w].last_use)
+                    .min()
+                    .unwrap_or(self.clock);
+                oldest.saturating_sub(1)
+            }
+        };
+
+        self.lines[base + victim_way] = CacheLine {
+            tag,
+            owner,
+            last_use,
+            valid: true,
+        };
+        bump(&mut self.owner_lines, owner, 1);
+
+        (false, evicted_owner)
+    }
+}
+
+struct LegacyCoreCaches {
+    l1d: LegacyCache,
+    l1i: LegacyCache,
+    l2: LegacyCache,
+}
+
+impl LegacyCoreCaches {
+    fn walk(
+        &mut self,
+        llc: &mut LegacyCache,
+        addr: u64,
+        kind: AccessKind,
+        owner: OwnerId,
+    ) -> (MemLevel, bool) {
+        let l1 = match kind {
+            AccessKind::InstructionFetch => &mut self.l1i,
+            AccessKind::Load | AccessKind::Store => &mut self.l1d,
+        };
+        if l1.access(addr, owner).0 {
+            return (MemLevel::L1, false);
+        }
+        if self.l2.access(addr, owner).0 {
+            return (MemLevel::L2, false);
+        }
+        let (hit, evicted_owner) = llc.access(addr, owner);
+        let polluted = evicted_owner.map(|victim| victim != owner).unwrap_or(false);
+        if hit {
+            (MemLevel::Llc, false)
+        } else {
+            (MemLevel::LocalMemory, polluted)
+        }
+    }
+}
+
+struct LegacySocket {
+    llc: LegacyCache,
+    cores: Vec<LegacyCoreCaches>,
+}
+
+/// The seed's machine: per-access `socket_of` division and NUMA
+/// recomputation.
+pub struct LegacyMachine {
+    config: MachineConfig,
+    sockets: Vec<LegacySocket>,
+    latency: LatencyConfig,
+}
+
+impl LegacyMachine {
+    /// Builds the machine with the seed's cache seeds, so its eviction
+    /// streams match a `Machine::new` of the same config.
+    pub fn new(config: MachineConfig) -> Self {
+        let mut sockets = Vec::with_capacity(config.sockets);
+        for s in 0..config.sockets {
+            let llc_seed = 0x11c + s as u64;
+            let mut cores = Vec::with_capacity(config.cores_per_socket);
+            for c in 0..config.cores_per_socket {
+                let seed = (s * 31 + c) as u64;
+                cores.push(LegacyCoreCaches {
+                    l1d: LegacyCache::with_seed(config.l1d.clone(), seed ^ 0x11d),
+                    l1i: LegacyCache::with_seed(config.l1i.clone(), seed ^ 0x111),
+                    l2: LegacyCache::with_seed(config.l2.clone(), seed ^ 0x222),
+                });
+            }
+            sockets.push(LegacySocket {
+                llc: LegacyCache::with_seed(config.llc.clone(), llc_seed),
+                cores,
+            });
+        }
+        LegacyMachine {
+            latency: config.latency,
+            config,
+            sockets,
+        }
+    }
+
+    fn access(
+        &mut self,
+        core: CoreId,
+        addr: u64,
+        kind: AccessKind,
+        owner: OwnerId,
+        data_node: NumaNode,
+        force_remote: bool,
+    ) -> (MemLevel, u32, bool) {
+        let per = self.config.cores_per_socket;
+        let socket = core.0 / per;
+        let local_node = NumaNode(socket);
+        let socket_ref = &mut self.sockets[socket];
+        let core_idx = core.0 % per;
+        let (level, polluted) =
+            socket_ref.cores[core_idx].walk(&mut socket_ref.llc, addr, kind, owner);
+        let level = if level == MemLevel::LocalMemory && (force_remote || data_node != local_node) {
+            MemLevel::RemoteMemory
+        } else {
+            level
+        };
+        (level, self.latency.of(level), polluted)
+    }
+}
+
+/// The seed's `SpecWorkload::next_op`: a chain of conditional `gen_bool`
+/// draws (2–5 RNG draws per op) instead of the optimized single categorical
+/// draw. Produces the same op *distribution* as today's `SpecWorkload`, so
+/// the throughput comparison stays apples-to-apples, with the seed's
+/// generation cost.
+pub struct LegacySpecWorkload {
+    profile: kyoto_workloads::spec::SpecProfile,
+    ws_lines: u64,
+    hot_lines: u64,
+    scan_pos: u64,
+    cold_pos: u64,
+    rng: rand::rngs::SmallRng,
+}
+
+impl LegacySpecWorkload {
+    /// Mirrors the seed's `SpecWorkload::new`.
+    pub fn new(app: kyoto_workloads::spec::SpecApp, scale: u64, seed: u64) -> Self {
+        const LINE_SIZE: u64 = 64;
+        let profile = app.profile();
+        let scale = scale.max(1);
+        let ws_lines = (profile.working_set_bytes / scale / LINE_SIZE).max(4);
+        let hot_lines = (profile.hot_set_bytes / scale / LINE_SIZE)
+            .max(1)
+            .min(ws_lines);
+        use rand::SeedableRng;
+        LegacySpecWorkload {
+            profile,
+            ws_lines,
+            hot_lines,
+            scan_pos: 0,
+            cold_pos: 0,
+            rng: rand::rngs::SmallRng::seed_from_u64(seed ^ (app as u64) << 32),
+        }
+    }
+}
+
+impl Workload for LegacySpecWorkload {
+    fn next_op(&mut self) -> Op {
+        use kyoto_workloads::spec::COLD_REGION_BASE;
+        use rand::Rng;
+        const LINE_SIZE: u64 = 64;
+        if !self.rng.gen_bool(self.profile.mem_fraction) {
+            return Op::Compute {
+                cycles: self.profile.compute_cycles,
+            };
+        }
+        if self.rng.gen_bool(self.profile.cold_fraction) {
+            let addr = COLD_REGION_BASE + self.cold_pos * LINE_SIZE;
+            self.cold_pos += 1;
+            return Op::Load { addr };
+        }
+        let line = if self.rng.gen_bool(self.profile.hot_fraction) {
+            self.rng.gen_range(0..self.hot_lines)
+        } else if self.rng.gen_bool(self.profile.streaming_fraction) {
+            let line = self.scan_pos;
+            self.scan_pos = (self.scan_pos + 1) % self.ws_lines;
+            line
+        } else {
+            self.rng.gen_range(0..self.ws_lines)
+        };
+        let addr = line * LINE_SIZE;
+        if self.rng.gen_bool(self.profile.write_fraction) {
+            Op::Store { addr }
+        } else {
+            Op::Load { addr }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "legacy-spec"
+    }
+
+    fn working_set_bytes(&self) -> u64 {
+        self.ws_lines * 64
+    }
+
+    fn mem_parallelism(&self) -> f64 {
+        self.profile.mem_parallelism
+    }
+}
+
+/// One slot of the legacy engine: the observable subset of `ExecSlot`.
+pub struct LegacySlot<'a> {
+    /// Core the slot runs on.
+    pub core: CoreId,
+    /// Owner of the memory traffic.
+    pub owner: OwnerId,
+    /// The workload generating micro-operations.
+    pub workload: &'a mut dyn Workload,
+    /// Cumulative counters.
+    pub pmcs: PmcSet,
+}
+
+/// The seed's `SimEngine::run_slots`: per-op linear furthest-behind scan,
+/// one virtual `next_op` (plus a `mem_parallelism` call per memory op), no
+/// batching. Returns each slot's consumed cycles.
+pub fn legacy_run_slots(
+    machine: &mut LegacyMachine,
+    slots: &mut [LegacySlot<'_>],
+    cycle_budget: u64,
+) -> Vec<u64> {
+    let n = slots.len();
+    let mut consumed = vec![0u64; n];
+    if n == 0 || cycle_budget == 0 {
+        return consumed;
+    }
+    let data_nodes: Vec<NumaNode> = slots
+        .iter()
+        .map(|slot| NumaNode(slot.core.0 / machine.config.cores_per_socket))
+        .collect();
+
+    loop {
+        let mut next: Option<usize> = None;
+        let mut min_cycles = u64::MAX;
+        for (i, &cycles) in consumed.iter().enumerate() {
+            if cycles < cycle_budget && cycles < min_cycles {
+                min_cycles = cycles;
+                next = Some(i);
+            }
+        }
+        let Some(i) = next else { break };
+
+        let slot = &mut slots[i];
+        let op = slot.workload.next_op();
+        let (cycles, delta) = match op {
+            Op::Compute { cycles } => {
+                let cycles = u64::from(cycles.max(1));
+                (
+                    cycles,
+                    PmcSet {
+                        instructions: 1,
+                        unhalted_core_cycles: cycles,
+                        ..PmcSet::default()
+                    },
+                )
+            }
+            Op::Load { addr } | Op::Store { addr } => {
+                let kind = op.access_kind().unwrap_or(AccessKind::Load);
+                let (level, latency, _polluted) =
+                    machine.access(slot.core, addr, kind, slot.owner, data_nodes[i], false);
+                let effective_latency = if level.is_llc_miss() {
+                    let mlp = slot.workload.mem_parallelism().max(1.0);
+                    ((f64::from(latency) / mlp).round() as u32).max(1)
+                } else {
+                    latency
+                };
+                let cycles = u64::from(effective_latency) + 1;
+                (
+                    cycles,
+                    PmcSet {
+                        instructions: 1,
+                        unhalted_core_cycles: cycles,
+                        memory_accesses: 1,
+                        ilc_misses: u64::from(level.reached_llc()),
+                        llc_references: u64::from(level.reached_llc()),
+                        llc_misses: u64::from(level.is_llc_miss()),
+                        remote_accesses: u64::from(level == MemLevel::RemoteMemory),
+                    },
+                )
+            }
+        };
+        consumed[i] += cycles;
+        slot.pmcs += delta;
+    }
+    consumed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kyoto_sim::engine::{ExecSlot, SimEngine};
+    use kyoto_sim::topology::Machine;
+    use kyoto_workloads::spec::{SpecApp, SpecWorkload};
+
+    /// The frozen baseline must keep producing the same simulation as the
+    /// optimized engine, otherwise the speedup it anchors is meaningless.
+    #[test]
+    fn legacy_path_matches_the_optimized_engine() {
+        let config = MachineConfig::scaled_paper_machine(256);
+        for slots in [1usize, 3] {
+            let optimized: Vec<PmcSet> = {
+                let mut engine = SimEngine::new(Machine::new(config.clone()));
+                let mut workloads: Vec<SpecWorkload> = (0..slots)
+                    .map(|i| SpecWorkload::new(SpecApp::Gcc, 256, i as u64))
+                    .collect();
+                let mut slot_refs: Vec<ExecSlot<'_>> = workloads
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(i, w)| ExecSlot::new(CoreId(i), i as u16 + 1, w))
+                    .collect();
+                for _ in 0..3 {
+                    engine.run_slots(&mut slot_refs, 40_000);
+                }
+                slot_refs.iter().map(|slot| slot.pmcs).collect()
+            };
+            let legacy: Vec<PmcSet> = {
+                let mut machine = LegacyMachine::new(config.clone());
+                let mut workloads: Vec<SpecWorkload> = (0..slots)
+                    .map(|i| SpecWorkload::new(SpecApp::Gcc, 256, i as u64))
+                    .collect();
+                let mut slot_refs: Vec<LegacySlot<'_>> = workloads
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(i, w)| LegacySlot {
+                        core: CoreId(i),
+                        owner: i as u16 + 1,
+                        workload: w,
+                        pmcs: PmcSet::default(),
+                    })
+                    .collect();
+                for _ in 0..3 {
+                    legacy_run_slots(&mut machine, &mut slot_refs, 40_000);
+                }
+                slot_refs.iter().map(|slot| slot.pmcs).collect()
+            };
+            assert_eq!(optimized, legacy, "{slots} slots");
+        }
+    }
+}

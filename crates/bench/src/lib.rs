@@ -13,6 +13,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod legacy;
+
 use kyoto_experiments::config::ExperimentConfig;
 
 /// The configuration used by the Criterion benches: small enough that each

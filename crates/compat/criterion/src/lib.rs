@@ -1,0 +1,284 @@
+//! Offline stand-in for the subset of `criterion` used by this workspace.
+//!
+//! The real crate cannot be fetched in this build environment. This shim
+//! keeps `cargo bench` working with the same bench sources: it runs each
+//! benchmark closure for a bounded wall-clock budget, reports the mean
+//! iteration time (and derived throughput) on stdout, and skips the
+//! statistical machinery (no outlier analysis, no HTML reports). The
+//! `--bench` / filter CLI arguments Criterion receives from cargo are
+//! accepted and benchmark names can be filtered by substring.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement backends (only wall time exists here).
+pub mod measurement {
+    /// Wall-clock measurement marker.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct WallTime;
+}
+
+/// Throughput advertised for a benchmark, used to derive rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Identifier `"{name}/{parameter}"`.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Identifier consisting of the parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion of the various accepted id types into a display label.
+pub trait IntoBenchmarkLabel {
+    /// The label shown in reports.
+    fn into_label(self) -> String;
+}
+
+impl IntoBenchmarkLabel for BenchmarkId {
+    fn into_label(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchmarkLabel for &str {
+    fn into_label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkLabel for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+/// Passed to benchmark closures to time the measured routine.
+pub struct Bencher {
+    budget: Duration,
+    /// Mean wall-clock time of one iteration, filled by [`Bencher::iter`].
+    mean: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, running it repeatedly until the measurement budget
+    /// is spent (with one untimed warm-up call).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        black_box(routine());
+        let started = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            black_box(routine());
+            iters += 1;
+            if started.elapsed() >= self.budget {
+                break;
+            }
+        }
+        self.mean = started.elapsed() / u32::try_from(iters).unwrap_or(u32::MAX);
+        self.iters = iters;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a, M> {
+    name: String,
+    filter: Option<String>,
+    throughput: Option<Throughput>,
+    measurement_time: Duration,
+    _criterion: &'a mut Criterion,
+    _measurement: std::marker::PhantomData<M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Sets the number of samples (accepted for API compatibility; the shim
+    /// sizes runs by wall-clock budget instead).
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the measurement budget per benchmark.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        // The real crate spends `time` per sample set; a fraction of it is
+        // plenty for a mean-only estimate and keeps `cargo bench` quick.
+        self.measurement_time = time.min(Duration::from_secs(2));
+        self
+    }
+
+    /// Sets the warm-up budget (accepted for API compatibility).
+    pub fn warm_up_time(&mut self, _time: Duration) -> &mut Self {
+        self
+    }
+
+    /// Declares per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkLabel, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.into_label();
+        self.run(&label, |bencher| routine(bencher));
+        self
+    }
+
+    /// Runs one parameterised benchmark.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl IntoBenchmarkLabel,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = id.into_label();
+        self.run(&label, |bencher| routine(bencher, input));
+        self
+    }
+
+    fn run(&mut self, label: &str, mut routine: impl FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, label);
+        if let Some(filter) = &self.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            budget: self.measurement_time,
+            mean: Duration::ZERO,
+            iters: 0,
+        };
+        routine(&mut bencher);
+        let mut line = format!(
+            "{full}: {:>12} mean over {} iters",
+            format!("{:.2?}", bencher.mean),
+            bencher.iters
+        );
+        if let Some(throughput) = self.throughput {
+            let secs = bencher.mean.as_secs_f64();
+            if secs > 0.0 {
+                match throughput {
+                    Throughput::Elements(n) => {
+                        line += &format!("  ({:.1} Melem/s)", n as f64 / secs / 1e6);
+                    }
+                    Throughput::Bytes(n) => {
+                        line += &format!("  ({:.1} MiB/s)", n as f64 / secs / (1 << 20) as f64);
+                    }
+                }
+            }
+        }
+        println!("{line}");
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo invokes bench binaries with `--bench` plus any user filter;
+        // treat the first free argument as a substring filter like the real
+        // crate does.
+        let filter = std::env::args().skip(1).find(|arg| !arg.starts_with("--"));
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(
+        &mut self,
+        name: impl std::fmt::Display,
+    ) -> BenchmarkGroup<'_, measurement::WallTime> {
+        let filter = self.filter.clone();
+        BenchmarkGroup {
+            name: name.to_string(),
+            filter,
+            throughput: None,
+            measurement_time: Duration::from_millis(300),
+            _criterion: self,
+            _measurement: std::marker::PhantomData,
+        }
+    }
+}
+
+/// Declares a group function running the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_counts_iterations() {
+        let mut bencher = Bencher {
+            budget: Duration::from_millis(5),
+            mean: Duration::ZERO,
+            iters: 0,
+        };
+        let mut count = 0u64;
+        bencher.iter(|| {
+            count += 1;
+            black_box(count)
+        });
+        assert!(bencher.iters >= 1);
+        assert!(count > bencher.iters, "warm-up call must not be counted");
+    }
+
+    #[test]
+    fn benchmark_ids_render() {
+        assert_eq!(BenchmarkId::new("a", 3).into_label(), "a/3");
+        assert_eq!(BenchmarkId::from_parameter("lru").into_label(), "lru");
+    }
+}

@@ -107,7 +107,10 @@ mod tests {
         // 50 misses over 50M instructions = 100 misses per 100M instructions.
         let value = llcm_indicator(50, 50_000_000, PAPER_SAMPLING_WINDOW_INSTRUCTIONS);
         assert!((value - 100.0).abs() < 1e-9);
-        assert_eq!(llcm_indicator(50, 0, PAPER_SAMPLING_WINDOW_INSTRUCTIONS), 0.0);
+        assert_eq!(
+            llcm_indicator(50, 0, PAPER_SAMPLING_WINDOW_INSTRUCTIONS),
+            0.0
+        );
     }
 
     #[test]

@@ -14,9 +14,9 @@
 //! [`Ks4Xen`], [`Ks4Linux`] and [`Ks4Pisces`].
 
 use crate::equation::{llc_cap_act, llc_cap_act_from_pmcs};
-use crate::monitor::{DedicationSampler, MonitoringStrategy};
 #[cfg(test)]
 use crate::monitor::SocketDedicationConfig;
+use crate::monitor::{DedicationSampler, MonitoringStrategy};
 use crate::permit::{LlcCap, PollutionQuota};
 use kyoto_hypervisor::cfs::{CfsConfig, CfsScheduler};
 use kyoto_hypervisor::credit::{CreditConfig, CreditScheduler};
@@ -138,7 +138,10 @@ impl<S> KyotoScheduler<S> {
 
     /// Whether a vCPU is currently punished.
     pub fn is_punished(&self, vcpu: VcpuId) -> bool {
-        self.quotas.get(&vcpu).map(|q| q.is_punished()).unwrap_or(false)
+        self.quotas
+            .get(&vcpu)
+            .map(|q| q.is_punished())
+            .unwrap_or(false)
     }
 
     /// Books (or re-books) a permit for every vCPU of `vm`.
@@ -192,8 +195,7 @@ impl<S> KyotoScheduler<S> {
                     // Outside a dedicated window, charge the last known
                     // estimate; fall back to the raw counters until the vCPU
                     // has been sampled at least once.
-                    let consumed_ms =
-                        report.consumed_cycles as f64 / self.config.freq_khz as f64;
+                    let consumed_ms = report.consumed_cycles as f64 / self.config.freq_khz as f64;
                     match self.estimates.get(&vcpu) {
                         Some(&estimate) => (estimate * consumed_ms, None),
                         None => (raw_misses, Some(raw_estimate)),
@@ -272,7 +274,7 @@ impl<S: Scheduler> Scheduler for KyotoScheduler<S> {
         if let Some(sampler) = self.sampler.as_mut() {
             sampler.on_tick(&self.estimates);
         }
-        if (tick + 1) % u64::from(self.config.ticks_per_slice) == 0 {
+        if (tick + 1).is_multiple_of(u64::from(self.config.ticks_per_slice)) {
             let slice_ms = self.config.slice_ms();
             for quota in self.quotas.values_mut() {
                 quota.earn(slice_ms);
@@ -322,7 +324,10 @@ pub fn ks4xen(
         machine.freq_khz * hypervisor.tick_ms,
         hypervisor.ticks_per_slice,
     ));
-    KyotoScheduler::new(credit, KyotoConfig::from_machine(machine, hypervisor, strategy))
+    KyotoScheduler::new(
+        credit,
+        KyotoConfig::from_machine(machine, hypervisor, strategy),
+    )
 }
 
 /// Builds a KS4Linux scheduler sized for `machine`.
@@ -335,7 +340,10 @@ pub fn ks4linux(
         machine.freq_khz * hypervisor.tick_ms,
         hypervisor.ticks_per_slice,
     ));
-    KyotoScheduler::new(cfs, KyotoConfig::from_machine(machine, hypervisor, strategy))
+    KyotoScheduler::new(
+        cfs,
+        KyotoConfig::from_machine(machine, hypervisor, strategy),
+    )
 }
 
 /// Builds a KS4Pisces scheduler sized for `machine`.
@@ -345,7 +353,10 @@ pub fn ks4pisces(
     strategy: MonitoringStrategy,
 ) -> Ks4Pisces {
     let pisces = PiscesScheduler::new(machine.num_cores());
-    KyotoScheduler::new(pisces, KyotoConfig::from_machine(machine, hypervisor, strategy))
+    KyotoScheduler::new(
+        pisces,
+        KyotoConfig::from_machine(machine, hypervisor, strategy),
+    )
 }
 
 /// Builds a complete Kyoto-enabled Xen hypervisor (KS4Xen) for `machine`.
@@ -575,8 +586,14 @@ mod tests {
     fn scheduler_names_reflect_the_substrate() {
         let machine = MachineConfig::scaled_paper_machine(64);
         let hv = HypervisorConfig::default();
-        assert_eq!(ks4xen(&machine, &hv, MonitoringStrategy::DirectPmc).name(), "ks4xen");
-        assert_eq!(ks4linux(&machine, &hv, MonitoringStrategy::DirectPmc).name(), "ks4linux");
+        assert_eq!(
+            ks4xen(&machine, &hv, MonitoringStrategy::DirectPmc).name(),
+            "ks4xen"
+        );
+        assert_eq!(
+            ks4linux(&machine, &hv, MonitoringStrategy::DirectPmc).name(),
+            "ks4linux"
+        );
         assert_eq!(
             ks4pisces(&machine, &hv, MonitoringStrategy::DirectPmc).name(),
             "ks4pisces"

@@ -58,19 +58,15 @@ impl Default for SocketDedicationConfig {
 /// How the Kyoto scheduler attributes LLC statistics to individual vCPUs.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 #[non_exhaustive]
+#[derive(Default)]
 pub enum MonitoringStrategy {
     /// Use the per-vCPU virtualised counters directly (no isolation).
+    #[default]
     DirectPmc,
     /// Periodically dedicate the socket to the sampled vCPU.
     SocketDedication(SocketDedicationConfig),
     /// Use the shadow-LLC (simulator) solo-miss estimate.
     SimulatorAttribution,
-}
-
-impl Default for MonitoringStrategy {
-    fn default() -> Self {
-        MonitoringStrategy::DirectPmc
-    }
 }
 
 impl MonitoringStrategy {
@@ -303,7 +299,10 @@ mod tests {
         let other = if target == vcpu(1) { vcpu(2) } else { vcpu(1) };
         assert!(!s.is_migrated(target));
         assert!(s.is_migrated(other));
-        assert!(s.is_migrated(vcpu(99)), "unmonitored vCPUs are migrated too");
+        assert!(
+            s.is_migrated(vcpu(99)),
+            "unmonitored vCPUs are migrated too"
+        );
     }
 
     #[test]

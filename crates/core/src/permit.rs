@@ -192,9 +192,15 @@ mod tests {
     fn debit_beyond_quota_punishes_once() {
         let mut quota = PollutionQuota::new(LlcCap::new(100.0), 30.0);
         assert!(!quota.debit(1000.0));
-        assert!(quota.debit(5000.0), "crossing zero should report a punishment");
+        assert!(
+            quota.debit(5000.0),
+            "crossing zero should report a punishment"
+        );
         assert!(quota.is_punished());
-        assert!(!quota.debit(1000.0), "already punished: not a new punishment");
+        assert!(
+            !quota.debit(1000.0),
+            "already punished: not a new punishment"
+        );
         assert_eq!(quota.punishments(), 1);
     }
 

@@ -207,8 +207,14 @@ mod tests {
 
     #[test]
     fn instance_names_follow_the_ec2_convention() {
-        assert_eq!(InstanceType::new(InstanceFamily::MemoryOptimized, 4).name(), "r3.4x");
-        assert_eq!(InstanceType::new(InstanceFamily::ComputeOptimized, 2).name(), "c3.2x");
+        assert_eq!(
+            InstanceType::new(InstanceFamily::MemoryOptimized, 4).name(),
+            "r3.4x"
+        );
+        assert_eq!(
+            InstanceType::new(InstanceFamily::ComputeOptimized, 2).name(),
+            "c3.2x"
+        );
         assert_eq!(InstanceFamily::Hpc.to_string(), "h1");
         assert_eq!(InstanceType::new(InstanceFamily::Hpc, 0).vcpus, 1);
     }

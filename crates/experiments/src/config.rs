@@ -141,7 +141,10 @@ mod tests {
 
     #[test]
     fn llc_cap_scaling() {
-        let config = ExperimentConfig { scale: 32, ..ExperimentConfig::quick() };
+        let config = ExperimentConfig {
+            scale: 32,
+            ..ExperimentConfig::quick()
+        };
         assert!((config.scaled_llc_cap(250_000.0) - 7812.5).abs() < 1e-9);
     }
 

@@ -56,9 +56,8 @@ impl Fig1Result {
 
     /// Renders the dataset the way the paper's three sub-plots present it.
     pub fn to_table(&self) -> String {
-        let mut out = String::from(
-            "Fig. 1: % of perf. degradation of v_i_rep co-located with v_j_dis\n",
-        );
+        let mut out =
+            String::from("Fig. 1: % of perf. degradation of v_i_rep co-located with v_j_dis\n");
         for mode in ExecutionMode::CONTENDED {
             out.push_str(&format!("  [{}]\n", mode.label()));
             out.push_str("    rep\\dis      C1       C2       C3\n");
@@ -159,7 +158,10 @@ pub fn run(config: &ExperimentConfig) -> Fig1Result {
             }
         }
     }
-    Fig1Result { solo_ipc: solo, rows }
+    Fig1Result {
+        solo_ipc: solo,
+        rows,
+    }
 }
 
 #[cfg(test)]
@@ -212,7 +214,11 @@ mod tests {
         assert!(table.contains("alternative"));
         assert!(table.contains("parallel"));
         assert!(table.contains("12.5"));
-        assert!(result.row(Category::C1, Category::C2, ExecutionMode::Parallel).is_some());
-        assert!(result.row(Category::C3, Category::C2, ExecutionMode::Parallel).is_none());
+        assert!(result
+            .row(Category::C1, Category::C2, ExecutionMode::Parallel)
+            .is_some());
+        assert!(result
+            .row(Category::C3, Category::C2, ExecutionMode::Parallel)
+            .is_none());
     }
 }

@@ -36,8 +36,7 @@ impl Fig12Point {
         if self.xcs_execution_time <= 0.0 {
             0.0
         } else {
-            (self.ks4xen_execution_time - self.xcs_execution_time) / self.xcs_execution_time
-                * 100.0
+            (self.ks4xen_execution_time - self.xcs_execution_time) / self.xcs_execution_time * 100.0
         }
     }
 }
@@ -81,7 +80,10 @@ fn hypervisor_config_with_slice(config: &ExperimentConfig, tick_ms: u64) -> Hype
 }
 
 fn xcs_run(config: &ExperimentConfig, tick_ms: u64) -> f64 {
-    let mut hv = xen_hypervisor(config.machine(), hypervisor_config_with_slice(config, tick_ms));
+    let mut hv = xen_hypervisor(
+        config.machine(),
+        hypervisor_config_with_slice(config, tick_ms),
+    );
     hv.add_vm_with(
         VmConfig::new("povray-a").pinned_to(vec![SENSITIVE_CORE]),
         spec_workload(config, SpecApp::Povray, 1),

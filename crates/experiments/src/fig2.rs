@@ -99,7 +99,7 @@ fn trace_mode(config: &ExperimentConfig, mode: ExecutionMode, ticks: u64) -> Tim
         }
     }
     hv.run_ticks(ticks);
-    collect_series(&hv, rep_vm.into(), mode, config.hypervisor_config().tick_ms)
+    collect_series(&hv, rep_vm, mode, config.hypervisor_config().tick_ms)
 }
 
 fn collect_series<S: kyoto_hypervisor::scheduler::Scheduler>(

@@ -167,11 +167,19 @@ pub fn run_with_apps(config: &ExperimentConfig, apps: &[SpecApp]) -> Fig4Result 
         })
         .collect();
 
-    let aggressiveness_order =
-        rank_by_score(&rows.iter().map(|r| (r.app, r.avg_aggressivity)).collect::<Vec<_>>());
+    let aggressiveness_order = rank_by_score(
+        &rows
+            .iter()
+            .map(|r| (r.app, r.avg_aggressivity))
+            .collect::<Vec<_>>(),
+    );
     let llcm_order = rank_by_score(&rows.iter().map(|r| (r.app, r.llcm)).collect::<Vec<_>>());
-    let equation1_order =
-        rank_by_score(&rows.iter().map(|r| (r.app, r.equation1)).collect::<Vec<_>>());
+    let equation1_order = rank_by_score(
+        &rows
+            .iter()
+            .map(|r| (r.app, r.equation1))
+            .collect::<Vec<_>>(),
+    );
     let tau_llcm = kendall_tau(&llcm_order, &aggressiveness_order);
     let tau_equation1 = kendall_tau(&equation1_order, &aggressiveness_order);
 

@@ -56,7 +56,12 @@ impl Fig5Result {
         }
         out.push_str("  punishments (vsen1 / vdis):\n");
         for (app, sen, dis) in &self.punishments {
-            out.push_str(&format!("    vs {:<8} {:>6} / {:>6}\n", app.name(), sen, dis));
+            out.push_str(&format!(
+                "    vs {:<8} {:>6} / {:>6}\n",
+                app.name(),
+                sen,
+                dis
+            ));
         }
         out.push_str(&self.cpu_trace_xcs.to_table());
         out.push_str(&self.cpu_trace_ks4xen.to_table());
@@ -255,7 +260,10 @@ mod tests {
             outcome.dis_punishments,
             outcome.sen_punishments
         );
-        assert!(outcome.normalized > 0.5, "vsen1 should retain most of its performance");
+        assert!(
+            outcome.normalized > 0.5,
+            "vsen1 should retain most of its performance"
+        );
     }
 
     #[test]

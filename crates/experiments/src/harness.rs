@@ -257,8 +257,10 @@ mod tests {
     fn measurement_lookup_by_name() {
         let config = ExperimentConfig::quick();
         let mut hv = xen_hypervisor(config.machine(), config.hypervisor_config());
-        hv.add_vm_with(VmConfig::new("a"), Box::new(ComputeOnly::new(1))).unwrap();
-        hv.add_vm_with(VmConfig::new("b"), Box::new(ComputeOnly::new(1))).unwrap();
+        hv.add_vm_with(VmConfig::new("a"), Box::new(ComputeOnly::new(1)))
+            .unwrap();
+        hv.add_vm_with(VmConfig::new("b"), Box::new(ComputeOnly::new(1)))
+            .unwrap();
         let measurements = warmup_and_measure(&mut hv, &config);
         assert_eq!(measurement_of(&measurements, "b").name, "b");
     }

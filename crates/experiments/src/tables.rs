@@ -40,7 +40,11 @@ pub fn table1() -> Table1 {
         },
         Table1Row {
             component: "L2 cache".into(),
-            value: format!("L2 U {} KB, {}-way", kib(machine.l2.size_bytes), machine.l2.ways),
+            value: format!(
+                "L2 U {} KB, {}-way",
+                kib(machine.l2.size_bytes),
+                machine.l2.ways
+            ),
         },
         Table1Row {
             component: "LLC".into(),
@@ -94,12 +98,30 @@ pub struct Table2 {
 pub fn table2() -> Table2 {
     Table2 {
         rows: vec![
-            Table2Row { vm: "vsen1".into(), app: SpecApp::Gcc },
-            Table2Row { vm: "vsen2".into(), app: SpecApp::Omnetpp },
-            Table2Row { vm: "vsen3".into(), app: SpecApp::Soplex },
-            Table2Row { vm: "vdis1".into(), app: SpecApp::Lbm },
-            Table2Row { vm: "vdis2".into(), app: SpecApp::Blockie },
-            Table2Row { vm: "vdis3".into(), app: SpecApp::Mcf },
+            Table2Row {
+                vm: "vsen1".into(),
+                app: SpecApp::Gcc,
+            },
+            Table2Row {
+                vm: "vsen2".into(),
+                app: SpecApp::Omnetpp,
+            },
+            Table2Row {
+                vm: "vsen3".into(),
+                app: SpecApp::Soplex,
+            },
+            Table2Row {
+                vm: "vdis1".into(),
+                app: SpecApp::Lbm,
+            },
+            Table2Row {
+                vm: "vdis2".into(),
+                app: SpecApp::Blockie,
+            },
+            Table2Row {
+                vm: "vdis3".into(),
+                app: SpecApp::Mcf,
+            },
         ],
     }
 }

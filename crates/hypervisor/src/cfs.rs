@@ -143,7 +143,7 @@ impl Scheduler for CfsScheduler {
     }
 
     fn on_tick(&mut self, tick: u64) {
-        if (tick + 1) % u64::from(self.config.ticks_per_period) == 0 {
+        if (tick + 1).is_multiple_of(u64::from(self.config.ticks_per_period)) {
             for state in self.vcpus.values_mut() {
                 state.window_consumed = 0;
             }

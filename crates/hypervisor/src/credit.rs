@@ -118,8 +118,8 @@ impl CreditScheduler {
         }
         let capacity = self.config.capacity_per_slice();
         for state in self.vcpus.values_mut() {
-            let share = (capacity as u128 * u128::from(state.weight) / u128::from(total_weight))
-                as i64;
+            let share =
+                (capacity as u128 * u128::from(state.weight) / u128::from(total_weight)) as i64;
             // Credit accumulation is capped (like Xen) so an idle VM cannot
             // hoard unbounded credit and then monopolise the machine.
             state.remain_credit = (state.remain_credit + share).min(share.saturating_mul(2));
@@ -192,7 +192,7 @@ impl Scheduler for CreditScheduler {
     }
 
     fn on_tick(&mut self, tick: u64) {
-        if (tick + 1) % u64::from(self.config.ticks_per_slice) == 0 {
+        if (tick + 1).is_multiple_of(u64::from(self.config.ticks_per_slice)) {
             self.refill_credits();
         }
     }
@@ -336,7 +336,10 @@ mod tests {
         s.on_tick(2);
         let heavy = s.remaining_credit(vcpu(1));
         let light = s.remaining_credit(vcpu(2));
-        assert!(heavy > light, "heavier weight should receive more credit ({heavy} vs {light})");
+        assert!(
+            heavy > light,
+            "heavier weight should receive more credit ({heavy} vs {light})"
+        );
     }
 
     #[test]

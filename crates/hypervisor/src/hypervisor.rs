@@ -240,6 +240,9 @@ impl<S: Scheduler> Hypervisor<S> {
         }
         let vm_id = VmId(self.next_vm_id);
         self.next_vm_id += 1;
+        // Pre-size per-owner cache counters so the simulation hot path never
+        // grows them while this VM runs.
+        self.engine.machine_mut().register_owner(vm_id.0);
         let mut vcpus = Vec::with_capacity(workloads.len());
         for (index, workload) in workloads.into_iter().enumerate() {
             let vcpu_id = VcpuId::new(vm_id, index as u32);
@@ -289,11 +292,12 @@ impl<S: Scheduler> Hypervisor<S> {
         for vcpu in &runtime.vcpus {
             self.scheduler.remove_vcpu(vcpu.id);
             self.pmu.unregister(vcpu.id.as_key());
+            self.engine.clear_op_buffer(vcpu.id.as_key());
         }
         self.engine.machine_mut().flush_owner(vm.0);
-        self.engine
-            .shadow_mut()
-            .map(|shadow| shadow.remove_owner(vm.0));
+        if let Some(shadow) = self.engine.shadow_mut() {
+            shadow.remove_owner(vm.0)
+        }
         Ok(())
     }
 
@@ -304,7 +308,10 @@ impl<S: Scheduler> Hypervisor<S> {
 
     /// Looks a VM up by its configured name.
     pub fn vm_by_name(&self, name: &str) -> Option<VmId> {
-        self.vms.iter().find(|v| v.config.name == name).map(|v| v.id)
+        self.vms
+            .iter()
+            .find(|v| v.config.name == name)
+            .map(|v| v.id)
     }
 
     /// Runs the machine for `ticks` scheduler ticks.
@@ -379,7 +386,11 @@ impl<S: Scheduler> Hypervisor<S> {
             for vcpu in vm.vcpus.iter_mut() {
                 if let Some((core, _)) = assignment.iter().find(|(_, v)| *v == vcpu.id) {
                     let overrides = scheduler.overrides(vcpu.id);
+                    // The vCPU key identifies the op stream across ticks so
+                    // the engine's batched op buffers follow the vCPU even
+                    // when it migrates between cores.
                     let mut slot = ExecSlot::new(*core, vm_id.0, vcpu.workload.as_mut())
+                        .with_tag(vcpu.id.as_key())
                         .with_force_remote(overrides.force_remote);
                     if let Some(node) = numa_node {
                         slot = slot.with_data_node(node);
@@ -396,11 +407,13 @@ impl<S: Scheduler> Hypervisor<S> {
         let mut scheduled_info: Vec<(VcpuId, TickReport)> = Vec::with_capacity(reports.len());
         for (i, vcpu_id) in slot_vcpus.iter().enumerate() {
             let report = &reports[i];
-            let shadow_delta = match (shadow_before[assignment
-                .iter()
-                .position(|(_, v)| v == vcpu_id)
-                .unwrap_or(i)], engine.shadow())
-            {
+            let shadow_delta = match (
+                shadow_before[assignment
+                    .iter()
+                    .position(|(_, v)| v == vcpu_id)
+                    .unwrap_or(i)],
+                engine.shadow(),
+            ) {
                 (Some(before), Some(shadow)) => {
                     Some(shadow.solo_misses(vcpu_id.vm.0).saturating_sub(before))
                 }
@@ -473,7 +486,10 @@ impl<S: Scheduler> Hypervisor<S> {
 
     /// Execution reports of every VM, in creation order.
     pub fn reports(&self) -> Vec<VmReport> {
-        self.vms.iter().filter_map(|vm| self.report(vm.id)).collect()
+        self.vms
+            .iter()
+            .filter_map(|vm| self.report(vm.id))
+            .collect()
     }
 
     /// The per-tick history restricted to one vCPU.
@@ -517,9 +533,18 @@ mod tests {
     fn add_vm_validates_workload_count_and_pinning() {
         let mut hv = xen_hypervisor(machine());
         let err = hv
-            .add_vm(VmConfig::new("x").with_vcpus(2), vec![Box::new(ComputeOnly::new(1))])
+            .add_vm(
+                VmConfig::new("x").with_vcpus(2),
+                vec![Box::new(ComputeOnly::new(1))],
+            )
             .unwrap_err();
-        assert!(matches!(err, HypervisorError::WorkloadCountMismatch { expected: 2, provided: 1 }));
+        assert!(matches!(
+            err,
+            HypervisorError::WorkloadCountMismatch {
+                expected: 2,
+                provided: 1
+            }
+        ));
         let err = hv
             .add_vm_with(
                 VmConfig::new("y").pinned_to(vec![CoreId(99)]),
@@ -589,8 +614,16 @@ mod tests {
         let rb = hv.report(b).unwrap();
         // Both share core 0: each runs roughly half of the ticks.
         assert_eq!(ra.ticks_scheduled + rb.ticks_scheduled, 30);
-        assert!(ra.ticks_scheduled >= 12 && ra.ticks_scheduled <= 18, "{}", ra.ticks_scheduled);
-        assert!(rb.ticks_scheduled >= 12 && rb.ticks_scheduled <= 18, "{}", rb.ticks_scheduled);
+        assert!(
+            ra.ticks_scheduled >= 12 && ra.ticks_scheduled <= 18,
+            "{}",
+            ra.ticks_scheduled
+        );
+        assert!(
+            rb.ticks_scheduled >= 12 && rb.ticks_scheduled <= 18,
+            "{}",
+            rb.ticks_scheduled
+        );
     }
 
     #[test]
@@ -599,8 +632,11 @@ mod tests {
         let mut vms = Vec::new();
         for i in 0..4 {
             vms.push(
-                hv.add_vm_with(VmConfig::new(format!("vm{i}")), Box::new(ComputeOnly::new(1)))
-                    .unwrap(),
+                hv.add_vm_with(
+                    VmConfig::new(format!("vm{i}")),
+                    Box::new(ComputeOnly::new(1)),
+                )
+                .unwrap(),
             );
         }
         hv.run_ticks(10);
@@ -625,8 +661,14 @@ mod tests {
         hv.run_ticks(60);
         let report = hv.report(capped).unwrap();
         let share = report.cpu_share();
-        assert!(share < 0.5, "a 30% cap must keep CPU share well below 1.0, got {share}");
-        assert!(share > 0.1, "the capped VM must still make progress, got {share}");
+        assert!(
+            share < 0.5,
+            "a 30% cap must keep CPU share well below 1.0, got {share}"
+        );
+        assert!(
+            share > 0.1,
+            "the capped VM must still make progress, got {share}"
+        );
     }
 
     #[test]

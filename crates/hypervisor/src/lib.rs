@@ -115,7 +115,10 @@ mod tests {
         let config = HypervisorConfig::default();
         assert_eq!(xen_hypervisor(machine(), config).scheduler().name(), "xcs");
         assert_eq!(kvm_hypervisor(machine(), config).scheduler().name(), "cfs");
-        assert_eq!(pisces_system(machine(), config).scheduler().name(), "pisces");
+        assert_eq!(
+            pisces_system(machine(), config).scheduler().name(),
+            "pisces"
+        );
     }
 
     #[test]
@@ -125,9 +128,15 @@ mod tests {
         let mut xen = xen_hypervisor(machine(), config);
         let mut kvm = kvm_hypervisor(machine(), config);
         let mut pisces = pisces_system(machine(), config);
-        let x = xen.add_vm_with(VmConfig::new("a"), Box::new(ComputeOnly::new(1))).unwrap();
-        let k = kvm.add_vm_with(VmConfig::new("a"), Box::new(ComputeOnly::new(1))).unwrap();
-        let p = pisces.add_vm_with(VmConfig::new("a"), Box::new(ComputeOnly::new(1))).unwrap();
+        let x = xen
+            .add_vm_with(VmConfig::new("a"), Box::new(ComputeOnly::new(1)))
+            .unwrap();
+        let k = kvm
+            .add_vm_with(VmConfig::new("a"), Box::new(ComputeOnly::new(1)))
+            .unwrap();
+        let p = pisces
+            .add_vm_with(VmConfig::new("a"), Box::new(ComputeOnly::new(1)))
+            .unwrap();
         xen.run_ticks(3);
         kvm.run_ticks(3);
         pisces.run_ticks(3);

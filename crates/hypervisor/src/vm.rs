@@ -168,8 +168,7 @@ impl VmReport {
         if self.pmcs.unhalted_core_cycles == 0 {
             0.0
         } else {
-            self.pmcs.llc_misses as f64 * freq_khz as f64
-                / self.pmcs.unhalted_core_cycles as f64
+            self.pmcs.llc_misses as f64 * freq_khz as f64 / self.pmcs.unhalted_core_cycles as f64
         }
     }
 

@@ -45,7 +45,10 @@ pub fn rank_by_score<T: Clone>(items: &[(T, f64)]) -> Vec<T> {
             .unwrap_or(std::cmp::Ordering::Equal)
             .then(ia.cmp(ib))
     });
-    indexed.into_iter().map(|(_, (item, _))| item.clone()).collect()
+    indexed
+        .into_iter()
+        .map(|(_, (item, _))| item.clone())
+        .collect()
 }
 
 #[cfg(test)]

@@ -100,8 +100,6 @@ mod tests {
     fn predictability_improves_when_variance_shrinks() {
         let unpredictable = Summary::of(&[1.0, 0.5, 0.9, 0.4]);
         let predictable = Summary::of(&[0.95, 0.97, 0.96, 0.98]);
-        assert!(
-            predictable.coefficient_of_variation() < unpredictable.coefficient_of_variation()
-        );
+        assert!(predictable.coefficient_of_variation() < unpredictable.coefficient_of_variation());
     }
 }

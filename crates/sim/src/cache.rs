@@ -63,7 +63,7 @@ impl CacheConfig {
             });
         }
         let way_bytes = u64::from(self.ways) * u64::from(self.line_size);
-        if self.size_bytes % way_bytes != 0 {
+        if !self.size_bytes.is_multiple_of(way_bytes) {
             return Err(SimError::InvalidCacheConfig {
                 reason: format!(
                     "size {} is not a multiple of ways*line_size = {}",
@@ -143,21 +143,19 @@ pub struct LookupResult {
     pub evicted_owner: Option<OwnerId>,
 }
 
-#[derive(Debug, Clone, Copy)]
-struct CacheLine {
-    tag: u64,
-    owner: OwnerId,
-    last_use: u64,
-    valid: bool,
+/// Packed line identity: `(tag << 17) | (owner << 1) | valid`. A lookup
+/// compares one key per way instead of three fields, which keeps the scan
+/// branch-light; `0` is the invalid line (valid bit clear).
+type LineKey = u128;
+
+#[inline]
+fn key_of(tag: u64, owner: OwnerId) -> LineKey {
+    (u128::from(tag) << 17) | (u128::from(owner) << 1) | 1
 }
 
-impl CacheLine {
-    const INVALID: CacheLine = CacheLine {
-        tag: 0,
-        owner: 0,
-        last_use: 0,
-        valid: false,
-    };
+#[inline]
+fn owner_of(key: LineKey) -> OwnerId {
+    ((key >> 1) & 0xffff) as OwnerId
 }
 
 /// A set-associative cache.
@@ -166,30 +164,52 @@ impl CacheLine {
 /// size and set count. Different owners never share lines (the engine places
 /// every owner in a disjoint address-space slice), but they do share sets —
 /// which is precisely how LLC contention arises.
+///
+/// Each set's ways are stored *physically in recency order*: way 0 is the
+/// MRU line, valid lines precede invalid ones, and the last valid way is the
+/// LRU line. A hit therefore promotes by one short `copy_within`, the scan
+/// stops at the first invalid way, and eviction needs no timestamp search —
+/// the LRU victim is simply the last way.
 #[derive(Debug, Clone)]
 pub struct Cache {
     config: CacheConfig,
     num_sets: u64,
-    lines: Vec<CacheLine>,
+    // Shift/mask address split, valid when `pow2_geometry` (power-of-two
+    // line size and set count, which every modelled machine has). The
+    // fallback div/mod path keeps arbitrary geometries working.
+    pow2_geometry: bool,
+    line_shift: u32,
+    set_mask: u64,
+    set_shift: u32,
+    lines: Vec<LineKey>,
     replacement: ReplacementState,
-    clock: u64,
     stats: CacheStats,
     // Per-owner counters indexed by owner id (owner ids are small: VM ids).
+    // Pre-sized at construction / via `register_owner` so the access path
+    // never reallocates; unregistered owners grow the tables once, off the
+    // hot path.
     owner_lines: Vec<u64>,
     owner_misses: Vec<u64>,
     owner_accesses: Vec<u64>,
 }
 
-fn bump(counters: &mut Vec<u64>, owner: OwnerId, delta: i64) {
+/// Owner ids the counter tables are pre-sized for; larger ids are still
+/// valid and grow the tables once on first use (a cold path).
+const PRESIZED_OWNERS: usize = 64;
+
+#[cold]
+#[inline(never)]
+fn grow_counters(counters: &mut Vec<u64>, idx: usize) {
+    counters.resize(idx + 1, 0);
+}
+
+#[inline]
+fn counter(counters: &mut Vec<u64>, owner: OwnerId) -> &mut u64 {
     let idx = usize::from(owner);
-    if counters.len() <= idx {
-        counters.resize(idx + 1, 0);
+    if idx >= counters.len() {
+        grow_counters(counters, idx);
     }
-    if delta >= 0 {
-        counters[idx] += delta as u64;
-    } else {
-        counters[idx] = counters[idx].saturating_sub((-delta) as u64);
-    }
+    &mut counters[idx]
 }
 
 fn read(counters: &[u64], owner: OwnerId) -> u64 {
@@ -214,17 +234,38 @@ impl Cache {
     pub fn with_seed(config: CacheConfig, seed: u64) -> Result<Self, SimError> {
         let num_sets = config.num_sets()?;
         let total_lines = (num_sets * u64::from(config.ways)) as usize;
+        let pow2_geometry = config.line_size.is_power_of_two() && num_sets.is_power_of_two();
         Ok(Cache {
             replacement: ReplacementState::new(config.policy, seed),
+            pow2_geometry,
+            line_shift: config.line_size.trailing_zeros(),
+            set_mask: num_sets - 1,
+            set_shift: num_sets.trailing_zeros(),
             config,
             num_sets,
-            lines: vec![CacheLine::INVALID; total_lines],
-            clock: 0,
+            lines: vec![0; total_lines],
             stats: CacheStats::default(),
-            owner_lines: Vec::new(),
-            owner_misses: Vec::new(),
-            owner_accesses: Vec::new(),
+            owner_lines: vec![0; PRESIZED_OWNERS],
+            owner_misses: vec![0; PRESIZED_OWNERS],
+            owner_accesses: vec![0; PRESIZED_OWNERS],
         })
+    }
+
+    /// Pre-sizes the per-owner counter tables for `owner`, so no access by
+    /// that owner ever reallocates them. Called by the hypervisor at VM
+    /// registration; idempotent and safe to skip (the tables grow on demand
+    /// off the hot path).
+    pub fn register_owner(&mut self, owner: OwnerId) {
+        let idx = usize::from(owner);
+        if idx >= self.owner_lines.len() {
+            grow_counters(&mut self.owner_lines, idx);
+        }
+        if idx >= self.owner_misses.len() {
+            grow_counters(&mut self.owner_misses, idx);
+        }
+        if idx >= self.owner_accesses.len() {
+            grow_counters(&mut self.owner_accesses, idx);
+        }
     }
 
     /// The cache geometry.
@@ -245,8 +286,10 @@ impl Cache {
     /// Clears the statistics but keeps cache contents.
     pub fn reset_stats(&mut self) {
         self.stats = CacheStats::default();
-        self.owner_misses.clear();
-        self.owner_accesses.clear();
+        // Zero in place: clearing would drop the pre-sizing the hot path
+        // relies on.
+        self.owner_misses.fill(0);
+        self.owner_accesses.fill(0);
     }
 
     /// Number of valid lines currently owned by `owner`.
@@ -269,95 +312,146 @@ impl Cache {
         read(&self.owner_accesses, owner)
     }
 
-    fn set_of(&self, addr: u64) -> u64 {
-        (addr / u64::from(self.config.line_size)) % self.num_sets
-    }
-
-    fn tag_of(&self, addr: u64) -> u64 {
-        (addr / u64::from(self.config.line_size)) / self.num_sets
+    /// Splits an address into its `(set, tag)` pair.
+    #[inline]
+    fn split(&self, addr: u64) -> (u64, u64) {
+        if self.pow2_geometry {
+            let line = addr >> self.line_shift;
+            (line & self.set_mask, line >> self.set_shift)
+        } else {
+            let line = addr / u64::from(self.config.line_size);
+            (line % self.num_sets, line / self.num_sets)
+        }
     }
 
     /// Performs a lookup, filling the line on a miss.
     ///
     /// Returns whether the access hit and, on a miss that displaced a valid
     /// line, the owner of the evicted line.
+    #[inline]
     pub fn access(&mut self, addr: u64, owner: OwnerId) -> LookupResult {
-        self.clock += 1;
         self.stats.accesses += 1;
-        bump(&mut self.owner_accesses, owner, 1);
+        *counter(&mut self.owner_accesses, owner) += 1;
 
-        let set = self.set_of(addr) as usize;
-        let tag = self.tag_of(addr);
+        let (set, tag) = self.split(addr);
+        let set = set as usize;
         let ways = self.config.ways as usize;
         let base = set * ways;
+        let probe = key_of(tag, owner);
 
-        // Hit path: promote to MRU.
-        for way in 0..ways {
-            let line = &mut self.lines[base + way];
-            if line.valid && line.tag == tag && line.owner == owner {
-                line.last_use = self.clock;
+        // Fast path for plain LRU (the modelled machines' default): scan
+        // and recency update fused into one slide pass. Every visited way
+        // is shifted one position towards LRU while the probe key enters at
+        // MRU, so a hit, a fill into a free way and an eviction of the last
+        // way all fall out of the same loop with one load, one store and
+        // two compares per way.
+        if self.replacement.policy() == ReplacementPolicy::Lru {
+            let mut slide = probe;
+            for slot in &mut self.lines[base..base + ways] {
+                let current = *slot;
+                *slot = slide;
+                if current == probe {
+                    self.stats.hits += 1;
+                    return LookupResult {
+                        hit: true,
+                        evicted_owner: None,
+                    };
+                }
+                if current == 0 {
+                    // Filled a free way.
+                    self.stats.misses += 1;
+                    *counter(&mut self.owner_misses, owner) += 1;
+                    *counter(&mut self.owner_lines, owner) += 1;
+                    return LookupResult {
+                        hit: false,
+                        evicted_owner: None,
+                    };
+                }
+                slide = current;
+            }
+            // Full set: `slide` is the old LRU line, now evicted.
+            self.stats.misses += 1;
+            *counter(&mut self.owner_misses, owner) += 1;
+            let evicted_owner = owner_of(slide);
+            self.stats.evictions += 1;
+            if evicted_owner != owner {
+                self.stats.cross_owner_evictions += 1;
+            }
+            let lines = counter(&mut self.owner_lines, evicted_owner);
+            *lines = lines.saturating_sub(1);
+            *counter(&mut self.owner_lines, owner) += 1;
+            return LookupResult {
+                hit: false,
+                evicted_owner: Some(evicted_owner),
+            };
+        }
+
+        // General path (BIP/DIP/Random): scan in recency order, one
+        // packed-key comparison per way; the first invalid way ends the
+        // valid region, so the scan stops there.
+        let mut way = 0;
+        while way < ways {
+            let key = self.lines[base + way];
+            if key == probe {
+                // Hit: promote to MRU by rotating the more-recent lines
+                // down one way (a manual rotate inlines; `copy_within`
+                // would emit a memmove call dwarfing these few moves).
+                let mut slide = probe;
+                for slot in &mut self.lines[base..=base + way] {
+                    std::mem::swap(slot, &mut slide);
+                }
                 self.stats.hits += 1;
                 return LookupResult {
                     hit: true,
                     evicted_owner: None,
                 };
             }
-        }
-
-        // Miss path.
-        self.stats.misses += 1;
-        bump(&mut self.owner_misses, owner, 1);
-        self.replacement
-            .on_miss(set, self.num_sets as usize);
-
-        // Prefer an invalid way.
-        let mut victim_way = None;
-        for way in 0..ways {
-            if !self.lines[base + way].valid {
-                victim_way = Some(way);
+            if key == 0 {
                 break;
             }
+            way += 1;
         }
-        let (victim_way, evicted_owner) = match victim_way {
-            Some(way) => (way, None),
-            None => {
-                let timestamps: Vec<u64> =
-                    (0..ways).map(|w| self.lines[base + w].last_use).collect();
-                let way = self.replacement.pick_victim(&timestamps);
-                let evicted = self.lines[base + way];
-                self.stats.evictions += 1;
-                if evicted.owner != owner {
-                    self.stats.cross_owner_evictions += 1;
-                }
-                bump(&mut self.owner_lines, evicted.owner, -1);
-                (way, Some(evicted.owner))
+        // `way` is now the first free way of the set, or `ways` if full.
+
+        self.stats.misses += 1;
+        *counter(&mut self.owner_misses, owner) += 1;
+        self.replacement.on_miss(set, self.num_sets as usize);
+
+        let (valid_end, evicted_owner) = if way < ways {
+            // A free way exists: a fill, not an eviction.
+            (way, None)
+        } else {
+            // Full set: the LRU victim is the last way; Random picks any.
+            let victim = self.replacement.pick_victim_prescanned(ways - 1, ways);
+            let evicted_owner = owner_of(self.lines[base + victim]);
+            self.stats.evictions += 1;
+            if evicted_owner != owner {
+                self.stats.cross_owner_evictions += 1;
             }
+            let lines = counter(&mut self.owner_lines, evicted_owner);
+            *lines = lines.saturating_sub(1);
+            // Close the victim's gap; the set now has `ways - 1` valid
+            // lines and the insert below fills the last one.
+            for way in victim..ways - 1 {
+                self.lines[base + way] = self.lines[base + way + 1];
+            }
+            (ways - 1, Some(evicted_owner))
         };
 
-        let insert_pos = self
+        match self
             .replacement
-            .insert_position(set, self.num_sets as usize);
-        // LRU insertion is modelled by giving the line the oldest timestamp
-        // in the set (it becomes the next victim unless reused).
-        let last_use = match insert_pos {
-            InsertPosition::Mru => self.clock,
-            InsertPosition::Lru => {
-                let oldest = (0..ways)
-                    .filter(|&w| w != victim_way && self.lines[base + w].valid)
-                    .map(|w| self.lines[base + w].last_use)
-                    .min()
-                    .unwrap_or(self.clock);
-                oldest.saturating_sub(1)
+            .insert_position(set, self.num_sets as usize)
+        {
+            InsertPosition::Mru => {
+                let mut slide = probe;
+                for slot in &mut self.lines[base..=base + valid_end] {
+                    std::mem::swap(slot, &mut slide);
+                }
             }
-        };
-
-        self.lines[base + victim_way] = CacheLine {
-            tag,
-            owner,
-            last_use,
-            valid: true,
-        };
-        bump(&mut self.owner_lines, owner, 1);
+            // LRU insertion: the line becomes the next victim unless reused.
+            InsertPosition::Lru => self.lines[base + valid_end] = probe,
+        }
+        *counter(&mut self.owner_lines, owner) += 1;
 
         LookupResult {
             hit: false,
@@ -368,22 +462,31 @@ impl Cache {
     /// Checks whether `addr` is resident for `owner` without touching
     /// recency or statistics.
     pub fn probe(&self, addr: u64, owner: OwnerId) -> bool {
-        let set = self.set_of(addr) as usize;
-        let tag = self.tag_of(addr);
+        let (set, tag) = self.split(addr);
+        let set = set as usize;
         let ways = self.config.ways as usize;
         let base = set * ways;
-        (0..ways).any(|way| {
-            let line = &self.lines[base + way];
-            line.valid && line.tag == tag && line.owner == owner
-        })
+        let probe = key_of(tag, owner);
+        self.lines[base..base + ways].contains(&probe)
     }
 
-    /// Invalidates every line belonging to `owner` (e.g. on VM destruction).
+    /// Invalidates every line belonging to `owner` (e.g. on VM destruction),
+    /// compacting each set so surviving lines keep their recency order.
     pub fn flush_owner(&mut self, owner: OwnerId) {
-        for line in &mut self.lines {
-            if line.valid && line.owner == owner {
-                line.valid = false;
+        let ways = self.config.ways as usize;
+        for set in self.lines.chunks_mut(ways) {
+            let mut kept = 0;
+            for way in 0..ways {
+                let key = set[way];
+                if key == 0 {
+                    break;
+                }
+                if owner_of(key) != owner {
+                    set[kept] = key;
+                    kept += 1;
+                }
             }
+            set[kept..].fill(0);
         }
         if let Some(count) = self.owner_lines.get_mut(usize::from(owner)) {
             *count = 0;
@@ -392,10 +495,8 @@ impl Cache {
 
     /// Invalidates every line in the cache.
     pub fn flush(&mut self) {
-        for line in &mut self.lines {
-            line.valid = false;
-        }
-        self.owner_lines.clear();
+        self.lines.fill(0);
+        self.owner_lines.fill(0);
     }
 }
 
@@ -520,7 +621,10 @@ mod tests {
         cache.access(0, 1);
         cache.reset_stats();
         assert_eq!(cache.stats().accesses, 0);
-        assert!(cache.access(0, 1).hit, "contents must survive a stats reset");
+        assert!(
+            cache.access(0, 1).hit,
+            "contents must survive a stats reset"
+        );
     }
 
     #[test]

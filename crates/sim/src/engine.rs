@@ -11,14 +11,29 @@
 //! * **alternative execution**: slots scheduled on the same core in
 //!   *successive* calls (as the hypervisor's scheduler time-shares the core)
 //!   find the LLC state left behind by the previous occupant.
+//!
+//! The default [`SimEngine::run_slots`] path batches op fetching through
+//! [`Workload::fill_ops`] and advances slots in epochs (run the
+//! furthest-behind slot until it catches up with the next one) instead of
+//! re-scanning every slot per op. The interleaving it produces is
+//! bit-identical to the per-op [`SimEngine::run_slots_reference`] path,
+//! which is kept as the semantic baseline for equivalence tests and
+//! benchmarks.
 
 use crate::cache::OwnerId;
 use crate::error::SimError;
 use crate::hierarchy::AccessKind;
 use crate::pmc::PmcSet;
 use crate::shadow::ShadowAttribution;
-use crate::topology::{CoreId, Machine, NumaNode};
+use crate::topology::{AccessRoute, CoreId, Machine, NumaNode};
 use crate::workload::{Op, Workload};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Ops fetched from a workload per `fill_ops` batch: large enough to
+/// amortise the dynamic dispatch, small enough that carried-over ops stay
+/// negligible in memory.
+const OP_CHUNK: usize = 64;
 
 /// An execution binding: a workload running on behalf of `owner` on `core`.
 pub struct ExecSlot<'a> {
@@ -34,6 +49,16 @@ pub struct ExecSlot<'a> {
     /// placement. Used to model a vCPU migrated away from its memory by the
     /// socket-dedication pollution monitor (Fig. 9).
     pub force_remote: bool,
+    /// Stable identity of the workload stream behind this slot, used to key
+    /// the engine's batched op buffers across [`SimEngine::run_slots`]
+    /// calls. Slots rebuilt every call (as the hypervisor does per tick)
+    /// must reuse the same tag for the same workload so its op stream
+    /// continues seamlessly; tags must be unique within one call.
+    ///
+    /// Defaults to a value derived from `(owner, core)`, which is correct
+    /// as long as a given workload always runs under the same owner/core
+    /// pair. The hypervisor overrides it with the vCPU key.
+    pub tag: u64,
     /// Cumulative counters across every call this slot participated in.
     pub pmcs: PmcSet,
 }
@@ -46,6 +71,7 @@ impl std::fmt::Debug for ExecSlot<'_> {
             .field("workload", &self.workload.name())
             .field("data_node", &self.data_node)
             .field("force_remote", &self.force_remote)
+            .field("tag", &self.tag)
             .field("pmcs", &self.pmcs)
             .finish()
     }
@@ -56,6 +82,7 @@ impl<'a> ExecSlot<'a> {
     /// remote accesses.
     pub fn new(core: CoreId, owner: OwnerId, workload: &'a mut dyn Workload) -> Self {
         ExecSlot {
+            tag: (u64::from(owner) << 32) | (core.0 as u64 & 0xffff_ffff),
             core,
             owner,
             workload,
@@ -63,6 +90,12 @@ impl<'a> ExecSlot<'a> {
             force_remote: false,
             pmcs: PmcSet::default(),
         }
+    }
+
+    /// Overrides the op-stream identity tag (see [`ExecSlot::tag`]).
+    pub fn with_tag(mut self, tag: u64) -> Self {
+        self.tag = tag;
+        self
     }
 
     /// Places the owner's memory on an explicit NUMA node.
@@ -97,12 +130,109 @@ impl QuantumReport {
     }
 }
 
+/// A batched op stream: ops prefetched from a workload in [`OP_CHUNK`]
+/// blocks, consumed one at a time. Unconsumed ops survive in the engine's
+/// carry map so the stream continues exactly where it stopped on the next
+/// call — batching is invisible to the simulation semantics.
+#[derive(Debug, Default)]
+struct OpQueue {
+    buf: Vec<Op>,
+    head: usize,
+}
+
+impl OpQueue {
+    #[inline]
+    fn next(&mut self, workload: &mut dyn Workload) -> Op {
+        if self.head == self.buf.len() {
+            self.refill(workload);
+        }
+        let op = self.buf[self.head];
+        self.head += 1;
+        op
+    }
+
+    fn refill(&mut self, workload: &mut dyn Workload) {
+        self.buf.clear();
+        self.buf.resize(OP_CHUNK, Op::Compute { cycles: 1 });
+        self.head = 0;
+        let filled = workload.fill_ops(&mut self.buf);
+        self.buf.truncate(filled);
+        if self.buf.is_empty() {
+            // Defensive: a short-filling workload must still make progress.
+            self.buf.push(workload.next_op());
+        }
+    }
+
+    fn is_drained(&self) -> bool {
+        self.head == self.buf.len()
+    }
+}
+
+/// Executes one micro-op for a slot, accumulating its cycle cost, counter
+/// deltas and pollution events directly into `report`: the shared cost
+/// model of both the batched and the reference engine paths.
+#[inline]
+fn execute_op(
+    machine: &mut Machine,
+    shadow: &mut Option<ShadowAttribution>,
+    route: AccessRoute,
+    owner: OwnerId,
+    mem_parallelism: f64,
+    op: Op,
+    report: &mut QuantumReport,
+) {
+    match op {
+        Op::Compute { cycles } => {
+            let cycles = u64::from(cycles.max(1));
+            report.consumed_cycles += cycles;
+            report.pmc_delta.instructions += 1;
+            report.pmc_delta.unhalted_core_cycles += cycles;
+        }
+        Op::Load { addr } | Op::Store { addr } => {
+            let kind = if matches!(op, Op::Store { .. }) {
+                AccessKind::Store
+            } else {
+                AccessKind::Load
+            };
+            let outcome = machine.access_routed(route, addr, kind, owner);
+            if outcome.level.reached_llc() {
+                if let Some(shadow) = shadow.as_mut() {
+                    shadow.observe(owner, addr);
+                }
+            }
+            // Memory-level parallelism: streaming workloads overlap
+            // independent misses, so the per-access charge of an LLC
+            // miss shrinks by the declared parallelism factor.
+            let effective_latency = if outcome.level.is_llc_miss() {
+                ((f64::from(outcome.latency) / mem_parallelism).round() as u32).max(1)
+            } else {
+                outcome.latency
+            };
+            let cycles = u64::from(effective_latency) + 1;
+            report.consumed_cycles += cycles;
+            let delta = &mut report.pmc_delta;
+            delta.instructions += 1;
+            delta.unhalted_core_cycles += cycles;
+            delta.memory_accesses += 1;
+            delta.ilc_misses += u64::from(outcome.level.reached_llc());
+            delta.llc_references += u64::from(outcome.level.reached_llc());
+            delta.llc_misses += u64::from(outcome.level.is_llc_miss());
+            delta.remote_accesses +=
+                u64::from(outcome.level == crate::hierarchy::MemLevel::RemoteMemory);
+            report.pollution_events += u64::from(outcome.polluted_llc);
+        }
+    }
+}
+
 /// The time-stepped simulation engine.
 #[derive(Debug)]
 pub struct SimEngine {
     machine: Machine,
     shadow: Option<ShadowAttribution>,
     elapsed_cycles: u64,
+    /// Batched-but-unexecuted ops per slot tag, carried across
+    /// [`SimEngine::run_slots`] calls so op streams continue seamlessly.
+    op_carry: HashMap<u64, OpQueue>,
 }
 
 impl SimEngine {
@@ -112,7 +242,20 @@ impl SimEngine {
             machine,
             shadow: None,
             elapsed_cycles: 0,
+            op_carry: HashMap::new(),
         }
+    }
+
+    /// Discards batched-but-unexecuted ops fetched for `tag`. Call when the
+    /// entity behind the tag disappears (VM destroyed) or its workload is
+    /// replaced or reset, so a future reuse of the tag starts clean.
+    pub fn clear_op_buffer(&mut self, tag: u64) {
+        self.op_carry.remove(&tag);
+    }
+
+    /// Discards every batched op buffer (see [`SimEngine::clear_op_buffer`]).
+    pub fn clear_op_buffers(&mut self) {
+        self.op_carry.clear();
     }
 
     /// Enables simulator-based pollution attribution (the McSimA+ stand-in):
@@ -166,33 +309,135 @@ impl SimEngine {
     /// Returns one report per slot, in the order of `slots`. Slots also
     /// accumulate the counter deltas into their own [`ExecSlot::pmcs`].
     ///
+    /// The interleaving is epoch-based: the slot that is furthest behind in
+    /// cycle time (ties broken by slot index) executes ops until it catches
+    /// up with the next slot, with ops pulled from batched per-slot buffers
+    /// ([`Workload::fill_ops`]). The resulting global op order — and
+    /// therefore every cache state, counter and pollution attribution — is
+    /// bit-identical to advancing one op at a time as
+    /// [`SimEngine::run_slots_reference`] does, which a property test
+    /// asserts; only the bookkeeping cost per op differs.
+    ///
     /// # Panics
     ///
     /// Panics if a slot references a core that does not exist on the machine
     /// (a programming error in the hypervisor layer).
-    pub fn run_slots(&mut self, slots: &mut [ExecSlot<'_>], cycle_budget: u64) -> Vec<QuantumReport> {
+    pub fn run_slots(
+        &mut self,
+        slots: &mut [ExecSlot<'_>],
+        cycle_budget: u64,
+    ) -> Vec<QuantumReport> {
         let n = slots.len();
         let mut reports = vec![QuantumReport::default(); n];
         if n == 0 || cycle_budget == 0 {
             return reports;
         }
+        self.resolve_data_nodes(slots);
+        debug_assert!(
+            {
+                let mut tags: Vec<u64> = slots.iter().map(|s| s.tag).collect();
+                tags.sort_unstable();
+                tags.windows(2).all(|w| w[0] != w[1])
+            },
+            "slot tags must be unique within one run_slots call"
+        );
 
-        // Resolve lazy data-node placement and validate cores up front.
-        let mut local_nodes = Vec::with_capacity(n);
-        for slot in slots.iter_mut() {
-            let node = self
-                .machine
-                .numa_node_of(slot.core)
-                .expect("slot references an unknown core");
-            if slot.data_node.0 == usize::MAX {
-                slot.data_node = node;
+        // Pick the op streams up exactly where the previous call left them.
+        let mut queues: Vec<OpQueue> = slots
+            .iter()
+            .map(|slot| self.op_carry.remove(&slot.tag).unwrap_or_default())
+            .collect();
+        // Memory-level parallelism and the access route are static per
+        // slot; hoist both out of the per-op loop.
+        let mlps: Vec<f64> = slots
+            .iter()
+            .map(|slot| slot.workload.mem_parallelism().max(1.0))
+            .collect();
+        let routes: Vec<AccessRoute> = slots
+            .iter()
+            .map(|slot| {
+                self.machine
+                    .route(slot.core, slot.data_node, slot.force_remote)
+                    .expect("slot references an unknown core")
+            })
+            .collect();
+
+        // Min-heap on (consumed cycles, slot index): the top is exactly the
+        // slot the reference path's linear scan would pick.
+        let mut heap: BinaryHeap<Reverse<(u64, usize)>> =
+            (0..n).map(|i| Reverse((0u64, i))).collect();
+        while let Some(Reverse((_, i))) = heap.pop() {
+            // The popped slot stays ahead of the heap top for a whole epoch:
+            // run it op by op until it would no longer be the scheduling
+            // minimum (or its budget is spent), then requeue it.
+            let (limit_cycles, limit_index) = match heap.peek() {
+                Some(Reverse((cycles, index))) => (*cycles, *index),
+                None => (cycle_budget, usize::MAX),
+            };
+            let slot = &mut slots[i];
+            let queue = &mut queues[i];
+            let report = &mut reports[i];
+            let route = routes[i];
+            let mlp = mlps[i];
+            let owner = slot.owner;
+            loop {
+                let op = queue.next(&mut *slot.workload);
+                execute_op(
+                    &mut self.machine,
+                    &mut self.shadow,
+                    route,
+                    owner,
+                    mlp,
+                    op,
+                    report,
+                );
+                let consumed = report.consumed_cycles;
+                if consumed >= cycle_budget {
+                    break;
+                }
+                if consumed > limit_cycles || (consumed == limit_cycles && i > limit_index) {
+                    heap.push(Reverse((consumed, i)));
+                    break;
+                }
             }
-            local_nodes.push(node);
         }
 
+        // Fold the call's counter deltas into the slots' cumulative PMCs
+        // (done once per call instead of once per op) and preserve
+        // fetched-but-unexecuted ops for the next call on each tag.
+        for ((slot, queue), report) in slots.iter_mut().zip(queues).zip(&reports) {
+            slot.pmcs += report.pmc_delta;
+            if !queue.is_drained() {
+                self.op_carry.insert(slot.tag, queue);
+            }
+        }
+        self.elapsed_cycles += cycle_budget;
+        reports
+    }
+
+    /// The semantic reference for [`SimEngine::run_slots`]: advance the
+    /// furthest-behind slot by exactly one op per iteration, pulled straight
+    /// from the workload with no batching. O(slots) bookkeeping per op —
+    /// kept for the equivalence property tests and as the baseline the
+    /// substrate benchmarks compare against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a slot references a core that does not exist on the machine.
+    pub fn run_slots_reference(
+        &mut self,
+        slots: &mut [ExecSlot<'_>],
+        cycle_budget: u64,
+    ) -> Vec<QuantumReport> {
+        let n = slots.len();
+        let mut reports = vec![QuantumReport::default(); n];
+        if n == 0 || cycle_budget == 0 {
+            return reports;
+        }
+        self.resolve_data_nodes(slots);
+
         // Interleave in cycle order: always advance the slot that is the
-        // furthest behind. With at most a few tens of slots a linear scan is
-        // faster than a heap.
+        // furthest behind, scanning linearly (first index wins ties).
         loop {
             let mut next: Option<usize> = None;
             let mut min_cycles = u64::MAX;
@@ -206,66 +451,40 @@ impl SimEngine {
 
             let slot = &mut slots[i];
             let op = slot.workload.next_op();
-            let (cycles, delta, polluted) = match op {
-                Op::Compute { cycles } => {
-                    let cycles = u64::from(cycles.max(1));
-                    (
-                        cycles,
-                        PmcSet {
-                            instructions: 1,
-                            unhalted_core_cycles: cycles,
-                            ..PmcSet::default()
-                        },
-                        false,
-                    )
-                }
-                Op::Load { addr } | Op::Store { addr } => {
-                    let kind = op.access_kind().unwrap_or(AccessKind::Load);
-                    let outcome = self
-                        .machine
-                        .access(slot.core, addr, kind, slot.owner, slot.data_node, slot.force_remote)
-                        .expect("slot references an unknown core");
-                    if outcome.level.reached_llc() {
-                        if let Some(shadow) = self.shadow.as_mut() {
-                            shadow.observe(slot.owner, addr);
-                        }
-                    }
-                    // Memory-level parallelism: streaming workloads overlap
-                    // independent misses, so the per-access charge of an LLC
-                    // miss shrinks by the declared parallelism factor.
-                    let effective_latency = if outcome.level.is_llc_miss() {
-                        let mlp = slot.workload.mem_parallelism().max(1.0);
-                        ((f64::from(outcome.latency) / mlp).round() as u32).max(1)
-                    } else {
-                        outcome.latency
-                    };
-                    let cycles = u64::from(effective_latency) + 1;
-                    let delta = PmcSet {
-                        instructions: 1,
-                        unhalted_core_cycles: cycles,
-                        memory_accesses: 1,
-                        ilc_misses: u64::from(outcome.level.reached_llc()),
-                        llc_references: u64::from(outcome.level.reached_llc()),
-                        llc_misses: u64::from(outcome.level.is_llc_miss()),
-                        remote_accesses: u64::from(
-                            outcome.level == crate::hierarchy::MemLevel::RemoteMemory,
-                        ),
-                    };
-                    (cycles, delta, outcome.polluted_llc)
-                }
-            };
-
-            let report = &mut reports[i];
-            report.consumed_cycles += cycles;
-            report.pmc_delta += delta;
-            if polluted {
-                report.pollution_events += 1;
-            }
-            slot.pmcs += delta;
+            let mlp = slot.workload.mem_parallelism().max(1.0);
+            let route = self
+                .machine
+                .route(slot.core, slot.data_node, slot.force_remote)
+                .expect("slot references an unknown core");
+            execute_op(
+                &mut self.machine,
+                &mut self.shadow,
+                route,
+                slot.owner,
+                mlp,
+                op,
+                &mut reports[i],
+            );
         }
 
+        for (slot, report) in slots.iter_mut().zip(&reports) {
+            slot.pmcs += report.pmc_delta;
+        }
         self.elapsed_cycles += cycle_budget;
         reports
+    }
+
+    /// Resolves lazy data-node placement and validates slot cores.
+    fn resolve_data_nodes(&self, slots: &mut [ExecSlot<'_>]) {
+        for slot in slots.iter_mut() {
+            let node = self
+                .machine
+                .numa_node_of(slot.core)
+                .expect("slot references an unknown core");
+            if slot.data_node.0 == usize::MAX {
+                slot.data_node = node;
+            }
+        }
     }
 }
 
@@ -317,7 +536,10 @@ mod tests {
     fn all_slots_consume_the_full_budget() {
         let mut e = engine();
         let mut fast = ComputeOnly::new(1);
-        let mut slow = FixedSequence::new("mem", vec![Op::Load { addr: 0 }, Op::Load { addr: 1 << 20 }]);
+        let mut slow = FixedSequence::new(
+            "mem",
+            vec![Op::Load { addr: 0 }, Op::Load { addr: 1 << 20 }],
+        );
         let mut slots = vec![
             ExecSlot::new(CoreId(0), 1, &mut fast),
             ExecSlot::new(CoreId(1), 2, &mut slow),
@@ -354,9 +576,12 @@ mod tests {
         let contended_misses = {
             let mut e = SimEngine::new(Machine::new(config));
             let mut wl = FixedSequence::new("sensitive", sensitive_lines);
-            let disruptor_ops: Vec<Op> = (0..4096u64).map(|i| Op::Load { addr: (1 << 30) + i * 64 }).collect();
-            let mut dis =
-                FixedSequence::new("disruptor", disruptor_ops).with_mem_parallelism(8.0);
+            let disruptor_ops: Vec<Op> = (0..4096u64)
+                .map(|i| Op::Load {
+                    addr: (1 << 30) + i * 64,
+                })
+                .collect();
+            let mut dis = FixedSequence::new("disruptor", disruptor_ops).with_mem_parallelism(8.0);
             let mut slots = vec![
                 ExecSlot::new(CoreId(0), 1, &mut wl),
                 ExecSlot::new(CoreId(1), 2, &mut dis),
@@ -394,7 +619,11 @@ mod tests {
         e.enable_shadow_attribution().unwrap();
         // Small reused set for owner 1, huge stream for owner 2.
         let reused: Vec<Op> = (0..64u64).map(|i| Op::Load { addr: i * 64 }).collect();
-        let stream: Vec<Op> = (0..100_000u64).map(|i| Op::Load { addr: (1 << 32) + i * 64 }).collect();
+        let stream: Vec<Op> = (0..100_000u64)
+            .map(|i| Op::Load {
+                addr: (1 << 32) + i * 64,
+            })
+            .collect();
         let mut wl1 = FixedSequence::new("reused", reused);
         let mut wl2 = FixedSequence::new("stream", stream).with_mem_parallelism(8.0);
         let mut slots = vec![
@@ -415,8 +644,14 @@ mod tests {
         let config = MachineConfig::scaled_paper_machine(64);
         let llc_lines = config.llc.num_lines();
         let mut e = SimEngine::new(Machine::new(config));
-        let victim_ops: Vec<Op> = (0..llc_lines / 2).map(|i| Op::Load { addr: i * 64 }).collect();
-        let stream: Vec<Op> = (0..1_000_000u64).map(|i| Op::Load { addr: (1 << 32) + i * 64 }).collect();
+        let victim_ops: Vec<Op> = (0..llc_lines / 2)
+            .map(|i| Op::Load { addr: i * 64 })
+            .collect();
+        let stream: Vec<Op> = (0..1_000_000u64)
+            .map(|i| Op::Load {
+                addr: (1 << 32) + i * 64,
+            })
+            .collect();
         let mut victim = FixedSequence::new("victim", victim_ops);
         let mut polluter = FixedSequence::new("polluter", stream).with_mem_parallelism(8.0);
         let mut slots = vec![
@@ -426,12 +661,17 @@ mod tests {
         // Warm the LLC with the victim, then let both run.
         e.run_slots(&mut slots[..1], 200_000);
         let reports = e.run_slots(&mut slots, 200_000);
-        assert!(reports[1].pollution_events > 0, "the streaming owner should evict victim lines");
+        assert!(
+            reports[1].pollution_events > 0,
+            "the streaming owner should evict victim lines"
+        );
     }
 
     #[test]
     fn mem_parallelism_speeds_up_streaming_workloads() {
-        let ops: Vec<Op> = (0..100_000u64).map(|i| Op::Load { addr: i * 4096 }).collect();
+        let ops: Vec<Op> = (0..100_000u64)
+            .map(|i| Op::Load { addr: i * 4096 })
+            .collect();
         let run = |mlp: f64| -> u64 {
             let mut e = engine();
             let mut wl = FixedSequence::new("stream", ops.clone()).with_mem_parallelism(mlp);
@@ -455,5 +695,50 @@ mod tests {
         e.run_slots(std::slice::from_mut(&mut slot), 1000);
         e.run_slots(std::slice::from_mut(&mut slot), 500);
         assert_eq!(e.elapsed_cycles(), 1500);
+    }
+
+    #[test]
+    fn op_buffers_carry_across_calls_per_tag() {
+        // A FixedSequence visiting distinct lines: if the engine dropped the
+        // prefetched-but-unexecuted ops between calls, the visited address
+        // sequence would skip lines and the total distinct-line count of two
+        // short calls would diverge from one long call.
+        let ops: Vec<Op> = (0..1024u64).map(|i| Op::Load { addr: i * 64 }).collect();
+        let run = |budgets: &[u64]| -> u64 {
+            let mut e = engine();
+            let mut wl = FixedSequence::new("seq", ops.clone());
+            for &budget in budgets {
+                let mut slot = ExecSlot::new(CoreId(0), 1, &mut wl).with_tag(7);
+                e.run_slots(std::slice::from_mut(&mut slot), budget);
+            }
+            e.machine()
+                .socket(crate::topology::SocketId(0))
+                .unwrap()
+                .llc()
+                .stats()
+                .accesses
+        };
+        let split = run(&[3_000, 3_000, 3_000]);
+        let joined = run(&[9_000]);
+        // Each extra call can overshoot by at most one op, so the two runs
+        // stay within a few accesses of each other.
+        assert!(
+            split.abs_diff(joined) <= 4,
+            "split={split}, joined={joined}"
+        );
+    }
+
+    #[test]
+    fn clear_op_buffer_restarts_the_stream_for_a_tag() {
+        let ops: Vec<Op> = (0..256u64).map(|i| Op::Load { addr: i * 64 }).collect();
+        let mut e = engine();
+        let mut wl = FixedSequence::new("seq", ops);
+        let mut slot = ExecSlot::new(CoreId(0), 1, &mut wl).with_tag(42);
+        e.run_slots(std::slice::from_mut(&mut slot), 1_000);
+        e.clear_op_buffer(42);
+        e.clear_op_buffers();
+        // After clearing, running again must still work (fresh fetch).
+        let reports = e.run_slots(std::slice::from_mut(&mut slot), 1_000);
+        assert!(reports[0].consumed_cycles >= 1_000);
     }
 }

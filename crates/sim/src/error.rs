@@ -69,6 +69,9 @@ mod tests {
 
     #[test]
     fn unknown_core_display() {
-        assert_eq!(SimError::UnknownCore { core: 7 }.to_string(), "unknown core id 7");
+        assert_eq!(
+            SimError::UnknownCore { core: 7 }.to_string(),
+            "unknown core id 7"
+        );
     }
 }

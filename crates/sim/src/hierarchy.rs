@@ -115,6 +115,14 @@ impl CoreCaches {
         self.l2.flush_owner(owner);
     }
 
+    /// Pre-sizes the per-owner counters of every private cache for `owner`
+    /// (see [`Cache::register_owner`]).
+    pub fn register_owner(&mut self, owner: OwnerId) {
+        self.l1d.register_owner(owner);
+        self.l1i.register_owner(owner);
+        self.l2.register_owner(owner);
+    }
+
     /// Resets private cache statistics.
     pub fn reset_stats(&mut self) {
         self.l1d.reset_stats();
@@ -128,7 +136,14 @@ impl CoreCaches {
     /// as [`MemLevel::LocalMemory`]; the caller decides whether the NUMA
     /// placement turns it into [`MemLevel::RemoteMemory`]) and whether the
     /// LLC fill evicted another owner's line.
-    pub fn walk(&mut self, llc: &mut Cache, addr: u64, kind: AccessKind, owner: OwnerId) -> (MemLevel, bool) {
+    #[inline]
+    pub fn walk(
+        &mut self,
+        llc: &mut Cache,
+        addr: u64,
+        kind: AccessKind,
+        owner: OwnerId,
+    ) -> (MemLevel, bool) {
         let l1 = match kind {
             AccessKind::InstructionFetch => &mut self.l1i,
             AccessKind::Load | AccessKind::Store => &mut self.l1d,

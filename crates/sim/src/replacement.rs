@@ -16,8 +16,10 @@ use serde::{Deserialize, Serialize};
 /// and at which recency position a newly inserted line starts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 #[non_exhaustive]
+#[derive(Default)]
 pub enum ReplacementPolicy {
     /// Evict the least-recently-used line; insert new lines as MRU.
+    #[default]
     Lru,
     /// Bimodal insertion: new lines are inserted in the LRU position most of
     /// the time and only promoted to MRU with a small probability. This
@@ -39,12 +41,6 @@ impl ReplacementPolicy {
             ReplacementPolicy::Dip => "dip",
             ReplacementPolicy::Random => "random",
         }
-    }
-}
-
-impl Default for ReplacementPolicy {
-    fn default() -> Self {
-        ReplacementPolicy::Lru
     }
 }
 
@@ -124,11 +120,26 @@ impl ReplacementState {
         }
     }
 
+    /// Allocation-free victim choice for callers that already scanned the
+    /// set: `lru_way` is the way with the oldest timestamp (first index on
+    /// ties) and `ways` the associativity. Consumes the RNG exactly like
+    /// [`ReplacementState::pick_victim`] would, so both entry points yield
+    /// identical eviction streams.
+    #[inline]
+    pub fn pick_victim_prescanned(&mut self, lru_way: usize, ways: usize) -> usize {
+        debug_assert!(ways > 0);
+        match self.policy {
+            ReplacementPolicy::Random => self.rng.gen_range(0..ways),
+            _ => lru_way,
+        }
+    }
+
     /// Chooses the recency position of a newly inserted line.
     ///
     /// `set_index` is used by DIP set dueling: a few leader sets always use
     /// LRU, a few always use BIP, and the remaining follower sets follow the
     /// PSEL counter.
+    #[inline]
     pub fn insert_position(&mut self, set_index: usize, total_sets: usize) -> InsertPosition {
         match self.policy {
             ReplacementPolicy::Lru | ReplacementPolicy::Random => InsertPosition::Mru,
@@ -149,6 +160,7 @@ impl ReplacementState {
 
     /// Notifies the policy that a miss occurred in `set_index`, so DIP can
     /// update its PSEL duel counter.
+    #[inline]
     pub fn on_miss(&mut self, set_index: usize, total_sets: usize) {
         if self.policy != ReplacementPolicy::Dip {
             return;
@@ -191,7 +203,7 @@ fn dip_set_role(set_index: usize, total_sets: usize) -> DipSetRole {
             _ => DipSetRole::Follower,
         };
     }
-    if set_index % DIP_LEADER_STRIDE == 0 {
+    if set_index.is_multiple_of(DIP_LEADER_STRIDE) {
         DipSetRole::LruLeader
     } else if set_index % DIP_LEADER_STRIDE == 1 {
         DipSetRole::BipLeader
@@ -230,7 +242,10 @@ mod tests {
             }
         }
         let fraction = lru_inserts as f64 / trials as f64;
-        assert!(fraction > 0.9, "BIP should insert at LRU most of the time, got {fraction}");
+        assert!(
+            fraction > 0.9,
+            "BIP should insert at LRU most of the time, got {fraction}"
+        );
         assert!(fraction < 1.0, "BIP must occasionally insert at MRU");
     }
 
@@ -241,7 +256,10 @@ mod tests {
         for _ in 0..1000 {
             seen[state.pick_victim(&[1, 2, 3, 4])] = true;
         }
-        assert!(seen.iter().all(|&s| s), "random policy should eventually evict every way");
+        assert!(
+            seen.iter().all(|&s| s),
+            "random policy should eventually evict every way"
+        );
     }
 
     #[test]

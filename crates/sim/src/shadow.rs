@@ -45,10 +45,12 @@ impl ShadowAttribution {
     /// Replays one LLC-level access (an access that missed the private
     /// caches) of `owner` at `addr`.
     pub fn observe(&mut self, owner: OwnerId, addr: u64) {
-        let cache = self
-            .shadows
-            .entry(owner)
-            .or_insert_with(|| Cache::with_seed(self.llc_config.clone(), u64::from(owner)).expect("validated geometry"));
+        let cache = self.shadows.entry(owner).or_insert_with(|| {
+            let mut shadow = Cache::with_seed(self.llc_config.clone(), u64::from(owner))
+                .expect("validated geometry");
+            shadow.register_owner(owner);
+            shadow
+        });
         *self.references.entry(owner).or_insert(0) += 1;
         if !cache.access(addr, owner).hit {
             *self.misses.entry(owner).or_insert(0) += 1;
@@ -125,7 +127,11 @@ mod tests {
                 s.observe(2, (round * 1000 + i) * 64);
             }
         }
-        assert_eq!(s.solo_misses(1), 4, "owner 1 should only miss on cold lines");
+        assert_eq!(
+            s.solo_misses(1),
+            4,
+            "owner 1 should only miss on cold lines"
+        );
         assert!(s.solo_misses(2) > 100);
     }
 

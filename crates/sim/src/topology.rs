@@ -209,6 +209,16 @@ impl MachineConfig {
     }
 }
 
+/// A pre-resolved access path for one slot: socket and core indices plus
+/// the remote-on-miss decision, computed once per scheduling quantum
+/// instead of once per memory access (see [`Machine::route`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessRoute {
+    socket: usize,
+    core_idx: usize,
+    remote_on_miss: bool,
+}
+
 /// One socket: a shared LLC plus the private caches of its cores.
 #[derive(Debug, Clone)]
 pub struct Socket {
@@ -345,6 +355,54 @@ impl Machine {
             .unwrap_or(0)
     }
 
+    /// Resolves the access route of a slot — socket index, core index
+    /// within the socket, and whether LLC misses pay the remote latency —
+    /// so the engine's per-op loop can skip the core-to-socket division and
+    /// NUMA comparison (see [`Machine::access_routed`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownCore`] for out-of-range cores.
+    pub fn route(
+        &self,
+        core: CoreId,
+        data_node: NumaNode,
+        force_remote: bool,
+    ) -> Result<AccessRoute, SimError> {
+        let socket = self.socket_of(core)?;
+        Ok(AccessRoute {
+            socket: socket.0,
+            core_idx: core.0 % self.config.cores_per_socket,
+            remote_on_miss: force_remote || data_node.0 != socket.0,
+        })
+    }
+
+    /// Performs a memory access along a pre-resolved route. Semantically
+    /// identical to [`Machine::access`] with the route's core and placement,
+    /// minus the per-access resolution work.
+    #[inline]
+    pub fn access_routed(
+        &mut self,
+        route: AccessRoute,
+        addr: u64,
+        kind: AccessKind,
+        owner: OwnerId,
+    ) -> AccessOutcome {
+        let socket_ref = &mut self.sockets[route.socket];
+        let (level, polluted) =
+            socket_ref.cores[route.core_idx].walk(&mut socket_ref.llc, addr, kind, owner);
+        let level = if level == MemLevel::LocalMemory && route.remote_on_miss {
+            MemLevel::RemoteMemory
+        } else {
+            level
+        };
+        AccessOutcome {
+            level,
+            latency: self.config.latency.of(level),
+            polluted_llc: polluted,
+        }
+    }
+
     /// Performs a memory access from `core`.
     ///
     /// `data_node` is the NUMA node holding the data: if it differs from the
@@ -371,8 +429,7 @@ impl Machine {
         let core_idx = core.0 % per;
         let (level, polluted) =
             socket_ref.cores[core_idx].walk(&mut socket_ref.llc, addr, kind, owner);
-        let level = if level == MemLevel::LocalMemory && (force_remote || data_node != local_node)
-        {
+        let level = if level == MemLevel::LocalMemory && (force_remote || data_node != local_node) {
             MemLevel::RemoteMemory
         } else {
             level
@@ -382,6 +439,18 @@ impl Machine {
             latency: self.config.latency.of(level),
             polluted_llc: polluted,
         })
+    }
+
+    /// Pre-sizes per-owner counters of every cache on the machine for
+    /// `owner`, keeping table growth off the access hot path (called when a
+    /// VM is created; see [`Cache::register_owner`]).
+    pub fn register_owner(&mut self, owner: OwnerId) {
+        for socket in &mut self.sockets {
+            socket.llc.register_owner(owner);
+            for core in &mut socket.cores {
+                core.register_owner(owner);
+            }
+        }
     }
 
     /// Flushes every cache line owned by `owner` on the whole machine

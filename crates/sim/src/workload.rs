@@ -57,6 +57,23 @@ pub trait Workload {
     /// Produces the next micro-operation.
     fn next_op(&mut self) -> Op;
 
+    /// Fills `buf` with the next operations of the stream and returns how
+    /// many were written (the default implementation fills the whole
+    /// buffer via [`Workload::next_op`]).
+    ///
+    /// The engine batches through this method so one dynamic dispatch
+    /// fetches a whole chunk of ops. Implementations must emit exactly the
+    /// stream repeated `next_op` calls would: a `fill_ops` followed by
+    /// `next_op` continues the same sequence. Infinite generators (all the
+    /// built-in models) must fill the buffer completely; a return value
+    /// below `buf.len()` is reserved for finite traces.
+    fn fill_ops(&mut self, buf: &mut [Op]) -> usize {
+        for slot in buf.iter_mut() {
+            *slot = self.next_op();
+        }
+        buf.len()
+    }
+
     /// Short human-readable name (e.g. the SPEC application being modelled).
     fn name(&self) -> &str;
 
@@ -83,6 +100,10 @@ pub trait Workload {
 impl<W: Workload + ?Sized> Workload for Box<W> {
     fn next_op(&mut self) -> Op {
         (**self).next_op()
+    }
+
+    fn fill_ops(&mut self, buf: &mut [Op]) -> usize {
+        (**self).fill_ops(buf)
     }
 
     fn name(&self) -> &str {
@@ -130,6 +151,13 @@ impl Workload for ComputeOnly {
         Op::Compute {
             cycles: self.cycles_per_op,
         }
+    }
+
+    fn fill_ops(&mut self, buf: &mut [Op]) -> usize {
+        buf.fill(Op::Compute {
+            cycles: self.cycles_per_op,
+        });
+        buf.len()
     }
 
     fn name(&self) -> &str {
@@ -181,6 +209,19 @@ impl Workload for FixedSequence {
         op
     }
 
+    fn fill_ops(&mut self, buf: &mut [Op]) -> usize {
+        // Copy whole slices of the looped sequence instead of stepping the
+        // cursor once per op.
+        let mut written = 0;
+        while written < buf.len() {
+            let run = (self.ops.len() - self.next).min(buf.len() - written);
+            buf[written..written + run].copy_from_slice(&self.ops[self.next..self.next + run]);
+            written += run;
+            self.next = (self.next + run) % self.ops.len();
+        }
+        buf.len()
+    }
+
     fn name(&self) -> &str {
         &self.name
     }
@@ -211,7 +252,10 @@ mod tests {
     fn op_accessors() {
         assert_eq!(Op::Compute { cycles: 3 }.access_kind(), None);
         assert_eq!(Op::Load { addr: 64 }.access_kind(), Some(AccessKind::Load));
-        assert_eq!(Op::Store { addr: 64 }.access_kind(), Some(AccessKind::Store));
+        assert_eq!(
+            Op::Store { addr: 64 }.access_kind(),
+            Some(AccessKind::Store)
+        );
         assert_eq!(Op::Load { addr: 64 }.addr(), Some(64));
         assert_eq!(Op::Compute { cycles: 3 }.addr(), None);
     }
@@ -235,7 +279,11 @@ mod tests {
     fn fixed_sequence_loops_and_resets() {
         let mut wl = FixedSequence::new(
             "seq",
-            vec![Op::Load { addr: 0 }, Op::Load { addr: 64 }, Op::Compute { cycles: 1 }],
+            vec![
+                Op::Load { addr: 0 },
+                Op::Load { addr: 64 },
+                Op::Compute { cycles: 1 },
+            ],
         );
         assert_eq!(wl.next_op(), Op::Load { addr: 0 });
         assert_eq!(wl.next_op(), Op::Load { addr: 64 });
@@ -249,7 +297,11 @@ mod tests {
     fn fixed_sequence_working_set_counts_distinct_lines() {
         let wl = FixedSequence::new(
             "seq",
-            vec![Op::Load { addr: 0 }, Op::Load { addr: 8 }, Op::Store { addr: 64 }],
+            vec![
+                Op::Load { addr: 0 },
+                Op::Load { addr: 8 },
+                Op::Store { addr: 64 },
+            ],
         );
         assert_eq!(wl.working_set_bytes(), 128);
     }

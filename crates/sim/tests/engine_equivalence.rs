@@ -1,0 +1,317 @@
+//! Equivalence of the batched/epoch engine path with the per-op reference.
+//!
+//! `SimEngine::run_slots` batches op fetching and interleaves slots in
+//! epochs; `SimEngine::run_slots_reference` advances one op at a time with a
+//! linear furthest-behind scan. The two must be *bit-identical*: same
+//! `QuantumReport`s, same cumulative slot PMCs, same LLC `CacheStats` and
+//! per-owner occupancy/miss attribution, same shadow (solo) misses — across
+//! replacement policies, budgets, slot counts and the paper's execution
+//! modes (parallel co-scheduling and alternative time-sharing over
+//! successive calls, which exercises the carried op buffers).
+
+use kyoto_sim::cache::OwnerId;
+use kyoto_sim::engine::{ExecSlot, SimEngine};
+use kyoto_sim::pmc::PmcSet;
+use kyoto_sim::replacement::ReplacementPolicy;
+use kyoto_sim::topology::{CoreId, Machine, MachineConfig, SocketId};
+use kyoto_sim::workload::{Op, Workload};
+use kyoto_sim::CacheStats;
+use proptest::prelude::*;
+
+/// A deterministic mixed load/store/compute generator (LCG-driven) so the
+/// test does not depend on the higher-level `kyoto-workloads` crate.
+#[derive(Debug, Clone)]
+struct LcgWorkload {
+    state: u64,
+    lines: u64,
+    mem_parallelism: f64,
+}
+
+impl LcgWorkload {
+    fn new(seed: u64, lines: u64, mem_parallelism: f64) -> Self {
+        LcgWorkload {
+            state: seed | 1,
+            lines: lines.max(1),
+            mem_parallelism,
+        }
+    }
+}
+
+impl Workload for LcgWorkload {
+    fn next_op(&mut self) -> Op {
+        self.state = self
+            .state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let draw = self.state >> 33;
+        let line = (draw / 16) % self.lines;
+        match draw % 16 {
+            0..=2 => Op::Compute {
+                cycles: (draw / 16 % 13 + 1) as u32,
+            },
+            3..=5 => Op::Store { addr: line * 64 },
+            _ => Op::Load { addr: line * 64 },
+        }
+    }
+
+    fn name(&self) -> &str {
+        "lcg"
+    }
+
+    fn working_set_bytes(&self) -> u64 {
+        self.lines * 64
+    }
+
+    fn mem_parallelism(&self) -> f64 {
+        self.mem_parallelism
+    }
+}
+
+/// One slot blueprint: which core/owner the workload runs on during a call.
+#[derive(Debug, Clone, Copy)]
+struct SlotSpec {
+    core: usize,
+    owner: OwnerId,
+}
+
+/// Which workloads participate in each successive `run_slots` call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// All workloads co-run on distinct cores every call (Section 2.2's
+    /// parallel execution).
+    Parallel,
+    /// Workloads take turns on core 0 across calls (alternative execution;
+    /// exercises op buffers carried across calls).
+    Alternative,
+    /// One workload alternates on core 0 while another runs steadily on
+    /// core 1.
+    Combined,
+}
+
+/// Everything observable about a run: per-call reports plus final machine,
+/// slot and shadow state.
+#[derive(Debug, PartialEq)]
+struct Observed {
+    reports: Vec<Vec<kyoto_sim::QuantumReport>>,
+    pmcs: Vec<PmcSet>,
+    llc_stats: CacheStats,
+    llc_occupancy: Vec<u64>,
+    llc_misses_of: Vec<u64>,
+    shadow_misses: Vec<u64>,
+    elapsed_cycles: u64,
+}
+
+fn participants(mode: Mode, call: usize, workload_count: usize) -> Vec<(usize, SlotSpec)> {
+    match mode {
+        Mode::Parallel => (0..workload_count)
+            .map(|w| {
+                (
+                    w,
+                    SlotSpec {
+                        core: w,
+                        owner: w as OwnerId + 1,
+                    },
+                )
+            })
+            .collect(),
+        Mode::Alternative => {
+            let w = call % workload_count;
+            vec![(
+                w,
+                SlotSpec {
+                    core: 0,
+                    owner: w as OwnerId + 1,
+                },
+            )]
+        }
+        Mode::Combined => {
+            let w = call % (workload_count - 1).max(1);
+            let steady = workload_count - 1;
+            vec![
+                (
+                    w,
+                    SlotSpec {
+                        core: 0,
+                        owner: w as OwnerId + 1,
+                    },
+                ),
+                (
+                    steady,
+                    SlotSpec {
+                        core: 1,
+                        owner: steady as OwnerId + 1,
+                    },
+                ),
+            ]
+        }
+    }
+}
+
+fn run_path(
+    batched: bool,
+    policy: ReplacementPolicy,
+    mode: Mode,
+    seed: u64,
+    workload_count: usize,
+    budgets: &[u64],
+    shadow: bool,
+) -> Observed {
+    let config = MachineConfig::scaled_paper_machine(256).with_llc_policy(policy);
+    let llc_lines = config.llc.num_lines();
+    let mut engine = SimEngine::new(Machine::new(config));
+    if shadow {
+        engine.enable_shadow_attribution().unwrap();
+    }
+    // Working sets straddle the LLC so hits, misses and cross-owner
+    // evictions all occur.
+    let mut workloads: Vec<LcgWorkload> = (0..workload_count)
+        .map(|w| {
+            LcgWorkload::new(
+                seed.wrapping_add(w as u64).wrapping_mul(0x9e3779b9) | 1,
+                llc_lines / 2 + (w as u64 + 1) * llc_lines / 3,
+                1.0 + w as f64 * 2.0,
+            )
+        })
+        .collect();
+    let mut pmcs = vec![PmcSet::default(); workload_count];
+    let mut reports = Vec::with_capacity(budgets.len());
+
+    for (call, &budget) in budgets.iter().enumerate() {
+        let selected = participants(mode, call, workload_count);
+        let mut remaining: Vec<&mut LcgWorkload> = workloads.iter_mut().collect();
+        // Pull the selected workloads out in index order so each call can
+        // borrow several of them mutably at once.
+        let mut slots: Vec<ExecSlot<'_>> = Vec::new();
+        let mut slot_workload_indices = Vec::new();
+        for &(w, spec) in selected.iter().rev() {
+            let workload = remaining.remove(w);
+            slots.push(ExecSlot::new(CoreId(spec.core), spec.owner, workload));
+            slot_workload_indices.push(w);
+        }
+        slots.reverse();
+        slot_workload_indices.reverse();
+        let call_reports = if batched {
+            engine.run_slots(&mut slots, budget)
+        } else {
+            engine.run_slots_reference(&mut slots, budget)
+        };
+        for (slot, &w) in slots.iter().zip(&slot_workload_indices) {
+            pmcs[w] += slot.pmcs;
+        }
+        reports.push(call_reports);
+    }
+
+    let socket = SocketId(0);
+    let llc = engine.machine().socket(socket).unwrap().llc();
+    Observed {
+        reports,
+        pmcs,
+        llc_stats: llc.stats(),
+        llc_occupancy: (0..=workload_count as OwnerId)
+            .map(|owner| llc.occupancy_of(owner))
+            .collect(),
+        llc_misses_of: (0..=workload_count as OwnerId)
+            .map(|owner| llc.misses_of(owner))
+            .collect(),
+        shadow_misses: (0..=workload_count as OwnerId)
+            .map(|owner| {
+                engine
+                    .shadow()
+                    .map(|shadow| shadow.solo_misses(owner))
+                    .unwrap_or(0)
+            })
+            .collect(),
+        elapsed_cycles: engine.elapsed_cycles(),
+    }
+}
+
+fn arb_policy() -> impl Strategy<Value = ReplacementPolicy> {
+    prop_oneof![
+        Just(ReplacementPolicy::Lru),
+        Just(ReplacementPolicy::Bip),
+        Just(ReplacementPolicy::Dip),
+        Just(ReplacementPolicy::Random),
+    ]
+}
+
+fn arb_mode() -> impl Strategy<Value = Mode> {
+    prop_oneof![
+        Just(Mode::Parallel),
+        Just(Mode::Alternative),
+        Just(Mode::Combined),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The batched/epoch path and the per-op reference produce identical
+    /// simulations: reports, PMCs, LLC statistics, per-owner attribution
+    /// and shadow misses all match exactly.
+    #[test]
+    fn batched_path_is_bit_identical_to_reference(
+        policy in arb_policy(),
+        mode in arb_mode(),
+        seed in 0u64..1_000_000,
+        workload_count in 2usize..4,
+        budgets in prop::collection::vec(500u64..30_000, 1..5),
+        shadow in prop_oneof![Just(false), Just(true)],
+    ) {
+        let batched = run_path(true, policy, mode, seed, workload_count, &budgets, shadow);
+        let reference = run_path(false, policy, mode, seed, workload_count, &budgets, shadow);
+        prop_assert_eq!(batched, reference);
+    }
+
+    /// A single slot driven to large budgets (the tight single-slot epoch
+    /// loop) also matches the reference exactly.
+    #[test]
+    fn single_slot_epochs_match_reference(
+        policy in arb_policy(),
+        seed in 0u64..1_000_000,
+        budgets in prop::collection::vec(10_000u64..200_000, 1..4),
+    ) {
+        let batched = run_path(true, policy, Mode::Parallel, seed, 1, &budgets, false);
+        let reference = run_path(false, policy, Mode::Parallel, seed, 1, &budgets, false);
+        prop_assert_eq!(batched, reference);
+    }
+}
+
+/// Non-property smoke check: the carried op buffer really continues the
+/// stream (a workload interrupted mid-chunk resumes where the engine
+/// stopped consuming, not where the prefetch stopped).
+#[test]
+fn carried_op_buffers_preserve_the_stream_across_calls() {
+    let many_small_budgets: Vec<u64> = (0..12).map(|i| 700 + i * 137).collect();
+    let one_big_budget = [many_small_budgets.iter().sum::<u64>()];
+    let split = run_path(
+        true,
+        ReplacementPolicy::Lru,
+        Mode::Parallel,
+        99,
+        2,
+        &many_small_budgets,
+        false,
+    );
+    let joined = run_path(
+        true,
+        ReplacementPolicy::Lru,
+        Mode::Parallel,
+        99,
+        2,
+        &one_big_budget,
+        false,
+    );
+    // Not bit-identical (quantum boundaries differ: each call lets every
+    // slot overshoot its budget by at most one op) but the same op streams
+    // were consumed, so instruction counts must be very close.
+    for (a, b) in split.pmcs.iter().zip(&joined.pmcs) {
+        let (low, high) = (
+            a.instructions.min(b.instructions),
+            a.instructions.max(b.instructions),
+        );
+        assert!(
+            high > 0 && high - low < high / 10,
+            "stream diverged: {low} vs {high} instructions"
+        );
+    }
+}

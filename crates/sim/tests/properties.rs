@@ -1,10 +1,10 @@
 //! Property-based tests of the cache and PMC invariants.
 
 use kyoto_sim::cache::{Cache, CacheConfig};
+use kyoto_sim::hierarchy::AccessKind;
 use kyoto_sim::pmc::PmcSet;
 use kyoto_sim::replacement::ReplacementPolicy;
 use kyoto_sim::topology::{CoreId, Machine, MachineConfig, NumaNode};
-use kyoto_sim::hierarchy::AccessKind;
 use proptest::prelude::*;
 
 fn arb_policy() -> impl Strategy<Value = ReplacementPolicy> {

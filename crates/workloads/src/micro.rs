@@ -167,13 +167,10 @@ pub fn representative(
             Box::new(PointerChase::representative(category, machine, seed))
         }
         Category::C3 => Box::new(
-            crate::synthetic::RandomAccess::new(
-                category.representative_working_set(machine),
-                seed,
-            )
-            .with_mem_fraction(0.85)
-            .with_mem_parallelism(1.0)
-            .named("v3rep"),
+            crate::synthetic::RandomAccess::new(category.representative_working_set(machine), seed)
+                .with_mem_fraction(0.85)
+                .with_mem_parallelism(1.0)
+                .named("v3rep"),
         ),
     }
 }
@@ -194,8 +191,7 @@ pub fn disruptive(
         // A C3 disruptor streams over several LLCs worth of data.
         Category::C3 => machine.llc.size_bytes * 4,
     };
-    crate::synthetic::Streaming::new(ws, seed)
-        .named(format!("v{}dis", category.index()))
+    crate::synthetic::Streaming::new(ws, seed).named(format!("v{}dis", category.index()))
 }
 
 #[cfg(test)]
@@ -261,7 +257,10 @@ mod tests {
         let machine = MachineConfig::scaled_paper_machine(16);
         for category in Category::ALL {
             let rep = PointerChase::representative(category, &machine, 1);
-            assert_eq!(Category::classify(rep.working_set_bytes(), &machine), category);
+            assert_eq!(
+                Category::classify(rep.working_set_bytes(), &machine),
+                category
+            );
             assert_eq!(rep.name(), format!("v{}rep", category.index()));
         }
     }
@@ -288,7 +287,10 @@ mod tests {
         let mut chase = PointerChase::new(4096, 9);
         let _ = chase.next_op();
         chase.reset();
-        assert_eq!(chase.next_op().addr().map(|a| a / LINE_SIZE), Some(chase.next_line_of_zero()));
+        assert_eq!(
+            chase.next_op().addr().map(|a| a / LINE_SIZE),
+            Some(chase.next_line_of_zero())
+        );
     }
 
     impl PointerChase {

@@ -337,11 +337,62 @@ pub struct SpecProfile {
 /// misses (disjoint from every working set).
 pub const COLD_REGION_BASE: u64 = 1 << 40;
 
+/// The op classes a [`SpecWorkload`] draws from. The seed implementation
+/// reached these through a chain of conditional `gen_bool` draws; the chain
+/// is a categorical distribution in disguise, so the hot path now picks the
+/// class with a single uniform draw against precomputed cumulative
+/// thresholds (one more draw picks the line when the class needs one).
+#[derive(Debug, Clone, Copy)]
+struct OpClassThresholds {
+    /// P(compute).
+    compute: u64,
+    /// P(compute) + P(cold).
+    cold: u64,
+    /// ... + P(hot load).
+    hot_load: u64,
+    /// ... + P(hot store).
+    hot_store: u64,
+    /// ... + P(stream load).
+    stream_load: u64,
+    /// ... + P(stream store).
+    stream_store: u64,
+    /// ... + P(random load); the remainder is a random store.
+    random_load: u64,
+}
+
+impl OpClassThresholds {
+    fn from_profile(p: &SpecProfile) -> Self {
+        let mem = p.mem_fraction.clamp(0.0, 1.0);
+        let cold = mem * p.cold_fraction.clamp(0.0, 1.0);
+        let warm = mem - cold;
+        let hot = warm * p.hot_fraction.clamp(0.0, 1.0);
+        let stream = (warm - hot) * p.streaming_fraction.clamp(0.0, 1.0);
+        let random = warm - hot - stream;
+        let write = p.write_fraction.clamp(0.0, 1.0);
+        let scale = |cumulative: f64| -> u64 {
+            // Map a cumulative probability to a u64 threshold; 1.0 maps to
+            // u64::MAX so a uniform draw is always below it.
+            (cumulative.clamp(0.0, 1.0) * u64::MAX as f64) as u64
+        };
+        let compute = 1.0 - mem;
+        OpClassThresholds {
+            compute: scale(compute),
+            cold: scale(compute + cold),
+            hot_load: scale(compute + cold + hot * (1.0 - write)),
+            hot_store: scale(compute + cold + hot),
+            stream_load: scale(compute + cold + hot + stream * (1.0 - write)),
+            stream_store: scale(compute + cold + hot + stream),
+            random_load: scale(compute + cold + hot + stream + random * (1.0 - write)),
+        }
+    }
+}
+
 /// A running instance of a modelled application.
 #[derive(Debug, Clone)]
 pub struct SpecWorkload {
     app: SpecApp,
     profile: SpecProfile,
+    thresholds: OpClassThresholds,
     ws_lines: u64,
     hot_lines: u64,
     scan_pos: u64,
@@ -365,6 +416,7 @@ impl SpecWorkload {
             .min(ws_lines);
         SpecWorkload {
             app,
+            thresholds: OpClassThresholds::from_profile(&profile),
             profile,
             ws_lines,
             hot_lines,
@@ -372,6 +424,12 @@ impl SpecWorkload {
             cold_pos: 0,
             rng: SmallRng::seed_from_u64(seed ^ (app as u64) << 32),
         }
+    }
+
+    #[inline]
+    fn line_in(&mut self, lines: u64) -> u64 {
+        // Lemire multiply-shift draw in [0, lines).
+        ((u128::from(self.rng.next_u64()) * u128::from(lines)) >> 64) as u64
     }
 
     /// The modelled application.
@@ -391,32 +449,46 @@ impl SpecWorkload {
 }
 
 impl Workload for SpecWorkload {
+    #[inline]
     fn next_op(&mut self) -> Op {
-        if !self.rng.gen_bool(self.profile.mem_fraction) {
+        let t = self.thresholds;
+        let draw = self.rng.next_u64();
+        if draw < t.compute {
             return Op::Compute {
                 cycles: self.profile.compute_cycles,
             };
         }
-        if self.rng.gen_bool(self.profile.cold_fraction) {
+        if draw < t.cold {
             // Compulsory miss: touch a line that will never be reused.
             let addr = COLD_REGION_BASE + self.cold_pos * LINE_SIZE;
             self.cold_pos += 1;
             return Op::Load { addr };
         }
-        let line = if self.rng.gen_bool(self.profile.hot_fraction) {
-            self.rng.gen_range(0..self.hot_lines)
-        } else if self.rng.gen_bool(self.profile.streaming_fraction) {
-            let line = self.scan_pos;
-            self.scan_pos = (self.scan_pos + 1) % self.ws_lines;
-            line
-        } else {
-            self.rng.gen_range(0..self.ws_lines)
-        };
-        let addr = line * LINE_SIZE;
-        if self.rng.gen_bool(self.profile.write_fraction) {
-            Op::Store { addr }
-        } else {
+        if draw < t.hot_store {
+            let addr = self.line_in(self.hot_lines) * LINE_SIZE;
+            return if draw < t.hot_load {
+                Op::Load { addr }
+            } else {
+                Op::Store { addr }
+            };
+        }
+        if draw < t.stream_store {
+            let addr = self.scan_pos * LINE_SIZE;
+            self.scan_pos += 1;
+            if self.scan_pos == self.ws_lines {
+                self.scan_pos = 0;
+            }
+            return if draw < t.stream_load {
+                Op::Load { addr }
+            } else {
+                Op::Store { addr }
+            };
+        }
+        let addr = self.line_in(self.ws_lines) * LINE_SIZE;
+        if draw < t.random_load {
             Op::Load { addr }
+        } else {
+            Op::Store { addr }
         }
     }
 
@@ -573,7 +645,10 @@ mod tests {
         let mcf = SpecWorkload::new(SpecApp::Mcf, 16, 1);
         assert!(lbm.mem_parallelism() >= 4.0);
         assert!(blockie.mem_parallelism() >= 4.0);
-        assert!(mcf.mem_parallelism() < 4.0, "mcf is latency-bound pointer chasing");
+        assert!(
+            mcf.mem_parallelism() < 4.0,
+            "mcf is latency-bound pointer chasing"
+        );
     }
 
     #[test]

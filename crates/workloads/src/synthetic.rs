@@ -12,6 +12,12 @@ use rand::{Rng, SeedableRng};
 /// Cache-line size assumed by the workload models.
 const LINE_SIZE: u64 = 64;
 
+/// Maps a probability to a `u64` draw threshold (1.0 saturates so a uniform
+/// draw is always below it).
+fn threshold(p: f64) -> u64 {
+    (p.clamp(0.0, 1.0) * u64::MAX as f64) as u64
+}
+
 /// A sequential streaming scan over a working set, wrapping around forever.
 ///
 /// Every access touches a new cache line until the scan wraps, which gives
@@ -26,21 +32,34 @@ pub struct Streaming {
     mem_fraction: f64,
     mem_parallelism: f64,
     write_fraction: f64,
+    /// Cumulative draw thresholds: below `store_t` → store, below `mem_t` →
+    /// load, else compute. One uniform draw decides the whole op.
+    store_t: u64,
+    mem_t: u64,
     rng: SmallRng,
 }
 
 impl Streaming {
     /// Creates a streaming scan over `working_set_bytes`.
     pub fn new(working_set_bytes: u64, seed: u64) -> Self {
-        Streaming {
+        let mut streaming = Streaming {
             name: "streaming".to_string(),
             lines: (working_set_bytes / LINE_SIZE).max(1),
             position: 0,
             mem_fraction: 0.6,
             mem_parallelism: 8.0,
             write_fraction: 0.3,
+            store_t: 0,
+            mem_t: 0,
             rng: SmallRng::seed_from_u64(seed),
-        }
+        };
+        streaming.rebuild_thresholds();
+        streaming
+    }
+
+    fn rebuild_thresholds(&mut self) {
+        self.store_t = threshold(self.mem_fraction * self.write_fraction);
+        self.mem_t = threshold(self.mem_fraction);
     }
 
     /// Renames the workload (used to label `v^i_dis` VMs).
@@ -52,6 +71,7 @@ impl Streaming {
     /// Sets the fraction of ops that are memory accesses (rest is compute).
     pub fn with_mem_fraction(mut self, fraction: f64) -> Self {
         self.mem_fraction = fraction.clamp(0.0, 1.0);
+        self.rebuild_thresholds();
         self
     }
 
@@ -64,10 +84,14 @@ impl Streaming {
 
 impl Workload for Streaming {
     fn next_op(&mut self) -> Op {
-        if self.rng.gen_bool(self.mem_fraction) {
+        let draw = self.rng.next_u64();
+        if draw < self.mem_t {
             let addr = self.position * LINE_SIZE;
-            self.position = (self.position + 1) % self.lines;
-            if self.rng.gen_bool(self.write_fraction) {
+            self.position += 1;
+            if self.position == self.lines {
+                self.position = 0;
+            }
+            if draw < self.store_t {
                 Op::Store { addr }
             } else {
                 Op::Load { addr }
@@ -105,6 +129,7 @@ pub struct RandomAccess {
     lines: u64,
     mem_fraction: f64,
     mem_parallelism: f64,
+    mem_t: u64,
     rng: SmallRng,
 }
 
@@ -116,6 +141,7 @@ impl RandomAccess {
             lines: (working_set_bytes / LINE_SIZE).max(1),
             mem_fraction: 0.5,
             mem_parallelism: 1.5,
+            mem_t: threshold(0.5),
             rng: SmallRng::seed_from_u64(seed),
         }
     }
@@ -129,6 +155,7 @@ impl RandomAccess {
     /// Sets the fraction of ops that are memory accesses.
     pub fn with_mem_fraction(mut self, fraction: f64) -> Self {
         self.mem_fraction = fraction.clamp(0.0, 1.0);
+        self.mem_t = threshold(self.mem_fraction);
         self
     }
 
@@ -141,9 +168,11 @@ impl RandomAccess {
 
 impl Workload for RandomAccess {
     fn next_op(&mut self) -> Op {
-        if self.rng.gen_bool(self.mem_fraction) {
-            let line = self.rng.gen_range(0..self.lines);
-            Op::Load { addr: line * LINE_SIZE }
+        if self.rng.next_u64() < self.mem_t {
+            let line = ((u128::from(self.rng.next_u64()) * u128::from(self.lines)) >> 64) as u64;
+            Op::Load {
+                addr: line * LINE_SIZE,
+            }
         } else {
             Op::Compute { cycles: 1 }
         }
@@ -224,7 +253,10 @@ mod tests {
             assert!(addr < ws);
             seen.insert(addr / LINE_SIZE);
         }
-        assert!(seen.len() > 50, "uniform accesses should cover most of the 64 lines");
+        assert!(
+            seen.len() > 50,
+            "uniform accesses should cover most of the 64 lines"
+        );
     }
 
     #[test]

@@ -37,12 +37,19 @@ fn hpc_throughput_xen(batch_tenants: usize) -> f64 {
         cloud
             .add_vm_with(
                 VmConfig::new(format!("batch-{i}")).pinned_to(vec![CoreId(1 + i % 3)]),
-                Box::new(SpecWorkload::new(SpecApp::Lbm, EXAMPLE_SCALE, 10 + i as u64)),
+                Box::new(SpecWorkload::new(
+                    SpecApp::Lbm,
+                    EXAMPLE_SCALE,
+                    10 + i as u64,
+                )),
             )
             .expect("valid VM");
     }
     cloud.run_ms(RUN_MS);
-    cloud.report(hpc).expect("hpc exists").instructions_per_tick()
+    cloud
+        .report(hpc)
+        .expect("hpc exists")
+        .instructions_per_tick()
 }
 
 fn hpc_throughput_kyoto(batch_tenants: usize) -> f64 {
@@ -69,12 +76,19 @@ fn hpc_throughput_kyoto(batch_tenants: usize) -> f64 {
                 VmConfig::new(format!("batch-{i}"))
                     .pinned_to(vec![CoreId(1 + i % 3)])
                     .with_llc_cap(BATCH_PERMIT),
-                Box::new(SpecWorkload::new(SpecApp::Lbm, EXAMPLE_SCALE, 10 + i as u64)),
+                Box::new(SpecWorkload::new(
+                    SpecApp::Lbm,
+                    EXAMPLE_SCALE,
+                    10 + i as u64,
+                )),
             )
             .expect("valid VM");
     }
     cloud.run_ms(RUN_MS);
-    cloud.report(hpc).expect("hpc exists").instructions_per_tick()
+    cloud
+        .report(hpc)
+        .expect("hpc exists")
+        .instructions_per_tick()
 }
 
 fn main() {

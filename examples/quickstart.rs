@@ -25,7 +25,10 @@ fn gcc_vm(llc_cap: Option<f64>) -> (VmConfig, Box<SpecWorkload>) {
     if let Some(cap) = llc_cap {
         config = config.with_llc_cap(cap);
     }
-    (config, Box::new(SpecWorkload::new(SpecApp::Gcc, EXAMPLE_SCALE, 1)))
+    (
+        config,
+        Box::new(SpecWorkload::new(SpecApp::Gcc, EXAMPLE_SCALE, 1)),
+    )
 }
 
 fn lbm_vm(llc_cap: Option<f64>) -> (VmConfig, Box<SpecWorkload>) {
@@ -33,7 +36,10 @@ fn lbm_vm(llc_cap: Option<f64>) -> (VmConfig, Box<SpecWorkload>) {
     if let Some(cap) = llc_cap {
         config = config.with_llc_cap(cap);
     }
-    (config, Box::new(SpecWorkload::new(SpecApp::Lbm, EXAMPLE_SCALE, 2)))
+    (
+        config,
+        Box::new(SpecWorkload::new(SpecApp::Lbm, EXAMPLE_SCALE, 2)),
+    )
 }
 
 fn machine() -> Machine {

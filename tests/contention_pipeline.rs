@@ -100,6 +100,6 @@ fn fig2_traces_reproduce_the_papers_shapes() {
     // Alternative: the VM only runs on some ticks (zig-zag), so its trace
     // contains both zero ticks (descheduled) and miss bursts (reloads).
     let alt_values = alternative.values();
-    assert!(alt_values.iter().any(|&v| v == 0.0));
+    assert!(alt_values.contains(&0.0));
     assert!(alt_values.iter().skip(3).any(|&v| v > 0.0));
 }

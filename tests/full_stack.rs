@@ -33,7 +33,11 @@ fn same_seed_same_results_different_seed_different_results() {
         hv.run_ms(200);
         hv.report(vm).unwrap().pmcs
     };
-    assert_eq!(run(7), run(7), "identical seeds must reproduce identical counters");
+    assert_eq!(
+        run(7),
+        run(7),
+        "identical seeds must reproduce identical counters"
+    );
     assert_ne!(run(7), run(8), "different seeds should diverge");
 }
 
@@ -51,7 +55,10 @@ fn vm_lifecycle_add_remove_add_again() {
         )
         .unwrap();
     hv.run_ms(100);
-    assert!(hv.report(a).unwrap().punishments > 0, "blockie should exceed a 100-miss/ms permit");
+    assert!(
+        hv.report(a).unwrap().punishments > 0,
+        "blockie should exceed a 100-miss/ms permit"
+    );
     hv.remove_vm(a).unwrap();
     assert!(hv.report(a).is_none());
     // The machine keeps working after the removal.
@@ -64,7 +71,10 @@ fn vm_lifecycle_add_remove_add_again() {
     hv.run_ms(100);
     let report = hv.report(b).unwrap();
     assert!(report.pmcs.instructions > 0);
-    assert_eq!(report.punishments, 0, "povray books no permit and is never punished");
+    assert_eq!(
+        report.punishments, 0,
+        "povray books no permit and is never punished"
+    );
 }
 
 #[test]
@@ -118,7 +128,9 @@ fn ks4linux_enforces_permits_like_ks4xen() {
     );
     let polluter = hv
         .add_vm_with(
-            VmConfig::new("lbm").pinned_to(vec![CoreId(0)]).with_llc_cap(50.0),
+            VmConfig::new("lbm")
+                .pinned_to(vec![CoreId(0)])
+                .with_llc_cap(50.0),
             Box::new(SpecWorkload::new(SpecApp::Lbm, SCALE, 3)),
         )
         .unwrap();
@@ -131,17 +143,24 @@ fn ks4linux_enforces_permits_like_ks4xen() {
     hv.run_ms(300);
     let polluter_report = hv.report(polluter).unwrap();
     let neighbour_report = hv.report(neighbour).unwrap();
-    assert!(polluter_report.punishments > 0, "KS4Linux must punish the polluter");
-    assert!(polluter_report.cpu_share() < 0.9, "punishment must cost CPU time");
-    assert!((neighbour_report.cpu_share() - 1.0).abs() < 1e-9, "the clean VM keeps its core");
+    assert!(
+        polluter_report.punishments > 0,
+        "KS4Linux must punish the polluter"
+    );
+    assert!(
+        polluter_report.cpu_share() < 0.9,
+        "punishment must cost CPU time"
+    );
+    assert!(
+        (neighbour_report.cpu_share() - 1.0).abs() < 1e-9,
+        "the clean VM keeps its core"
+    );
 }
 
 #[test]
 fn history_supports_trace_analysis_across_crates() {
-    let mut hv = kyoto::hypervisor::xen_hypervisor(
-        machine(),
-        HypervisorConfig::default().with_history(),
-    );
+    let mut hv =
+        kyoto::hypervisor::xen_hypervisor(machine(), HypervisorConfig::default().with_history());
     let vm = hv
         .add_vm_with(
             VmConfig::new("gcc").pinned_to(vec![CoreId(0)]),

@@ -35,7 +35,12 @@ fn fig4_equation_1_orders_aggressiveness_at_least_as_well_as_llcm() {
         result.tau_llcm
     );
     // The heavy polluters must occupy the top of the measured order.
-    let top2: Vec<SpecApp> = result.aggressiveness_order.iter().take(2).copied().collect();
+    let top2: Vec<SpecApp> = result
+        .aggressiveness_order
+        .iter()
+        .take(2)
+        .copied()
+        .collect();
     assert!(
         top2.contains(&SpecApp::Lbm) || top2.contains(&SpecApp::Blockie),
         "lbm/blockie should top the aggressiveness order, got {top2:?}"
@@ -46,7 +51,10 @@ fn fig4_equation_1_orders_aggressiveness_at_least_as_well_as_llcm() {
         .iter()
         .position(|&a| a == SpecApp::Bzip)
         .unwrap();
-    assert!(bzip_rank >= 2, "bzip should not be among the most aggressive apps");
+    assert!(
+        bzip_rank >= 2,
+        "bzip should not be among the most aggressive apps"
+    );
 }
 
 #[test]
