@@ -7,6 +7,7 @@
 //! cargo run --release -p kyoto-bench --bin figures -- fig1 fig5
 //! cargo run --release -p kyoto-bench --bin figures -- --quick all
 //! cargo run --release -p kyoto-bench --bin figures -- --jobs 4 all
+//! cargo run --release -p kyoto-bench --bin figures -- --parallel-engine all
 //! ```
 //!
 //! Figure scenarios are independent: each builds its own machine, engine and
@@ -14,6 +15,10 @@
 //! per-VM seeds from it. `--jobs N` therefore runs them on `N` scoped worker
 //! threads; outputs are buffered and printed in the requested order, so the
 //! report is byte-identical whatever the parallelism.
+//! `--parallel-engine` additionally runs each scenario's engine ticks with
+//! one thread per populated socket (`SimEngine::run_slots_parallel`); the
+//! per-socket op order is preserved exactly, so figure content stays
+//! byte-identical with the switch on or off.
 
 use kyoto_bench::{figures_config, figures_quick_config};
 use kyoto_experiments::config::ExperimentConfig;
@@ -105,12 +110,14 @@ fn parse_jobs(args: &[String]) -> usize {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let parallel_engine = args.iter().any(|a| a == "--parallel-engine");
     let jobs = parse_jobs(&args);
     let config = if quick {
         figures_quick_config()
     } else {
         figures_config()
-    };
+    }
+    .with_parallel_engine(parallel_engine);
     let mut skip_next = false;
     let mut targets: Vec<&str> = args
         .iter()

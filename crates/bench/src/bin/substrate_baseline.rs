@@ -156,6 +156,38 @@ fn engine_rate(slots: usize, scale: u64, batched: bool) -> f64 {
     })
 }
 
+/// Throughput of the serial (`run_slots`) or socket-parallel
+/// (`run_slots_parallel`) path on the two-socket NUMA machine, with `slots`
+/// gcc-like workloads spread evenly across both sockets (4 cores per
+/// socket: slot `i` runs on core `(i % 2) * 4 + i / 2`). The simulation
+/// results of the two paths are bit-identical per socket — the equivalence
+/// property tests prove it — so the ratio is a pure wall-clock speedup.
+fn numa_engine_rate(slots: usize, scale: u64, parallel: bool) -> f64 {
+    const BUDGET: u64 = 100_000;
+    let machine = Machine::new(MachineConfig::scaled_paper_numa_machine(scale));
+    let cores_per_socket = machine.config().cores_per_socket;
+    let mut engine = SimEngine::new(machine);
+    let mut workloads: Vec<SpecWorkload> = (0..slots)
+        .map(|i| SpecWorkload::new(SpecApp::Gcc, scale, i as u64))
+        .collect();
+    best_rate((BUDGET * slots as u64) as f64, || {
+        let mut slot_refs: Vec<ExecSlot<'_>> = workloads
+            .iter_mut()
+            .enumerate()
+            .map(|(i, w)| {
+                let core = (i % 2) * cores_per_socket + i / 2;
+                ExecSlot::new(CoreId(core), i as u16 + 1, w)
+            })
+            .collect();
+        let reports = if parallel {
+            engine.run_slots_parallel(&mut slot_refs, BUDGET)
+        } else {
+            engine.run_slots(&mut slot_refs, BUDGET)
+        };
+        black_box(reports);
+    })
+}
+
 fn main() {
     let stdout_only = std::env::args().any(|a| a == "--stdout");
     let config = bench_config();
@@ -202,6 +234,37 @@ fn main() {
         seed_speedups.push((slots, batched / seed));
     }
 
+    // Socket-parallel engine on the two-socket machine: slots split evenly
+    // across both sockets, serial `run_slots` vs `run_slots_parallel`.
+    // The speedup is machine-dependent (it needs at least two hardware
+    // threads to materialise; ideal is ~2x on a 2-socket scenario).
+    let mut parallel_speedups: Vec<(usize, f64)> = Vec::new();
+    for slots in [2usize, 4, 8] {
+        let serial = numa_engine_rate(slots, config.scale, false);
+        let parallel = numa_engine_rate(slots, config.scale, true);
+        let serial_name: &'static str = match slots {
+            2 => "run_slots_serial_2sockets_2slots",
+            4 => "run_slots_serial_2sockets_4slots",
+            _ => "run_slots_serial_2sockets_8slots",
+        };
+        samples.push(Sample {
+            name: serial_name,
+            unit: "Msimcycles/s",
+            value: serial / 1e6,
+        });
+        let parallel_name: &'static str = match slots {
+            2 => "run_slots_parallel_2sockets_2slots",
+            4 => "run_slots_parallel_2sockets_4slots",
+            _ => "run_slots_parallel_2sockets_8slots",
+        };
+        samples.push(Sample {
+            name: parallel_name,
+            unit: "Msimcycles/s",
+            value: parallel / 1e6,
+        });
+        parallel_speedups.push((slots, parallel / serial));
+    }
+
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"schema\": \"kyoto-substrate-bench/v1\",\n");
@@ -229,6 +292,23 @@ fn main() {
     json.push_str("  \"optimized_vs_seed_speedup\": {\n");
     for (i, (slots, speedup)) in seed_speedups.iter().enumerate() {
         let comma = if i + 1 == seed_speedups.len() {
+            ""
+        } else {
+            ","
+        };
+        let _ = writeln!(json, "    \"{slots}_slots\": {speedup:.2}{comma}");
+    }
+    json.push_str("  },\n");
+    let _ = writeln!(
+        json,
+        "  \"parallel_bench_threads\": {},",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    );
+    json.push_str("  \"parallel_vs_serial_speedup_2sockets\": {\n");
+    for (i, (slots, speedup)) in parallel_speedups.iter().enumerate() {
+        let comma = if i + 1 == parallel_speedups.len() {
             ""
         } else {
             ","

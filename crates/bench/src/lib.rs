@@ -26,6 +26,7 @@ pub fn bench_config() -> ExperimentConfig {
         seed: 42,
         warmup_ticks: 2,
         measure_ticks: 5,
+        parallel_engine: false,
     }
 }
 
@@ -36,6 +37,7 @@ pub fn figures_config() -> ExperimentConfig {
         seed: 42,
         warmup_ticks: 9,
         measure_ticks: 30,
+        parallel_engine: false,
     }
 }
 
@@ -46,6 +48,7 @@ pub fn figures_quick_config() -> ExperimentConfig {
         seed: 42,
         warmup_ticks: 5,
         measure_ticks: 12,
+        parallel_engine: false,
     }
 }
 

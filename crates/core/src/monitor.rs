@@ -164,7 +164,17 @@ impl DedicationSampler {
         self.samples_taken
     }
 
-    /// Number of sampling windows skipped by the heuristics.
+    /// Number of sampling windows skipped *entirely* by the heuristics: the
+    /// window would have opened, every candidate in the rotation was judged
+    /// not to need isolation, and no vCPU was sampled for the whole window.
+    ///
+    /// Each skipped window counts exactly once, however many candidates the
+    /// rotation holds. (An earlier version counted one skip per *candidate*
+    /// considered, so a fully-skipped window over an `n`-vCPU rotation
+    /// inflated the counter by `n` — overstating the Fig. 10 heuristic
+    /// savings by the rotation length.) A window that passes over some
+    /// low-pollution candidates but ends up sampling someone counts as
+    /// taken, not skipped: isolation still happened, so nothing was saved.
     pub fn samples_skipped(&self) -> u64 {
         self.samples_skipped
     }
@@ -204,7 +214,6 @@ impl DedicationSampler {
             let target = self.rotation[self.next_index % self.rotation.len()];
             self.next_index = (self.next_index + 1) % self.rotation.len();
             if self.should_skip(target, estimates) {
-                self.samples_skipped += 1;
                 continue;
             }
             self.phase = Phase::Sampling {
@@ -213,7 +222,11 @@ impl DedicationSampler {
             };
             return;
         }
-        // Every candidate was skipped: stay idle for another interval.
+        // Every candidate was skipped: the whole window is saved. Count the
+        // skipped *window* once (not once per candidate — see
+        // [`DedicationSampler::samples_skipped`]) and stay idle for another
+        // interval.
+        self.samples_skipped += 1;
         self.phase = Phase::Idle {
             remaining: self.config.interval_ticks,
         };
@@ -338,8 +351,39 @@ mod tests {
                 assert_eq!(target, vcpu(2), "the low polluter must never be isolated");
             }
         }
-        assert!(s.samples_skipped() > 0);
         assert!(s.samples_taken() > 0);
+        // Every window still sampled the polluter, so no *window* was
+        // skipped — passing over the low polluter inside a window that
+        // isolates someone else saves nothing.
+        assert_eq!(s.samples_skipped(), 0);
+    }
+
+    #[test]
+    fn a_fully_skipped_window_counts_one_skip_not_one_per_candidate() {
+        // Both vCPUs are below the threshold, so every window is skipped
+        // entirely. With interval_ticks = 1 a window opportunity occurs on
+        // every tick: after N ticks exactly N windows were skipped — not
+        // N * rotation_len, which the pre-fix accounting reported and which
+        // overstated the Fig. 10 heuristic savings.
+        let config = SocketDedicationConfig {
+            sampling_ticks: 2,
+            interval_ticks: 1,
+            skip_low_polluters: true,
+            low_pollution_threshold: 1_000.0,
+            ..SocketDedicationConfig::default()
+        };
+        let mut s = sampler(config);
+        let mut estimates = HashMap::new();
+        estimates.insert(vcpu(1), 10.0);
+        estimates.insert(vcpu(2), 20.0);
+        tick_n(&mut s, 25, &estimates);
+        assert_eq!(s.sampling_target(), None);
+        assert_eq!(s.samples_taken(), 0);
+        assert_eq!(
+            s.samples_skipped(),
+            25,
+            "one skip per skipped window, independent of rotation length"
+        );
     }
 
     #[test]

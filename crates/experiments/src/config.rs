@@ -35,6 +35,12 @@ pub struct ExperimentConfig {
     pub warmup_ticks: u64,
     /// Measured ticks.
     pub measure_ticks: u64,
+    /// Run scenario hypervisors with socket-parallel engine execution (one
+    /// thread per populated socket inside each tick). Results are
+    /// bit-identical to the serial engine — the parallel path preserves
+    /// per-socket op order exactly — so every figure is byte-identical with
+    /// the switch on or off; only multi-socket wall-clock time changes.
+    pub parallel_engine: bool,
 }
 
 impl ExperimentConfig {
@@ -45,6 +51,7 @@ impl ExperimentConfig {
             seed: 42,
             warmup_ticks: 4,
             measure_ticks: 10,
+            parallel_engine: false,
         }
     }
 
@@ -55,7 +62,15 @@ impl ExperimentConfig {
             seed: 42,
             warmup_ticks: 12,
             measure_ticks: 45,
+            parallel_engine: false,
         }
+    }
+
+    /// Returns the same configuration with socket-parallel engine execution
+    /// enabled or disabled (see [`ExperimentConfig::parallel_engine`]).
+    pub fn with_parallel_engine(mut self, parallel: bool) -> Self {
+        self.parallel_engine = parallel;
+        self
     }
 
     /// The configuration for a fidelity level.
@@ -86,9 +101,10 @@ impl ExperimentConfig {
         MachineConfig::scaled_paper_numa_machine(self.scale)
     }
 
-    /// Default hypervisor timing (10 ms ticks, 30 ms slices).
+    /// Default hypervisor timing (10 ms ticks, 30 ms slices), carrying this
+    /// configuration's engine-parallelism switch.
     pub fn hypervisor_config(&self) -> HypervisorConfig {
-        HypervisorConfig::default()
+        HypervisorConfig::default().with_parallel_engine(self.parallel_engine)
     }
 
     /// Converts a paper-scale `llc_cap` (e.g. `250_000.0` for the paper's

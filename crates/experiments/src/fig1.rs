@@ -174,6 +174,7 @@ mod tests {
             seed: 7,
             warmup_ticks: 2,
             measure_ticks: 4,
+            parallel_engine: false,
         }
     }
 

@@ -129,6 +129,7 @@ mod tests {
             seed: 29,
             warmup_ticks: 3,
             measure_ticks: 8,
+            parallel_engine: false,
         }
     }
 

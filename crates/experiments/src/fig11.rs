@@ -143,6 +143,7 @@ mod tests {
             seed: 31,
             warmup_ticks: 3,
             measure_ticks: 8,
+            parallel_engine: false,
         }
     }
 

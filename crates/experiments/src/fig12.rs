@@ -153,6 +153,7 @@ mod tests {
             seed: 37,
             warmup_ticks: 3,
             measure_ticks: 9,
+            parallel_engine: false,
         }
     }
 

@@ -147,6 +147,7 @@ mod tests {
             seed: 3,
             warmup_ticks: 0,
             measure_ticks: 0,
+            parallel_engine: false,
         }
     }
 

@@ -21,11 +21,11 @@ use serde::{Deserialize, Serialize};
 /// The cap sweep needs a finer enforcement granularity than Xen's default
 /// 3-tick slice (a cap is rounded up to whole ticks within a slice): a 3 ms
 /// tick with a 10-tick (30 ms) slice resolves cap steps of 10 %.
-fn fine_grained_hypervisor_config() -> HypervisorConfig {
+fn fine_grained_hypervisor_config(config: &ExperimentConfig) -> HypervisorConfig {
     HypervisorConfig {
         tick_ms: 3,
         ticks_per_slice: 10,
-        record_history: false,
+        ..config.hypervisor_config()
     }
 }
 
@@ -87,7 +87,7 @@ impl Fig3Result {
 }
 
 fn solo_ipc(config: &ExperimentConfig, app: SpecApp) -> f64 {
-    let mut hv = xen_hypervisor(config.machine(), fine_grained_hypervisor_config());
+    let mut hv = xen_hypervisor(config.machine(), fine_grained_hypervisor_config(config));
     hv.add_vm_with(
         VmConfig::new("sen").pinned_to(vec![SENSITIVE_CORE]),
         spec_workload(config, app, 1),
@@ -98,7 +98,7 @@ fn solo_ipc(config: &ExperimentConfig, app: SpecApp) -> f64 {
 }
 
 fn contended_ipc(config: &ExperimentConfig, app: SpecApp, cap_percent: u32) -> f64 {
-    let mut hv = xen_hypervisor(config.machine(), fine_grained_hypervisor_config());
+    let mut hv = xen_hypervisor(config.machine(), fine_grained_hypervisor_config(config));
     hv.add_vm_with(
         VmConfig::new("sen").pinned_to(vec![SENSITIVE_CORE]),
         spec_workload(config, app, 1),
@@ -150,6 +150,7 @@ mod tests {
             seed: 11,
             warmup_ticks: 3,
             measure_ticks: 6,
+            parallel_engine: false,
         }
     }
 

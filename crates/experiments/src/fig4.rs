@@ -214,6 +214,7 @@ mod tests {
             seed: 5,
             warmup_ticks: 2,
             measure_ticks: 5,
+            parallel_engine: false,
         }
     }
 

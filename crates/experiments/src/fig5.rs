@@ -245,6 +245,7 @@ mod tests {
             seed: 13,
             warmup_ticks: 3,
             measure_ticks: 9,
+            parallel_engine: false,
         }
     }
 

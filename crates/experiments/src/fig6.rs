@@ -121,6 +121,7 @@ mod tests {
             seed: 17,
             warmup_ticks: 3,
             measure_ticks: 6,
+            parallel_engine: false,
         }
     }
 

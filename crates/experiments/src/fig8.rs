@@ -137,6 +137,7 @@ mod tests {
             seed: 19,
             warmup_ticks: 3,
             measure_ticks: 8,
+            parallel_engine: false,
         }
     }
 

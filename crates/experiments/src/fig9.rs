@@ -125,6 +125,9 @@ mod tests {
             seed: 23,
             warmup_ticks: 3,
             measure_ticks: 9,
+            // Fig. 9 runs the two-socket machine: exercise the hypervisor's
+            // socket-parallel engine path in this test.
+            parallel_engine: true,
         }
     }
 

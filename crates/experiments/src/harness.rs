@@ -305,6 +305,7 @@ mod tests {
             seed: 1,
             warmup_ticks: 2,
             measure_ticks: 3,
+            parallel_engine: false,
         };
         let calibration = calibrate_permits(&config);
         assert!(calibration.sim_per_paper_kilo > 0.0);

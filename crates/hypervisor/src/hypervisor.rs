@@ -68,6 +68,12 @@ pub struct HypervisorConfig {
     /// Record a per-vCPU, per-tick history (needed by the trace figures,
     /// Fig. 2 and Fig. 5; costs memory on long runs).
     pub record_history: bool,
+    /// Execute each tick through [`SimEngine::run_slots_parallel`], running
+    /// every socket's vCPUs on its own thread. Simulation results are
+    /// bit-identical to the serial engine (the parallel path preserves the
+    /// per-socket op order exactly); only wall-clock time changes, so this
+    /// is purely a throughput switch for multi-socket scenarios.
+    pub parallel_engine: bool,
 }
 
 impl Default for HypervisorConfig {
@@ -76,6 +82,7 @@ impl Default for HypervisorConfig {
             tick_ms: 10,
             ticks_per_slice: 3,
             record_history: false,
+            parallel_engine: false,
         }
     }
 }
@@ -90,6 +97,13 @@ impl HypervisorConfig {
     /// Sets the tick duration in milliseconds.
     pub fn with_tick_ms(mut self, tick_ms: u64) -> Self {
         self.tick_ms = tick_ms.max(1);
+        self
+    }
+
+    /// Enables or disables socket-parallel engine execution
+    /// (see [`HypervisorConfig::parallel_engine`]).
+    pub fn with_parallel_engine(mut self, parallel: bool) -> Self {
+        self.parallel_engine = parallel;
         self
     }
 }
@@ -334,6 +348,7 @@ impl<S: Scheduler> Hypervisor<S> {
         let tick = self.tick;
         let tick_ms = self.config.tick_ms;
         let record_history = self.config.record_history;
+        let parallel_engine = self.config.parallel_engine;
 
         // Phase 1: placement. Ask the scheduler, core by core, which vCPU
         // runs next. A vCPU runs on at most one core per tick.
@@ -400,7 +415,11 @@ impl<S: Scheduler> Hypervisor<S> {
                 }
             }
         }
-        let reports = engine.run_slots(&mut slots, cycles_per_tick);
+        let reports = if parallel_engine {
+            engine.run_slots_parallel(&mut slots, cycles_per_tick)
+        } else {
+            engine.run_slots(&mut slots, cycles_per_tick)
+        };
         drop(slots);
 
         // Phase 3: accounting.
@@ -767,6 +786,42 @@ mod tests {
         hv.run_ticks(10);
         assert_eq!(hv.report(a).unwrap().ticks_scheduled, 10);
         assert_eq!(hv.report(b).unwrap().ticks_scheduled, 10);
+    }
+
+    #[test]
+    fn parallel_engine_ticks_match_the_serial_engine() {
+        // Same VMs on the two-socket machine, one hypervisor running the
+        // serial engine and one the socket-parallel engine: every VM report
+        // (PMCs included) must be identical, because the parallel path
+        // preserves per-socket op order exactly.
+        let run = |parallel: bool| {
+            let machine = Machine::new(MachineConfig::scaled_paper_numa_machine(SCALE));
+            let hconfig = HypervisorConfig::default().with_parallel_engine(parallel);
+            let cycles_per_tick = machine.config().freq_khz * hconfig.tick_ms;
+            let scheduler = CreditScheduler::new(CreditConfig::new(
+                machine.num_cores(),
+                cycles_per_tick,
+                hconfig.ticks_per_slice,
+            ));
+            let mut hv = Hypervisor::new(machine, scheduler, hconfig);
+            hv.engine_mut().enable_shadow_attribution().unwrap();
+            for (i, core) in [0usize, 1, 4, 5].iter().enumerate() {
+                hv.add_vm_with(
+                    VmConfig::new(format!("vm{i}")).pinned_to(vec![CoreId(*core)]),
+                    Box::new(SpecWorkload::new(SpecApp::Gcc, SCALE, i as u64)),
+                )
+                .unwrap();
+            }
+            hv.run_ticks(8);
+            let reports: Vec<VmReport> = hv.reports();
+            let shadow: Vec<u64> = hv
+                .vm_ids()
+                .iter()
+                .map(|vm| hv.engine().shadow().unwrap().solo_misses(vm.0))
+                .collect();
+            (reports, shadow)
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

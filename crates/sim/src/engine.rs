@@ -22,10 +22,10 @@
 
 use crate::cache::OwnerId;
 use crate::error::SimError;
-use crate::hierarchy::AccessKind;
+use crate::hierarchy::{AccessKind, AccessOutcome};
 use crate::pmc::PmcSet;
 use crate::shadow::ShadowAttribution;
-use crate::topology::{AccessRoute, CoreId, Machine, NumaNode};
+use crate::topology::{AccessRoute, CoreId, Machine, NumaNode, SocketView};
 use crate::workload::{Op, Workload};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
@@ -34,6 +34,15 @@ use std::collections::{BinaryHeap, HashMap};
 /// amortise the dynamic dispatch, small enough that carried-over ops stay
 /// negligible in memory.
 const OP_CHUNK: usize = 64;
+
+/// Calls a carried op buffer may sit unused before the stale sweep drops it.
+/// Large enough that any legitimately descheduled stream (alternative
+/// execution, long Kyoto punishments) survives, small enough that abandoned
+/// tags cannot accumulate without bound.
+const CARRY_STALE_AFTER: u64 = 1024;
+
+/// How often (in batched `run_slots*` calls) the stale-carry sweep runs.
+const CARRY_PRUNE_INTERVAL: u64 = 256;
 
 /// An execution binding: a workload running on behalf of `owner` on `core`.
 pub struct ExecSlot<'a> {
@@ -57,7 +66,13 @@ pub struct ExecSlot<'a> {
     ///
     /// Defaults to a value derived from `(owner, core)`, which is correct
     /// as long as a given workload always runs under the same owner/core
-    /// pair. The hypervisor overrides it with the vCPU key.
+    /// pair. **Migration pitfall:** the default tag changes when the same
+    /// workload is rebound to a different core, so the ops prefetched under
+    /// the old tag are orphaned — the stream silently skips up to one chunk
+    /// and the abandoned buffer lingers until the engine's stale sweep
+    /// prunes it. Callers that migrate streams between cores must supply a
+    /// core-independent tag via [`ExecSlot::with_tag`]; the hypervisor uses
+    /// the vCPU key.
     pub tag: u64,
     /// Cumulative counters across every call this slot participated in.
     pub pmcs: PmcSet,
@@ -168,12 +183,51 @@ impl OpQueue {
     }
 }
 
+/// Memory-access target of the engine's execution loops: the whole machine
+/// (serial paths) or one socket's split-borrowed view (the socket-parallel
+/// path). Monomorphised, so the per-op cost is identical either way.
+trait AccessMem {
+    fn access_routed(
+        &mut self,
+        route: AccessRoute,
+        addr: u64,
+        kind: AccessKind,
+        owner: OwnerId,
+    ) -> AccessOutcome;
+}
+
+impl AccessMem for Machine {
+    #[inline]
+    fn access_routed(
+        &mut self,
+        route: AccessRoute,
+        addr: u64,
+        kind: AccessKind,
+        owner: OwnerId,
+    ) -> AccessOutcome {
+        Machine::access_routed(self, route, addr, kind, owner)
+    }
+}
+
+impl AccessMem for SocketView<'_> {
+    #[inline]
+    fn access_routed(
+        &mut self,
+        route: AccessRoute,
+        addr: u64,
+        kind: AccessKind,
+        owner: OwnerId,
+    ) -> AccessOutcome {
+        SocketView::access_routed(self, route, addr, kind, owner)
+    }
+}
+
 /// Executes one micro-op for a slot, accumulating its cycle cost, counter
 /// deltas and pollution events directly into `report`: the shared cost
-/// model of both the batched and the reference engine paths.
+/// model of every engine path.
 #[inline]
-fn execute_op(
-    machine: &mut Machine,
+fn execute_op<M: AccessMem>(
+    machine: &mut M,
     shadow: &mut Option<ShadowAttribution>,
     route: AccessRoute,
     owner: OwnerId,
@@ -214,7 +268,7 @@ fn execute_op(
             delta.instructions += 1;
             delta.unhalted_core_cycles += cycles;
             delta.memory_accesses += 1;
-            delta.ilc_misses += u64::from(outcome.level.reached_llc());
+            delta.ilc_misses += u64::from(outcome.level.missed_l1());
             delta.llc_references += u64::from(outcome.level.reached_llc());
             delta.llc_misses += u64::from(outcome.level.is_llc_miss());
             delta.remote_accesses +=
@@ -222,6 +276,62 @@ fn execute_op(
             report.pollution_events += u64::from(outcome.polluted_llc);
         }
     }
+}
+
+/// The batched/epoch interleaving loop shared by [`SimEngine::run_slots`]
+/// (whole machine) and the per-socket groups of
+/// [`SimEngine::run_slots_parallel`] (split-borrowed socket views).
+///
+/// Pops the furthest-behind slot from a min-heap on
+/// `(consumed_cycles, slot index)` — exactly the slot the reference path's
+/// linear scan would pick — and runs it op by op until it would no longer be
+/// the scheduling minimum (or its budget is spent), then requeues it.
+/// `slots`, `queues`, `routes`, `mlps` and `reports` are parallel arrays.
+#[allow(clippy::too_many_arguments)]
+fn run_epoch_interleaving<M: AccessMem>(
+    machine: &mut M,
+    shadow: &mut Option<ShadowAttribution>,
+    slots: &mut [&mut ExecSlot<'_>],
+    queues: &mut [OpQueue],
+    routes: &[AccessRoute],
+    mlps: &[f64],
+    reports: &mut [QuantumReport],
+    cycle_budget: u64,
+) {
+    let n = slots.len();
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = (0..n).map(|i| Reverse((0u64, i))).collect();
+    while let Some(Reverse((_, i))) = heap.pop() {
+        let (limit_cycles, limit_index) = match heap.peek() {
+            Some(Reverse((cycles, index))) => (*cycles, *index),
+            None => (cycle_budget, usize::MAX),
+        };
+        let slot = &mut *slots[i];
+        let queue = &mut queues[i];
+        let report = &mut reports[i];
+        let route = routes[i];
+        let mlp = mlps[i];
+        let owner = slot.owner;
+        loop {
+            let op = queue.next(&mut *slot.workload);
+            execute_op(machine, shadow, route, owner, mlp, op, report);
+            let consumed = report.consumed_cycles;
+            if consumed >= cycle_budget {
+                break;
+            }
+            if consumed > limit_cycles || (consumed == limit_cycles && i > limit_index) {
+                heap.push(Reverse((consumed, i)));
+                break;
+            }
+        }
+    }
+}
+
+/// A carried op buffer plus the call number that last touched it, so the
+/// stale sweep can prune buffers whose tag never reappears.
+#[derive(Debug)]
+struct CarriedOps {
+    queue: OpQueue,
+    last_used: u64,
 }
 
 /// The time-stepped simulation engine.
@@ -232,7 +342,12 @@ pub struct SimEngine {
     elapsed_cycles: u64,
     /// Batched-but-unexecuted ops per slot tag, carried across
     /// [`SimEngine::run_slots`] calls so op streams continue seamlessly.
-    op_carry: HashMap<u64, OpQueue>,
+    /// Entries whose tag stays absent for [`CARRY_STALE_AFTER`] calls are
+    /// pruned (see [`ExecSlot::tag`] for how stale tags arise).
+    op_carry: HashMap<u64, CarriedOps>,
+    /// Number of batched (`run_slots` / `run_slots_parallel`) calls so far;
+    /// the logical clock of the carry map's staleness accounting.
+    run_calls: u64,
 }
 
 impl SimEngine {
@@ -243,6 +358,7 @@ impl SimEngine {
             shadow: None,
             elapsed_cycles: 0,
             op_carry: HashMap::new(),
+            run_calls: 0,
         }
     }
 
@@ -256,6 +372,31 @@ impl SimEngine {
     /// Discards every batched op buffer (see [`SimEngine::clear_op_buffer`]).
     pub fn clear_op_buffers(&mut self) {
         self.op_carry.clear();
+    }
+
+    /// Number of batched op buffers currently carried across calls
+    /// (diagnostics; lets tests observe the stale sweep).
+    pub fn carried_op_buffers(&self) -> usize {
+        self.op_carry.len()
+    }
+
+    /// Drops carried op buffers whose tag has not been seen for
+    /// [`CARRY_STALE_AFTER`] calls: their stream was migrated under a
+    /// different default tag or abandoned outright, and nothing will ever
+    /// consume them.
+    #[cold]
+    fn prune_stale_carries(&mut self) {
+        let cutoff = self.run_calls.saturating_sub(CARRY_STALE_AFTER);
+        self.op_carry
+            .retain(|_, carried| carried.last_used >= cutoff);
+    }
+
+    /// Bumps the batched-call clock and runs the periodic stale sweep.
+    fn begin_batched_call(&mut self) {
+        self.run_calls += 1;
+        if self.run_calls.is_multiple_of(CARRY_PRUNE_INTERVAL) {
+            self.prune_stale_carries();
+        }
     }
 
     /// Enables simulator-based pollution attribution (the McSimA+ stand-in):
@@ -298,7 +439,14 @@ impl SimEngine {
         &mut self.machine
     }
 
-    /// Total cycles executed by the busiest slot so far (a logical clock).
+    /// Total cycles executed by the busiest slot so far (a logical clock):
+    /// the sum over every `run_slots*` call of the largest
+    /// [`QuantumReport::consumed_cycles`] that call produced. Because the
+    /// last op of a quantum may overshoot the requested budget, this runs
+    /// slightly ahead of the sum of budgets; before the fix pinned by
+    /// `elapsed_cycles_track_the_busiest_slot` it silently advanced by the
+    /// budget instead, under-reporting the overshoot. The socket-parallel
+    /// path uses the same definition (the busiest slot across all sockets).
     pub fn elapsed_cycles(&self) -> u64 {
         self.elapsed_cycles
     }
@@ -341,11 +489,17 @@ impl SimEngine {
             },
             "slot tags must be unique within one run_slots call"
         );
+        self.begin_batched_call();
 
         // Pick the op streams up exactly where the previous call left them.
         let mut queues: Vec<OpQueue> = slots
             .iter()
-            .map(|slot| self.op_carry.remove(&slot.tag).unwrap_or_default())
+            .map(|slot| {
+                self.op_carry
+                    .remove(&slot.tag)
+                    .map(|carried| carried.queue)
+                    .unwrap_or_default()
+            })
             .collect();
         // Memory-level parallelism and the access route are static per
         // slot; hoist both out of the per-op loop.
@@ -362,57 +516,51 @@ impl SimEngine {
             })
             .collect();
 
-        // Min-heap on (consumed cycles, slot index): the top is exactly the
-        // slot the reference path's linear scan would pick.
-        let mut heap: BinaryHeap<Reverse<(u64, usize)>> =
-            (0..n).map(|i| Reverse((0u64, i))).collect();
-        while let Some(Reverse((_, i))) = heap.pop() {
-            // The popped slot stays ahead of the heap top for a whole epoch:
-            // run it op by op until it would no longer be the scheduling
-            // minimum (or its budget is spent), then requeue it.
-            let (limit_cycles, limit_index) = match heap.peek() {
-                Some(Reverse((cycles, index))) => (*cycles, *index),
-                None => (cycle_budget, usize::MAX),
-            };
-            let slot = &mut slots[i];
-            let queue = &mut queues[i];
-            let report = &mut reports[i];
-            let route = routes[i];
-            let mlp = mlps[i];
-            let owner = slot.owner;
-            loop {
-                let op = queue.next(&mut *slot.workload);
-                execute_op(
-                    &mut self.machine,
-                    &mut self.shadow,
-                    route,
-                    owner,
-                    mlp,
-                    op,
-                    report,
-                );
-                let consumed = report.consumed_cycles;
-                if consumed >= cycle_budget {
-                    break;
-                }
-                if consumed > limit_cycles || (consumed == limit_cycles && i > limit_index) {
-                    heap.push(Reverse((consumed, i)));
-                    break;
-                }
-            }
-        }
+        let mut slot_refs: Vec<&mut ExecSlot<'_>> = slots.iter_mut().collect();
+        run_epoch_interleaving(
+            &mut self.machine,
+            &mut self.shadow,
+            &mut slot_refs,
+            &mut queues,
+            &routes,
+            &mlps,
+            &mut reports,
+            cycle_budget,
+        );
+        drop(slot_refs);
 
-        // Fold the call's counter deltas into the slots' cumulative PMCs
-        // (done once per call instead of once per op) and preserve
-        // fetched-but-unexecuted ops for the next call on each tag.
-        for ((slot, queue), report) in slots.iter_mut().zip(queues).zip(&reports) {
+        self.finish_batched_call(slots, queues, &reports);
+        reports
+    }
+
+    /// Folds a call's counter deltas into the slots' cumulative PMCs (done
+    /// once per call instead of once per op), preserves
+    /// fetched-but-unexecuted ops for the next call on each tag, and
+    /// advances the logical clock by the busiest slot's consumed cycles.
+    fn finish_batched_call(
+        &mut self,
+        slots: &mut [ExecSlot<'_>],
+        queues: Vec<OpQueue>,
+        reports: &[QuantumReport],
+    ) {
+        let run_calls = self.run_calls;
+        for ((slot, queue), report) in slots.iter_mut().zip(queues).zip(reports) {
             slot.pmcs += report.pmc_delta;
             if !queue.is_drained() {
-                self.op_carry.insert(slot.tag, queue);
+                self.op_carry.insert(
+                    slot.tag,
+                    CarriedOps {
+                        queue,
+                        last_used: run_calls,
+                    },
+                );
             }
         }
-        self.elapsed_cycles += cycle_budget;
-        reports
+        self.elapsed_cycles += reports
+            .iter()
+            .map(|report| report.consumed_cycles)
+            .max()
+            .unwrap_or(0);
     }
 
     /// The semantic reference for [`SimEngine::run_slots`]: advance the
@@ -470,7 +618,213 @@ impl SimEngine {
         for (slot, report) in slots.iter_mut().zip(&reports) {
             slot.pmcs += report.pmc_delta;
         }
-        self.elapsed_cycles += cycle_budget;
+        self.elapsed_cycles += reports
+            .iter()
+            .map(|report| report.consumed_cycles)
+            .max()
+            .unwrap_or(0);
+        reports
+    }
+
+    /// Runs every slot for `cycle_budget` cycles like
+    /// [`SimEngine::run_slots`], executing each socket's slots on its own
+    /// scoped thread.
+    ///
+    /// Sockets share no cache state, so the machine is split into
+    /// independently mutable per-socket views ([`Machine::sockets_mut`]) and
+    /// the batch is partitioned by the socket of each slot's core; every
+    /// group runs the same epoch interleaving as the serial path against its
+    /// own view. Within a socket the produced op order — and therefore every
+    /// cache state, counter, pollution attribution and shadow observation —
+    /// is bit-identical to [`SimEngine::run_slots`] and
+    /// [`SimEngine::run_slots_reference`] over the same slots; only the
+    /// cross-socket interleaving in wall-clock time differs, which no
+    /// simulation output observes. Shadow-attribution state is partitioned
+    /// by owner along the same socket boundaries and merged back after the
+    /// threads join.
+    ///
+    /// Falls back to the serial path when fewer than two sockets have slots
+    /// (nothing to parallelise) or when shadow attribution is enabled and an
+    /// owner has slots on several sockets in the same call (its single
+    /// shadow cache cannot be driven from two threads deterministically).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a slot references a core that does not exist on the machine
+    /// (a programming error in the hypervisor layer).
+    pub fn run_slots_parallel(
+        &mut self,
+        slots: &mut [ExecSlot<'_>],
+        cycle_budget: u64,
+    ) -> Vec<QuantumReport> {
+        let n = slots.len();
+        if n == 0 || cycle_budget == 0 {
+            return vec![QuantumReport::default(); n];
+        }
+        // Decide the serial fallback before resolving any routes: on a
+        // single-socket machine (the default `figures` machine) every tick
+        // takes this exit, so it must stay allocation-free beyond the
+        // grouping itself.
+        let num_sockets = self.machine.num_sockets();
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); num_sockets];
+        let mut slot_sockets: Vec<usize> = Vec::with_capacity(n);
+        for (i, slot) in slots.iter().enumerate() {
+            let socket = self
+                .machine
+                .socket_of(slot.core)
+                .expect("slot references an unknown core")
+                .0;
+            groups[socket].push(i);
+            slot_sockets.push(socket);
+        }
+        let populated = groups.iter().filter(|group| !group.is_empty()).count();
+        if populated < 2 {
+            return self.run_slots(slots, cycle_budget);
+        }
+        // The owner-span check only matters when shadow state must be
+        // partitioned; with shadow off (the common case) skip building the
+        // map entirely.
+        let owner_spans_sockets = self.shadow.is_some() && {
+            let mut owner_socket: HashMap<OwnerId, usize> = HashMap::with_capacity(n);
+            slots.iter().zip(&slot_sockets).any(|(slot, &socket)| {
+                owner_socket
+                    .insert(slot.owner, socket)
+                    .is_some_and(|previous| previous != socket)
+            })
+        };
+        if owner_spans_sockets {
+            return self.run_slots(slots, cycle_budget);
+        }
+
+        self.resolve_data_nodes(slots);
+        let routes: Vec<AccessRoute> = slots
+            .iter()
+            .map(|slot| {
+                self.machine
+                    .route(slot.core, slot.data_node, slot.force_remote)
+                    .expect("slot references an unknown core")
+            })
+            .collect();
+
+        debug_assert!(
+            {
+                let mut tags: Vec<u64> = slots.iter().map(|s| s.tag).collect();
+                tags.sort_unstable();
+                tags.windows(2).all(|w| w[0] != w[1])
+            },
+            "slot tags must be unique within one run_slots_parallel call"
+        );
+        self.begin_batched_call();
+
+        let mut queues: Vec<Option<OpQueue>> = slots
+            .iter()
+            .map(|slot| self.op_carry.remove(&slot.tag).map(|carried| carried.queue))
+            .collect();
+        let mlps: Vec<f64> = slots
+            .iter()
+            .map(|slot| slot.workload.mem_parallelism().max(1.0))
+            .collect();
+        // Partition the shadow state by the owners of each socket group
+        // (disjoint across groups — checked above).
+        let mut shadow_parts: Vec<Option<ShadowAttribution>> = match self.shadow.as_mut() {
+            Some(shadow) => groups
+                .iter()
+                .map(|group| {
+                    let owners: Vec<OwnerId> = group.iter().map(|&i| slots[i].owner).collect();
+                    (!owners.is_empty()).then(|| shadow.take_partition(&owners))
+                })
+                .collect(),
+            None => (0..num_sockets).map(|_| None).collect(),
+        };
+
+        // One work item per populated socket, in socket order: the group's
+        // slots (with their original indices) plus its parallel arrays.
+        struct GroupWork<'engine, 'wl> {
+            socket: usize,
+            indices: Vec<usize>,
+            slots: Vec<&'engine mut ExecSlot<'wl>>,
+            queues: Vec<OpQueue>,
+            routes: Vec<AccessRoute>,
+            mlps: Vec<f64>,
+            shadow: Option<ShadowAttribution>,
+        }
+        let mut work: Vec<GroupWork<'_, '_>> = groups
+            .iter()
+            .enumerate()
+            .filter(|(_, group)| !group.is_empty())
+            .map(|(socket, group)| GroupWork {
+                socket,
+                indices: group.clone(),
+                slots: Vec::with_capacity(group.len()),
+                queues: group
+                    .iter()
+                    .map(|&i| queues[i].take().unwrap_or_default())
+                    .collect(),
+                routes: group.iter().map(|&i| routes[i]).collect(),
+                mlps: group.iter().map(|&i| mlps[i]).collect(),
+                shadow: shadow_parts[socket].take(),
+            })
+            .collect();
+        // Distribute the exclusive slot borrows into their groups (in
+        // original index order, matching each group's `indices`).
+        let mut work_of_socket: Vec<Option<usize>> = vec![None; num_sockets];
+        for (w, group) in work.iter().enumerate() {
+            work_of_socket[group.socket] = Some(w);
+        }
+        for (i, slot) in slots.iter_mut().enumerate() {
+            let w = work_of_socket[routes[i].socket_index()].expect("populated socket");
+            work[w].slots.push(slot);
+        }
+
+        // Execute every populated socket on its own scoped thread, each
+        // against a split-borrowed view of its own socket's caches.
+        let mut views: Vec<Option<SocketView<'_>>> = self.machine.sockets_mut().map(Some).collect();
+        let finished: Vec<(GroupWork<'_, '_>, Vec<QuantumReport>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = work
+                .into_iter()
+                .map(|mut group| {
+                    let mut view = views[group.socket].take().expect("one view per socket");
+                    scope.spawn(move || {
+                        let mut reports = vec![QuantumReport::default(); group.slots.len()];
+                        run_epoch_interleaving(
+                            &mut view,
+                            &mut group.shadow,
+                            &mut group.slots,
+                            &mut group.queues,
+                            &group.routes,
+                            &group.mlps,
+                            &mut reports,
+                            cycle_budget,
+                        );
+                        (group, reports)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| handle.join().expect("socket worker panicked"))
+                .collect()
+        });
+        drop(views);
+
+        // Deterministic merge: scatter reports back to original slot order
+        // and reabsorb shadow partitions in socket order (`finished`
+        // preserves spawn order, which is socket order).
+        let mut reports = vec![QuantumReport::default(); n];
+        let mut merged_queues: Vec<OpQueue> = Vec::with_capacity(n);
+        merged_queues.resize_with(n, OpQueue::default);
+        for (group, group_reports) in finished {
+            for ((&orig, report), queue) in
+                group.indices.iter().zip(group_reports).zip(group.queues)
+            {
+                reports[orig] = report;
+                merged_queues[orig] = queue;
+            }
+            if let (Some(shadow), Some(part)) = (self.shadow.as_mut(), group.shadow) {
+                shadow.merge(part);
+            }
+        }
+        self.finish_batched_call(slots, merged_queues, &reports);
         reports
     }
 
@@ -694,7 +1048,216 @@ mod tests {
         let mut slot = ExecSlot::new(CoreId(0), 1, &mut wl);
         e.run_slots(std::slice::from_mut(&mut slot), 1000);
         e.run_slots(std::slice::from_mut(&mut slot), 500);
+        // One-cycle compute ops land exactly on the budget, so the logical
+        // clock equals the sum of budgets here.
         assert_eq!(e.elapsed_cycles(), 1500);
+    }
+
+    #[test]
+    fn elapsed_cycles_track_the_busiest_slot() {
+        // Memory ops overshoot the budget (the last op completes), so the
+        // logical clock must advance by the busiest slot's consumed cycles,
+        // not by the requested budget.
+        let mut e = engine();
+        let mut fast = ComputeOnly::new(1);
+        let mut slow = FixedSequence::new(
+            "mem",
+            (0..64u64).map(|i| Op::Load { addr: i * 4096 }).collect(),
+        );
+        let mut slots = vec![
+            ExecSlot::new(CoreId(0), 1, &mut fast),
+            ExecSlot::new(CoreId(1), 2, &mut slow),
+        ];
+        let reports = e.run_slots(&mut slots, 1_000);
+        let busiest = reports.iter().map(|r| r.consumed_cycles).max().unwrap();
+        assert!(busiest > 1_000, "a memory op must overshoot the budget");
+        assert_eq!(e.elapsed_cycles(), busiest);
+        // The reference path uses the same semantics.
+        let mut e = engine();
+        let mut slow = FixedSequence::new(
+            "mem",
+            (0..64u64).map(|i| Op::Load { addr: i * 4096 }).collect(),
+        );
+        let mut slot = ExecSlot::new(CoreId(0), 1, &mut slow);
+        let reports = e.run_slots_reference(std::slice::from_mut(&mut slot), 1_000);
+        assert_eq!(e.elapsed_cycles(), reports[0].consumed_cycles);
+    }
+
+    #[test]
+    fn ilc_misses_count_l2_hits_too() {
+        // L1D at scale 64: 512 B, 8-way, 64 B lines => 1 set. Ten distinct
+        // lines overflow it but fit the 4 KiB L2, so re-touching them misses
+        // L1 and hits L2: each such access is an ILC miss but not an LLC
+        // reference.
+        let mut e = engine();
+        let lines: Vec<Op> = (0..10u64).map(|i| Op::Load { addr: i * 64 }).collect();
+        let mut wl = FixedSequence::new("l2-resident", lines);
+        let mut slot = ExecSlot::new(CoreId(0), 1, &mut wl);
+        e.run_slots(std::slice::from_mut(&mut slot), 50_000);
+        let pmcs = slot.pmcs;
+        assert!(
+            pmcs.ilc_misses > pmcs.llc_references,
+            "L2 hits must count as ILC misses (ilc={}, llc_refs={})",
+            pmcs.ilc_misses,
+            pmcs.llc_references
+        );
+        assert!(pmcs.ilc_misses <= pmcs.memory_accesses);
+    }
+
+    #[test]
+    fn stale_op_carries_are_pruned() {
+        let mut e = engine();
+        let ops: Vec<Op> = (0..1024u64).map(|i| Op::Load { addr: i * 64 }).collect();
+        let mut abandoned = FixedSequence::new("abandoned", ops.clone());
+        let mut slot = ExecSlot::new(CoreId(0), 1, &mut abandoned).with_tag(7);
+        e.run_slots(std::slice::from_mut(&mut slot), 1_000);
+        assert_eq!(e.carried_op_buffers(), 1, "tag 7 carries unexecuted ops");
+        // Tag 7 never reappears; a live stream keeps running under tag 8.
+        let mut live = FixedSequence::new("live", ops);
+        for _ in 0..(CARRY_STALE_AFTER + CARRY_PRUNE_INTERVAL + 1) {
+            let mut slot = ExecSlot::new(CoreId(1), 2, &mut live).with_tag(8);
+            e.run_slots(std::slice::from_mut(&mut slot), 500);
+        }
+        assert_eq!(
+            e.carried_op_buffers(),
+            1,
+            "the abandoned tag must be pruned while the live tag survives"
+        );
+        // The live stream still continues: running again works.
+        let mut slot = ExecSlot::new(CoreId(1), 2, &mut live).with_tag(8);
+        let reports = e.run_slots(std::slice::from_mut(&mut slot), 500);
+        assert!(reports[0].consumed_cycles >= 500);
+    }
+
+    #[test]
+    fn recently_used_carries_survive_the_sweep() {
+        let mut e = engine();
+        let ops: Vec<Op> = (0..1024u64).map(|i| Op::Load { addr: i * 64 }).collect();
+        let mut a = FixedSequence::new("a", ops.clone());
+        let mut b = FixedSequence::new("b", ops);
+        // Alternative execution: the two tags take turns, so neither ever
+        // goes stale even across many sweeps.
+        for call in 0..(2 * CARRY_PRUNE_INTERVAL + 3) {
+            if call % 2 == 0 {
+                let mut slot = ExecSlot::new(CoreId(0), 1, &mut a).with_tag(1);
+                e.run_slots(std::slice::from_mut(&mut slot), 500);
+            } else {
+                let mut slot = ExecSlot::new(CoreId(0), 2, &mut b).with_tag(2);
+                e.run_slots(std::slice::from_mut(&mut slot), 500);
+            }
+        }
+        assert_eq!(e.carried_op_buffers(), 2);
+    }
+
+    fn lcg_ops(seed: u64, count: usize) -> Vec<Op> {
+        let mut state = seed | 1;
+        (0..count)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let draw = state >> 33;
+                match draw % 4 {
+                    0 => Op::Compute {
+                        cycles: (draw / 4 % 7 + 1) as u32,
+                    },
+                    1 => Op::Store {
+                        addr: (draw / 4 % 4096) * 64,
+                    },
+                    _ => Op::Load {
+                        addr: (draw / 4 % 4096) * 64,
+                    },
+                }
+            })
+            .collect()
+    }
+
+    /// Runs the same four-slot, two-socket scenario through `run_slots` and
+    /// `run_slots_parallel` and asserts identical observable state.
+    fn assert_parallel_matches_serial(shadow: bool) {
+        let config = MachineConfig::scaled_paper_numa_machine(64);
+        let run = |parallel: bool| {
+            let mut e = SimEngine::new(Machine::new(config.clone()));
+            if shadow {
+                e.enable_shadow_attribution().unwrap();
+            }
+            let mut workloads: Vec<FixedSequence> = (0..4)
+                .map(|w| {
+                    FixedSequence::new(format!("wl{w}"), lcg_ops(w as u64 + 1, 2048))
+                        .with_mem_parallelism(1.0 + w as f64)
+                })
+                .collect();
+            let mut all_reports = Vec::new();
+            for round in 0..3 {
+                let mut slots: Vec<ExecSlot<'_>> = workloads
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(w, wl)| {
+                        // Slots 0,1 on socket 0 (cores 0,1); slots 2,3 on
+                        // socket 1 (cores 4,5).
+                        let core = CoreId(if w < 2 { w } else { w + 2 });
+                        ExecSlot::new(core, w as OwnerId + 1, wl).with_tag(w as u64 + 1)
+                    })
+                    .collect();
+                let reports = if parallel {
+                    e.run_slots_parallel(&mut slots, 8_000 + round * 1_000)
+                } else {
+                    e.run_slots(&mut slots, 8_000 + round * 1_000)
+                };
+                all_reports.push(reports);
+            }
+            let llc0 = e.machine().llc_stats(crate::topology::SocketId(0)).unwrap();
+            let llc1 = e.machine().llc_stats(crate::topology::SocketId(1)).unwrap();
+            let shadow_misses: Vec<u64> = (1..=4)
+                .map(|owner| e.shadow().map(|s| s.solo_misses(owner)).unwrap_or(0))
+                .collect();
+            (all_reports, llc0, llc1, shadow_misses, e.elapsed_cycles())
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn parallel_path_matches_serial_across_sockets() {
+        assert_parallel_matches_serial(false);
+    }
+
+    #[test]
+    fn parallel_path_matches_serial_with_shadow_attribution() {
+        assert_parallel_matches_serial(true);
+    }
+
+    #[test]
+    fn parallel_path_falls_back_on_a_single_socket() {
+        // All slots on socket 0: the parallel path must delegate to the
+        // serial path and still be correct.
+        let mut e = engine();
+        let mut a = ComputeOnly::new(1);
+        let mut b = ComputeOnly::new(2);
+        let mut slots = vec![
+            ExecSlot::new(CoreId(0), 1, &mut a),
+            ExecSlot::new(CoreId(1), 2, &mut b),
+        ];
+        let reports = e.run_slots_parallel(&mut slots, 5_000);
+        assert!(reports.iter().all(|r| r.consumed_cycles >= 5_000));
+    }
+
+    #[test]
+    fn parallel_path_falls_back_when_an_owner_spans_sockets_with_shadow() {
+        let config = MachineConfig::scaled_paper_numa_machine(64);
+        let mut e = SimEngine::new(Machine::new(config));
+        e.enable_shadow_attribution().unwrap();
+        let ops: Vec<Op> = (0..256u64).map(|i| Op::Load { addr: i * 64 }).collect();
+        let mut a = FixedSequence::new("a", ops.clone());
+        let mut b = FixedSequence::new("b", ops);
+        // Owner 1 has slots on both sockets: one shadow cache, two threads —
+        // the engine must take the serial path instead.
+        let mut slots = vec![
+            ExecSlot::new(CoreId(0), 1, &mut a).with_tag(10),
+            ExecSlot::new(CoreId(4), 1, &mut b).with_tag(11),
+        ];
+        let reports = e.run_slots_parallel(&mut slots, 5_000);
+        assert!(reports.iter().all(|r| r.consumed_cycles >= 5_000));
+        assert!(e.shadow().unwrap().solo_misses(1) > 0);
     }
 
     #[test]

@@ -52,6 +52,15 @@ impl MemLevel {
             MemLevel::Llc | MemLevel::LocalMemory | MemLevel::RemoteMemory
         )
     }
+
+    /// Whether the access missed the L1, i.e. was resolved at or beyond the
+    /// L2 — a miss in at least one intermediate-level cache. This is the
+    /// event the `ilc_misses` counter records: an access that misses L1 but
+    /// hits L2 counts, unlike [`MemLevel::reached_llc`] which requires
+    /// missing the L2 as well.
+    pub fn missed_l1(&self) -> bool {
+        !matches!(self, MemLevel::L1)
+    }
 }
 
 /// Outcome of a single memory access.
@@ -253,6 +262,12 @@ mod tests {
         assert!(!MemLevel::Llc.is_llc_miss());
         assert!(MemLevel::Llc.reached_llc());
         assert!(!MemLevel::L2.reached_llc());
+        // An L2 hit missed the L1, so it counts as an ILC miss even though
+        // it never reached the LLC.
+        assert!(!MemLevel::L1.missed_l1());
+        assert!(MemLevel::L2.missed_l1());
+        assert!(MemLevel::Llc.missed_l1());
+        assert!(MemLevel::LocalMemory.missed_l1());
     }
 
     #[test]

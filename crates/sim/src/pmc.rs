@@ -20,7 +20,9 @@ pub struct PmcSet {
     pub unhalted_core_cycles: u64,
     /// Memory operations issued (loads + stores).
     pub memory_accesses: u64,
-    /// Misses in the intermediate-level caches (L1 + L2).
+    /// Accesses that missed at least one intermediate-level cache (L1 + L2),
+    /// i.e. were resolved at or beyond the L2. Always >= `llc_references`,
+    /// which additionally requires missing the L2.
     pub ilc_misses: u64,
     /// Accesses that reached the LLC (i.e. missed every private cache).
     pub llc_references: u64,

@@ -97,6 +97,58 @@ impl ShadowAttribution {
     pub fn owners(&self) -> impl Iterator<Item = OwnerId> + '_ {
         self.shadows.keys().copied()
     }
+
+    /// Moves the shadow state (cache contents and counters) of `owners` out
+    /// of `self` into a new, independent `ShadowAttribution` with the same
+    /// geometry.
+    ///
+    /// The engine's socket-parallel path uses this to hand each socket's
+    /// execution thread exactly the shadow state of the owners running on
+    /// that socket; [`ShadowAttribution::merge`] reabsorbs the partitions
+    /// after the threads join. Owners without existing state are simply
+    /// absent from the partition and get created there on first
+    /// [`ShadowAttribution::observe`].
+    pub fn take_partition(&mut self, owners: &[OwnerId]) -> ShadowAttribution {
+        let mut part = ShadowAttribution {
+            llc_config: self.llc_config.clone(),
+            shadows: HashMap::with_capacity(owners.len()),
+            references: HashMap::with_capacity(owners.len()),
+            misses: HashMap::with_capacity(owners.len()),
+        };
+        for &owner in owners {
+            if let Some(cache) = self.shadows.remove(&owner) {
+                part.shadows.insert(owner, cache);
+            }
+            if let Some(refs) = self.references.remove(&owner) {
+                part.references.insert(owner, refs);
+            }
+            if let Some(misses) = self.misses.remove(&owner) {
+                part.misses.insert(owner, misses);
+            }
+        }
+        part
+    }
+
+    /// Reabsorbs a partition produced by [`ShadowAttribution::take_partition`].
+    ///
+    /// Owners tracked on both sides keep the partition's cache contents (the
+    /// partition is the newer state) and sum their counters; this only
+    /// happens when a partition is merged back into an attribution that
+    /// observed the same owner in the meantime, which the engine's
+    /// disjoint-by-socket partitioning rules out.
+    pub fn merge(&mut self, part: ShadowAttribution) {
+        debug_assert_eq!(
+            self.llc_config, part.llc_config,
+            "cannot merge shadow attributions of different geometry"
+        );
+        self.shadows.extend(part.shadows);
+        for (owner, refs) in part.references {
+            *self.references.entry(owner).or_insert(0) += refs;
+        }
+        for (owner, misses) in part.misses {
+            *self.misses.entry(owner).or_insert(0) += misses;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -150,6 +202,32 @@ mod tests {
         }
         assert_eq!(s.solo_misses(1), 0);
         assert_eq!(s.solo_references(1), 8);
+    }
+
+    #[test]
+    fn partitions_split_and_merge_round_trip() {
+        let mut s = shadow();
+        for i in 0..8u64 {
+            s.observe(1, i * 64);
+            s.observe(2, (100 + i) * 64);
+        }
+        let part = s.take_partition(&[1, 3]);
+        // Owner 1 moved out entirely; owner 3 has no state yet.
+        assert_eq!(s.solo_misses(1), 0);
+        assert_eq!(s.solo_references(1), 0);
+        assert_eq!(part.solo_misses(1), 8);
+        assert_eq!(part.solo_references(1), 8);
+        assert_eq!(s.solo_misses(2), 8);
+        assert_eq!(part.owners().count(), 1);
+        s.merge(part);
+        assert_eq!(s.solo_misses(1), 8);
+        assert_eq!(s.owners().count(), 2);
+        // Warmed contents survived the round trip: replaying owner 1's
+        // lines produces no new misses.
+        for i in 0..8u64 {
+            s.observe(1, i * 64);
+        }
+        assert_eq!(s.solo_misses(1), 8);
     }
 
     #[test]

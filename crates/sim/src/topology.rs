@@ -219,6 +219,15 @@ pub struct AccessRoute {
     remote_on_miss: bool,
 }
 
+impl AccessRoute {
+    /// Index of the socket this route resolves to. The engine's
+    /// socket-parallel path uses it to assign each slot to the execution
+    /// group that owns the slot's socket.
+    pub fn socket_index(&self) -> usize {
+        self.socket
+    }
+}
+
 /// One socket: a shared LLC plus the private caches of its cores.
 #[derive(Debug, Clone)]
 pub struct Socket {
@@ -231,6 +240,37 @@ impl Socket {
     /// The socket id.
     pub fn id(&self) -> SocketId {
         self.id
+    }
+
+    /// The one canonical body of a routed access: walk the private caches
+    /// and the shared LLC, apply the route's remote-on-miss decision, charge
+    /// the level's latency. [`Machine::access_routed`], [`Machine::access`]
+    /// and [`SocketView::access_routed`] all delegate here, so the serial
+    /// and socket-parallel engine paths cannot drift apart.
+    #[inline]
+    fn walk_routed(
+        &mut self,
+        route: AccessRoute,
+        addr: u64,
+        kind: AccessKind,
+        owner: OwnerId,
+        latency: &LatencyConfig,
+    ) -> AccessOutcome {
+        debug_assert_eq!(
+            route.socket, self.id.0,
+            "route resolved for a different socket"
+        );
+        let (level, polluted) = self.cores[route.core_idx].walk(&mut self.llc, addr, kind, owner);
+        let level = if level == MemLevel::LocalMemory && route.remote_on_miss {
+            MemLevel::RemoteMemory
+        } else {
+            level
+        };
+        AccessOutcome {
+            level,
+            latency: latency.of(level),
+            polluted_llc: polluted,
+        }
     }
 
     /// Statistics of the shared LLC.
@@ -388,19 +428,7 @@ impl Machine {
         kind: AccessKind,
         owner: OwnerId,
     ) -> AccessOutcome {
-        let socket_ref = &mut self.sockets[route.socket];
-        let (level, polluted) =
-            socket_ref.cores[route.core_idx].walk(&mut socket_ref.llc, addr, kind, owner);
-        let level = if level == MemLevel::LocalMemory && route.remote_on_miss {
-            MemLevel::RemoteMemory
-        } else {
-            level
-        };
-        AccessOutcome {
-            level,
-            latency: self.config.latency.of(level),
-            polluted_llc: polluted,
-        }
+        self.sockets[route.socket].walk_routed(route, addr, kind, owner, &self.config.latency)
     }
 
     /// Performs a memory access from `core`.
@@ -422,23 +450,8 @@ impl Machine {
         data_node: NumaNode,
         force_remote: bool,
     ) -> Result<AccessOutcome, SimError> {
-        let socket = self.socket_of(core)?;
-        let local_node = NumaNode(socket.0);
-        let per = self.config.cores_per_socket;
-        let socket_ref = &mut self.sockets[socket.0];
-        let core_idx = core.0 % per;
-        let (level, polluted) =
-            socket_ref.cores[core_idx].walk(&mut socket_ref.llc, addr, kind, owner);
-        let level = if level == MemLevel::LocalMemory && (force_remote || data_node != local_node) {
-            MemLevel::RemoteMemory
-        } else {
-            level
-        };
-        Ok(AccessOutcome {
-            level,
-            latency: self.config.latency.of(level),
-            polluted_llc: polluted,
-        })
+        let route = self.route(core, data_node, force_remote)?;
+        Ok(self.access_routed(route, addr, kind, owner))
     }
 
     /// Pre-sizes per-owner counters of every cache on the machine for
@@ -479,6 +492,60 @@ impl Machine {
         let socket = self.socket_of(core).ok()?;
         let idx = core.0 % self.config.cores_per_socket;
         self.sockets.get(socket.0).map(|s| &s.cores[idx])
+    }
+
+    /// Splits the machine into independently mutable per-socket views, one
+    /// per socket, in socket-id order.
+    ///
+    /// Sockets share no cache state — each owns its LLC and the private
+    /// caches of its cores — so the views can be handed to different threads
+    /// and driven concurrently (the engine's socket-parallel path does
+    /// exactly that). Each [`SocketView`] carries a copy of the latency
+    /// table so it can serve [`SocketView::access_routed`] without touching
+    /// the shared machine.
+    pub fn sockets_mut(&mut self) -> impl Iterator<Item = SocketView<'_>> {
+        let latency = self.config.latency;
+        self.sockets
+            .iter_mut()
+            .map(move |socket| SocketView { socket, latency })
+    }
+}
+
+/// An exclusively borrowed view of one socket: the split-borrow handle
+/// produced by [`Machine::sockets_mut`].
+///
+/// A view can perform routed memory accesses against its own socket only;
+/// routes resolved for another socket are a programming error (checked by a
+/// debug assertion).
+#[derive(Debug)]
+pub struct SocketView<'a> {
+    socket: &'a mut Socket,
+    latency: LatencyConfig,
+}
+
+impl SocketView<'_> {
+    /// The id of the viewed socket.
+    pub fn id(&self) -> SocketId {
+        self.socket.id
+    }
+
+    /// Performs a memory access along a pre-resolved route, exactly like
+    /// [`Machine::access_routed`] restricted to this socket (both delegate
+    /// to the same [`Socket::walk_routed`] body, so the serial and parallel
+    /// engine paths cannot drift apart).
+    ///
+    /// Routes resolved for another socket are a programming error (checked
+    /// by a debug assertion).
+    #[inline]
+    pub fn access_routed(
+        &mut self,
+        route: AccessRoute,
+        addr: u64,
+        kind: AccessKind,
+        owner: OwnerId,
+    ) -> AccessOutcome {
+        self.socket
+            .walk_routed(route, addr, kind, owner, &self.latency)
     }
 }
 
@@ -615,6 +682,47 @@ mod tests {
         assert!(machine.llc_occupancy_of(SocketId(0), 3) > 0);
         machine.flush_owner(3);
         assert_eq!(machine.llc_occupancy_of(SocketId(0), 3), 0);
+    }
+
+    #[test]
+    fn socket_views_access_their_own_socket_like_the_machine() {
+        let config = MachineConfig::scaled_paper_numa_machine(32);
+        let mut direct = Machine::new(config.clone());
+        let mut split = Machine::new(config);
+        // Same access stream through `access_routed` on the machine and
+        // through the per-socket views: identical outcomes and LLC stats.
+        let accesses: Vec<(CoreId, u64)> = (0..64u64)
+            .map(|i| (CoreId((i % 8) as usize), i * 256))
+            .collect();
+        let mut direct_outcomes = Vec::new();
+        for &(core, addr) in &accesses {
+            let route = direct.route(core, NumaNode(0), false).unwrap();
+            direct_outcomes.push(direct.access_routed(route, addr, AccessKind::Load, 1));
+        }
+        let routes: Vec<AccessRoute> = accesses
+            .iter()
+            .map(|&(core, _)| split.route(core, NumaNode(0), false).unwrap())
+            .collect();
+        let mut split_outcomes = vec![None; accesses.len()];
+        let mut views: Vec<SocketView<'_>> = split.sockets_mut().collect();
+        for (i, (&(_, addr), route)) in accesses.iter().zip(&routes).enumerate() {
+            split_outcomes[i] =
+                Some(views[route.socket_index()].access_routed(*route, addr, AccessKind::Load, 1));
+        }
+        assert_eq!(views[0].id(), SocketId(0));
+        assert_eq!(views[1].id(), SocketId(1));
+        drop(views);
+        let split_outcomes: Vec<AccessOutcome> =
+            split_outcomes.into_iter().map(Option::unwrap).collect();
+        assert_eq!(direct_outcomes, split_outcomes);
+        assert_eq!(
+            direct.llc_stats(SocketId(0)).unwrap(),
+            split.llc_stats(SocketId(0)).unwrap()
+        );
+        assert_eq!(
+            direct.llc_stats(SocketId(1)).unwrap(),
+            split.llc_stats(SocketId(1)).unwrap()
+        );
     }
 
     #[test]

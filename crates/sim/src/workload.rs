@@ -53,7 +53,12 @@ impl Op {
 ///
 /// Implementations must be deterministic for a given construction seed so
 /// that experiments are reproducible.
-pub trait Workload {
+///
+/// `Send` is a supertrait because the engine's socket-parallel path
+/// ([`crate::engine::SimEngine::run_slots_parallel`]) drives each socket's
+/// slots — and therefore their workloads — from a scoped worker thread. All
+/// built-in workloads are plain owned data, so the bound is free.
+pub trait Workload: Send {
     /// Produces the next micro-operation.
     fn next_op(&mut self) -> Op;
 

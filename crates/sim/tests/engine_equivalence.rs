@@ -1,13 +1,17 @@
-//! Equivalence of the batched/epoch engine path with the per-op reference.
+//! Equivalence of the batched/epoch and socket-parallel engine paths with
+//! the per-op reference.
 //!
 //! `SimEngine::run_slots` batches op fetching and interleaves slots in
-//! epochs; `SimEngine::run_slots_reference` advances one op at a time with a
-//! linear furthest-behind scan. The two must be *bit-identical*: same
-//! `QuantumReport`s, same cumulative slot PMCs, same LLC `CacheStats` and
-//! per-owner occupancy/miss attribution, same shadow (solo) misses — across
-//! replacement policies, budgets, slot counts and the paper's execution
-//! modes (parallel co-scheduling and alternative time-sharing over
-//! successive calls, which exercises the carried op buffers).
+//! epochs; `SimEngine::run_slots_parallel` additionally executes each
+//! socket's slots on its own thread; `SimEngine::run_slots_reference`
+//! advances one op at a time with a linear furthest-behind scan. All three
+//! must be *bit-identical*: same `QuantumReport`s, same cumulative slot
+//! PMCs, same per-socket LLC `CacheStats` and per-owner occupancy/miss
+//! attribution, same shadow (solo) misses, same logical clock — across
+//! replacement policies, budgets, slot counts, single- and two-socket
+//! placements, and the paper's execution modes (parallel co-scheduling and
+//! alternative time-sharing over successive calls, which exercises the
+//! carried op buffers).
 
 use kyoto_sim::cache::OwnerId;
 use kyoto_sim::engine::{ExecSlot, SimEngine};
@@ -74,41 +78,64 @@ struct SlotSpec {
     owner: OwnerId,
 }
 
+/// Which engine entry point drives the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EnginePath {
+    /// `run_slots_reference`: one op at a time, no batching.
+    Reference,
+    /// `run_slots`: batched op fetching, epoch interleaving, one thread.
+    Batched,
+    /// `run_slots_parallel`: epoch interleaving per socket, one thread per
+    /// populated socket.
+    Parallel,
+}
+
 /// Which workloads participate in each successive `run_slots` call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Mode {
     /// All workloads co-run on distinct cores every call (Section 2.2's
-    /// parallel execution).
+    /// parallel execution). On the two-socket machine the cores straddle
+    /// both sockets.
     Parallel,
     /// Workloads take turns on core 0 across calls (alternative execution;
     /// exercises op buffers carried across calls).
     Alternative,
     /// One workload alternates on core 0 while another runs steadily on
-    /// core 1.
+    /// another core (the other socket, when there is one).
     Combined,
 }
 
 /// Everything observable about a run: per-call reports plus final machine,
-/// slot and shadow state.
+/// slot and shadow state (per-socket where the machine has several).
 #[derive(Debug, PartialEq)]
 struct Observed {
     reports: Vec<Vec<kyoto_sim::QuantumReport>>,
     pmcs: Vec<PmcSet>,
-    llc_stats: CacheStats,
-    llc_occupancy: Vec<u64>,
-    llc_misses_of: Vec<u64>,
+    llc_stats: Vec<CacheStats>,
+    llc_occupancy: Vec<Vec<u64>>,
+    llc_misses_of: Vec<Vec<u64>>,
     shadow_misses: Vec<u64>,
     elapsed_cycles: u64,
 }
 
-fn participants(mode: Mode, call: usize, workload_count: usize) -> Vec<(usize, SlotSpec)> {
+fn participants(
+    mode: Mode,
+    call: usize,
+    workload_count: usize,
+    numa: bool,
+) -> Vec<(usize, SlotSpec)> {
+    // On the two-socket machine (4 cores per socket), spread the parallel
+    // placements across both sockets: even workloads on socket 0, odd on
+    // socket 1. Every workload keeps a fixed core and owner, so no owner
+    // ever spans sockets.
+    let core_of = |w: usize| if numa { (w % 2) * 4 + w / 2 } else { w };
     match mode {
         Mode::Parallel => (0..workload_count)
             .map(|w| {
                 (
                     w,
                     SlotSpec {
-                        core: w,
+                        core: core_of(w),
                         owner: w as OwnerId + 1,
                     },
                 )
@@ -138,7 +165,7 @@ fn participants(mode: Mode, call: usize, workload_count: usize) -> Vec<(usize, S
                 (
                     steady,
                     SlotSpec {
-                        core: 1,
+                        core: if numa { 4 } else { 1 },
                         owner: steady as OwnerId + 1,
                     },
                 ),
@@ -147,17 +174,24 @@ fn participants(mode: Mode, call: usize, workload_count: usize) -> Vec<(usize, S
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_path(
-    batched: bool,
+    path: EnginePath,
     policy: ReplacementPolicy,
     mode: Mode,
     seed: u64,
     workload_count: usize,
     budgets: &[u64],
     shadow: bool,
+    numa: bool,
 ) -> Observed {
-    let config = MachineConfig::scaled_paper_machine(256).with_llc_policy(policy);
+    let config = if numa {
+        MachineConfig::scaled_paper_numa_machine(256).with_llc_policy(policy)
+    } else {
+        MachineConfig::scaled_paper_machine(256).with_llc_policy(policy)
+    };
     let llc_lines = config.llc.num_lines();
+    let num_sockets = config.sockets;
     let mut engine = SimEngine::new(Machine::new(config));
     if shadow {
         engine.enable_shadow_attribution().unwrap();
@@ -177,7 +211,7 @@ fn run_path(
     let mut reports = Vec::with_capacity(budgets.len());
 
     for (call, &budget) in budgets.iter().enumerate() {
-        let selected = participants(mode, call, workload_count);
+        let selected = participants(mode, call, workload_count, numa);
         let mut remaining: Vec<&mut LcgWorkload> = workloads.iter_mut().collect();
         // Pull the selected workloads out in index order so each call can
         // borrow several of them mutably at once.
@@ -190,10 +224,10 @@ fn run_path(
         }
         slots.reverse();
         slot_workload_indices.reverse();
-        let call_reports = if batched {
-            engine.run_slots(&mut slots, budget)
-        } else {
-            engine.run_slots_reference(&mut slots, budget)
+        let call_reports = match path {
+            EnginePath::Batched => engine.run_slots(&mut slots, budget),
+            EnginePath::Reference => engine.run_slots_reference(&mut slots, budget),
+            EnginePath::Parallel => engine.run_slots_parallel(&mut slots, budget),
         };
         for (slot, &w) in slots.iter().zip(&slot_workload_indices) {
             pmcs[w] += slot.pmcs;
@@ -201,18 +235,29 @@ fn run_path(
         reports.push(call_reports);
     }
 
-    let socket = SocketId(0);
-    let llc = engine.machine().socket(socket).unwrap().llc();
+    let mut llc_stats = Vec::with_capacity(num_sockets);
+    let mut llc_occupancy = Vec::with_capacity(num_sockets);
+    let mut llc_misses_of = Vec::with_capacity(num_sockets);
+    for s in 0..num_sockets {
+        let llc = engine.machine().socket(SocketId(s)).unwrap().llc();
+        llc_stats.push(llc.stats());
+        llc_occupancy.push(
+            (0..=workload_count as OwnerId)
+                .map(|owner| llc.occupancy_of(owner))
+                .collect(),
+        );
+        llc_misses_of.push(
+            (0..=workload_count as OwnerId)
+                .map(|owner| llc.misses_of(owner))
+                .collect(),
+        );
+    }
     Observed {
         reports,
         pmcs,
-        llc_stats: llc.stats(),
-        llc_occupancy: (0..=workload_count as OwnerId)
-            .map(|owner| llc.occupancy_of(owner))
-            .collect(),
-        llc_misses_of: (0..=workload_count as OwnerId)
-            .map(|owner| llc.misses_of(owner))
-            .collect(),
+        llc_stats,
+        llc_occupancy,
+        llc_misses_of,
         shadow_misses: (0..=workload_count as OwnerId)
             .map(|owner| {
                 engine
@@ -247,7 +292,8 @@ proptest! {
 
     /// The batched/epoch path and the per-op reference produce identical
     /// simulations: reports, PMCs, LLC statistics, per-owner attribution
-    /// and shadow misses all match exactly.
+    /// and shadow misses all match exactly — on the single-socket and the
+    /// two-socket machine.
     #[test]
     fn batched_path_is_bit_identical_to_reference(
         policy in arb_policy(),
@@ -256,10 +302,30 @@ proptest! {
         workload_count in 2usize..4,
         budgets in prop::collection::vec(500u64..30_000, 1..5),
         shadow in prop_oneof![Just(false), Just(true)],
+        numa in prop_oneof![Just(false), Just(true)],
     ) {
-        let batched = run_path(true, policy, mode, seed, workload_count, &budgets, shadow);
-        let reference = run_path(false, policy, mode, seed, workload_count, &budgets, shadow);
+        let batched = run_path(EnginePath::Batched, policy, mode, seed, workload_count, &budgets, shadow, numa);
+        let reference = run_path(EnginePath::Reference, policy, mode, seed, workload_count, &budgets, shadow, numa);
         prop_assert_eq!(batched, reference);
+    }
+
+    /// The socket-parallel path matches the per-op reference exactly, with
+    /// multi-socket placements (slots straddling both sockets run on
+    /// separate threads), shadow attribution on and off, and both execution
+    /// modes — including Alternative, which degenerates to a single
+    /// populated socket and exercises the serial fallback.
+    #[test]
+    fn parallel_path_is_bit_identical_to_reference(
+        policy in arb_policy(),
+        mode in arb_mode(),
+        seed in 0u64..1_000_000,
+        workload_count in 2usize..4,
+        budgets in prop::collection::vec(500u64..30_000, 1..5),
+        shadow in prop_oneof![Just(false), Just(true)],
+    ) {
+        let parallel = run_path(EnginePath::Parallel, policy, mode, seed, workload_count, &budgets, shadow, true);
+        let reference = run_path(EnginePath::Reference, policy, mode, seed, workload_count, &budgets, shadow, true);
+        prop_assert_eq!(parallel, reference);
     }
 
     /// A single slot driven to large budgets (the tight single-slot epoch
@@ -270,8 +336,8 @@ proptest! {
         seed in 0u64..1_000_000,
         budgets in prop::collection::vec(10_000u64..200_000, 1..4),
     ) {
-        let batched = run_path(true, policy, Mode::Parallel, seed, 1, &budgets, false);
-        let reference = run_path(false, policy, Mode::Parallel, seed, 1, &budgets, false);
+        let batched = run_path(EnginePath::Batched, policy, Mode::Parallel, seed, 1, &budgets, false, false);
+        let reference = run_path(EnginePath::Reference, policy, Mode::Parallel, seed, 1, &budgets, false, false);
         prop_assert_eq!(batched, reference);
     }
 }
@@ -284,21 +350,23 @@ fn carried_op_buffers_preserve_the_stream_across_calls() {
     let many_small_budgets: Vec<u64> = (0..12).map(|i| 700 + i * 137).collect();
     let one_big_budget = [many_small_budgets.iter().sum::<u64>()];
     let split = run_path(
-        true,
+        EnginePath::Batched,
         ReplacementPolicy::Lru,
         Mode::Parallel,
         99,
         2,
         &many_small_budgets,
         false,
+        false,
     );
     let joined = run_path(
-        true,
+        EnginePath::Batched,
         ReplacementPolicy::Lru,
         Mode::Parallel,
         99,
         2,
         &one_big_budget,
+        false,
         false,
     );
     // Not bit-identical (quantum boundaries differ: each call lets every

@@ -18,6 +18,7 @@ fn main() {
         seed: 42,
         warmup_ticks: 6,
         measure_ticks: 15,
+        parallel_engine: false,
     };
 
     println!("Running the Fig. 1 campaign (30 scenarios)...");

@@ -13,6 +13,7 @@ fn test_config() -> ExperimentConfig {
         seed: 123,
         warmup_ticks: 3,
         measure_ticks: 8,
+        parallel_engine: false,
     }
 }
 

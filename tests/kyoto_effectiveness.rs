@@ -11,6 +11,7 @@ fn test_config() -> ExperimentConfig {
         seed: 321,
         warmup_ticks: 3,
         measure_ticks: 9,
+        parallel_engine: false,
     }
 }
 

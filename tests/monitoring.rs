@@ -12,6 +12,7 @@ fn test_config() -> ExperimentConfig {
         seed: 777,
         warmup_ticks: 3,
         measure_ticks: 8,
+        parallel_engine: false,
     }
 }
 

@@ -1,0 +1,39 @@
+//! The socket-parallel engine must not change a single byte of any figure.
+//!
+//! The `figures` binary guarantees byte-identical reports for any `--jobs`
+//! value by buffering per-scenario output; this test pins the deeper
+//! property that makes `--parallel-engine` safe too: the rendered figure
+//! *content* is byte-identical whether scenario hypervisors run the serial
+//! or the socket-parallel engine, because `SimEngine::run_slots_parallel`
+//! preserves the per-socket op order exactly.
+
+use kyoto::experiments::config::ExperimentConfig;
+use kyoto::experiments::{fig1, fig9};
+
+fn test_config() -> ExperimentConfig {
+    ExperimentConfig {
+        scale: 256,
+        seed: 42,
+        warmup_ticks: 2,
+        measure_ticks: 5,
+        parallel_engine: false,
+    }
+}
+
+/// Fig. 9 runs the two-socket machine — the scenario where the parallel
+/// engine actually splits execution across threads.
+#[test]
+fn fig9_output_is_byte_identical_with_the_parallel_engine() {
+    let serial = fig9::run(&test_config()).to_table();
+    let parallel = fig9::run(&test_config().with_parallel_engine(true)).to_table();
+    assert_eq!(serial, parallel);
+}
+
+/// Fig. 1 runs the single-socket machine — the parallel path must fall back
+/// to the serial engine without disturbing anything.
+#[test]
+fn fig1_output_is_byte_identical_with_the_parallel_engine() {
+    let serial = fig1::run(&test_config()).to_table();
+    let parallel = fig1::run(&test_config().with_parallel_engine(true)).to_table();
+    assert_eq!(serial, parallel);
+}
