@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Bench-regression smoke gate.
+#
+# Parses a BENCH_substrate.json (freshly produced by the substrate_baseline
+# binary in CI, or the committed one locally) and fails when the optimized
+# engine's speedup over the frozen seed hot path drops below a tolerant
+# floor. The committed baseline sits at ~1.85-2x, so 1.5x leaves room for
+# runner noise while still catching a real regression of the hot path.
+#
+# Usage:
+#   ci/check_bench.sh [path/to/BENCH_substrate.json]
+#   BENCH_MIN_SPEEDUP=1.7 ci/check_bench.sh   # override the floor
+set -euo pipefail
+
+file="${1:-BENCH_substrate.json}"
+floor="${BENCH_MIN_SPEEDUP:-1.5}"
+
+if [ ! -f "$file" ]; then
+    echo "error: $file not found (run: cargo run --release -p kyoto-bench --bin substrate_baseline)" >&2
+    exit 2
+fi
+
+echo "Checking optimized-vs-seed run_slots speedups in $file (floor: ${floor}x)"
+awk -v floor="$floor" '
+    /"optimized_vs_seed_speedup"/ { in_block = 1; next }
+    in_block && /}/ { in_block = 0 }
+    in_block && /_slots/ {
+        line = $0
+        gsub(/[",]/, "", line)
+        split(line, kv, ":")
+        gsub(/^[ \t]+|[ \t]+$/, "", kv[1])
+        value = kv[2] + 0
+        seen += 1
+        printf "  %s: %.2fx\n", kv[1], value
+        if (value < floor) {
+            printf "  ^^^ below the %.2fx floor\n", floor
+            bad = 1
+        }
+    }
+    END {
+        if (seen == 0) {
+            print "error: no optimized_vs_seed_speedup entries found" > "/dev/stderr"
+            exit 2
+        }
+        exit bad
+    }
+' "$file"
+echo "bench gate OK"

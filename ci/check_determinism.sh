@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Determinism gate.
+#
+# Runs the figures binary twice over a representative target set — once with
+# the serial engine and once with `--parallel-engine` (including the
+# cloudscale scenario, whose quick sweep runs 2- and 4-socket machines, the
+# first placements that scale the socket-parallel engine past two threads) —
+# and fails on any byte of divergence. A third serial run guards against
+# run-to-run nondeterminism (uninitialised state, map iteration order, ...).
+#
+# `--no-timing` suppresses the wall-clock lines, so the whole report is
+# byte-comparable. Outputs land in $DETERMINISM_OUT (default:
+# target/determinism) so CI can upload them as artifacts.
+#
+# Usage:
+#   ci/check_determinism.sh                 # builds figures if needed
+#   FIGURES_BIN=target/release/figures ci/check_determinism.sh
+set -euo pipefail
+
+bin="${FIGURES_BIN:-target/release/figures}"
+out="${DETERMINISM_OUT:-target/determinism}"
+targets=(fig1 fig9 cloudscale)
+
+if [ ! -x "$bin" ]; then
+    cargo build --release -p kyoto-bench --bin figures
+fi
+mkdir -p "$out"
+
+echo "Determinism gate over: ${targets[*]} (quick fidelity)"
+"$bin" --quick --no-timing "${targets[@]}" > "$out/serial.txt"
+"$bin" --quick --no-timing --parallel-engine "${targets[@]}" > "$out/parallel-engine.txt"
+"$bin" --quick --no-timing "${targets[@]}" > "$out/serial-rerun.txt"
+
+if ! diff -u "$out/serial.txt" "$out/parallel-engine.txt"; then
+    echo "determinism gate FAILED: --parallel-engine changed figure bytes" >&2
+    exit 1
+fi
+if ! diff -u "$out/serial.txt" "$out/serial-rerun.txt"; then
+    echo "determinism gate FAILED: two serial runs disagree" >&2
+    exit 1
+fi
+echo "determinism gate OK (outputs in $out)"

@@ -8,6 +8,8 @@
 //! cargo run --release -p kyoto-bench --bin figures -- --quick all
 //! cargo run --release -p kyoto-bench --bin figures -- --jobs 4 all
 //! cargo run --release -p kyoto-bench --bin figures -- --parallel-engine all
+//! cargo run --release -p kyoto-bench --bin figures -- --scenario cloudscale
+//! cargo run --release -p kyoto-bench --bin figures -- --no-timing all
 //! ```
 //!
 //! Figure scenarios are independent: each builds its own machine, engine and
@@ -18,9 +20,13 @@
 //! `--parallel-engine` additionally runs each scenario's engine ticks with
 //! one thread per populated socket (`SimEngine::run_slots_parallel`); the
 //! per-socket op order is preserved exactly, so figure content stays
-//! byte-identical with the switch on or off.
+//! byte-identical with the switch on or off. `--no-timing` suppresses the
+//! wall-clock lines, making the *entire* output byte-deterministic — the CI
+//! determinism gate diffs two such runs. `--scenario NAME` is an explicit
+//! way to select one target (identical to passing `NAME` positionally).
 
 use kyoto_bench::{figures_config, figures_quick_config};
+use kyoto_experiments::cloudscale::{self, CloudscaleSweep};
 use kyoto_experiments::config::ExperimentConfig;
 use kyoto_experiments::{
     fig1, fig10, fig11, fig12, fig2, fig3, fig4, fig5, fig6, fig8, fig9, tables,
@@ -29,12 +35,24 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-const ALL_TARGETS: [&str; 13] = [
-    "table1", "table2", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig8", "fig9", "fig10",
-    "fig11", "fig12",
+const ALL_TARGETS: [&str; 14] = [
+    "table1",
+    "table2",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "cloudscale",
 ];
 
-fn render_target(target: &str, config: &ExperimentConfig) -> Option<String> {
+fn render_target(target: &str, config: &ExperimentConfig, quick: bool) -> Option<String> {
     Some(match target {
         "table1" => tables::table1().to_table(),
         "table2" => tables::table2().to_table(),
@@ -49,6 +67,14 @@ fn render_target(target: &str, config: &ExperimentConfig) -> Option<String> {
         "fig10" => fig10::run(config).to_table(),
         "fig11" => fig11::run(config).to_table(),
         "fig12" => fig12::run(config).to_table(),
+        "cloudscale" => {
+            let sweep = if quick {
+                CloudscaleSweep::small()
+            } else {
+                CloudscaleSweep::standard()
+            };
+            cloudscale::run_with_sweep(config, &sweep).to_table()
+        }
         _ => return None,
     })
 }
@@ -59,7 +85,12 @@ type Rendered = (Option<String>, Duration);
 
 /// Renders every target on up to `jobs` worker threads, returning outputs in
 /// input order.
-fn render_all(targets: &[&str], config: &ExperimentConfig, jobs: usize) -> Vec<Rendered> {
+fn render_all(
+    targets: &[&str],
+    config: &ExperimentConfig,
+    jobs: usize,
+    quick: bool,
+) -> Vec<Rendered> {
     let results: Mutex<Vec<Option<Rendered>>> = Mutex::new(vec![None; targets.len()]);
     let cursor = AtomicUsize::new(0);
     let workers = jobs.clamp(1, targets.len().max(1));
@@ -71,7 +102,7 @@ fn render_all(targets: &[&str], config: &ExperimentConfig, jobs: usize) -> Vec<R
                     break;
                 };
                 let start = Instant::now();
-                let output = render_target(target, config);
+                let output = render_target(target, config, quick);
                 let elapsed = start.elapsed();
                 results.lock().expect("no poisoned worker")[index] = Some((output, elapsed));
             });
@@ -111,6 +142,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let parallel_engine = args.iter().any(|a| a == "--parallel-engine");
+    let no_timing = args.iter().any(|a| a == "--no-timing");
     let jobs = parse_jobs(&args);
     let config = if quick {
         figures_quick_config()
@@ -138,6 +170,20 @@ fn main() {
         })
         .map(|a| a.as_str())
         .collect();
+    // `--scenario NAME` selects a target explicitly (equivalent to passing
+    // NAME positionally; the value is already kept by the filter above).
+    for (i, arg) in args.iter().enumerate() {
+        let name = match arg.strip_prefix("--scenario=") {
+            Some(name) => Some(name),
+            None if arg == "--scenario" => args.get(i + 1).map(|a| a.as_str()),
+            None => None,
+        };
+        if let Some(name) = name {
+            if !targets.contains(&name) {
+                targets.push(name);
+            }
+        }
+    }
     if targets.is_empty() || targets.contains(&"all") {
         targets = ALL_TARGETS.to_vec();
     }
@@ -147,15 +193,22 @@ fn main() {
     );
     println!("{}", "=".repeat(72));
     let start = Instant::now();
-    for (target, (output, elapsed)) in targets.iter().zip(render_all(&targets, &config, jobs)) {
+    for (target, (output, elapsed)) in targets
+        .iter()
+        .zip(render_all(&targets, &config, jobs, quick))
+    {
         match output {
             Some(table) => {
                 println!("{table}");
-                println!("[{} generated in {:.1?}]", target, elapsed);
+                if !no_timing {
+                    println!("[{} generated in {:.1?}]", target, elapsed);
+                }
             }
             None => eprintln!("unknown target `{target}` (known: {ALL_TARGETS:?})"),
         }
         println!("{}", "=".repeat(72));
     }
-    println!("[all targets done in {:.1?}]", start.elapsed());
+    if !no_timing {
+        println!("[all targets done in {:.1?}]", start.elapsed());
+    }
 }

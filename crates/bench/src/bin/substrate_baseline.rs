@@ -17,6 +17,7 @@ use kyoto_bench::bench_config;
 use kyoto_bench::legacy::{
     legacy_run_slots, LegacyCache, LegacyMachine, LegacySlot, LegacySpecWorkload,
 };
+use kyoto_experiments::cloudscale;
 use kyoto_sim::cache::{Cache, CacheConfig};
 use kyoto_sim::engine::{ExecSlot, SimEngine};
 use kyoto_sim::pmc::PmcSet;
@@ -188,6 +189,38 @@ fn numa_engine_rate(slots: usize, scale: u64, parallel: bool) -> f64 {
     })
 }
 
+/// Throughput of the serial or socket-parallel path on an N-socket cloud
+/// machine with two gcc-like slots per socket (slot `i` runs on core
+/// `(i % sockets) * cores_per_socket + i / sockets`, so every socket hosts
+/// two slots). Same bit-identical-per-socket guarantee as
+/// [`numa_engine_rate`]; the ratio is a pure wall-clock speedup.
+fn cloud_engine_rate(sockets: usize, scale: u64, parallel: bool) -> f64 {
+    const BUDGET: u64 = 100_000;
+    let slots = sockets * 2;
+    let machine = Machine::new(MachineConfig::scaled_cloud_machine(sockets, scale));
+    let cores_per_socket = machine.config().cores_per_socket;
+    let mut engine = SimEngine::new(machine);
+    let mut workloads: Vec<SpecWorkload> = (0..slots)
+        .map(|i| SpecWorkload::new(SpecApp::Gcc, scale, i as u64))
+        .collect();
+    best_rate((BUDGET * slots as u64) as f64, || {
+        let mut slot_refs: Vec<ExecSlot<'_>> = workloads
+            .iter_mut()
+            .enumerate()
+            .map(|(i, w)| {
+                let core = (i % sockets) * cores_per_socket + i / sockets;
+                ExecSlot::new(CoreId(core), i as u16 + 1, w)
+            })
+            .collect();
+        let reports = if parallel {
+            engine.run_slots_parallel(&mut slot_refs, BUDGET)
+        } else {
+            engine.run_slots(&mut slot_refs, BUDGET)
+        };
+        black_box(reports);
+    })
+}
+
 fn main() {
     let stdout_only = std::env::args().any(|a| a == "--stdout");
     let config = bench_config();
@@ -265,6 +298,38 @@ fn main() {
         parallel_speedups.push((slots, parallel / serial));
     }
 
+    // Cloud-scale machines: the engine's socket-parallel path past two
+    // sockets (two slots per socket), plus the end-to-end scenario scaling
+    // curve measured through the cloudscale subsystem (hypervisor +
+    // placement + engine). Both need as many hardware threads as sockets to
+    // approach the ideal speedup; `parallel_bench_threads` records what this
+    // host offered.
+    let mut cloud_speedups: Vec<(usize, f64)> = Vec::new();
+    for sockets in [4usize, 8] {
+        let serial = cloud_engine_rate(sockets, config.scale, false);
+        let parallel = cloud_engine_rate(sockets, config.scale, true);
+        let serial_name: &'static str = match sockets {
+            4 => "run_slots_serial_4sockets",
+            _ => "run_slots_serial_8sockets",
+        };
+        samples.push(Sample {
+            name: serial_name,
+            unit: "Msimcycles/s",
+            value: serial / 1e6,
+        });
+        let parallel_name: &'static str = match sockets {
+            4 => "run_slots_parallel_4sockets",
+            _ => "run_slots_parallel_8sockets",
+        };
+        samples.push(Sample {
+            name: parallel_name,
+            unit: "Msimcycles/s",
+            value: parallel / 1e6,
+        });
+        cloud_speedups.push((sockets, parallel / serial));
+    }
+    let scaling_curve = cloudscale::measure_parallel_scaling(&config, &[1, 2, 4, 8], 2, 3);
+
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"schema\": \"kyoto-substrate-bench/v1\",\n");
@@ -315,7 +380,38 @@ fn main() {
         };
         let _ = writeln!(json, "    \"{slots}_slots\": {speedup:.2}{comma}");
     }
-    json.push_str("  }\n}\n");
+    json.push_str("  },\n");
+    json.push_str("  \"parallel_vs_serial_speedup_cloud\": {\n");
+    for (i, (sockets, speedup)) in cloud_speedups.iter().enumerate() {
+        let comma = if i + 1 == cloud_speedups.len() {
+            ""
+        } else {
+            ","
+        };
+        let _ = writeln!(json, "    \"{sockets}_sockets\": {speedup:.2}{comma}");
+    }
+    json.push_str("  },\n");
+    // End-to-end cloudscale scenario wall-clock: serial vs parallel engine,
+    // one point per socket count (two VMs per socket).
+    json.push_str("  \"parallel_scaling_curve\": [\n");
+    for (i, point) in scaling_curve.iter().enumerate() {
+        let comma = if i + 1 == scaling_curve.len() {
+            ""
+        } else {
+            ","
+        };
+        let _ = writeln!(
+            json,
+            "    {{ \"sockets\": {}, \"vms\": {}, \"serial_secs\": {:.4}, \"parallel_secs\": {:.4}, \"speedup\": {:.2} }}{}",
+            point.sockets,
+            point.vms,
+            point.serial_secs,
+            point.parallel_secs,
+            point.speedup(),
+            comma
+        );
+    }
+    json.push_str("  ]\n}\n");
 
     print!("{json}");
     if !stdout_only {

@@ -1,0 +1,436 @@
+//! Cloud-scale consolidation scenario: many VMs across an N-socket machine.
+//!
+//! Every figure of the paper runs the single-socket testbed (plus the
+//! two-socket PowerEdge for Fig. 9), so the socket-parallel engine never
+//! shows up in shipped output. This scenario models the regime that sizes
+//! consolidator middleware — dozens of VMs with heterogeneous working sets
+//! fanned out across 2–8 sockets — and reports per-socket PMC aggregates for
+//! every cell of a socket-count × VM-count sweep, plus a placement-policy
+//! comparison at the largest cell.
+//!
+//! Placement flows through the ordinary machinery: [`place_vms`] produces
+//! core pinnings and NUMA nodes, the scheduler's pinning filter keeps each
+//! VM on its core, and `Machine::route` charges remote latencies for
+//! off-node memory. Nothing here bypasses the hypervisor.
+//!
+//! The rendered table is *byte-identical* with and without the
+//! socket-parallel engine (`--parallel-engine`): `run_slots_parallel`
+//! preserves per-socket op order exactly, which `engine_equivalence.rs`
+//! proves at 4 and 8 sockets. Wall-clock scaling of the parallel engine is
+//! measured separately by [`measure_parallel_scaling`] (consumed by the
+//! `substrate_baseline` binary), so the deterministic report stays free of
+//! timing noise.
+
+use crate::config::ExperimentConfig;
+use crate::harness::{spec_workload, warmup_and_measure, Measurement};
+use kyoto_hypervisor::placement::{place_vms, Placement, PlacementPolicy};
+use kyoto_hypervisor::vm::VmConfig;
+use kyoto_hypervisor::xen_hypervisor;
+use kyoto_sim::workload::Workload;
+use kyoto_workloads::spec::SpecApp;
+use serde::{Deserialize, Serialize};
+
+/// The heterogeneous application mix cycled across the VMs of a cell:
+/// cache-sensitive, streaming/disruptive and compute-bound apps interleaved
+/// so every socket hosts a blend of polluters and victims.
+pub const APP_MIX: [SpecApp; 8] = [
+    SpecApp::Gcc,
+    SpecApp::Lbm,
+    SpecApp::Hmmer,
+    SpecApp::Mcf,
+    SpecApp::Milc,
+    SpecApp::Bzip,
+    SpecApp::Omnetpp,
+    SpecApp::Soplex,
+];
+
+/// The sweep a cloudscale run covers.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CloudscaleSweep {
+    /// Socket counts of the machines to build.
+    pub socket_counts: Vec<usize>,
+    /// VM counts per socket (the cell's VM count is `sockets * this`).
+    pub vms_per_socket: Vec<usize>,
+    /// Placement policy of the main sweep cells.
+    pub placement: PlacementPolicy,
+    /// When set, every policy is additionally compared at the largest cell.
+    pub compare_policies: bool,
+}
+
+impl CloudscaleSweep {
+    /// The standard sweep: 2/4/8 sockets × 2/3 VMs per socket under
+    /// round-robin placement, plus a policy comparison at 8 sockets ×
+    /// 3 VMs per socket.
+    pub fn standard() -> Self {
+        CloudscaleSweep {
+            socket_counts: vec![2, 4, 8],
+            vms_per_socket: vec![2, 3],
+            placement: PlacementPolicy::RoundRobin,
+            compare_policies: true,
+        }
+    }
+
+    /// A small sweep for tests and the CI determinism gate: 2/4 sockets,
+    /// two VMs per socket, no policy comparison.
+    pub fn small() -> Self {
+        CloudscaleSweep {
+            socket_counts: vec![2, 4],
+            vms_per_socket: vec![2],
+            placement: PlacementPolicy::RoundRobin,
+            compare_policies: false,
+        }
+    }
+}
+
+/// PMC aggregates of all VMs placed on one socket, over the measurement
+/// window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SocketAggregate {
+    /// The socket.
+    pub socket: usize,
+    /// VMs placed on it.
+    pub vms: usize,
+    /// Instructions retired by its VMs.
+    pub instructions: u64,
+    /// Unhalted cycles consumed by its VMs.
+    pub cycles: u64,
+    /// LLC references of its VMs.
+    pub llc_references: u64,
+    /// LLC misses of its VMs.
+    pub llc_misses: u64,
+    /// Remote-memory accesses of its VMs.
+    pub remote_accesses: u64,
+}
+
+impl SocketAggregate {
+    /// Aggregate instructions per cycle of the socket's VMs.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// LLC miss ratio of the socket's VMs.
+    pub fn llc_miss_ratio(&self) -> f64 {
+        if self.llc_references == 0 {
+            0.0
+        } else {
+            self.llc_misses as f64 / self.llc_references as f64
+        }
+    }
+}
+
+/// One cell of the sweep: a machine size, a VM count and a placement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CloudscaleCell {
+    /// Sockets of the machine.
+    pub sockets: usize,
+    /// VMs consolidated onto it.
+    pub vms: usize,
+    /// Placement policy used.
+    pub placement: PlacementPolicy,
+    /// Per-socket aggregates, in socket order (sockets the policy left
+    /// empty report zero VMs).
+    pub per_socket: Vec<SocketAggregate>,
+}
+
+impl CloudscaleCell {
+    /// Machine-wide aggregate IPC.
+    pub fn aggregate_ipc(&self) -> f64 {
+        let instructions: u64 = self.per_socket.iter().map(|s| s.instructions).sum();
+        let cycles: u64 = self.per_socket.iter().map(|s| s.cycles).sum();
+        if cycles == 0 {
+            0.0
+        } else {
+            instructions as f64 / cycles as f64
+        }
+    }
+
+    /// Machine-wide instructions retired.
+    pub fn total_instructions(&self) -> u64 {
+        self.per_socket.iter().map(|s| s.instructions).sum()
+    }
+}
+
+/// The cloudscale dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CloudscaleResult {
+    /// Every cell, in sweep order (socket count outer, VM count inner, then
+    /// the policy-comparison cells).
+    pub cells: Vec<CloudscaleCell>,
+}
+
+impl CloudscaleResult {
+    /// The cell for a machine size / VM count / placement, if present.
+    pub fn cell(
+        &self,
+        sockets: usize,
+        vms: usize,
+        placement: PlacementPolicy,
+    ) -> Option<&CloudscaleCell> {
+        self.cells
+            .iter()
+            .find(|c| c.sockets == sockets && c.vms == vms && c.placement == placement)
+    }
+
+    /// Renders the per-socket aggregate table.
+    pub fn to_table(&self) -> String {
+        let mut out = String::from(
+            "Cloudscale: per-socket PMC aggregates across the socket-count x VM-count sweep\n",
+        );
+        for cell in &self.cells {
+            out.push_str(&format!(
+                "  {} sockets, {} VMs, {:<11}  aggregate IPC {:.3}\n",
+                cell.sockets,
+                cell.vms,
+                cell.placement.label(),
+                cell.aggregate_ipc()
+            ));
+            for socket in &cell.per_socket {
+                out.push_str(&format!(
+                    "    socket{}: {} vms  ipc {:.3}  llc_refs {:>9}  llc_miss {:5.1}%  remote {:>7}\n",
+                    socket.socket,
+                    socket.vms,
+                    socket.ipc(),
+                    socket.llc_references,
+                    socket.llc_miss_ratio() * 100.0,
+                    socket.remote_accesses,
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Builds the VM population of a cell: `vms` single-vCPU VMs cycling through
+/// [`APP_MIX`], with per-VM seeds derived from the experiment seed.
+fn build_workloads(config: &ExperimentConfig, vms: usize) -> Vec<(SpecApp, Box<dyn Workload>)> {
+    (0..vms)
+        .map(|i| {
+            let app = APP_MIX[i % APP_MIX.len()];
+            (app, spec_workload(config, app, 0xc10d + i as u64))
+        })
+        .collect()
+}
+
+/// Runs one cell: build the N-socket machine, place the VMs, run
+/// warm-up + measurement, and aggregate PMCs per socket.
+pub fn run_cell(
+    config: &ExperimentConfig,
+    sockets: usize,
+    vms: usize,
+    placement: PlacementPolicy,
+) -> CloudscaleCell {
+    let machine_config = config.cloud_machine_config(sockets);
+    let workloads = build_workloads(config, vms);
+    let working_sets: Vec<u64> = workloads
+        .iter()
+        .map(|(_, workload)| workload.working_set_bytes())
+        .collect();
+    let placements: Vec<Placement> = place_vms(placement, &machine_config, &working_sets);
+    let mut hv = xen_hypervisor(config.cloud_machine(sockets), config.hypervisor_config());
+    for (i, ((app, workload), vm_placement)) in workloads.into_iter().zip(&placements).enumerate() {
+        let vm_config = vm_placement.apply(VmConfig::new(format!("vm{i}-{}", app.name())));
+        hv.add_vm_with(vm_config, workload).expect("valid VM");
+    }
+    let measurements = warmup_and_measure(&mut hv, config);
+    CloudscaleCell {
+        sockets,
+        vms,
+        placement,
+        per_socket: aggregate_by_socket(sockets, &placements, &measurements),
+    }
+}
+
+fn aggregate_by_socket(
+    sockets: usize,
+    placements: &[Placement],
+    measurements: &[Measurement],
+) -> Vec<SocketAggregate> {
+    let mut per_socket: Vec<SocketAggregate> = (0..sockets)
+        .map(|socket| SocketAggregate {
+            socket,
+            vms: 0,
+            instructions: 0,
+            cycles: 0,
+            llc_references: 0,
+            llc_misses: 0,
+            remote_accesses: 0,
+        })
+        .collect();
+    for (placement, measurement) in placements.iter().zip(measurements) {
+        let aggregate = &mut per_socket[placement.socket.0];
+        aggregate.vms += 1;
+        aggregate.instructions += measurement.pmc_delta.instructions;
+        aggregate.cycles += measurement.pmc_delta.unhalted_core_cycles;
+        aggregate.llc_references += measurement.pmc_delta.llc_references;
+        aggregate.llc_misses += measurement.pmc_delta.llc_misses;
+        aggregate.remote_accesses += measurement.pmc_delta.remote_accesses;
+    }
+    per_socket
+}
+
+/// Runs the full sweep described by `sweep`.
+pub fn run_with_sweep(config: &ExperimentConfig, sweep: &CloudscaleSweep) -> CloudscaleResult {
+    let mut cells = Vec::new();
+    for &sockets in &sweep.socket_counts {
+        for &per_socket in &sweep.vms_per_socket {
+            cells.push(run_cell(
+                config,
+                sockets,
+                sockets * per_socket,
+                sweep.placement,
+            ));
+        }
+    }
+    if sweep.compare_policies {
+        let sockets = sweep.socket_counts.iter().copied().max().unwrap_or(2);
+        let per_socket = sweep.vms_per_socket.iter().copied().max().unwrap_or(2);
+        for policy in PlacementPolicy::ALL {
+            if policy == sweep.placement {
+                continue; // already covered by the main sweep
+            }
+            cells.push(run_cell(config, sockets, sockets * per_socket, policy));
+        }
+    }
+    CloudscaleResult { cells }
+}
+
+/// Runs the standard cloudscale sweep.
+pub fn run(config: &ExperimentConfig) -> CloudscaleResult {
+    run_with_sweep(config, &CloudscaleSweep::standard())
+}
+
+/// One point of the parallel-engine scaling curve: the same cell executed
+/// with the serial and the socket-parallel engine, timed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScalingPoint {
+    /// Sockets of the machine.
+    pub sockets: usize,
+    /// VMs consolidated onto it.
+    pub vms: usize,
+    /// Wall-clock seconds of the serial-engine run.
+    pub serial_secs: f64,
+    /// Wall-clock seconds of the parallel-engine run.
+    pub parallel_secs: f64,
+}
+
+impl ScalingPoint {
+    /// Serial / parallel wall-clock ratio (>1 means the parallel engine
+    /// helped; needs as many hardware threads as sockets to approach the
+    /// socket count).
+    pub fn speedup(&self) -> f64 {
+        if self.parallel_secs <= 0.0 {
+            0.0
+        } else {
+            self.serial_secs / self.parallel_secs
+        }
+    }
+}
+
+/// Measures parallel-engine wall-clock scaling on cloudscale cells of
+/// `socket_counts` sockets (`vms_per_socket` VMs each), running each cell
+/// once with the serial and once with the socket-parallel engine and taking
+/// the best of `reps` repetitions. The simulation outputs of the two runs
+/// are bit-identical; only the wall-clock differs. Consumed by the
+/// `substrate_baseline` binary for `BENCH_substrate.json`'s
+/// `parallel_scaling_curve` series.
+pub fn measure_parallel_scaling(
+    config: &ExperimentConfig,
+    socket_counts: &[usize],
+    vms_per_socket: usize,
+    reps: usize,
+) -> Vec<ScalingPoint> {
+    let time_cell = |parallel: bool, sockets: usize| -> f64 {
+        let run_config = config.with_parallel_engine(parallel);
+        let mut best = f64::INFINITY;
+        for _ in 0..reps.max(1) {
+            let start = std::time::Instant::now();
+            let cell = run_cell(
+                &run_config,
+                sockets,
+                sockets * vms_per_socket,
+                PlacementPolicy::RoundRobin,
+            );
+            let elapsed = start.elapsed().as_secs_f64();
+            std::hint::black_box(cell);
+            best = best.min(elapsed);
+        }
+        best
+    };
+    socket_counts
+        .iter()
+        .map(|&sockets| ScalingPoint {
+            sockets,
+            vms: sockets * vms_per_socket,
+            serial_secs: time_cell(false, sockets),
+            parallel_secs: time_cell(true, sockets),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> ExperimentConfig {
+        ExperimentConfig {
+            scale: 256,
+            seed: 7,
+            warmup_ticks: 2,
+            measure_ticks: 5,
+            parallel_engine: false,
+        }
+    }
+
+    #[test]
+    fn sweep_covers_every_cell_and_socket() {
+        let sweep = CloudscaleSweep::small();
+        let result = run_with_sweep(&tiny_config(), &sweep);
+        assert_eq!(result.cells.len(), 2);
+        let cell = result
+            .cell(4, 8, PlacementPolicy::RoundRobin)
+            .expect("4-socket cell present");
+        assert_eq!(cell.per_socket.len(), 4);
+        // Round-robin with 2 VMs per socket populates every socket.
+        assert!(cell.per_socket.iter().all(|s| s.vms == 2));
+        assert!(cell.total_instructions() > 0);
+        assert!(cell.aggregate_ipc() > 0.0);
+        let table = result.to_table();
+        assert!(table.contains("4 sockets, 8 VMs"));
+        assert!(table.contains("socket3"));
+    }
+
+    #[test]
+    fn parallel_engine_changes_no_cell_output() {
+        // The determinism claim of the scenario, at test scale: every cell
+        // (and therefore the rendered table) is identical with the serial
+        // and the socket-parallel engine.
+        let sweep = CloudscaleSweep::small();
+        let serial = run_with_sweep(&tiny_config(), &sweep);
+        let parallel = run_with_sweep(&tiny_config().with_parallel_engine(true), &sweep);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.to_table(), parallel.to_table());
+    }
+
+    #[test]
+    fn packed_placement_leaves_trailing_sockets_idle() {
+        // 4 sockets, 8 VMs packed: sockets 0 and 1 take four VMs each,
+        // sockets 2 and 3 stay empty — visible in the per-socket aggregates.
+        let cell = run_cell(&tiny_config(), 4, 8, PlacementPolicy::Packed);
+        assert_eq!(cell.per_socket[0].vms, 4);
+        assert_eq!(cell.per_socket[1].vms, 4);
+        assert_eq!(cell.per_socket[2].vms, 0);
+        assert_eq!(cell.per_socket[3].vms, 0);
+        assert_eq!(cell.per_socket[3].instructions, 0);
+    }
+
+    #[test]
+    fn numa_aware_placement_keeps_memory_local() {
+        let cell = run_cell(&tiny_config(), 2, 6, PlacementPolicy::NumaAware);
+        let remote: u64 = cell.per_socket.iter().map(|s| s.remote_accesses).sum();
+        assert_eq!(remote, 0, "NUMA-aware placement pins memory locally");
+    }
+}

@@ -101,6 +101,18 @@ impl ExperimentConfig {
         MachineConfig::scaled_paper_numa_machine(self.scale)
     }
 
+    /// The scaled N-socket cloud consolidation machine (the paper's
+    /// per-socket geometry replicated `sockets` times) used by the
+    /// cloudscale scenario.
+    pub fn cloud_machine(&self, sockets: usize) -> Machine {
+        Machine::new(self.cloud_machine_config(sockets))
+    }
+
+    /// The scaled N-socket machine configuration.
+    pub fn cloud_machine_config(&self, sockets: usize) -> MachineConfig {
+        MachineConfig::scaled_cloud_machine(sockets, self.scale)
+    }
+
     /// Default hypervisor timing (10 ms ticks, 30 ms slices), carrying this
     /// configuration's engine-parallelism switch.
     pub fn hypervisor_config(&self) -> HypervisorConfig {
@@ -153,6 +165,11 @@ mod tests {
             10 * 1024 * 1024 / config.scale
         );
         assert_eq!(config.numa_machine().num_sockets(), 2);
+        assert_eq!(config.cloud_machine(8).num_sockets(), 8);
+        assert_eq!(
+            config.cloud_machine_config(4).llc.size_bytes,
+            config.machine_config().llc.size_bytes
+        );
     }
 
     #[test]

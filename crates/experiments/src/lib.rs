@@ -21,6 +21,10 @@
 //! | [`fig11`] | Equation-1 values with vs without socket dedication |
 //! | [`fig12`] | KS4Xen overhead vs the scheduling time slice |
 //!
+//! Beyond the paper, [`cloudscale`] models a cloud-scale consolidation
+//! machine (N sockets, dozens of VMs, placement policies) — the first
+//! scenario whose socket-parallel execution scales past two threads.
+//!
 //! (Fig. 7 is the Pisces architecture diagram; its description lives in
 //! `kyoto_hypervisor::pisces`.)
 //!
@@ -30,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cloudscale;
 pub mod config;
 pub mod fig1;
 pub mod fig10;

@@ -14,6 +14,8 @@
 //! * [`cfs`] — a simplified Linux CFS (the KVM substrate);
 //! * [`pisces`] — a Pisces-like static core partitioner (the HPC co-kernel
 //!   substrate, Fig. 7);
+//! * [`placement`] — VM-to-socket placement policies for the cloud-scale
+//!   consolidation scenarios (round-robin / packed / NUMA-aware);
 //! * [`hypervisor`] — the tick-based run loop binding machine, scheduler and
 //!   VMs together.
 //!
@@ -57,6 +59,7 @@ pub mod cfs;
 pub mod credit;
 pub mod hypervisor;
 pub mod pisces;
+pub mod placement;
 pub mod scheduler;
 pub mod vm;
 
@@ -64,6 +67,7 @@ pub use cfs::{CfsConfig, CfsScheduler};
 pub use credit::{CreditConfig, CreditScheduler};
 pub use hypervisor::{Hypervisor, HypervisorConfig, HypervisorError, TickSample};
 pub use pisces::PiscesScheduler;
+pub use placement::{place_vms, Placement, PlacementPolicy};
 pub use scheduler::{ExecOverrides, Priority, Scheduler, TickReport};
 pub use vm::{VcpuId, VmConfig, VmId, VmReport};
 

@@ -2,10 +2,11 @@
 
 use kyoto_hypervisor::cfs::{CfsConfig, CfsScheduler};
 use kyoto_hypervisor::credit::{CreditConfig, CreditScheduler};
+use kyoto_hypervisor::placement::{place_vms, PlacementPolicy};
 use kyoto_hypervisor::scheduler::{Scheduler, TickReport};
 use kyoto_hypervisor::vm::{VcpuId, VmConfig, VmId};
 use kyoto_sim::pmc::PmcSet;
-use kyoto_sim::topology::CoreId;
+use kyoto_sim::topology::{CoreId, MachineConfig, NumaNode};
 use proptest::prelude::*;
 
 fn report(consumed: u64) -> TickReport {
@@ -103,5 +104,81 @@ proptest! {
         let spread = scheduler.vruntime(a).abs_diff(scheduler.vruntime(b));
         // One tick of weight-1024-normalised runtime for weight 256 is 400_000.
         prop_assert!(spread <= 100_000 * 1024 / 256);
+    }
+}
+
+fn arb_placement_policy() -> impl Strategy<Value = PlacementPolicy> {
+    prop_oneof![
+        Just(PlacementPolicy::RoundRobin),
+        Just(PlacementPolicy::Packed),
+        Just(PlacementPolicy::NumaAware),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Placement is deterministic (a pure function of policy, machine and
+    /// working sets) and always valid: every core exists, every socket
+    /// matches its core, and NUMA-aware placements pin memory to the VM's
+    /// own socket.
+    #[test]
+    fn placement_is_deterministic_and_valid(
+        policy in arb_placement_policy(),
+        sockets in prop_oneof![Just(2usize), Just(4), Just(8)],
+        working_sets in prop::collection::vec(1u64..(1 << 24), 1..48),
+    ) {
+        let machine = MachineConfig::cloud_machine(sockets);
+        let a = place_vms(policy, &machine, &working_sets);
+        let b = place_vms(policy, &machine, &working_sets);
+        prop_assert_eq!(&a, &b, "same inputs must give identical placements");
+        prop_assert_eq!(a.len(), working_sets.len());
+        for p in &a {
+            prop_assert!(p.core.0 < machine.num_cores());
+            prop_assert_eq!(machine.socket_of_core(p.core), Some(p.socket));
+            match policy {
+                PlacementPolicy::NumaAware => {
+                    prop_assert_eq!(p.numa_node, Some(NumaNode(p.socket.0)));
+                }
+                _ => prop_assert_eq!(p.numa_node, None),
+            }
+        }
+    }
+
+    /// Round-robin placement never lets two sockets' VM counts differ by
+    /// more than one, and packed placement fills socket `s + 1` only after
+    /// socket `s` has a VM on every core.
+    #[test]
+    fn placement_policies_shape_the_load(
+        sockets in prop_oneof![Just(2usize), Just(4), Just(8)],
+        vms in 1usize..48,
+    ) {
+        let machine = MachineConfig::cloud_machine(sockets);
+        let working_sets = vec![4096u64; vms];
+        let round_robin = place_vms(PlacementPolicy::RoundRobin, &machine, &working_sets);
+        let mut counts = vec![0usize; sockets];
+        for p in &round_robin {
+            counts[p.socket.0] += 1;
+        }
+        let spread = counts.iter().max().unwrap() - counts.iter().min().unwrap();
+        prop_assert!(spread <= 1, "round-robin keeps socket loads within one VM");
+
+        let packed = place_vms(PlacementPolicy::Packed, &machine, &working_sets);
+        let mut counts = vec![0usize; sockets];
+        for p in &packed {
+            counts[p.socket.0] += 1;
+        }
+        let per_socket = machine.cores_per_socket;
+        for s in 1..sockets {
+            if counts[s] > 0 {
+                prop_assert!(
+                    counts[s - 1] >= counts[s].min(per_socket)
+                        || counts[s - 1] >= per_socket,
+                    "packed never populates socket {} before filling socket {}",
+                    s,
+                    s - 1
+                );
+            }
+        }
     }
 }

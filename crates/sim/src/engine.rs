@@ -222,6 +222,32 @@ impl AccessMem for SocketView<'_> {
     }
 }
 
+/// Several sockets' split-borrowed views driven by one thread: the execution
+/// target of a merged component in [`SimEngine::run_slots_parallel`] (sockets
+/// coupled by a shadow-attributed owner that has slots on more than one of
+/// them). Single-socket components keep using [`SocketView`] directly, so the
+/// common path pays no extra indirection.
+struct SocketGroup<'a> {
+    views: Vec<SocketView<'a>>,
+    /// Socket index -> position in `views` (only the member sockets are
+    /// populated; a routed access to any other socket is a grouping bug).
+    view_of_socket: Vec<usize>,
+}
+
+impl AccessMem for SocketGroup<'_> {
+    #[inline]
+    fn access_routed(
+        &mut self,
+        route: AccessRoute,
+        addr: u64,
+        kind: AccessKind,
+        owner: OwnerId,
+    ) -> AccessOutcome {
+        let view = self.view_of_socket[route.socket_index()];
+        self.views[view].access_routed(route, addr, kind, owner)
+    }
+}
+
 /// Executes one micro-op for a slot, accumulating its cycle cost, counter
 /// deltas and pollution events directly into `report`: the shared cost
 /// model of every engine path.
@@ -348,6 +374,10 @@ pub struct SimEngine {
     /// Number of batched (`run_slots` / `run_slots_parallel`) calls so far;
     /// the logical clock of the carry map's staleness accounting.
     run_calls: u64,
+    /// Worker threads the most recent [`SimEngine::run_slots_parallel`] call
+    /// spawned (0 when it fell back to the serial path). Diagnostics only —
+    /// lets tests pin which batches actually parallelise.
+    last_parallel_groups: usize,
 }
 
 impl SimEngine {
@@ -359,7 +389,16 @@ impl SimEngine {
             elapsed_cycles: 0,
             op_carry: HashMap::new(),
             run_calls: 0,
+            last_parallel_groups: 0,
         }
+    }
+
+    /// Worker threads the most recent [`SimEngine::run_slots_parallel`] call
+    /// used, 0 when it took the serial path (fewer than two populated
+    /// sockets, or every populated socket coupled into one component by
+    /// shadow-attributed owners).
+    pub fn parallel_groups_last_call(&self) -> usize {
+        self.last_parallel_groups
     }
 
     /// Discards batched-but-unexecuted ops fetched for `tag`. Call when the
@@ -644,9 +683,15 @@ impl SimEngine {
     /// threads join.
     ///
     /// Falls back to the serial path when fewer than two sockets have slots
-    /// (nothing to parallelise) or when shadow attribution is enabled and an
-    /// owner has slots on several sockets in the same call (its single
-    /// shadow cache cannot be driven from two threads deterministically).
+    /// (nothing to parallelise). When shadow attribution is enabled and an
+    /// owner has slots on several sockets *in the current batch* (its single
+    /// shadow cache cannot be driven from two threads deterministically),
+    /// only the sockets coupled by such owners are merged onto one thread —
+    /// every other populated socket keeps its own thread. Only when the
+    /// coupling collapses every populated socket into a single component
+    /// does the whole call run serially. Owners that spanned sockets in
+    /// *earlier* calls, or that merely have shadow state but no slot in this
+    /// batch, never affect the decision.
     ///
     /// # Panics
     ///
@@ -658,6 +703,7 @@ impl SimEngine {
         cycle_budget: u64,
     ) -> Vec<QuantumReport> {
         let n = slots.len();
+        self.last_parallel_groups = 0;
         if n == 0 || cycle_budget == 0 {
             return vec![QuantumReport::default(); n];
         }
@@ -681,18 +727,54 @@ impl SimEngine {
         if populated < 2 {
             return self.run_slots(slots, cycle_budget);
         }
-        // The owner-span check only matters when shadow state must be
-        // partitioned; with shadow off (the common case) skip building the
-        // map entirely.
-        let owner_spans_sockets = self.shadow.is_some() && {
+        // Execution components: normally one per populated socket. With
+        // shadow attribution on, sockets sharing an owner in this batch must
+        // run on the same thread (one shadow cache per owner), so they are
+        // unioned into one component. Only owners with slots in the current
+        // batch participate — stale shadow state or placements from earlier
+        // calls cannot force a merge.
+        let mut component: Vec<usize> = (0..num_sockets).collect();
+        fn find(component: &mut [usize], mut socket: usize) -> usize {
+            while component[socket] != socket {
+                component[socket] = component[component[socket]];
+                socket = component[socket];
+            }
+            socket
+        }
+        if self.shadow.is_some() {
             let mut owner_socket: HashMap<OwnerId, usize> = HashMap::with_capacity(n);
-            slots.iter().zip(&slot_sockets).any(|(slot, &socket)| {
-                owner_socket
-                    .insert(slot.owner, socket)
-                    .is_some_and(|previous| previous != socket)
-            })
-        };
-        if owner_spans_sockets {
+            for (slot, &socket) in slots.iter().zip(&slot_sockets) {
+                if let Some(&previous) = owner_socket.get(&slot.owner) {
+                    let a = find(&mut component, previous);
+                    let b = find(&mut component, socket);
+                    // Union by smaller root so component labels stay
+                    // deterministic.
+                    component[a.max(b)] = a.min(b);
+                } else {
+                    owner_socket.insert(slot.owner, socket);
+                }
+            }
+        }
+        // Enumerate components of populated sockets in ascending order of
+        // their smallest member socket (the spawn/merge order).
+        let mut component_of_root: Vec<Option<usize>> = vec![None; num_sockets];
+        let mut component_sockets: Vec<Vec<usize>> = Vec::new();
+        for (socket, group) in groups.iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let root = find(&mut component, socket);
+            match component_of_root[root] {
+                Some(c) => component_sockets[c].push(socket),
+                None => {
+                    component_of_root[root] = Some(component_sockets.len());
+                    component_sockets.push(vec![socket]);
+                }
+            }
+        }
+        if component_sockets.len() < 2 {
+            // Every populated socket is coupled to every other: nothing left
+            // to parallelise.
             return self.run_slots(slots, cycle_budget);
         }
 
@@ -724,23 +806,11 @@ impl SimEngine {
             .iter()
             .map(|slot| slot.workload.mem_parallelism().max(1.0))
             .collect();
-        // Partition the shadow state by the owners of each socket group
-        // (disjoint across groups — checked above).
-        let mut shadow_parts: Vec<Option<ShadowAttribution>> = match self.shadow.as_mut() {
-            Some(shadow) => groups
-                .iter()
-                .map(|group| {
-                    let owners: Vec<OwnerId> = group.iter().map(|&i| slots[i].owner).collect();
-                    (!owners.is_empty()).then(|| shadow.take_partition(&owners))
-                })
-                .collect(),
-            None => (0..num_sockets).map(|_| None).collect(),
-        };
-
-        // One work item per populated socket, in socket order: the group's
-        // slots (with their original indices) plus its parallel arrays.
+        // One work item per component, in component order: the component's
+        // slots (with their original indices, ascending — the relative order
+        // the epoch tie-break depends on) plus its parallel arrays.
         struct GroupWork<'engine, 'wl> {
-            socket: usize,
+            sockets: Vec<usize>,
             indices: Vec<usize>,
             slots: Vec<&'engine mut ExecSlot<'wl>>,
             queues: Vec<OpQueue>,
@@ -748,43 +818,57 @@ impl SimEngine {
             mlps: Vec<f64>,
             shadow: Option<ShadowAttribution>,
         }
-        let mut work: Vec<GroupWork<'_, '_>> = groups
-            .iter()
-            .enumerate()
-            .filter(|(_, group)| !group.is_empty())
-            .map(|(socket, group)| GroupWork {
-                socket,
-                indices: group.clone(),
-                slots: Vec::with_capacity(group.len()),
-                queues: group
+        let mut work: Vec<GroupWork<'_, '_>> = component_sockets
+            .into_iter()
+            .map(|sockets| {
+                let mut indices: Vec<usize> = sockets
                     .iter()
-                    .map(|&i| queues[i].take().unwrap_or_default())
-                    .collect(),
-                routes: group.iter().map(|&i| routes[i]).collect(),
-                mlps: group.iter().map(|&i| mlps[i]).collect(),
-                shadow: shadow_parts[socket].take(),
+                    .flat_map(|&s| groups[s].iter().copied())
+                    .collect();
+                indices.sort_unstable();
+                let shadow = self.shadow.as_mut().map(|shadow| {
+                    let owners: Vec<OwnerId> = indices.iter().map(|&i| slots[i].owner).collect();
+                    shadow.take_partition(&owners)
+                });
+                GroupWork {
+                    sockets,
+                    slots: Vec::with_capacity(indices.len()),
+                    queues: indices
+                        .iter()
+                        .map(|&i| queues[i].take().unwrap_or_default())
+                        .collect(),
+                    routes: indices.iter().map(|&i| routes[i]).collect(),
+                    mlps: indices.iter().map(|&i| mlps[i]).collect(),
+                    shadow,
+                    indices,
+                }
             })
             .collect();
-        // Distribute the exclusive slot borrows into their groups (in
-        // original index order, matching each group's `indices`).
+        // Distribute the exclusive slot borrows into their components (in
+        // original index order, matching each component's sorted `indices`).
         let mut work_of_socket: Vec<Option<usize>> = vec![None; num_sockets];
         for (w, group) in work.iter().enumerate() {
-            work_of_socket[group.socket] = Some(w);
+            for &socket in &group.sockets {
+                work_of_socket[socket] = Some(w);
+            }
         }
         for (i, slot) in slots.iter_mut().enumerate() {
             let w = work_of_socket[routes[i].socket_index()].expect("populated socket");
             work[w].slots.push(slot);
         }
+        self.last_parallel_groups = work.len();
 
-        // Execute every populated socket on its own scoped thread, each
-        // against a split-borrowed view of its own socket's caches.
+        // Execute every component on its own scoped thread, against the
+        // split-borrowed views of its member sockets. Single-socket
+        // components (the common case) drive their `SocketView` directly;
+        // merged components route each access to the right member view.
         let mut views: Vec<Option<SocketView<'_>>> = self.machine.sockets_mut().map(Some).collect();
         let finished: Vec<(GroupWork<'_, '_>, Vec<QuantumReport>)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = work
-                .into_iter()
-                .map(|mut group| {
-                    let mut view = views[group.socket].take().expect("one view per socket");
-                    scope.spawn(move || {
+            let mut handles = Vec::with_capacity(work.len());
+            for mut group in work {
+                if group.sockets.len() == 1 {
+                    let mut view = views[group.sockets[0]].take().expect("one view per socket");
+                    handles.push(scope.spawn(move || {
                         let mut reports = vec![QuantumReport::default(); group.slots.len()];
                         run_epoch_interleaving(
                             &mut view,
@@ -797,9 +881,34 @@ impl SimEngine {
                             cycle_budget,
                         );
                         (group, reports)
-                    })
-                })
-                .collect();
+                    }));
+                } else {
+                    let mut view_of_socket = vec![usize::MAX; num_sockets];
+                    let mut member_views = Vec::with_capacity(group.sockets.len());
+                    for &socket in &group.sockets {
+                        view_of_socket[socket] = member_views.len();
+                        member_views.push(views[socket].take().expect("one view per socket"));
+                    }
+                    let mut view = SocketGroup {
+                        views: member_views,
+                        view_of_socket,
+                    };
+                    handles.push(scope.spawn(move || {
+                        let mut reports = vec![QuantumReport::default(); group.slots.len()];
+                        run_epoch_interleaving(
+                            &mut view,
+                            &mut group.shadow,
+                            &mut group.slots,
+                            &mut group.queues,
+                            &group.routes,
+                            &group.mlps,
+                            &mut reports,
+                            cycle_budget,
+                        );
+                        (group, reports)
+                    }));
+                }
+            }
             handles
                 .into_iter()
                 .map(|handle| handle.join().expect("socket worker panicked"))
@@ -808,8 +917,8 @@ impl SimEngine {
         drop(views);
 
         // Deterministic merge: scatter reports back to original slot order
-        // and reabsorb shadow partitions in socket order (`finished`
-        // preserves spawn order, which is socket order).
+        // and reabsorb shadow partitions in component order (`finished`
+        // preserves spawn order, which is component order).
         let mut reports = vec![QuantumReport::default(); n];
         let mut merged_queues: Vec<OpQueue> = Vec::with_capacity(n);
         merged_queues.resize_with(n, OpQueue::default);
@@ -1256,6 +1365,96 @@ mod tests {
             ExecSlot::new(CoreId(4), 1, &mut b).with_tag(11),
         ];
         let reports = e.run_slots_parallel(&mut slots, 5_000);
+        assert!(reports.iter().all(|r| r.consumed_cycles >= 5_000));
+        assert!(e.shadow().unwrap().solo_misses(1) > 0);
+    }
+
+    #[test]
+    fn spanning_owner_with_shadow_merges_only_its_sockets() {
+        // 4-socket machine, shadow on. Owner 1 spans sockets 0 and 1: those
+        // two sockets must share a thread (one shadow cache), but sockets 2
+        // and 3 keep their own threads — the batch must NOT collapse to the
+        // serial path. Results stay bit-identical to the serial engine.
+        let config = MachineConfig::scaled_cloud_machine(4, 64);
+        let cps = config.cores_per_socket;
+        let ops = |seed: u64| lcg_ops(seed, 2048);
+        let run = |parallel: bool| {
+            let mut e = SimEngine::new(Machine::new(config.clone()));
+            e.enable_shadow_attribution().unwrap();
+            let mut workloads: Vec<FixedSequence> = (0..4)
+                .map(|w| FixedSequence::new(format!("wl{w}"), ops(w as u64 + 1)))
+                .collect();
+            let mut iter = workloads.iter_mut();
+            let cores = [0, cps, 2 * cps, 3 * cps];
+            let owners = [1u16, 1, 2, 3];
+            let mut slots: Vec<ExecSlot<'_>> = cores
+                .iter()
+                .zip(owners)
+                .map(|(&core, owner)| {
+                    ExecSlot::new(CoreId(core), owner, iter.next().unwrap())
+                        .with_tag(core as u64 + 100)
+                })
+                .collect();
+            let reports = if parallel {
+                e.run_slots_parallel(&mut slots, 20_000)
+            } else {
+                e.run_slots(&mut slots, 20_000)
+            };
+            let groups = e.parallel_groups_last_call();
+            let shadow: Vec<u64> = (1..=3)
+                .map(|o| e.shadow().unwrap().solo_misses(o))
+                .collect();
+            let llc: Vec<_> = (0..4)
+                .map(|s| e.machine().llc_stats(crate::topology::SocketId(s)).unwrap())
+                .collect();
+            (reports, shadow, llc, e.elapsed_cycles(), groups)
+        };
+        let (s_reports, s_shadow, s_llc, s_elapsed, _) = run(false);
+        let (p_reports, p_shadow, p_llc, p_elapsed, p_groups) = run(true);
+        assert_eq!(
+            p_groups, 3,
+            "sockets {{0,1}} merge, sockets 2 and 3 stay independent"
+        );
+        assert_eq!(s_reports, p_reports);
+        assert_eq!(s_shadow, p_shadow);
+        assert_eq!(s_llc, p_llc);
+        assert_eq!(s_elapsed, p_elapsed);
+    }
+
+    #[test]
+    fn owner_span_check_only_sees_the_current_batch() {
+        // Call 1: owner 1 spans both sockets with shadow on -> one component,
+        // serial fallback. Call 2: every owner (including owner 1, which
+        // still has shadow state from call 1) is confined to one socket ->
+        // the batch must parallelise; history must not force a fallback.
+        let config = MachineConfig::scaled_paper_numa_machine(64);
+        let mut e = SimEngine::new(Machine::new(config));
+        e.enable_shadow_attribution().unwrap();
+        let ops: Vec<Op> = (0..512u64).map(|i| Op::Load { addr: i * 64 }).collect();
+        let mut a = FixedSequence::new("a", ops.clone());
+        let mut b = FixedSequence::new("b", ops.clone());
+        let mut slots = vec![
+            ExecSlot::new(CoreId(0), 1, &mut a).with_tag(10),
+            ExecSlot::new(CoreId(4), 1, &mut b).with_tag(11),
+        ];
+        e.run_slots_parallel(&mut slots, 5_000);
+        assert_eq!(
+            e.parallel_groups_last_call(),
+            0,
+            "a spanning owner couples both sockets: serial fallback"
+        );
+        drop(slots);
+        let mut c = FixedSequence::new("c", ops);
+        let mut slots = vec![
+            ExecSlot::new(CoreId(0), 1, &mut a).with_tag(10),
+            ExecSlot::new(CoreId(4), 2, &mut c).with_tag(12),
+        ];
+        let reports = e.run_slots_parallel(&mut slots, 5_000);
+        assert_eq!(
+            e.parallel_groups_last_call(),
+            2,
+            "owner 1's earlier span (and its shadow state) must not serialise a batch where every owner sits on one socket"
+        );
         assert!(reports.iter().all(|r| r.consumed_cycles >= 5_000));
         assert!(e.shadow().unwrap().solo_misses(1) > 0);
     }

@@ -152,6 +152,32 @@ impl MachineConfig {
         Self::paper_numa_machine().scaled(factor)
     }
 
+    /// A cloud-scale consolidation machine: the paper's per-socket geometry
+    /// (Table 1 caches, four cores, one NUMA node per socket) replicated
+    /// across `sockets` sockets. This is the machine the cloudscale scenario
+    /// sweeps — consolidator-style fan-out across many sockets rather than
+    /// the paper's single testbed box.
+    pub fn cloud_machine(sockets: usize) -> Self {
+        Self::paper_machine().with_sockets(sockets)
+    }
+
+    /// A scaled-down version of [`MachineConfig::cloud_machine`].
+    pub fn scaled_cloud_machine(sockets: usize, factor: u64) -> Self {
+        Self::cloud_machine(sockets).scaled(factor)
+    }
+
+    /// Replaces the socket count, keeping the per-socket geometry.
+    pub fn with_sockets(mut self, sockets: usize) -> Self {
+        self.sockets = sockets.max(1);
+        self
+    }
+
+    /// Replaces the per-socket core count, keeping everything else.
+    pub fn with_cores_per_socket(mut self, cores: usize) -> Self {
+        self.cores_per_socket = cores.max(1);
+        self
+    }
+
     /// Divides cache capacities and frequency by `factor`.
     pub fn scaled(&self, factor: u64) -> Self {
         let factor = factor.max(1);
@@ -181,6 +207,21 @@ impl MachineConfig {
     /// Cycles available in one millisecond of simulated time.
     pub fn cycles_per_ms(&self) -> u64 {
         self.freq_khz
+    }
+
+    /// The global id of core `index` of `socket`, or `None` when either
+    /// index is out of range. Inverse of [`MachineConfig::socket_of_core`]:
+    /// placement policies use the pair to convert between the
+    /// (socket, core-within-socket) coordinates they reason in and the
+    /// global core ids the scheduler pins vCPUs to.
+    pub fn core_on(&self, socket: SocketId, index: usize) -> Option<CoreId> {
+        (socket.0 < self.sockets && index < self.cores_per_socket)
+            .then(|| CoreId(socket.0 * self.cores_per_socket + index))
+    }
+
+    /// The socket a global core id belongs to, or `None` when out of range.
+    pub fn socket_of_core(&self, core: CoreId) -> Option<SocketId> {
+        (core.0 < self.num_cores()).then(|| SocketId(core.0 / self.cores_per_socket))
     }
 
     /// Validates the configuration.
@@ -723,6 +764,43 @@ mod tests {
             direct.llc_stats(SocketId(1)).unwrap(),
             split.llc_stats(SocketId(1)).unwrap()
         );
+    }
+
+    #[test]
+    fn cloud_machine_replicates_the_paper_socket() {
+        for sockets in [1usize, 2, 4, 8, 16] {
+            let config = MachineConfig::scaled_cloud_machine(sockets, 64);
+            assert_eq!(config.sockets, sockets);
+            assert_eq!(config.cores_per_socket, 4);
+            assert_eq!(config.num_cores(), sockets * 4);
+            assert_eq!(
+                config.llc.size_bytes,
+                MachineConfig::scaled_paper_machine(64).llc.size_bytes
+            );
+            config.validate().unwrap();
+            let machine = Machine::new(config);
+            assert_eq!(machine.num_sockets(), sockets);
+        }
+        // with_sockets/with_cores_per_socket clamp to at least one.
+        let config = MachineConfig::paper_machine()
+            .with_sockets(0)
+            .with_cores_per_socket(0);
+        assert_eq!(config.sockets, 1);
+        assert_eq!(config.cores_per_socket, 1);
+    }
+
+    #[test]
+    fn core_and_socket_coordinates_round_trip() {
+        let config = MachineConfig::cloud_machine(4);
+        for s in 0..4 {
+            for c in 0..config.cores_per_socket {
+                let core = config.core_on(SocketId(s), c).unwrap();
+                assert_eq!(config.socket_of_core(core), Some(SocketId(s)));
+            }
+        }
+        assert_eq!(config.core_on(SocketId(4), 0), None);
+        assert_eq!(config.core_on(SocketId(0), config.cores_per_socket), None);
+        assert_eq!(config.socket_of_core(CoreId(config.num_cores())), None);
     }
 
     #[test]

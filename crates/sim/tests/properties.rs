@@ -4,7 +4,7 @@ use kyoto_sim::cache::{Cache, CacheConfig};
 use kyoto_sim::hierarchy::AccessKind;
 use kyoto_sim::pmc::PmcSet;
 use kyoto_sim::replacement::ReplacementPolicy;
-use kyoto_sim::topology::{CoreId, Machine, MachineConfig, NumaNode};
+use kyoto_sim::topology::{CoreId, Machine, MachineConfig, NumaNode, SocketId, SocketView};
 use proptest::prelude::*;
 
 fn arb_policy() -> impl Strategy<Value = ReplacementPolicy> {
@@ -113,5 +113,94 @@ proptest! {
             .access(CoreId(0), last, AccessKind::Load, 1, NumaNode(0), false)
             .unwrap();
         prop_assert!(!out.level.is_llc_miss());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// N-socket topology builder round-trips: every (socket, core-index)
+    /// coordinate maps to a unique global core and back, `cores_of_socket`
+    /// partitions the core set, and the machine builds and validates.
+    #[test]
+    fn cloud_topology_indices_round_trip(
+        sockets in prop_oneof![Just(1usize), Just(2), Just(4), Just(8), Just(16)],
+        cores_per_socket in 1usize..9,
+    ) {
+        let config = MachineConfig::cloud_machine(sockets)
+            .with_cores_per_socket(cores_per_socket)
+            .scaled(64);
+        prop_assert!(config.validate().is_ok());
+        let machine = Machine::new(config.clone());
+        prop_assert_eq!(machine.num_sockets(), sockets);
+        prop_assert_eq!(machine.num_cores(), sockets * cores_per_socket);
+        let mut seen = std::collections::HashSet::new();
+        for s in 0..sockets {
+            for c in 0..cores_per_socket {
+                let core = config.core_on(SocketId(s), c).expect("in range");
+                prop_assert!(seen.insert(core), "core ids must be unique");
+                prop_assert_eq!(config.socket_of_core(core), Some(SocketId(s)));
+                prop_assert_eq!(machine.socket_of(core).unwrap(), SocketId(s));
+                prop_assert_eq!(machine.numa_node_of(core).unwrap(), NumaNode(s));
+                prop_assert!(machine.cores_of_socket(SocketId(s)).contains(&core));
+            }
+        }
+        prop_assert_eq!(seen.len(), machine.num_cores());
+        // Out-of-range coordinates are rejected, not wrapped.
+        prop_assert_eq!(config.core_on(SocketId(sockets), 0), None);
+        prop_assert_eq!(config.core_on(SocketId(0), cores_per_socket), None);
+        prop_assert_eq!(config.socket_of_core(CoreId(machine.num_cores())), None);
+    }
+
+    /// `sockets_mut` split-borrows are disjoint at any socket count: the
+    /// views cover every socket exactly once, and driving disjoint access
+    /// streams through all views concurrently-borrowed leaves each socket's
+    /// LLC exactly as driving the same streams through the machine.
+    #[test]
+    fn socket_views_are_disjoint_and_complete(
+        sockets in prop_oneof![Just(2usize), Just(4), Just(8)],
+        lines in 1u64..64,
+    ) {
+        let config = MachineConfig::scaled_cloud_machine(sockets, 64);
+        let cores_per_socket = config.cores_per_socket;
+        let mut via_machine = Machine::new(config.clone());
+        let mut via_views = Machine::new(config);
+        let accesses: Vec<(CoreId, u64)> = (0..sockets)
+            .flat_map(|s| {
+                (0..lines)
+                    .map(move |i| (CoreId(s * cores_per_socket), ((s as u64) << 32) | (i * 64)))
+            })
+            .collect();
+        for &(core, addr) in &accesses {
+            let route = via_machine.route(core, NumaNode(core.0 / cores_per_socket), false).unwrap();
+            via_machine.access_routed(route, addr, AccessKind::Load, 1);
+        }
+        // Routes are pure functions of the machine config and can be
+        // resolved before the split borrow.
+        let routes: Vec<_> = accesses
+            .iter()
+            .map(|&(core, _)| {
+                via_views
+                    .route(core, NumaNode(core.0 / cores_per_socket), false)
+                    .unwrap()
+            })
+            .collect();
+        {
+            let mut views: Vec<SocketView<'_>> = via_views.sockets_mut().collect();
+            prop_assert_eq!(views.len(), sockets);
+            for (i, view) in views.iter().enumerate() {
+                prop_assert_eq!(view.id(), SocketId(i), "one view per socket, in order");
+            }
+            for (&(core, addr), route) in accesses.iter().zip(&routes) {
+                let socket = core.0 / cores_per_socket;
+                views[socket].access_routed(*route, addr, AccessKind::Load, 1);
+            }
+        }
+        for s in 0..sockets {
+            prop_assert_eq!(
+                via_machine.llc_stats(SocketId(s)).unwrap(),
+                via_views.llc_stats(SocketId(s)).unwrap()
+            );
+        }
     }
 }

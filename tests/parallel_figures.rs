@@ -7,6 +7,7 @@
 //! or the socket-parallel engine, because `SimEngine::run_slots_parallel`
 //! preserves the per-socket op order exactly.
 
+use kyoto::experiments::cloudscale::{self, CloudscaleSweep};
 use kyoto::experiments::config::ExperimentConfig;
 use kyoto::experiments::{fig1, fig9};
 
@@ -35,5 +36,17 @@ fn fig9_output_is_byte_identical_with_the_parallel_engine() {
 fn fig1_output_is_byte_identical_with_the_parallel_engine() {
     let serial = fig1::run(&test_config()).to_table();
     let parallel = fig1::run(&test_config().with_parallel_engine(true)).to_table();
+    assert_eq!(serial, parallel);
+}
+
+/// The cloudscale scenario runs machines of up to 4 sockets (8 at standard
+/// size) — the first scenario where the parallel engine scales past two
+/// threads. Its rendered table must still be byte-identical.
+#[test]
+fn cloudscale_output_is_byte_identical_with_the_parallel_engine() {
+    let sweep = CloudscaleSweep::small();
+    let serial = cloudscale::run_with_sweep(&test_config(), &sweep).to_table();
+    let parallel =
+        cloudscale::run_with_sweep(&test_config().with_parallel_engine(true), &sweep).to_table();
     assert_eq!(serial, parallel);
 }
