@@ -4,9 +4,11 @@
 # Runs the figures binary twice over a representative target set — once with
 # the serial engine and once with `--parallel-engine` (including the
 # cloudscale scenario, whose quick sweep runs 2- and 4-socket machines, the
-# first placements that scale the socket-parallel engine past two threads) —
-# and fails on any byte of divergence. A third serial run guards against
-# run-to-run nondeterminism (uninitialised state, map iteration order, ...).
+# first placements that scale the socket-parallel engine past two threads,
+# and the fleet scenario, whose clusters run their cells on scoped threads
+# under the same flag) — and fails on any byte of divergence. A third serial
+# run guards against run-to-run nondeterminism (uninitialised state, map
+# iteration order, ...).
 #
 # `--no-timing` suppresses the wall-clock lines, so the whole report is
 # byte-comparable. Outputs land in $DETERMINISM_OUT (default:
@@ -19,7 +21,7 @@ set -euo pipefail
 
 bin="${FIGURES_BIN:-target/release/figures}"
 out="${DETERMINISM_OUT:-target/determinism}"
-targets=(fig1 fig9 cloudscale)
+targets=(fig1 fig9 cloudscale fleet)
 
 if [ ! -x "$bin" ]; then
     cargo build --release -p kyoto-bench --bin figures

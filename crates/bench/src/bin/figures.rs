@@ -9,14 +9,18 @@
 //! cargo run --release -p kyoto-bench --bin figures -- --jobs 4 all
 //! cargo run --release -p kyoto-bench --bin figures -- --parallel-engine all
 //! cargo run --release -p kyoto-bench --bin figures -- --scenario cloudscale
+//! cargo run --release -p kyoto-bench --bin figures -- --scenario fleet
 //! cargo run --release -p kyoto-bench --bin figures -- --no-timing all
 //! ```
 //!
 //! Figure scenarios are independent: each builds its own machine, engine and
 //! hypervisor from the shared [`ExperimentConfig`] and derives deterministic
 //! per-VM seeds from it. `--jobs N` therefore runs them on `N` scoped worker
-//! threads; outputs are buffered and printed in the requested order, so the
-//! report is byte-identical whatever the parallelism.
+//! threads (the cloudscale sweep additionally fans its own cells out over
+//! the same budget); outputs are buffered and printed in the requested
+//! order, so the report is byte-identical whatever the parallelism. The
+//! `fleet` scenario (the `kyoto-cluster` subsystem) runs its cluster cells
+//! on scoped threads when `--parallel-engine` is set — also bit-identically.
 //! `--parallel-engine` additionally runs each scenario's engine ticks with
 //! one thread per populated socket (`SimEngine::run_slots_parallel`); the
 //! per-socket op order is preserved exactly, so figure content stays
@@ -28,6 +32,7 @@
 use kyoto_bench::{figures_config, figures_quick_config};
 use kyoto_experiments::cloudscale::{self, CloudscaleSweep};
 use kyoto_experiments::config::ExperimentConfig;
+use kyoto_experiments::fleet::{self, FleetSweep};
 use kyoto_experiments::{
     fig1, fig10, fig11, fig12, fig2, fig3, fig4, fig5, fig6, fig8, fig9, tables,
 };
@@ -35,7 +40,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-const ALL_TARGETS: [&str; 14] = [
+const ALL_TARGETS: [&str; 15] = [
     "table1",
     "table2",
     "fig1",
@@ -50,9 +55,15 @@ const ALL_TARGETS: [&str; 14] = [
     "fig11",
     "fig12",
     "cloudscale",
+    "fleet",
 ];
 
-fn render_target(target: &str, config: &ExperimentConfig, quick: bool) -> Option<String> {
+fn render_target(
+    target: &str,
+    config: &ExperimentConfig,
+    quick: bool,
+    jobs: usize,
+) -> Option<String> {
     Some(match target {
         "table1" => tables::table1().to_table(),
         "table2" => tables::table2().to_table(),
@@ -73,7 +84,20 @@ fn render_target(target: &str, config: &ExperimentConfig, quick: bool) -> Option
             } else {
                 CloudscaleSweep::standard()
             };
-            cloudscale::run_with_sweep(config, &sweep).to_table()
+            // The sweep's cells fan out over their own `--jobs`-sized pool,
+            // nested inside this scenario worker (transiently up to ~2x the
+            // budget while other scenarios finish; scoped threads, so the
+            // surplus drains with them). Output is byte-identical whatever
+            // the thread count.
+            cloudscale::run_with_sweep_jobs(config, &sweep, jobs).to_table()
+        }
+        "fleet" => {
+            let sweep = if quick {
+                FleetSweep::small()
+            } else {
+                FleetSweep::standard()
+            };
+            fleet::run_with_sweep(config, &sweep).to_table()
         }
         _ => return None,
     })
@@ -102,7 +126,7 @@ fn render_all(
                     break;
                 };
                 let start = Instant::now();
-                let output = render_target(target, config, quick);
+                let output = render_target(target, config, quick, jobs);
                 let elapsed = start.elapsed();
                 results.lock().expect("no poisoned worker")[index] = Some((output, elapsed));
             });

@@ -17,7 +17,11 @@ use kyoto_bench::bench_config;
 use kyoto_bench::legacy::{
     legacy_run_slots, LegacyCache, LegacyMachine, LegacySlot, LegacySpecWorkload,
 };
+use kyoto_cluster::cluster::{Cluster, ClusterConfig};
+use kyoto_cluster::planner::ConsolidationPolicy;
+use kyoto_cluster::snapshot::CellId;
 use kyoto_experiments::cloudscale;
+use kyoto_hypervisor::vm::VmConfig;
 use kyoto_sim::cache::{Cache, CacheConfig};
 use kyoto_sim::engine::{ExecSlot, SimEngine};
 use kyoto_sim::pmc::PmcSet;
@@ -221,6 +225,33 @@ fn cloud_engine_rate(sockets: usize, scale: u64, parallel: bool) -> f64 {
     })
 }
 
+/// Wall-clock rate (epochs/second) of the cluster control loop on a fleet
+/// of `cells` single-socket cells (two gcc-like VMs each), with cell epochs
+/// executed serially or one-per-scoped-thread. The simulation results of
+/// the two modes are bit-identical (`kyoto-cluster`'s property tests prove
+/// it), so the ratio is a pure wall-clock speedup — the cluster-level
+/// analogue of the socket-parallel engine rows. Needs as many hardware
+/// threads as cells to approach the ideal.
+fn cluster_epoch_rate(cells: usize, scale: u64, parallel: bool) -> f64 {
+    const EPOCHS: u64 = 4;
+    best_rate(EPOCHS as f64, || {
+        let config = ClusterConfig::new(cells, scale)
+            .with_epoch_ticks(5)
+            .with_policy(ConsolidationPolicy::LoadBalance)
+            .with_parallel_cells(parallel);
+        let mut cluster = Cluster::new(config);
+        for i in 0..cells * 2 {
+            cluster.add_vm(
+                CellId(i % cells),
+                VmConfig::new(format!("vm{i}")),
+                Box::new(SpecWorkload::new(SpecApp::Gcc, scale, i as u64)),
+            );
+        }
+        cluster.run_epochs(EPOCHS);
+        black_box(cluster.reports());
+    })
+}
+
 fn main() {
     let stdout_only = std::env::args().any(|a| a == "--stdout");
     let config = bench_config();
@@ -330,6 +361,32 @@ fn main() {
     }
     let scaling_curve = cloudscale::measure_parallel_scaling(&config, &[1, 2, 4, 8], 2, 3);
 
+    // Cluster control loop: whole-fleet epochs, serial vs cell-parallel.
+    let mut cluster_speedups: Vec<(usize, f64)> = Vec::new();
+    for cells in [4usize, 8] {
+        let serial = cluster_epoch_rate(cells, config.scale, false);
+        let parallel = cluster_epoch_rate(cells, config.scale, true);
+        let serial_name: &'static str = match cells {
+            4 => "cluster_epoch_serial_4cells",
+            _ => "cluster_epoch_serial_8cells",
+        };
+        samples.push(Sample {
+            name: serial_name,
+            unit: "epochs/s",
+            value: serial,
+        });
+        let parallel_name: &'static str = match cells {
+            4 => "cluster_epoch_parallel_4cells",
+            _ => "cluster_epoch_parallel_8cells",
+        };
+        samples.push(Sample {
+            name: parallel_name,
+            unit: "epochs/s",
+            value: parallel,
+        });
+        cluster_speedups.push((cells, parallel / serial));
+    }
+
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"schema\": \"kyoto-substrate-bench/v1\",\n");
@@ -389,6 +446,16 @@ fn main() {
             ","
         };
         let _ = writeln!(json, "    \"{sockets}_sockets\": {speedup:.2}{comma}");
+    }
+    json.push_str("  },\n");
+    json.push_str("  \"cluster_epoch_parallel_vs_serial\": {\n");
+    for (i, (cells, speedup)) in cluster_speedups.iter().enumerate() {
+        let comma = if i + 1 == cluster_speedups.len() {
+            ""
+        } else {
+            ","
+        };
+        let _ = writeln!(json, "    \"{cells}_cells\": {speedup:.2}{comma}");
     }
     json.push_str("  },\n");
     // End-to-end cloudscale scenario wall-clock: serial vs parallel engine,

@@ -1,0 +1,912 @@
+//! The cluster: N independent machine+hypervisor cells under one
+//! deterministic, epoch-driven control plane.
+//!
+//! # Ownership model
+//!
+//! Each [`Cell`] *owns* its simulated machine, engine and KS4Xen hypervisor
+//! outright — cells share no state whatsoever. An epoch runs every cell for
+//! [`ClusterConfig::epoch_ticks`] scheduler ticks; because the cells are
+//! disjoint, the cluster can execute them serially or one-per-scoped-thread
+//! ([`ClusterConfig::parallel_cells`]) with **bit-identical** results — the
+//! same split-borrow argument that made socket-parallel engine execution
+//! safe, applied one level up. The only cross-cell communication is the
+//! control plane between epochs: snapshot → plan → apply, all single
+//! threaded and pure.
+//!
+//! # Migration mechanics
+//!
+//! Applying a [`MigrationPlan`] extracts each VM from its source hypervisor
+//! ([`Hypervisor::take_vm`]: workload state travels, cache lines are
+//! flushed) and queues it as an arrival on the destination cell. At the
+//! start of the next epoch the destination first runs
+//! [`MigrationCostModel::downtime_ticks`](crate::planner::MigrationCostModel)
+//! ticks *without* the arrival (the stop-and-copy blackout), then adds it —
+//! pinned to a free core — for the rest of the epoch, where it re-fetches
+//! its whole working set through a cold cache. Downtime is therefore charged
+//! exactly once per move, and the cold-cache penalty emerges from the LLC
+//! simulation instead of being a constant.
+
+use crate::planner::{
+    ConsolidationPolicy, MigrationMove, MigrationPlan, MigrationPlanner, PlannerConfig,
+};
+use crate::snapshot::{CellId, CellSnapshot, ClusterSnapshot, FleetVmId, VmSnapshot};
+use kyoto_core::ks4::{ks4xen_hypervisor, Ks4Xen};
+use kyoto_core::monitor::MonitoringStrategy;
+use kyoto_hypervisor::hypervisor::{Hypervisor, HypervisorConfig};
+use kyoto_hypervisor::vm::{VcpuId, VmConfig, VmId, VmReport};
+use kyoto_sim::pmc::PmcSet;
+use kyoto_sim::topology::{CoreId, Machine, MachineConfig};
+use kyoto_sim::workload::Workload;
+use serde::{Deserialize, Serialize};
+
+/// Static configuration of a cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Number of cells (machines).
+    pub cells: usize,
+    /// Sockets per cell machine (the paper's per-socket geometry replicated,
+    /// as in `MachineConfig::cloud_machine`).
+    pub sockets_per_cell: usize,
+    /// Machine scale factor (caches, frequency and working sets divided by
+    /// this factor), as everywhere else in the reproduction.
+    pub scale: u64,
+    /// Scheduler ticks per epoch (the control-loop period).
+    pub epoch_ticks: u64,
+    /// Run each cell's epoch on its own scoped thread. Results are
+    /// bit-identical to the serial loop — cells share no state — so this is
+    /// purely a wall-clock switch (property-tested).
+    pub parallel_cells: bool,
+    /// Consolidation policy driving the migration planner.
+    pub policy: ConsolidationPolicy,
+    /// Planner configuration (migration budget, polluter threshold, cost
+    /// model).
+    pub planner: PlannerConfig,
+    /// Per-cell hypervisor timing.
+    pub hypervisor: HypervisorConfig,
+    /// Pollution-monitoring strategy of each cell's KS4Xen scheduler.
+    pub strategy: MonitoringStrategy,
+}
+
+impl ClusterConfig {
+    /// A cluster of `cells` single-socket cells at the given scale, with the
+    /// default control loop (6-tick epochs, load-balancing, serial cells).
+    pub fn new(cells: usize, scale: u64) -> Self {
+        ClusterConfig {
+            cells: cells.max(1),
+            sockets_per_cell: 1,
+            scale: scale.max(1),
+            epoch_ticks: 6,
+            parallel_cells: false,
+            policy: ConsolidationPolicy::LoadBalance,
+            planner: PlannerConfig::default(),
+            hypervisor: HypervisorConfig::default(),
+            strategy: MonitoringStrategy::DirectPmc,
+        }
+    }
+
+    /// Sets the number of sockets per cell.
+    pub fn with_sockets_per_cell(mut self, sockets: usize) -> Self {
+        self.sockets_per_cell = sockets.max(1);
+        self
+    }
+
+    /// Sets the epoch length in scheduler ticks.
+    pub fn with_epoch_ticks(mut self, ticks: u64) -> Self {
+        self.epoch_ticks = ticks.max(1);
+        self
+    }
+
+    /// Enables or disables cell-parallel epoch execution.
+    pub fn with_parallel_cells(mut self, parallel: bool) -> Self {
+        self.parallel_cells = parallel;
+        self
+    }
+
+    /// Sets the consolidation policy.
+    pub fn with_policy(mut self, policy: ConsolidationPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the planner configuration.
+    pub fn with_planner(mut self, planner: PlannerConfig) -> Self {
+        self.planner = planner;
+        self
+    }
+
+    /// Sets the per-cell hypervisor timing (and its engine-parallelism
+    /// switch).
+    pub fn with_hypervisor(mut self, hypervisor: HypervisorConfig) -> Self {
+        self.hypervisor = hypervisor;
+        self
+    }
+
+    /// Sets the pollution-monitoring strategy of every cell's KS4Xen
+    /// scheduler. With [`MonitoringStrategy::SimulatorAttribution`] each
+    /// cell's shadow LLC is enabled, so per-VM pollution estimates are
+    /// *solo* miss rates — uninflated by co-runner evictions — which is what
+    /// keeps pollution-aware classification stable.
+    pub fn with_strategy(mut self, strategy: MonitoringStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// The machine configuration of one cell.
+    pub fn cell_machine_config(&self) -> MachineConfig {
+        MachineConfig::scaled_cloud_machine(self.sockets_per_cell, self.scale)
+    }
+}
+
+/// A VM arriving on a cell at the next epoch (the in-flight half of a live
+/// migration).
+struct Arrival {
+    fleet: FleetVmId,
+    config: VmConfig,
+    workloads: Vec<Box<dyn Workload>>,
+}
+
+/// One machine of the fleet: a simulated machine plus its own KS4Xen
+/// hypervisor. Cells own all their state; the cluster never reaches into a
+/// cell while another cell is running.
+pub struct Cell {
+    id: CellId,
+    hv: Hypervisor<Ks4Xen>,
+    arrivals: Vec<Arrival>,
+}
+
+impl Cell {
+    /// The cell's identifier.
+    pub fn id(&self) -> CellId {
+        self.id
+    }
+
+    /// The cell's hypervisor.
+    pub fn hypervisor(&self) -> &Hypervisor<Ks4Xen> {
+        &self.hv
+    }
+
+    /// Runs one epoch: `downtime_ticks` of blackout first when arrivals are
+    /// pending, then the arrivals join (in plan order), then the rest of the
+    /// epoch. Returns the local ids handed to the arrivals.
+    fn run_epoch(&mut self, epoch_ticks: u64, downtime_ticks: u64) -> Vec<(FleetVmId, VmId)> {
+        let arrivals = std::mem::take(&mut self.arrivals);
+        if arrivals.is_empty() {
+            self.hv.run_ticks(epoch_ticks);
+            return Vec::new();
+        }
+        let blackout = downtime_ticks.min(epoch_ticks);
+        self.hv.run_ticks(blackout);
+        let mut placed = Vec::with_capacity(arrivals.len());
+        for arrival in arrivals {
+            let local = self
+                .hv
+                .add_vm(arrival.config, arrival.workloads)
+                .expect("planned arrival is valid");
+            placed.push((arrival.fleet, local));
+        }
+        self.hv.run_ticks(epoch_ticks - blackout);
+        placed
+    }
+}
+
+/// Lifetime counters of a fleet VM, accumulated across every cell it lived
+/// on.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+struct Totals {
+    pmcs: PmcSet,
+    cycles_run: u64,
+    ticks_scheduled: u64,
+    ticks_elapsed: u64,
+    punishments: u64,
+}
+
+impl Totals {
+    fn of(report: &VmReport) -> Totals {
+        Totals {
+            pmcs: report.pmcs,
+            cycles_run: report.cycles_run,
+            ticks_scheduled: report.ticks_scheduled,
+            ticks_elapsed: report.ticks_elapsed,
+            punishments: report.punishments,
+        }
+    }
+
+    fn plus(mut self, other: Totals) -> Totals {
+        self.pmcs += other.pmcs;
+        self.cycles_run += other.cycles_run;
+        self.ticks_scheduled += other.ticks_scheduled;
+        self.ticks_elapsed += other.ticks_elapsed;
+        self.punishments += other.punishments;
+        self
+    }
+
+    fn minus(self, earlier: Totals) -> Totals {
+        Totals {
+            pmcs: self.pmcs.delta_since(&earlier.pmcs),
+            cycles_run: self.cycles_run.saturating_sub(earlier.cycles_run),
+            ticks_scheduled: self.ticks_scheduled.saturating_sub(earlier.ticks_scheduled),
+            ticks_elapsed: self.ticks_elapsed.saturating_sub(earlier.ticks_elapsed),
+            punishments: self.punishments.saturating_sub(earlier.punishments),
+        }
+    }
+}
+
+/// Control-plane state of one fleet VM.
+struct FleetVm {
+    id: FleetVmId,
+    name: String,
+    cell: CellId,
+    /// Local id on the current cell; `None` while in flight between cells.
+    local: Option<VmId>,
+    core: usize,
+    working_set_bytes: u64,
+    /// Totals accumulated on cells the VM has since left.
+    carried: Totals,
+    /// Fleet-wide totals at the last epoch boundary (for epoch deltas).
+    last: Totals,
+    migrations: u64,
+    /// Cache lines dropped at sources by this VM's migrations.
+    flushed_lines: u64,
+    /// Cluster tick at which the VM was added (so VMs arriving mid-run get
+    /// a correct wall-clock denominator).
+    added_at_tick: u64,
+}
+
+/// Aggregate of one cell over one epoch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellEpochStats {
+    /// The cell.
+    pub cell: CellId,
+    /// VMs resident at the epoch boundary.
+    pub vms: usize,
+    /// Instructions its VMs retired during the epoch.
+    pub instructions: u64,
+    /// LLC misses of its VMs during the epoch.
+    pub llc_misses: u64,
+    /// Punishments its VMs received during the epoch.
+    pub punishments: u64,
+    /// Summed pollution rate (misses per CPU-ms) of its VMs.
+    pub pollution_rate: f64,
+}
+
+/// What one epoch did: per-cell aggregates plus the migrations planned at
+/// its boundary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpochReport {
+    /// Epoch index (0-based).
+    pub epoch: u64,
+    /// Per-cell aggregates, in cell order.
+    pub cells: Vec<CellEpochStats>,
+    /// Migrations planned at this epoch's boundary (they materialise during
+    /// the next epoch).
+    pub migrations: Vec<MigrationMove>,
+}
+
+/// Fleet-wide execution report of one VM, spanning every cell it lived on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetVmReport {
+    /// The VM.
+    pub vm: FleetVmId,
+    /// Its configured name.
+    pub name: String,
+    /// The cell currently hosting it.
+    pub cell: CellId,
+    /// Cumulative counters across all cells.
+    pub pmcs: PmcSet,
+    /// Cycles scheduled across all cells.
+    pub cycles_run: u64,
+    /// Ticks during which the VM ran, across all cells.
+    pub ticks_scheduled: u64,
+    /// Ticks the VM existed on *some* cell (excludes migration downtime).
+    pub ticks_resident: u64,
+    /// Wall-clock ticks of the cluster since the VM could first run
+    /// (includes migration downtime — the denominator for fleet-level
+    /// throughput).
+    pub cluster_ticks: u64,
+    /// Punishments across all cells.
+    pub punishments: u64,
+    /// Times the VM was live-migrated.
+    pub migrations: u64,
+    /// Warm cache lines the VM's migrations dropped at their source cells —
+    /// the footprint it had to re-fetch cold on arrival.
+    pub flushed_lines: u64,
+}
+
+impl FleetVmReport {
+    /// Instructions per cycle while scheduled.
+    pub fn ipc(&self) -> f64 {
+        self.pmcs.ipc()
+    }
+
+    /// Instructions retired per elapsed *cluster* tick — migration downtime
+    /// lowers this, which is exactly the cost the planner must amortise.
+    pub fn instructions_per_tick(&self) -> f64 {
+        if self.cluster_ticks == 0 {
+            0.0
+        } else {
+            self.pmcs.instructions as f64 / self.cluster_ticks as f64
+        }
+    }
+
+    /// Measured pollution in LLC misses per CPU-millisecond.
+    pub fn llc_misses_per_cpu_ms(&self, freq_khz: u64) -> f64 {
+        if self.pmcs.unhalted_core_cycles == 0 {
+            0.0
+        } else {
+            self.pmcs.llc_misses as f64 * freq_khz as f64 / self.pmcs.unhalted_core_cycles as f64
+        }
+    }
+}
+
+/// The fleet: cells + control plane.
+pub struct Cluster {
+    config: ClusterConfig,
+    planner: MigrationPlanner,
+    cells: Vec<Cell>,
+    vms: Vec<FleetVm>,
+    next_fleet_id: u32,
+    epoch: u64,
+    total_migrations: u64,
+    history: Vec<EpochReport>,
+    freq_khz: u64,
+}
+
+impl Cluster {
+    /// Builds an empty cluster of `config.cells` identical cells.
+    pub fn new(config: ClusterConfig) -> Self {
+        let machine_config = config.cell_machine_config();
+        let freq_khz = machine_config.freq_khz;
+        let cells = (0..config.cells)
+            .map(|i| {
+                let mut hv = ks4xen_hypervisor(
+                    Machine::new(machine_config.clone()),
+                    config.hypervisor,
+                    config.strategy,
+                );
+                if matches!(config.strategy, MonitoringStrategy::SimulatorAttribution) {
+                    hv.engine_mut()
+                        .enable_shadow_attribution()
+                        .expect("valid LLC geometry");
+                }
+                Cell {
+                    id: CellId(i),
+                    hv,
+                    arrivals: Vec::new(),
+                }
+            })
+            .collect();
+        Cluster {
+            planner: MigrationPlanner::new(config.planner),
+            config,
+            cells,
+            vms: Vec::new(),
+            next_fleet_id: 1,
+            epoch: 0,
+            total_migrations: 0,
+            history: Vec::new(),
+            freq_khz,
+        }
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// Number of cells.
+    pub fn num_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Physical cores of one cell.
+    pub fn cores_per_cell(&self) -> usize {
+        self.config.cell_machine_config().num_cores()
+    }
+
+    /// The cells, in id order.
+    pub fn cells(&self) -> &[Cell] {
+        &self.cells
+    }
+
+    /// Elapsed epochs.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Elapsed cluster ticks (every cell advances in lock-step).
+    pub fn elapsed_ticks(&self) -> u64 {
+        self.epoch * self.config.epoch_ticks
+    }
+
+    /// Total migrations applied since construction.
+    pub fn total_migrations(&self) -> u64 {
+        self.total_migrations
+    }
+
+    /// Total warm cache lines dropped at source cells by every migration so
+    /// far — the fleet-wide cold-cache bill of the consolidation policy.
+    pub fn total_flushed_lines(&self) -> u64 {
+        self.vms.iter().map(|vm| vm.flushed_lines).sum()
+    }
+
+    /// Per-epoch history.
+    pub fn history(&self) -> &[EpochReport] {
+        &self.history
+    }
+
+    /// Creates a single-vCPU VM on `cell`, pinned to the cell's lowest free
+    /// core. `config`'s pinning and NUMA node are overridden by the cluster
+    /// (placement is the control plane's job); its name, weight, cap and
+    /// `llc_cap` permit are kept.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cell` does not exist.
+    pub fn add_vm(
+        &mut self,
+        cell: CellId,
+        config: VmConfig,
+        workload: Box<dyn Workload>,
+    ) -> FleetVmId {
+        assert!(cell.0 < self.cells.len(), "unknown {cell}");
+        let fleet = FleetVmId(self.next_fleet_id);
+        self.next_fleet_id += 1;
+        let core = self.free_core(cell);
+        let working_set_bytes = workload.working_set_bytes();
+        let config = VmConfig {
+            pinning: Some(vec![CoreId(core)]),
+            numa_node: None,
+            ..config.with_vcpus(1)
+        };
+        let name = config.name.clone();
+        let local = self.cells[cell.0]
+            .hv
+            .add_vm(config, vec![workload])
+            .expect("single workload on an existing core");
+        self.vms.push(FleetVm {
+            id: fleet,
+            name,
+            cell,
+            local: Some(local),
+            core,
+            working_set_bytes,
+            carried: Totals::default(),
+            last: Totals::default(),
+            migrations: 0,
+            flushed_lines: 0,
+            added_at_tick: self.elapsed_ticks(),
+        });
+        fleet
+    }
+
+    /// Lowest core of `cell` not claimed by a resident or in-flight VM
+    /// (wraps into time-sharing when the cell is overfull).
+    fn free_core(&self, cell: CellId) -> usize {
+        let cores = self.cores_per_cell();
+        let used: Vec<usize> = self
+            .vms
+            .iter()
+            .filter(|vm| vm.cell == cell)
+            .map(|vm| vm.core)
+            .collect();
+        (0..cores)
+            .find(|core| !used.contains(core))
+            .unwrap_or(used.len() % cores.max(1))
+    }
+
+    /// Runs one epoch: every cell executes `epoch_ticks` (serially or on
+    /// scoped threads, bit-identically), then the control plane snapshots
+    /// the fleet, plans migrations under the configured policy and applies
+    /// them (arrivals materialise during the *next* epoch). Returns the
+    /// epoch's report.
+    pub fn run_epoch(&mut self) -> &EpochReport {
+        let epoch_ticks = self.config.epoch_ticks;
+        let downtime = self.planner.config().cost.downtime_ticks;
+        let parallel = self.config.parallel_cells && self.cells.len() >= 2;
+        let placements: Vec<Vec<(FleetVmId, VmId)>> = if parallel {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .cells
+                    .iter_mut()
+                    .map(|cell| scope.spawn(move || cell.run_epoch(epoch_ticks, downtime)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|handle| handle.join().expect("cell epoch thread"))
+                    .collect()
+            })
+        } else {
+            self.cells
+                .iter_mut()
+                .map(|cell| cell.run_epoch(epoch_ticks, downtime))
+                .collect()
+        };
+        for placed in placements {
+            for (fleet, local) in placed {
+                let vm = self
+                    .vms
+                    .iter_mut()
+                    .find(|vm| vm.id == fleet)
+                    .expect("placed VM is known");
+                vm.local = Some(local);
+            }
+        }
+        let snapshot = self.snapshot_and_advance();
+        let plan = self.planner.plan(&snapshot, self.config.policy);
+        debug_assert_eq!(plan.validate(&snapshot), Ok(()));
+        self.apply(&plan);
+        self.history.push(EpochReport {
+            epoch: self.epoch,
+            cells: snapshot
+                .cells
+                .iter()
+                .map(|cell| CellEpochStats {
+                    cell: cell.cell,
+                    vms: cell.vms.len(),
+                    instructions: cell.vms.iter().map(|vm| vm.instructions).sum(),
+                    llc_misses: cell.vms.iter().map(|vm| vm.llc_misses).sum(),
+                    punishments: cell.vms.iter().map(|vm| vm.punishments).sum(),
+                    pollution_rate: cell.pollution_rate(),
+                })
+                .collect(),
+            migrations: plan.moves,
+        });
+        self.epoch += 1;
+        self.history.last().expect("just pushed")
+    }
+
+    /// Runs `epochs` epochs.
+    pub fn run_epochs(&mut self, epochs: u64) {
+        for _ in 0..epochs {
+            self.run_epoch();
+        }
+    }
+
+    /// The fleet at the last epoch boundary (epoch deltas relative to the
+    /// boundary before it). Does not advance any bookkeeping — both the
+    /// control loop (via [`Cluster::snapshot_and_advance`]) and external
+    /// observers share this one builder, so the planner can never see a
+    /// different snapshot shape than a caller of `snapshot()`.
+    pub fn snapshot(&self) -> ClusterSnapshot {
+        let cores = self.cores_per_cell();
+        let mut cells: Vec<CellSnapshot> = self
+            .cells
+            .iter()
+            .map(|cell| CellSnapshot {
+                cell: cell.id,
+                cores,
+                vms: Vec::new(),
+            })
+            .collect();
+        for vm in &self.vms {
+            cells[vm.cell.0].vms.push(self.vm_snapshot(vm, vm.last));
+        }
+        ClusterSnapshot {
+            epoch: self.epoch,
+            cells,
+        }
+    }
+
+    /// Lifetime totals of a VM: cells it left plus its current residence.
+    fn current_totals(&self, vm: &FleetVm) -> Totals {
+        let current = vm
+            .local
+            .and_then(|local| self.cells[vm.cell.0].hv.report(local))
+            .map(|report| Totals::of(&report))
+            .unwrap_or_default();
+        vm.carried.plus(current)
+    }
+
+    fn vm_snapshot(&self, vm: &FleetVm, since: Totals) -> VmSnapshot {
+        let delta = self.current_totals(vm).minus(since);
+        let raw_rate = if delta.pmcs.unhalted_core_cycles == 0 {
+            0.0
+        } else {
+            delta.pmcs.llc_misses as f64 * self.freq_khz as f64
+                / delta.pmcs.unhalted_core_cycles as f64
+        };
+        // Prefer the scheduler's smoothed Equation-1 estimate: it honours
+        // the monitoring strategy, so under shadow attribution it reports
+        // the VM's *solo* pollution, uninflated by co-runner evictions —
+        // the stable signal the pollution-aware planner needs. Raw epoch
+        // counters are the fallback for VMs the scheduler has not yet
+        // estimated (e.g. just arrived from a migration).
+        let pollution_rate = vm
+            .local
+            .and_then(|local| {
+                self.cells[vm.cell.0]
+                    .hv
+                    .scheduler()
+                    .measured_llc_cap(VcpuId::new(local, 0))
+            })
+            .unwrap_or(raw_rate);
+        VmSnapshot {
+            vm: vm.id,
+            name: vm.name.clone(),
+            pollution_rate,
+            punishments: delta.punishments,
+            instructions: delta.pmcs.instructions,
+            llc_misses: delta.pmcs.llc_misses,
+            ipc: delta.pmcs.ipc(),
+            working_set_bytes: vm.working_set_bytes,
+        }
+    }
+
+    /// Takes the epoch snapshot, then moves every VM's "last boundary"
+    /// totals forward so the next epoch's deltas start here.
+    fn snapshot_and_advance(&mut self) -> ClusterSnapshot {
+        let snapshot = self.snapshot();
+        let totals: Vec<Totals> = self.vms.iter().map(|vm| self.current_totals(vm)).collect();
+        for (vm, total) in self.vms.iter_mut().zip(totals) {
+            vm.last = total;
+        }
+        snapshot
+    }
+
+    /// Applies a migration plan: extract each VM from its source cell (cache
+    /// flushed, workload state kept) and queue it on the destination, where
+    /// it lands on the lowest free core after the downtime blackout.
+    fn apply(&mut self, plan: &MigrationPlan) {
+        for mv in &plan.moves {
+            let index = self
+                .vms
+                .iter()
+                .position(|vm| vm.id == mv.vm)
+                .expect("planned VM is known");
+            let local = self.vms[index]
+                .local
+                .take()
+                .expect("planned VM is resident");
+            let taken = self.cells[mv.from.0]
+                .hv
+                .take_vm(local)
+                .expect("planned VM is resident on its source cell");
+            let core = self.free_core(mv.to);
+            {
+                let vm = &mut self.vms[index];
+                vm.carried = vm.carried.plus(Totals::of(&taken.report));
+                vm.cell = mv.to;
+                vm.core = core;
+                vm.migrations += 1;
+                vm.flushed_lines += taken.flushed_lines;
+            }
+            let config = VmConfig {
+                pinning: Some(vec![CoreId(core)]),
+                numa_node: None,
+                ..taken.config
+            };
+            self.cells[mv.to.0].arrivals.push(Arrival {
+                fleet: mv.vm,
+                config,
+                workloads: taken.workloads,
+            });
+        }
+        self.total_migrations += plan.moves.len() as u64;
+    }
+
+    /// The fleet-wide report of one VM.
+    pub fn report(&self, fleet: FleetVmId) -> Option<FleetVmReport> {
+        let vm = self.vms.iter().find(|vm| vm.id == fleet)?;
+        let total = self.current_totals(vm);
+        Some(FleetVmReport {
+            vm: vm.id,
+            name: vm.name.clone(),
+            cell: vm.cell,
+            pmcs: total.pmcs,
+            cycles_run: total.cycles_run,
+            ticks_scheduled: total.ticks_scheduled,
+            ticks_resident: total.ticks_elapsed,
+            cluster_ticks: self.elapsed_ticks().saturating_sub(vm.added_at_tick),
+            punishments: total.punishments,
+            migrations: vm.migrations,
+            flushed_lines: vm.flushed_lines,
+        })
+    }
+
+    /// Fleet-wide reports of every VM, in fleet-id order.
+    pub fn reports(&self) -> Vec<FleetVmReport> {
+        self.vms
+            .iter()
+            .filter_map(|vm| self.report(vm.id))
+            .collect()
+    }
+
+    /// Current VM count per cell (including in-flight arrivals headed
+    /// there), in cell order.
+    pub fn occupancies(&self) -> Vec<usize> {
+        let mut occupancy = vec![0usize; self.cells.len()];
+        for vm in &self.vms {
+            occupancy[vm.cell.0] += 1;
+        }
+        occupancy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kyoto_workloads::spec::{SpecApp, SpecWorkload};
+
+    const SCALE: u64 = 256;
+
+    fn workload(app: SpecApp, seed: u64) -> Box<dyn Workload> {
+        Box::new(SpecWorkload::new(app, SCALE, seed))
+    }
+
+    fn seeded(config: ClusterConfig, vms: usize) -> Cluster {
+        let mut cluster = Cluster::new(config);
+        let apps = [SpecApp::Gcc, SpecApp::Lbm, SpecApp::Omnetpp, SpecApp::Mcf];
+        for i in 0..vms {
+            let app = apps[i % apps.len()];
+            let cell = CellId(i % cluster.num_cells());
+            cluster.add_vm(
+                cell,
+                VmConfig::new(format!("vm{i}-{}", app.name())),
+                workload(app, 0xf1ee7 + i as u64),
+            );
+        }
+        cluster
+    }
+
+    #[test]
+    fn vms_run_and_report_across_epochs() {
+        let mut cluster = seeded(ClusterConfig::new(2, SCALE).with_epoch_ticks(4), 4);
+        cluster.run_epochs(2);
+        assert_eq!(cluster.epoch(), 2);
+        assert_eq!(cluster.elapsed_ticks(), 8);
+        let reports = cluster.reports();
+        assert_eq!(reports.len(), 4);
+        for report in &reports {
+            assert!(report.pmcs.instructions > 0, "{} never ran", report.vm);
+            assert!(report.instructions_per_tick() > 0.0);
+        }
+        assert_eq!(cluster.history().len(), 2);
+    }
+
+    #[test]
+    fn load_balance_migrates_from_overfull_to_empty_cells() {
+        // All 4 VMs start on cell 0 of a 2-cell cluster: load balancing must
+        // even the counts out to 2/2 within a few epochs.
+        let config = ClusterConfig::new(2, SCALE)
+            .with_epoch_ticks(4)
+            .with_policy(ConsolidationPolicy::LoadBalance);
+        let mut cluster = Cluster::new(config);
+        for i in 0..4 {
+            cluster.add_vm(
+                CellId(0),
+                VmConfig::new(format!("vm{i}")),
+                workload(SpecApp::Gcc, i as u64),
+            );
+        }
+        assert_eq!(cluster.occupancies(), vec![4, 0]);
+        cluster.run_epochs(3);
+        assert_eq!(cluster.occupancies(), vec![2, 2]);
+        assert!(cluster.total_migrations() >= 2);
+        let migrated: u64 = cluster.reports().iter().map(|r| r.migrations).sum();
+        assert_eq!(migrated, cluster.total_migrations());
+    }
+
+    #[test]
+    fn bin_pack_consolidates_onto_fewer_cells() {
+        let config = ClusterConfig::new(3, SCALE)
+            .with_epoch_ticks(4)
+            .with_policy(ConsolidationPolicy::BinPack);
+        let mut cluster = Cluster::new(config);
+        // One VM per cell; the machine has 4 cores per cell, so all three
+        // fit on one cell.
+        for i in 0..3 {
+            cluster.add_vm(
+                CellId(i),
+                VmConfig::new(format!("vm{i}")),
+                workload(SpecApp::Gcc, i as u64),
+            );
+        }
+        cluster.run_epochs(3);
+        let occupancies = cluster.occupancies();
+        let empty = occupancies.iter().filter(|&&n| n == 0).count();
+        assert_eq!(
+            empty, 2,
+            "bin packing should empty two cells: {occupancies:?}"
+        );
+    }
+
+    #[test]
+    fn migration_charges_downtime_exactly_once_per_move() {
+        let config = ClusterConfig::new(2, SCALE)
+            .with_epoch_ticks(6)
+            .with_policy(ConsolidationPolicy::LoadBalance)
+            .with_planner(
+                PlannerConfig::default()
+                    .with_max_moves(1)
+                    .with_downtime_ticks(2),
+            );
+        let mut cluster = Cluster::new(config);
+        for i in 0..2 {
+            cluster.add_vm(
+                CellId(0),
+                VmConfig::new(format!("vm{i}")),
+                workload(SpecApp::Gcc, i as u64),
+            );
+        }
+        cluster.run_epochs(3);
+        let reports = cluster.reports();
+        let moved: Vec<_> = reports.iter().filter(|r| r.migrations > 0).collect();
+        assert_eq!(moved.len(), 1);
+        let report = moved[0];
+        assert_eq!(report.migrations, 1);
+        // 3 epochs x 6 ticks, minus 2 blackout ticks for the single move.
+        assert_eq!(report.cluster_ticks, 18);
+        assert_eq!(report.ticks_resident, 16);
+        let anchored = reports.iter().find(|r| r.migrations == 0).unwrap();
+        assert_eq!(anchored.ticks_resident, 18);
+    }
+
+    #[test]
+    fn migrated_vm_arrives_with_a_cold_cache() {
+        let config = ClusterConfig::new(2, SCALE)
+            .with_epoch_ticks(6)
+            .with_policy(ConsolidationPolicy::LoadBalance)
+            .with_planner(PlannerConfig::default().with_max_moves(1));
+        let mut cluster = Cluster::new(config);
+        let a = cluster.add_vm(CellId(0), VmConfig::new("a"), workload(SpecApp::Gcc, 1));
+        cluster.add_vm(CellId(0), VmConfig::new("b"), workload(SpecApp::Gcc, 2));
+        cluster.run_epoch();
+        // The balancer moved the most recent arrival (b) — a stays warm.
+        let b = cluster.reports()[1].vm;
+        let before = cluster.report(b).unwrap().pmcs.llc_misses;
+        cluster.run_epoch();
+        let after = cluster.report(b).unwrap().pmcs.llc_misses;
+        assert!(
+            after > before,
+            "the migrated VM re-faults its working set through a cold LLC"
+        );
+        let moved = cluster.report(b).unwrap();
+        assert!(
+            moved.flushed_lines > 0,
+            "extraction must have dropped warm lines at the source"
+        );
+        assert_eq!(cluster.total_flushed_lines(), moved.flushed_lines);
+        assert_eq!(cluster.report(a).unwrap().flushed_lines, 0);
+    }
+
+    #[test]
+    fn serial_and_parallel_epochs_are_bit_identical() {
+        let run = |parallel: bool| {
+            let config = ClusterConfig::new(3, SCALE)
+                .with_epoch_ticks(5)
+                .with_policy(ConsolidationPolicy::LoadBalance)
+                .with_parallel_cells(parallel);
+            let mut cluster = seeded(config, 6);
+            cluster.run_epochs(3);
+            (cluster.reports(), cluster.history().to_vec())
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn vms_added_mid_run_get_a_correct_tick_denominator() {
+        let mut cluster = seeded(ClusterConfig::new(2, SCALE).with_epoch_ticks(4), 2);
+        cluster.run_epochs(2);
+        let late = cluster.add_vm(CellId(1), VmConfig::new("late"), workload(SpecApp::Gcc, 99));
+        cluster.run_epochs(1);
+        let report = cluster.report(late).unwrap();
+        assert_eq!(
+            report.cluster_ticks, 4,
+            "wall-clock denominator starts at arrival, not cluster birth"
+        );
+        assert_eq!(report.ticks_resident, 4);
+        assert!(report.instructions_per_tick() > 0.0);
+        let early = &cluster.reports()[0];
+        assert_eq!(early.cluster_ticks, 12);
+    }
+
+    #[test]
+    fn snapshot_is_stable_and_pure() {
+        let mut cluster = seeded(ClusterConfig::new(2, SCALE).with_epoch_ticks(4), 4);
+        cluster.run_epoch();
+        let a = cluster.snapshot();
+        let b = cluster.snapshot();
+        assert_eq!(a, b, "snapshot() must not mutate bookkeeping");
+        assert_eq!(a.total_vms(), 4);
+    }
+}

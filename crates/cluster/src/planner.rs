@@ -1,0 +1,715 @@
+//! The migration planner: pure, deterministic consolidation decisions.
+//!
+//! At every epoch boundary the cluster hands the planner a
+//! [`ClusterSnapshot`] and gets back a [`MigrationPlan`] — a list of VM
+//! moves. The planner is a pure function of the snapshot: identical
+//! snapshots produce identical plans (a property test pins this), no plan
+//! ever moves the same VM twice, and no move pushes a destination cell past
+//! its core capacity (the no-overcommit rule).
+//!
+//! Three consolidation policies are provided:
+//!
+//! * [`ConsolidationPolicy::LoadBalance`] — equalise VM counts across cells,
+//!   the classic "spread" strategy of schedulers that ignore cache
+//!   behaviour;
+//! * [`ConsolidationPolicy::BinPack`] — consolidate VMs onto as few cells as
+//!   possible (the provider's cost-saving strategy), draining lightly
+//!   loaded cells into fuller ones;
+//! * [`ConsolidationPolicy::PollutionAware`] — the Kyoto-native strategy:
+//!   use per-VM PMC/punishment data to co-locate LLC polluters with each
+//!   other on dedicated cells, away from cache-sensitive VMs.
+
+use crate::snapshot::{CellId, CellSnapshot, ClusterSnapshot, FleetVmId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// How the cluster re-places VMs at epoch boundaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ConsolidationPolicy {
+    /// Equalise VM counts across cells.
+    LoadBalance,
+    /// Consolidate VMs onto as few cells as possible.
+    BinPack,
+    /// Co-locate polluters away from sensitive VMs, using measured
+    /// pollution rates and Kyoto punishment counts.
+    PollutionAware,
+}
+
+impl ConsolidationPolicy {
+    /// Every policy, in display order.
+    pub const ALL: [ConsolidationPolicy; 3] = [
+        ConsolidationPolicy::LoadBalance,
+        ConsolidationPolicy::BinPack,
+        ConsolidationPolicy::PollutionAware,
+    ];
+
+    /// Display label used in tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ConsolidationPolicy::LoadBalance => "load-balance",
+            ConsolidationPolicy::BinPack => "bin-pack",
+            ConsolidationPolicy::PollutionAware => "pollution-aware",
+        }
+    }
+}
+
+/// One VM live migration: `vm` leaves `from` and arrives on `to`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MigrationMove {
+    /// The VM to migrate.
+    pub vm: FleetVmId,
+    /// Source cell.
+    pub from: CellId,
+    /// Destination cell.
+    pub to: CellId,
+}
+
+/// The cost a single live migration inflicts on the migrated VM.
+///
+/// Two components, mirroring what real live migration costs a guest:
+///
+/// * **Downtime** — the stop-and-copy blackout. The VM runs on *neither*
+///   cell for [`MigrationCostModel::downtime_ticks`] scheduler ticks at the
+///   start of the arrival epoch.
+/// * **Cold cache on arrival** — nothing of the VM's cache footprint
+///   travels. The source cell flushes the VM's lines on extraction and the
+///   destination LLC knows nothing about it, so the post-arrival warm-up
+///   penalty *emerges* from the cache simulation itself rather than being
+///   charged as a constant. [`MigrationCostModel::cold_lines`] estimates how
+///   many lines must be re-fetched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MigrationCostModel {
+    /// Scheduler ticks the VM runs nowhere after a move.
+    pub downtime_ticks: u64,
+}
+
+impl Default for MigrationCostModel {
+    fn default() -> Self {
+        // One 10 ms tick of blackout — in the ballpark of the sub-100 ms
+        // downtimes live migration achieves on a local network.
+        MigrationCostModel { downtime_ticks: 1 }
+    }
+}
+
+impl MigrationCostModel {
+    /// Downtime expressed in core cycles (what the VM loses outright).
+    pub fn downtime_cycles(&self, freq_khz: u64, tick_ms: u64) -> u64 {
+        self.downtime_ticks * freq_khz * tick_ms
+    }
+
+    /// Cache lines the VM must re-fetch at the destination (its whole
+    /// working set arrives cold).
+    pub fn cold_lines(&self, working_set_bytes: u64, line_bytes: u64) -> u64 {
+        working_set_bytes.div_ceil(line_bytes.max(1))
+    }
+}
+
+/// A batch of migrations for one epoch boundary.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct MigrationPlan {
+    /// The moves, in application order.
+    pub moves: Vec<MigrationMove>,
+}
+
+impl MigrationPlan {
+    /// Whether the plan moves nothing.
+    pub fn is_empty(&self) -> bool {
+        self.moves.is_empty()
+    }
+
+    /// Number of planned moves.
+    pub fn len(&self) -> usize {
+        self.moves.len()
+    }
+
+    /// Total blackout the plan inflicts, in ticks (one downtime window per
+    /// migrated VM).
+    pub fn total_downtime_ticks(&self, cost: &MigrationCostModel) -> u64 {
+        self.moves.len() as u64 * cost.downtime_ticks
+    }
+
+    /// Checks the plan against the snapshot it was derived from: every move
+    /// must reference a resident VM at its actual cell, no VM may move
+    /// twice, no move may target its own source, and applying the moves in
+    /// order must never push a cell past its core capacity.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated rule.
+    pub fn validate(&self, snapshot: &ClusterSnapshot) -> Result<(), String> {
+        let mut occupancy: Vec<usize> =
+            snapshot.cells.iter().map(CellSnapshot::occupancy).collect();
+        let cores: Vec<usize> = snapshot.cells.iter().map(|c| c.cores).collect();
+        let mut moved = BTreeSet::new();
+        for mv in &self.moves {
+            if mv.from == mv.to {
+                return Err(format!("{} moves to its own cell {}", mv.vm, mv.to));
+            }
+            let Some((cell, _)) = snapshot.find(mv.vm) else {
+                return Err(format!("{} is not resident anywhere", mv.vm));
+            };
+            if cell.cell != mv.from {
+                return Err(format!(
+                    "{} is on {} but the plan moves it from {}",
+                    mv.vm, cell.cell, mv.from
+                ));
+            }
+            if !moved.insert(mv.vm) {
+                return Err(format!("{} is moved twice", mv.vm));
+            }
+            let (from, to) = (mv.from.0, mv.to.0);
+            if to >= occupancy.len() {
+                return Err(format!("{} does not exist", mv.to));
+            }
+            if occupancy[to] + 1 > cores[to] {
+                return Err(format!(
+                    "{} would overcommit {} ({} VMs on {} cores)",
+                    mv.vm,
+                    mv.to,
+                    occupancy[to] + 1,
+                    cores[to]
+                ));
+            }
+            occupancy[from] -= 1;
+            occupancy[to] += 1;
+        }
+        Ok(())
+    }
+}
+
+/// Static planner configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlannerConfig {
+    /// Maximum migrations per epoch boundary (models the migration
+    /// bandwidth of the fleet's network).
+    pub max_moves_per_epoch: usize,
+    /// Pollution rate (LLC misses per CPU-millisecond) at or above which a
+    /// VM counts as a polluter, independently of punishments. The default
+    /// is infinite, i.e. classification is purely permit-driven: a VM is a
+    /// polluter only when the Kyoto scheduler punished it during the epoch.
+    pub polluter_threshold: f64,
+    /// The migration cost model (consumed by the cluster when applying a
+    /// plan).
+    pub cost: MigrationCostModel,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        PlannerConfig {
+            max_moves_per_epoch: 4,
+            polluter_threshold: f64::INFINITY,
+            cost: MigrationCostModel::default(),
+        }
+    }
+}
+
+impl PlannerConfig {
+    /// Sets the per-epoch migration budget.
+    pub fn with_max_moves(mut self, max_moves: usize) -> Self {
+        self.max_moves_per_epoch = max_moves;
+        self
+    }
+
+    /// Sets the polluter classification threshold (misses per CPU-ms).
+    pub fn with_polluter_threshold(mut self, threshold: f64) -> Self {
+        self.polluter_threshold = threshold.max(0.0);
+        self
+    }
+
+    /// Sets the migration downtime in ticks.
+    pub fn with_downtime_ticks(mut self, ticks: u64) -> Self {
+        self.cost.downtime_ticks = ticks;
+        self
+    }
+}
+
+/// Mutable planning state: the snapshot's occupancy with planned moves
+/// virtually applied, so capacity checks see the plan so far.
+struct PlanState {
+    cores: Vec<usize>,
+    /// Resident VM ids per cell, updated as moves are planned. Order within
+    /// a cell: snapshot order, with planned arrivals appended.
+    residents: Vec<Vec<FleetVmId>>,
+    moved: BTreeSet<FleetVmId>,
+    moves: Vec<MigrationMove>,
+    budget: usize,
+}
+
+impl PlanState {
+    fn new(snapshot: &ClusterSnapshot, budget: usize) -> Self {
+        PlanState {
+            cores: snapshot.cells.iter().map(|c| c.cores).collect(),
+            residents: snapshot
+                .cells
+                .iter()
+                .map(|c| c.vms.iter().map(|vm| vm.vm).collect())
+                .collect(),
+            moved: BTreeSet::new(),
+            moves: Vec::new(),
+            budget,
+        }
+    }
+
+    fn occupancy(&self, cell: usize) -> usize {
+        self.residents[cell].len()
+    }
+
+    fn has_capacity(&self, cell: usize) -> bool {
+        self.occupancy(cell) < self.cores[cell]
+    }
+
+    fn exhausted(&self) -> bool {
+        self.moves.len() >= self.budget
+    }
+
+    /// Plans one move. Returns false (and plans nothing) when the budget is
+    /// exhausted, the VM already moved, or the destination is full.
+    fn push(&mut self, vm: FleetVmId, from: usize, to: usize) -> bool {
+        if self.exhausted() || from == to || self.moved.contains(&vm) || !self.has_capacity(to) {
+            return false;
+        }
+        let Some(pos) = self.residents[from].iter().position(|&v| v == vm) else {
+            return false;
+        };
+        self.residents[from].remove(pos);
+        self.residents[to].push(vm);
+        self.moved.insert(vm);
+        self.moves.push(MigrationMove {
+            vm,
+            from: CellId(from),
+            to: CellId(to),
+        });
+        true
+    }
+
+    fn into_plan(self) -> MigrationPlan {
+        MigrationPlan { moves: self.moves }
+    }
+}
+
+/// The deterministic migration planner.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MigrationPlanner {
+    config: PlannerConfig,
+}
+
+impl MigrationPlanner {
+    /// Creates a planner.
+    pub fn new(config: PlannerConfig) -> Self {
+        MigrationPlanner { config }
+    }
+
+    /// The planner configuration.
+    pub fn config(&self) -> PlannerConfig {
+        self.config
+    }
+
+    /// Computes the migration plan for `snapshot` under `policy`.
+    ///
+    /// Pure: two calls with equal arguments return equal plans. The result
+    /// always passes [`MigrationPlan::validate`] against `snapshot`.
+    pub fn plan(&self, snapshot: &ClusterSnapshot, policy: ConsolidationPolicy) -> MigrationPlan {
+        if snapshot.cells.len() < 2 {
+            return MigrationPlan::default();
+        }
+        let mut state = PlanState::new(snapshot, self.config.max_moves_per_epoch);
+        match policy {
+            ConsolidationPolicy::LoadBalance => self.plan_load_balance(&mut state),
+            ConsolidationPolicy::BinPack => self.plan_bin_pack(&mut state),
+            ConsolidationPolicy::PollutionAware => self.plan_pollution_aware(snapshot, &mut state),
+        }
+        state.into_plan()
+    }
+
+    /// Repeatedly moves a VM from the fullest cell to the emptiest until the
+    /// counts differ by at most one (or a budget/capacity limit bites). The
+    /// most recently arrived VM of the full cell moves first, which keeps
+    /// long-resident VMs (and their warm caches) anchored.
+    fn plan_load_balance(&self, state: &mut PlanState) {
+        loop {
+            if state.exhausted() {
+                break;
+            }
+            let cells = state.cores.len();
+            let src = (0..cells)
+                .max_by_key(|&c| (state.occupancy(c), std::cmp::Reverse(c)))
+                .expect("at least one cell");
+            let dst = (0..cells)
+                .min_by_key(|&c| (state.occupancy(c), c))
+                .expect("at least one cell");
+            if state.occupancy(src) <= state.occupancy(dst) + 1 || !state.has_capacity(dst) {
+                break;
+            }
+            let Some(&vm) = state.residents[src]
+                .iter()
+                .rev()
+                .find(|vm| !state.moved.contains(vm))
+            else {
+                break;
+            };
+            if !state.push(vm, src, dst) {
+                break;
+            }
+        }
+    }
+
+    /// Keeps the fullest cells (enough of them to hold every VM) and drains
+    /// everyone else into their free cores, emptiest donor first — the
+    /// consolidation move that lets a provider power cells down.
+    fn plan_bin_pack(&self, state: &mut PlanState) {
+        let cells = state.cores.len();
+        let total: usize = (0..cells).map(|c| state.occupancy(c)).sum();
+        // Cells to keep: fullest first (ties toward low ids), until their
+        // combined capacity covers the fleet.
+        let mut by_occupancy: Vec<usize> = (0..cells).collect();
+        by_occupancy.sort_by_key(|&c| (std::cmp::Reverse(state.occupancy(c)), c));
+        let mut kept: BTreeSet<usize> = BTreeSet::new();
+        let mut capacity = 0usize;
+        for &c in &by_occupancy {
+            if capacity >= total {
+                break;
+            }
+            kept.insert(c);
+            capacity += state.cores[c];
+        }
+        // Drain donors, emptiest first (ties toward high ids, so low ids
+        // persist), each VM to the fullest kept cell with room.
+        let mut donors: Vec<usize> = (0..cells).filter(|c| !kept.contains(c)).collect();
+        donors.sort_by_key(|&c| (state.occupancy(c), std::cmp::Reverse(c)));
+        for src in donors {
+            let vms: Vec<FleetVmId> = state.residents[src].clone();
+            for vm in vms {
+                let Some(&dst) = kept
+                    .iter()
+                    .filter(|&&c| state.has_capacity(c))
+                    .max_by_key(|&&c| (state.occupancy(c), std::cmp::Reverse(c)))
+                else {
+                    return;
+                };
+                if !state.push(vm, src, dst) {
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Separates polluters from sensitive VMs using the epoch's measured
+    /// PMC/punishment data: designate enough "sin bin" cells to hold every
+    /// polluter (preferring cells that already host the most polluters),
+    /// evacuate sensitive VMs from those cells, then pull stray polluters
+    /// in. Converges over a few epochs when the per-epoch migration budget
+    /// is smaller than the required shuffle.
+    fn plan_pollution_aware(&self, snapshot: &ClusterSnapshot, state: &mut PlanState) {
+        let threshold = self.config.polluter_threshold;
+        let is_polluter =
+            |vm: &crate::snapshot::VmSnapshot| vm.punishments > 0 || vm.pollution_rate >= threshold;
+        // (vm, cell, rate) of every polluter, worst first.
+        let mut polluters: Vec<(FleetVmId, usize, f64)> = Vec::new();
+        let mut polluters_on: Vec<usize> = vec![0; snapshot.cells.len()];
+        for cell in &snapshot.cells {
+            for vm in &cell.vms {
+                if is_polluter(vm) {
+                    polluters.push((vm.vm, cell.cell.0, vm.pollution_rate));
+                    polluters_on[cell.cell.0] += 1;
+                }
+            }
+        }
+        if polluters.is_empty() {
+            return;
+        }
+        polluters.sort_by(|a, b| {
+            b.2.partial_cmp(&a.2)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        // Designate sin-bin cells: most polluters first, ties toward high
+        // ids (the bin gravitates to the end of the fleet), until their
+        // capacity covers every polluter.
+        let cells = snapshot.cells.len();
+        let mut by_polluters: Vec<usize> = (0..cells).collect();
+        by_polluters.sort_by_key(|&c| (std::cmp::Reverse(polluters_on[c]), std::cmp::Reverse(c)));
+        let mut bins: Vec<usize> = Vec::new();
+        let mut capacity = 0usize;
+        for &c in &by_polluters {
+            if capacity >= polluters.len() {
+                break;
+            }
+            bins.push(c);
+            capacity += state.cores[c];
+        }
+        if bins.len() == cells {
+            // Every cell would be a sin bin: separation is impossible.
+            return;
+        }
+        let bin_set: BTreeSet<usize> = bins.iter().copied().collect();
+        // Phase 1: evacuate sensitive VMs from the bins (fleet-id order) to
+        // the clean cell with the most free cores.
+        for &bin in &bins {
+            let sensitive: Vec<FleetVmId> = snapshot.cells[bin]
+                .vms
+                .iter()
+                .filter(|vm| !is_polluter(vm))
+                .map(|vm| vm.vm)
+                .collect();
+            for vm in sensitive {
+                let Some(dst) = (0..cells)
+                    .filter(|c| !bin_set.contains(c) && state.has_capacity(*c))
+                    .max_by_key(|&c| (state.cores[c] - state.occupancy(c), std::cmp::Reverse(c)))
+                else {
+                    break;
+                };
+                if !state.push(vm, bin, dst) {
+                    return;
+                }
+            }
+        }
+        // Phase 2: pull stray polluters into the bins, worst polluter first.
+        for &(vm, cell, _) in &polluters {
+            if bin_set.contains(&cell) {
+                continue;
+            }
+            let Some(&dst) = bins.iter().find(|&&b| state.has_capacity(b)) else {
+                break;
+            };
+            if !state.push(vm, cell, dst) {
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::VmSnapshot;
+
+    fn vm(id: u32, pollution: f64, punishments: u64) -> VmSnapshot {
+        VmSnapshot {
+            vm: FleetVmId(id),
+            name: format!("fvm{id}"),
+            pollution_rate: pollution,
+            punishments,
+            instructions: 1000,
+            llc_misses: 100,
+            ipc: 1.0,
+            working_set_bytes: 64 * 1024,
+        }
+    }
+
+    fn snapshot(cells: Vec<(usize, Vec<VmSnapshot>)>) -> ClusterSnapshot {
+        ClusterSnapshot {
+            epoch: 0,
+            cells: cells
+                .into_iter()
+                .enumerate()
+                .map(|(i, (cores, vms))| CellSnapshot {
+                    cell: CellId(i),
+                    cores,
+                    vms,
+                })
+                .collect(),
+        }
+    }
+
+    fn planner() -> MigrationPlanner {
+        MigrationPlanner::new(PlannerConfig::default().with_max_moves(16))
+    }
+
+    #[test]
+    fn load_balance_equalises_counts() {
+        let snap = snapshot(vec![
+            (
+                4,
+                vec![vm(1, 0.0, 0), vm(2, 0.0, 0), vm(3, 0.0, 0), vm(4, 0.0, 0)],
+            ),
+            (4, vec![]),
+        ]);
+        let plan = planner().plan(&snap, ConsolidationPolicy::LoadBalance);
+        plan.validate(&snap).unwrap();
+        assert_eq!(plan.len(), 2);
+        assert!(plan.moves.iter().all(|m| m.to == CellId(1)));
+        // Most recently arrived VMs move first.
+        assert_eq!(plan.moves[0].vm, FleetVmId(4));
+        assert_eq!(plan.moves[1].vm, FleetVmId(3));
+    }
+
+    #[test]
+    fn bin_pack_drains_the_emptiest_cells() {
+        let snap = snapshot(vec![
+            (4, vec![vm(1, 0.0, 0), vm(2, 0.0, 0), vm(3, 0.0, 0)]),
+            (4, vec![vm(4, 0.0, 0)]),
+            (4, vec![vm(5, 0.0, 0), vm(6, 0.0, 0)]),
+        ]);
+        let plan = planner().plan(&snap, ConsolidationPolicy::BinPack);
+        plan.validate(&snap).unwrap();
+        // 6 VMs fit on two 4-core cells: cell 1 (the emptiest donor) drains.
+        assert_eq!(plan.len(), 1);
+        assert_eq!(
+            plan.moves[0],
+            MigrationMove {
+                vm: FleetVmId(4),
+                from: CellId(1),
+                to: CellId(0),
+            }
+        );
+    }
+
+    #[test]
+    fn bin_pack_does_nothing_when_already_packed() {
+        let snap = snapshot(vec![
+            (2, vec![vm(1, 0.0, 0), vm(2, 0.0, 0)]),
+            (2, vec![vm(3, 0.0, 0)]),
+            (2, vec![]),
+        ]);
+        let plan = planner().plan(&snap, ConsolidationPolicy::BinPack);
+        plan.validate(&snap).unwrap();
+        assert!(plan.is_empty(), "3 VMs need two 2-core cells: {:?}", plan);
+    }
+
+    #[test]
+    fn pollution_aware_separates_polluters_from_sensitive_vms() {
+        // Polluters (punished or above threshold) spread across both cells;
+        // the plan must gather them on one cell and the sensitive VMs on the
+        // other.
+        let snap = snapshot(vec![
+            (4, vec![vm(1, 900.0, 3), vm(2, 10.0, 0)]),
+            (4, vec![vm(3, 800.0, 2), vm(4, 5.0, 0)]),
+        ]);
+        let plan = planner().plan(&snap, ConsolidationPolicy::PollutionAware);
+        plan.validate(&snap).unwrap();
+        // Apply the plan and check the separation.
+        let mut location: Vec<(u32, usize)> = vec![(1, 0), (2, 0), (3, 1), (4, 1)];
+        for mv in &plan.moves {
+            let entry = location
+                .iter_mut()
+                .find(|(id, _)| *id == mv.vm.0)
+                .expect("known VM");
+            entry.1 = mv.to.0;
+        }
+        let cell_of = |id: u32| location.iter().find(|(v, _)| *v == id).unwrap().1;
+        assert_eq!(cell_of(1), cell_of(3), "polluters co-located");
+        assert_eq!(cell_of(2), cell_of(4), "sensitive VMs co-located");
+        assert_ne!(cell_of(1), cell_of(2), "groups separated");
+    }
+
+    #[test]
+    fn pollution_aware_uses_the_rate_threshold_without_punishments() {
+        let snap = snapshot(vec![
+            (4, vec![vm(1, 900.0, 0), vm(2, 10.0, 0)]),
+            (4, vec![vm(3, 800.0, 0), vm(4, 5.0, 0)]),
+        ]);
+        let quiet = planner().plan(&snap, ConsolidationPolicy::PollutionAware);
+        assert!(
+            quiet.is_empty(),
+            "no punishments and an infinite threshold: nobody is a polluter"
+        );
+        let planner = MigrationPlanner::new(
+            PlannerConfig::default()
+                .with_max_moves(16)
+                .with_polluter_threshold(500.0),
+        );
+        let plan = planner.plan(&snap, ConsolidationPolicy::PollutionAware);
+        plan.validate(&snap).unwrap();
+        assert!(!plan.is_empty(), "threshold classification must kick in");
+    }
+
+    #[test]
+    fn move_budget_is_respected() {
+        let snap = snapshot(vec![
+            (8, (1..=8).map(|i| vm(i, 0.0, 0)).collect()),
+            (8, vec![]),
+        ]);
+        let planner = MigrationPlanner::new(PlannerConfig::default().with_max_moves(2));
+        let plan = planner.plan(&snap, ConsolidationPolicy::LoadBalance);
+        plan.validate(&snap).unwrap();
+        assert_eq!(plan.len(), 2);
+    }
+
+    #[test]
+    fn full_destinations_are_never_overcommitted() {
+        let snap = snapshot(vec![
+            (2, vec![vm(1, 0.0, 0), vm(2, 0.0, 0)]),
+            // Cell 1 is at capacity: nothing may move there, and balancing
+            // toward cell 2 is the only option.
+            (1, vec![vm(3, 0.0, 0)]),
+            (1, vec![]),
+        ]);
+        let plan = planner().plan(&snap, ConsolidationPolicy::LoadBalance);
+        plan.validate(&snap).unwrap();
+        for mv in &plan.moves {
+            assert_ne!(mv.to, CellId(1));
+        }
+    }
+
+    #[test]
+    fn single_cell_clusters_never_migrate() {
+        let snap = snapshot(vec![(4, vec![vm(1, 1000.0, 5), vm(2, 1.0, 0)])]);
+        for policy in ConsolidationPolicy::ALL {
+            assert!(planner().plan(&snap, policy).is_empty());
+        }
+    }
+
+    #[test]
+    fn validate_rejects_bad_plans() {
+        let snap = snapshot(vec![(2, vec![vm(1, 0.0, 0)]), (1, vec![vm(2, 0.0, 0)])]);
+        let self_move = MigrationPlan {
+            moves: vec![MigrationMove {
+                vm: FleetVmId(1),
+                from: CellId(0),
+                to: CellId(0),
+            }],
+        };
+        assert!(self_move.validate(&snap).is_err());
+        let ghost = MigrationPlan {
+            moves: vec![MigrationMove {
+                vm: FleetVmId(9),
+                from: CellId(0),
+                to: CellId(1),
+            }],
+        };
+        assert!(ghost.validate(&snap).is_err());
+        let overcommit = MigrationPlan {
+            moves: vec![MigrationMove {
+                vm: FleetVmId(1),
+                from: CellId(0),
+                to: CellId(1),
+            }],
+        };
+        assert!(overcommit.validate(&snap).is_err(), "cell 1 is full");
+    }
+
+    #[test]
+    fn cost_model_arithmetic() {
+        let cost = MigrationCostModel { downtime_ticks: 3 };
+        assert_eq!(cost.downtime_cycles(1000, 10), 30_000);
+        assert_eq!(cost.cold_lines(130, 64), 3);
+        let plan = MigrationPlan {
+            moves: vec![
+                MigrationMove {
+                    vm: FleetVmId(1),
+                    from: CellId(0),
+                    to: CellId(1),
+                },
+                MigrationMove {
+                    vm: FleetVmId(2),
+                    from: CellId(0),
+                    to: CellId(1),
+                },
+            ],
+        };
+        assert_eq!(plan.total_downtime_ticks(&cost), 6);
+        assert_eq!(plan.len(), 2);
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(ConsolidationPolicy::LoadBalance.label(), "load-balance");
+        assert_eq!(ConsolidationPolicy::BinPack.label(), "bin-pack");
+        assert_eq!(
+            ConsolidationPolicy::PollutionAware.label(),
+            "pollution-aware"
+        );
+        assert_eq!(ConsolidationPolicy::ALL.len(), 3);
+    }
+}

@@ -1,0 +1,167 @@
+//! Property-based tests of the cluster subsystem's determinism claims:
+//!
+//! 1. the migration planner is a pure function — equal snapshots give equal
+//!    plans — and every plan it emits is valid (resident VMs only, no VM
+//!    moved twice, no destination pushed past its core capacity);
+//! 2. serial and cell-parallel cluster epochs are **bit-identical** across
+//!    every consolidation policy and cell count (each cell owns all its
+//!    state, so thread scheduling cannot leak into results).
+
+use kyoto_cluster::cluster::{Cluster, ClusterConfig};
+use kyoto_cluster::planner::{ConsolidationPolicy, MigrationPlanner, PlannerConfig};
+use kyoto_cluster::snapshot::{CellId, CellSnapshot, ClusterSnapshot, FleetVmId, VmSnapshot};
+use kyoto_hypervisor::vm::VmConfig;
+use kyoto_workloads::spec::{SpecApp, SpecWorkload};
+use proptest::prelude::*;
+
+fn arb_policy() -> impl Strategy<Value = ConsolidationPolicy> {
+    prop_oneof![
+        Just(ConsolidationPolicy::LoadBalance),
+        Just(ConsolidationPolicy::BinPack),
+        Just(ConsolidationPolicy::PollutionAware),
+    ]
+}
+
+/// Builds a snapshot from generated raw material: cell count, cores per
+/// cell, and per-VM (cell choice, pollution rate, punishments) triples.
+fn snapshot_from(cells: usize, cores: usize, vms: &[(usize, f64, u64)]) -> ClusterSnapshot {
+    let mut cell_snapshots: Vec<CellSnapshot> = (0..cells)
+        .map(|i| CellSnapshot {
+            cell: CellId(i),
+            cores,
+            vms: Vec::new(),
+        })
+        .collect();
+    for (i, &(cell_choice, pollution_rate, punishments)) in vms.iter().enumerate() {
+        let cell = cell_choice % cells;
+        cell_snapshots[cell].vms.push(VmSnapshot {
+            vm: FleetVmId(i as u32 + 1),
+            name: format!("fvm{}", i + 1),
+            pollution_rate,
+            punishments,
+            instructions: 1_000 + i as u64,
+            llc_misses: (pollution_rate * 10.0) as u64,
+            ipc: 1.0,
+            working_set_bytes: 64 * 1024,
+        });
+    }
+    ClusterSnapshot {
+        epoch: 0,
+        cells: cell_snapshots,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Plans are deterministic and valid for any snapshot shape: every move
+    /// references a resident VM at its true cell, no VM moves twice, no
+    /// destination is pushed past its capacity, and the per-epoch move
+    /// budget holds.
+    #[test]
+    fn plans_are_deterministic_valid_and_never_overcommit(
+        cells in 1usize..6,
+        cores in 1usize..5,
+        max_moves in 1usize..8,
+        threshold in 0.0f64..1500.0,
+        policy in arb_policy(),
+        vms in prop::collection::vec((0usize..6, 0.0f64..2000.0, 0u64..4), 0..16),
+    ) {
+        let snapshot = snapshot_from(cells, cores, &vms);
+        let planner = MigrationPlanner::new(
+            PlannerConfig::default()
+                .with_max_moves(max_moves)
+                .with_polluter_threshold(threshold),
+        );
+        let plan = planner.plan(&snapshot, policy);
+        let again = planner.plan(&snapshot, policy);
+        prop_assert_eq!(&plan, &again, "planner must be pure");
+        prop_assert!(plan.len() <= max_moves, "move budget exceeded");
+        if let Err(violation) = plan.validate(&snapshot) {
+            prop_assert!(false, "invalid plan under {:?}: {}", policy, violation);
+        }
+    }
+
+    /// Load balancing never increases the occupancy spread, whatever the
+    /// starting placement.
+    #[test]
+    fn load_balance_narrows_the_occupancy_spread(
+        cells in 2usize..5,
+        vms in prop::collection::vec((0usize..5, 0.0f64..100.0, 0u64..1), 1..12),
+    ) {
+        let snapshot = snapshot_from(cells, 4, &vms);
+        let planner = MigrationPlanner::new(PlannerConfig::default().with_max_moves(8));
+        let plan = planner.plan(&snapshot, ConsolidationPolicy::LoadBalance);
+        let mut occupancy: Vec<i64> =
+            snapshot.cells.iter().map(|c| c.occupancy() as i64).collect();
+        let spread_before =
+            occupancy.iter().max().unwrap() - occupancy.iter().min().unwrap();
+        for mv in &plan.moves {
+            occupancy[mv.from.0] -= 1;
+            occupancy[mv.to.0] += 1;
+        }
+        let spread_after =
+            occupancy.iter().max().unwrap() - occupancy.iter().min().unwrap();
+        prop_assert!(
+            spread_after <= spread_before.max(1),
+            "spread grew: {} -> {} ({:?})",
+            spread_before,
+            spread_after,
+            plan
+        );
+    }
+}
+
+proptest! {
+    // End-to-end cluster runs are costly; a handful of cases over the full
+    // policy x cell-count grid is plenty because any divergence is
+    // deterministic, not probabilistic.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Serial and cell-parallel epochs produce bit-identical fleet reports
+    /// and epoch histories across policies, cell counts and seedings.
+    #[test]
+    fn serial_and_parallel_cluster_epochs_are_bit_identical(
+        cells in 2usize..5,
+        vm_count in 2usize..9,
+        policy in arb_policy(),
+        seed in 0u64..1_000,
+    ) {
+        let apps = [
+            SpecApp::Gcc,
+            SpecApp::Lbm,
+            SpecApp::Omnetpp,
+            SpecApp::Mcf,
+            SpecApp::Soplex,
+            SpecApp::Milc,
+        ];
+        let run = |parallel: bool| {
+            let config = ClusterConfig::new(cells, 256)
+                .with_epoch_ticks(3)
+                .with_policy(policy)
+                .with_planner(
+                    PlannerConfig::default()
+                        .with_max_moves(3)
+                        .with_polluter_threshold(200.0),
+                )
+                .with_parallel_cells(parallel);
+            let mut cluster = Cluster::new(config);
+            for i in 0..vm_count {
+                let app = apps[i % apps.len()];
+                cluster.add_vm(
+                    CellId(i % cells),
+                    VmConfig::new(format!("vm{i}-{}", app.name())).with_llc_cap(50.0),
+                    Box::new(SpecWorkload::new(app, 256, seed.wrapping_add(i as u64))),
+                );
+            }
+            cluster.run_epochs(3);
+            (
+                cluster.reports(),
+                cluster.history().to_vec(),
+                cluster.occupancies(),
+                cluster.total_migrations(),
+            )
+        };
+        prop_assert_eq!(run(false), run(true));
+    }
+}

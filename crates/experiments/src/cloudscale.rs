@@ -22,13 +22,17 @@
 //! timing noise.
 
 use crate::config::ExperimentConfig;
-use crate::harness::{spec_workload, warmup_and_measure, Measurement};
+use crate::harness::{calibrate_permits, spec_workload, warmup_and_measure, Measurement};
+use kyoto_core::ks4::ks4xen_hypervisor;
+use kyoto_core::monitor::MonitoringStrategy;
 use kyoto_hypervisor::placement::{place_vms, Placement, PlacementPolicy};
 use kyoto_hypervisor::vm::VmConfig;
 use kyoto_hypervisor::xen_hypervisor;
 use kyoto_sim::workload::Workload;
 use kyoto_workloads::spec::SpecApp;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// The heterogeneous application mix cycled across the VMs of a cell:
 /// cache-sensitive, streaming/disruptive and compute-bound apps interleaved
@@ -55,6 +59,11 @@ pub struct CloudscaleSweep {
     pub placement: PlacementPolicy,
     /// When set, every policy is additionally compared at the largest cell.
     pub compare_policies: bool,
+    /// When set, the largest cell is additionally run under KS4Xen with
+    /// pollution permits booked for every VM — the Kyoto-on-cloudscale
+    /// figure (per-socket punishment aggregates, XCS vs KS4Xen sensitive-VM
+    /// comparison).
+    pub kyoto: bool,
 }
 
 impl CloudscaleSweep {
@@ -67,17 +76,20 @@ impl CloudscaleSweep {
             vms_per_socket: vec![2, 3],
             placement: PlacementPolicy::RoundRobin,
             compare_policies: true,
+            kyoto: true,
         }
     }
 
     /// A small sweep for tests and the CI determinism gate: 2/4 sockets,
-    /// two VMs per socket, no policy comparison.
+    /// two VMs per socket, no policy comparison, Kyoto cell included (at 4
+    /// sockets).
     pub fn small() -> Self {
         CloudscaleSweep {
             socket_counts: vec![2, 4],
             vms_per_socket: vec![2],
             placement: PlacementPolicy::RoundRobin,
             compare_policies: false,
+            kyoto: true,
         }
     }
 }
@@ -154,12 +166,66 @@ impl CloudscaleCell {
     }
 }
 
+/// Per-socket aggregate of the Kyoto-on-cloudscale run: what KS4Xen's
+/// punishment machinery did on each socket of the big machine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KyotoSocketAggregate {
+    /// The socket.
+    pub socket: usize,
+    /// VMs placed on it.
+    pub vms: usize,
+    /// VMs on it that were punished at least once.
+    pub punished_vms: usize,
+    /// Punishments inflicted on its VMs over the measurement window.
+    pub punishments: u64,
+    /// LLC misses of its VMs.
+    pub llc_misses: u64,
+    /// Aggregate IPC of its VMs.
+    pub ipc: f64,
+}
+
+/// The Kyoto-on-cloudscale figure: KS4Xen with permits across the N-socket
+/// machine, against the same placement under plain XCS.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KyotoCloudCell {
+    /// Sockets of the machine.
+    pub sockets: usize,
+    /// VMs consolidated onto it.
+    pub vms: usize,
+    /// Paper-scale permit (in thousands) booked by every VM.
+    pub permit_paper_kilo: f64,
+    /// Per-socket punishment aggregates under KS4Xen.
+    pub per_socket: Vec<KyotoSocketAggregate>,
+    /// Mean IPC of the cache-sensitive VMs under plain XCS.
+    pub sensitive_ipc_xcs: f64,
+    /// Mean IPC of the cache-sensitive VMs under KS4Xen.
+    pub sensitive_ipc_ks4: f64,
+}
+
+impl KyotoCloudCell {
+    /// Total punishments across every socket.
+    pub fn total_punishments(&self) -> u64 {
+        self.per_socket.iter().map(|s| s.punishments).sum()
+    }
+
+    /// Relative sensitive-VM improvement of KS4Xen over XCS (1.0 = parity).
+    pub fn sensitive_speedup(&self) -> f64 {
+        if self.sensitive_ipc_xcs <= 0.0 {
+            0.0
+        } else {
+            self.sensitive_ipc_ks4 / self.sensitive_ipc_xcs
+        }
+    }
+}
+
 /// The cloudscale dataset.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CloudscaleResult {
     /// Every cell, in sweep order (socket count outer, VM count inner, then
     /// the policy-comparison cells).
     pub cells: Vec<CloudscaleCell>,
+    /// The Kyoto-on-cloudscale figure, when the sweep requested it.
+    pub kyoto: Option<KyotoCloudCell>,
 }
 
 impl CloudscaleResult {
@@ -197,6 +263,28 @@ impl CloudscaleResult {
                     socket.llc_references,
                     socket.llc_miss_ratio() * 100.0,
                     socket.remote_accesses,
+                ));
+            }
+        }
+        if let Some(kyoto) = &self.kyoto {
+            out.push_str(&format!(
+                "  Kyoto on cloudscale: KS4Xen, {} sockets, {} VMs, {}k permits (sensitive IPC {:.3} -> {:.3}, x{:.2})\n",
+                kyoto.sockets,
+                kyoto.vms,
+                kyoto.permit_paper_kilo,
+                kyoto.sensitive_ipc_xcs,
+                kyoto.sensitive_ipc_ks4,
+                kyoto.sensitive_speedup(),
+            ));
+            for socket in &kyoto.per_socket {
+                out.push_str(&format!(
+                    "    socket{}: {} vms ({} punished)  punishments {:>5}  llc_miss {:>8}  ipc {:.3}\n",
+                    socket.socket,
+                    socket.vms,
+                    socket.punished_vms,
+                    socket.punishments,
+                    socket.llc_misses,
+                    socket.ipc,
                 ));
             }
         }
@@ -272,30 +360,195 @@ fn aggregate_by_socket(
     per_socket
 }
 
-/// Runs the full sweep described by `sweep`.
-pub fn run_with_sweep(config: &ExperimentConfig, sweep: &CloudscaleSweep) -> CloudscaleResult {
-    let mut cells = Vec::new();
+/// Paper-scale permit (in thousands) booked by every VM of the
+/// Kyoto-on-cloudscale cell — the `250k` of the paper's Fig. 5.
+pub const KYOTO_PERMIT_PAPER_KILO: f64 = 250.0;
+
+/// Runs the Kyoto-on-cloudscale cell: the same VM population and placement
+/// executed twice on the N-socket machine — once under plain XCS, once under
+/// KS4Xen with every VM booking a pollution permit — reporting per-socket
+/// punishment aggregates and the sensitive-VM IPC comparison. This is the
+/// punishment mechanism exercised at fan-out scale.
+pub fn run_kyoto_cell(
+    config: &ExperimentConfig,
+    sockets: usize,
+    vms: usize,
+    placement: PlacementPolicy,
+) -> KyotoCloudCell {
+    let calibration = calibrate_permits(config);
+    let permit = calibration.paper_kilo(KYOTO_PERMIT_PAPER_KILO);
+    let machine_config = config.cloud_machine_config(sockets);
+    let apps: Vec<SpecApp> = (0..vms).map(|i| APP_MIX[i % APP_MIX.len()]).collect();
+    let working_sets: Vec<u64> = build_workloads(config, vms)
+        .iter()
+        .map(|(_, workload)| workload.working_set_bytes())
+        .collect();
+    let placements = place_vms(placement, &machine_config, &working_sets);
+
+    let run = |with_permits: bool| -> Vec<Measurement> {
+        let workloads = build_workloads(config, vms);
+        if with_permits {
+            let mut hv = ks4xen_hypervisor(
+                config.cloud_machine(sockets),
+                config.hypervisor_config(),
+                MonitoringStrategy::DirectPmc,
+            );
+            for (i, ((app, workload), vm_placement)) in
+                workloads.into_iter().zip(&placements).enumerate()
+            {
+                let vm_config = vm_placement
+                    .apply(VmConfig::new(format!("vm{i}-{}", app.name())))
+                    .with_llc_cap(permit);
+                hv.add_vm_with(vm_config, workload).expect("valid VM");
+            }
+            warmup_and_measure(&mut hv, config)
+        } else {
+            let mut hv = xen_hypervisor(config.cloud_machine(sockets), config.hypervisor_config());
+            for (i, ((app, workload), vm_placement)) in
+                workloads.into_iter().zip(&placements).enumerate()
+            {
+                let vm_config = vm_placement.apply(VmConfig::new(format!("vm{i}-{}", app.name())));
+                hv.add_vm_with(vm_config, workload).expect("valid VM");
+            }
+            warmup_and_measure(&mut hv, config)
+        }
+    };
+    let xcs = run(false);
+    let ks4 = run(true);
+
+    let sensitive_mean = |measurements: &[Measurement]| -> f64 {
+        let sensitive: Vec<f64> = measurements
+            .iter()
+            .zip(&apps)
+            .filter(|(_, app)| SpecApp::SENSITIVE_VMS.contains(app))
+            .map(|(m, _)| m.ipc())
+            .collect();
+        if sensitive.is_empty() {
+            0.0
+        } else {
+            sensitive.iter().sum::<f64>() / sensitive.len() as f64
+        }
+    };
+
+    let mut per_socket: Vec<KyotoSocketAggregate> = (0..sockets)
+        .map(|socket| KyotoSocketAggregate {
+            socket,
+            vms: 0,
+            punished_vms: 0,
+            punishments: 0,
+            llc_misses: 0,
+            ipc: 0.0,
+        })
+        .collect();
+    let mut cycles = vec![0u64; sockets];
+    let mut instructions = vec![0u64; sockets];
+    for (placement, measurement) in placements.iter().zip(&ks4) {
+        let aggregate = &mut per_socket[placement.socket.0];
+        aggregate.vms += 1;
+        if measurement.punishments > 0 {
+            aggregate.punished_vms += 1;
+        }
+        aggregate.punishments += measurement.punishments;
+        aggregate.llc_misses += measurement.pmc_delta.llc_misses;
+        instructions[placement.socket.0] += measurement.pmc_delta.instructions;
+        cycles[placement.socket.0] += measurement.pmc_delta.unhalted_core_cycles;
+    }
+    for (socket, aggregate) in per_socket.iter_mut().enumerate() {
+        aggregate.ipc = if cycles[socket] == 0 {
+            0.0
+        } else {
+            instructions[socket] as f64 / cycles[socket] as f64
+        };
+    }
+    KyotoCloudCell {
+        sockets,
+        vms,
+        permit_paper_kilo: KYOTO_PERMIT_PAPER_KILO,
+        per_socket,
+        sensitive_ipc_xcs: sensitive_mean(&xcs),
+        sensitive_ipc_ks4: sensitive_mean(&ks4),
+    }
+}
+
+/// Runs the sweep's independent cells on up to `jobs` scoped worker threads.
+/// Every cell owns its machine, hypervisor and workloads and derives its
+/// seeds from the shared config, so the assembled result — and therefore the
+/// rendered table — is byte-identical whatever the parallelism. This is the
+/// same work-stealing shape the `figures` binary uses across scenarios,
+/// applied one level down.
+fn run_cells(
+    config: &ExperimentConfig,
+    specs: &[(usize, usize, PlacementPolicy)],
+    jobs: usize,
+) -> Vec<CloudscaleCell> {
+    let workers = jobs.clamp(1, specs.len().max(1));
+    if workers <= 1 {
+        return specs
+            .iter()
+            .map(|&(sockets, vms, placement)| run_cell(config, sockets, vms, placement))
+            .collect();
+    }
+    let results: Mutex<Vec<Option<CloudscaleCell>>> = Mutex::new(vec![None; specs.len()]);
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let index = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(&(sockets, vms, placement)) = specs.get(index) else {
+                    break;
+                };
+                let cell = run_cell(config, sockets, vms, placement);
+                results.lock().expect("no poisoned worker")[index] = Some(cell);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .expect("no poisoned worker")
+        .into_iter()
+        .map(|cell| cell.expect("every cell computed"))
+        .collect()
+}
+
+/// Runs the full sweep described by `sweep`, with its independent cells
+/// spread over up to `jobs` scoped worker threads (`jobs <= 1` runs
+/// serially; the output is byte-identical either way).
+pub fn run_with_sweep_jobs(
+    config: &ExperimentConfig,
+    sweep: &CloudscaleSweep,
+    jobs: usize,
+) -> CloudscaleResult {
+    let mut specs: Vec<(usize, usize, PlacementPolicy)> = Vec::new();
     for &sockets in &sweep.socket_counts {
         for &per_socket in &sweep.vms_per_socket {
-            cells.push(run_cell(
-                config,
-                sockets,
-                sockets * per_socket,
-                sweep.placement,
-            ));
+            specs.push((sockets, sockets * per_socket, sweep.placement));
         }
     }
+    let max_sockets = sweep.socket_counts.iter().copied().max().unwrap_or(2);
+    let max_per_socket = sweep.vms_per_socket.iter().copied().max().unwrap_or(2);
     if sweep.compare_policies {
-        let sockets = sweep.socket_counts.iter().copied().max().unwrap_or(2);
-        let per_socket = sweep.vms_per_socket.iter().copied().max().unwrap_or(2);
         for policy in PlacementPolicy::ALL {
             if policy == sweep.placement {
                 continue; // already covered by the main sweep
             }
-            cells.push(run_cell(config, sockets, sockets * per_socket, policy));
+            specs.push((max_sockets, max_sockets * max_per_socket, policy));
         }
     }
-    CloudscaleResult { cells }
+    let cells = run_cells(config, &specs, jobs);
+    let kyoto = sweep.kyoto.then(|| {
+        run_kyoto_cell(
+            config,
+            max_sockets,
+            max_sockets * max_per_socket,
+            sweep.placement,
+        )
+    });
+    CloudscaleResult { cells, kyoto }
+}
+
+/// Runs the full sweep described by `sweep` on the calling thread.
+pub fn run_with_sweep(config: &ExperimentConfig, sweep: &CloudscaleSweep) -> CloudscaleResult {
+    run_with_sweep_jobs(config, sweep, 1)
 }
 
 /// Runs the standard cloudscale sweep.
@@ -432,5 +685,41 @@ mod tests {
         let cell = run_cell(&tiny_config(), 2, 6, PlacementPolicy::NumaAware);
         let remote: u64 = cell.per_socket.iter().map(|s| s.remote_accesses).sum();
         assert_eq!(remote, 0, "NUMA-aware placement pins memory locally");
+    }
+
+    #[test]
+    fn kyoto_cell_punishes_polluters_across_sockets() {
+        // KS4Xen with permits on the 4-socket machine: the punishment
+        // machinery must fire at fan-out scale, and it must not fire on
+        // every socket equally (only sockets hosting polluters pay).
+        let cell = run_kyoto_cell(&tiny_config(), 4, 8, PlacementPolicy::RoundRobin);
+        assert_eq!(cell.per_socket.len(), 4);
+        assert!(cell.per_socket.iter().all(|s| s.vms == 2));
+        assert!(
+            cell.total_punishments() > 0,
+            "permits must bite on the big machine"
+        );
+        assert!(
+            cell.sensitive_ipc_ks4 > 0.0 && cell.sensitive_ipc_xcs > 0.0,
+            "both schedulers must run the sensitive VMs"
+        );
+        assert!(
+            cell.sensitive_speedup() >= 1.0,
+            "punishing polluters must not hurt the sensitive VMs (XCS {:.3} vs KS4Xen {:.3})",
+            cell.sensitive_ipc_xcs,
+            cell.sensitive_ipc_ks4
+        );
+    }
+
+    #[test]
+    fn sweep_worker_threads_change_no_bytes() {
+        // The `--jobs` satellite claim: sweep cells on scoped worker threads
+        // produce the identical result (and table) as the serial sweep.
+        let sweep = CloudscaleSweep::small();
+        let serial = run_with_sweep_jobs(&tiny_config(), &sweep, 1);
+        let threaded = run_with_sweep_jobs(&tiny_config(), &sweep, 4);
+        assert_eq!(serial, threaded);
+        assert_eq!(serial.to_table(), threaded.to_table());
+        assert!(serial.kyoto.is_some(), "small sweep carries the Kyoto cell");
     }
 }

@@ -1,0 +1,459 @@
+//! Fleet scenario: the Kyoto principle at cluster scale.
+//!
+//! Every paper figure runs one machine; the `cloudscale` scenario grew that
+//! to one *big* machine. This scenario models the level a cloud provider
+//! actually operates: a fleet of independent machines (cells) whose VMs are
+//! live-migrated between epochs by a consolidation policy. It sweeps cell
+//! count × VM count × policy and reports, per sweep cell:
+//!
+//! * the migration count and the downtime it inflicted,
+//! * mean degradation (vs a solo run) of the *sensitive* VMs and of the
+//!   *disruptive* VMs separately,
+//! * total Kyoto punishments, and
+//! * per-cell PMC aggregates of the final epoch (the consolidated steady
+//!   state).
+//!
+//! The headline comparison: the **pollution-aware** policy — which reads
+//! per-VM PMC/punishment data and co-locates polluters away from sensitive
+//! VMs — must yield measurably lower sensitive-VM degradation than plain
+//! load-balancing, which spreads VM *counts* evenly and thereby gives almost
+//! every sensitive VM a polluting neighbour.
+//!
+//! Determinism: all policies start from the same arrival-order seeding, the
+//! control loop is epoch-driven and pure, and cells share no state — so the
+//! rendered table is byte-identical whether cells run serially or one per
+//! scoped thread (`--parallel-engine` flips both engine- and cell-level
+//! parallelism here; the CI determinism gate diffs the two).
+
+use crate::config::ExperimentConfig;
+use crate::harness::calibrate_permits;
+use kyoto_cluster::cluster::{CellEpochStats, Cluster, ClusterConfig};
+use kyoto_cluster::planner::{ConsolidationPolicy, PlannerConfig};
+use kyoto_cluster::snapshot::CellId;
+use kyoto_core::monitor::MonitoringStrategy;
+use kyoto_hypervisor::vm::VmConfig;
+use kyoto_metrics::degradation::degradation_percent;
+use kyoto_workloads::spec::SpecApp;
+use serde::{Deserialize, Serialize};
+
+/// The application mix cycled across the fleet's VMs: strict alternation of
+/// cache-sensitive and disruptive apps, so every policy faces the same
+/// polluter density.
+pub const FLEET_MIX: [SpecApp; 6] = [
+    SpecApp::Gcc,
+    SpecApp::Lbm,
+    SpecApp::Omnetpp,
+    SpecApp::Mcf,
+    SpecApp::Soplex,
+    SpecApp::Blockie,
+];
+
+/// Whether `app` counts as sensitive (victim) rather than disruptive
+/// (polluter) in the report.
+fn is_sensitive(app: SpecApp) -> bool {
+    SpecApp::SENSITIVE_VMS.contains(&app)
+}
+
+/// The sweep a fleet run covers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetSweep {
+    /// Cell (machine) counts to build.
+    pub cell_counts: Vec<usize>,
+    /// VMs per cell (the sweep cell's VM count is `cells * this`).
+    pub vms_per_cell: Vec<usize>,
+    /// Consolidation policies to compare on every sweep cell.
+    pub policies: Vec<ConsolidationPolicy>,
+    /// Control-loop epochs each run executes.
+    pub epochs: u64,
+    /// Scheduler ticks per epoch.
+    pub epoch_ticks: u64,
+    /// Paper-scale pollution permit (in thousands) booked by every VM, as in
+    /// Fig. 5's `250k`.
+    pub permit_paper_kilo: f64,
+}
+
+impl FleetSweep {
+    /// The standard sweep: 2/4/8 cells × 2/3 VMs per cell, all three
+    /// policies, seven 6-tick epochs, 250k permits.
+    pub fn standard() -> Self {
+        FleetSweep {
+            cell_counts: vec![2, 4, 8],
+            vms_per_cell: vec![2, 3],
+            policies: ConsolidationPolicy::ALL.to_vec(),
+            epochs: 7,
+            epoch_ticks: 6,
+            permit_paper_kilo: 250.0,
+        }
+    }
+
+    /// A small sweep for tests and the CI determinism gate: 2/4 cells, two
+    /// VMs per cell, all three policies, four 4-tick epochs.
+    pub fn small() -> Self {
+        FleetSweep {
+            cell_counts: vec![2, 4],
+            vms_per_cell: vec![2],
+            policies: ConsolidationPolicy::ALL.to_vec(),
+            epochs: 4,
+            epoch_ticks: 4,
+            permit_paper_kilo: 250.0,
+        }
+    }
+
+    /// Total ticks one run covers.
+    pub fn total_ticks(&self) -> u64 {
+        self.epochs * self.epoch_ticks
+    }
+}
+
+/// One sweep cell: a fleet size, a VM population and a policy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetCell {
+    /// Cells (machines) in the fleet.
+    pub cells: usize,
+    /// VMs across the fleet.
+    pub vms: usize,
+    /// Consolidation policy driving the planner.
+    pub policy: ConsolidationPolicy,
+    /// Live migrations the control plane applied over the run.
+    pub migrations: u64,
+    /// Blackout ticks those migrations inflicted in total.
+    pub downtime_ticks: u64,
+    /// Mean degradation (percent vs solo) of the sensitive VMs.
+    pub sensitive_degradation_pct: f64,
+    /// Mean degradation (percent vs solo) of the disruptive VMs.
+    pub disruptive_degradation_pct: f64,
+    /// Total Kyoto punishments across the fleet.
+    pub punishments: u64,
+    /// Per-cell aggregates of the final epoch (the consolidated state).
+    pub final_epoch: Vec<CellEpochStats>,
+}
+
+impl FleetCell {
+    /// Fleet-wide instructions retired during the final epoch.
+    pub fn final_epoch_instructions(&self) -> u64 {
+        self.final_epoch.iter().map(|c| c.instructions).sum()
+    }
+
+    /// Cells left empty in the final epoch (what bin-packing frees up).
+    pub fn empty_cells(&self) -> usize {
+        self.final_epoch.iter().filter(|c| c.vms == 0).count()
+    }
+}
+
+/// The fleet dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetResult {
+    /// Paper-scale permit booked by every VM.
+    pub permit_paper_kilo: f64,
+    /// Every sweep cell, cell-count outer, VM-count middle, policy inner.
+    pub cells: Vec<FleetCell>,
+}
+
+impl FleetResult {
+    /// The sweep cell for a fleet size / VM count / policy, if present.
+    pub fn cell(
+        &self,
+        cells: usize,
+        vms: usize,
+        policy: ConsolidationPolicy,
+    ) -> Option<&FleetCell> {
+        self.cells
+            .iter()
+            .find(|c| c.cells == cells && c.vms == vms && c.policy == policy)
+    }
+
+    /// Renders the sweep table.
+    pub fn to_table(&self) -> String {
+        let mut out = format!(
+            "Fleet: cell-count x VM-count x policy sweep ({}k permits, live migration)\n",
+            self.permit_paper_kilo
+        );
+        for cell in &self.cells {
+            out.push_str(&format!(
+                "  {} cells, {:>2} VMs, {:<15}  migrations {:>2} (downtime {:>2} ticks)  degradation sens {:5.1}% / dis {:5.1}%  punish {:>5}\n",
+                cell.cells,
+                cell.vms,
+                cell.policy.label(),
+                cell.migrations,
+                cell.downtime_ticks,
+                cell.sensitive_degradation_pct,
+                cell.disruptive_degradation_pct,
+                cell.punishments,
+            ));
+            for stats in &cell.final_epoch {
+                out.push_str(&format!(
+                    "    {}: {} vms  instr {:>9}  llc_miss {:>7}  punish {:>4}  pollution {:8.1}/ms\n",
+                    stats.cell,
+                    stats.vms,
+                    stats.instructions,
+                    stats.llc_misses,
+                    stats.punishments,
+                    stats.pollution_rate,
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Derives the per-VM seed salt: VMs of the same app share a workload stream
+/// (they run on disjoint machines), which lets every app's solo baseline be
+/// measured once.
+fn app_salt(index: usize) -> u64 {
+    0xf1ee7 + (index % FLEET_MIX.len()) as u64
+}
+
+/// Builds the cluster configuration for one sweep cell.
+fn cluster_config(
+    config: &ExperimentConfig,
+    sweep: &FleetSweep,
+    cells: usize,
+    policy: ConsolidationPolicy,
+    polluter_threshold: f64,
+) -> ClusterConfig {
+    ClusterConfig::new(cells, config.scale)
+        .with_epoch_ticks(sweep.epoch_ticks)
+        .with_policy(policy)
+        // `--parallel-engine` flips both levels: cell-parallel cluster
+        // epochs here, and the socket-parallel engine inside each cell via
+        // the hypervisor config below.
+        .with_parallel_cells(config.parallel_engine)
+        .with_hypervisor(config.hypervisor_config())
+        // Shadow attribution (as in Fig. 5): pollution estimates are *solo*
+        // miss rates, so a victim whose misses are inflated by a polluting
+        // neighbour is never misclassified as a polluter itself.
+        .with_strategy(MonitoringStrategy::SimulatorAttribution)
+        .with_planner(
+            PlannerConfig::default()
+                .with_max_moves(4)
+                .with_polluter_threshold(polluter_threshold),
+        )
+}
+
+/// Measures each app's solo throughput (instructions per tick, same epoch
+/// count, one VM alone on one cell) — the degradation baseline.
+fn solo_baselines(
+    config: &ExperimentConfig,
+    sweep: &FleetSweep,
+    permit: f64,
+    polluter_threshold: f64,
+) -> Vec<(SpecApp, f64)> {
+    FLEET_MIX
+        .iter()
+        .enumerate()
+        .map(|(index, &app)| {
+            let mut cluster = Cluster::new(cluster_config(
+                config,
+                sweep,
+                1,
+                ConsolidationPolicy::LoadBalance,
+                polluter_threshold,
+            ));
+            let vm = cluster.add_vm(
+                CellId(0),
+                VmConfig::new(format!("solo-{}", app.name())).with_llc_cap(permit),
+                Box::new(config.workload(app, app_salt(index))),
+            );
+            cluster.run_epochs(sweep.epochs);
+            let report = cluster.report(vm).expect("solo VM exists");
+            (app, report.instructions_per_tick())
+        })
+        .collect()
+}
+
+/// Calibrated inputs shared by every cell of one sweep run: the simulated
+/// permit each VM books, the pollution rate above which the planner counts
+/// a VM as a polluter, and the per-app solo throughput baselines.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepCalibration {
+    /// Simulated permit (misses per CPU-ms) each VM books.
+    pub permit: f64,
+    /// Planner classification threshold (misses per CPU-ms).
+    pub polluter_threshold: f64,
+    /// Solo instructions-per-tick of each app in [`FLEET_MIX`].
+    pub baselines: Vec<(SpecApp, f64)>,
+}
+
+/// Runs one sweep cell: seed `cells * vms_per_cell` VMs across the fleet in
+/// arrival order (VMs fill one cell, then the next — the placement a cloud's
+/// admission path produces, which leaves every cell with a
+/// sensitive/disruptive blend), run the control loop, and fold the outcome
+/// into a [`FleetCell`].
+pub fn run_cell(
+    config: &ExperimentConfig,
+    sweep: &FleetSweep,
+    cells: usize,
+    vms_per_cell: usize,
+    policy: ConsolidationPolicy,
+    calibration: &SweepCalibration,
+) -> FleetCell {
+    let vm_count = cells * vms_per_cell;
+    let mut cluster = Cluster::new(cluster_config(
+        config,
+        sweep,
+        cells,
+        policy,
+        calibration.polluter_threshold,
+    ));
+    let mut apps = Vec::with_capacity(vm_count);
+    for i in 0..vm_count {
+        let app = FLEET_MIX[i % FLEET_MIX.len()];
+        apps.push(app);
+        cluster.add_vm(
+            CellId((i / vms_per_cell).min(cells - 1)),
+            VmConfig::new(format!("fvm{i}-{}", app.name())).with_llc_cap(calibration.permit),
+            Box::new(config.workload(app, app_salt(i))),
+        );
+    }
+    cluster.run_epochs(sweep.epochs);
+
+    let downtime_per_move = cluster.config().planner.cost.downtime_ticks;
+    let reports = cluster.reports();
+    let mut sensitive = (0usize, 0.0f64);
+    let mut disruptive = (0usize, 0.0f64);
+    let mut punishments = 0u64;
+    for (report, &app) in reports.iter().zip(&apps) {
+        punishments += report.punishments;
+        let solo = calibration
+            .baselines
+            .iter()
+            .find(|(a, _)| *a == app)
+            .map(|(_, t)| *t)
+            .expect("baseline for every app in the mix");
+        let degradation = degradation_percent(solo, report.instructions_per_tick());
+        if is_sensitive(app) {
+            sensitive.0 += 1;
+            sensitive.1 += degradation;
+        } else {
+            disruptive.0 += 1;
+            disruptive.1 += degradation;
+        }
+    }
+    let mean = |(count, sum): (usize, f64)| if count == 0 { 0.0 } else { sum / count as f64 };
+    FleetCell {
+        cells,
+        vms: vm_count,
+        policy,
+        migrations: cluster.total_migrations(),
+        downtime_ticks: cluster.total_migrations() * downtime_per_move,
+        sensitive_degradation_pct: mean(sensitive),
+        disruptive_degradation_pct: mean(disruptive),
+        punishments,
+        final_epoch: cluster
+            .history()
+            .last()
+            .map(|epoch| epoch.cells.clone())
+            .unwrap_or_default(),
+    }
+}
+
+/// Calibrates a sweep run: converts the paper permit to simulated units and
+/// measures the per-app solo baselines.
+pub fn calibrate_sweep(config: &ExperimentConfig, sweep: &FleetSweep) -> SweepCalibration {
+    let permit = calibrate_permits(config).paper_kilo(sweep.permit_paper_kilo);
+    // A VM polluting beyond its booked permit counts as a polluter even
+    // before the scheduler catches it punishing.
+    let polluter_threshold = permit;
+    SweepCalibration {
+        permit,
+        polluter_threshold,
+        baselines: solo_baselines(config, sweep, permit, polluter_threshold),
+    }
+}
+
+/// Runs the full sweep described by `sweep`.
+pub fn run_with_sweep(config: &ExperimentConfig, sweep: &FleetSweep) -> FleetResult {
+    let calibration = calibrate_sweep(config, sweep);
+    let mut cells = Vec::new();
+    for &cell_count in &sweep.cell_counts {
+        for &vms_per_cell in &sweep.vms_per_cell {
+            for &policy in &sweep.policies {
+                cells.push(run_cell(
+                    config,
+                    sweep,
+                    cell_count,
+                    vms_per_cell,
+                    policy,
+                    &calibration,
+                ));
+            }
+        }
+    }
+    FleetResult {
+        permit_paper_kilo: sweep.permit_paper_kilo,
+        cells,
+    }
+}
+
+/// Runs the standard fleet sweep.
+pub fn run(config: &ExperimentConfig) -> FleetResult {
+    run_with_sweep(config, &FleetSweep::standard())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> ExperimentConfig {
+        ExperimentConfig {
+            scale: 256,
+            seed: 11,
+            warmup_ticks: 2,
+            measure_ticks: 5,
+            parallel_engine: false,
+        }
+    }
+
+    #[test]
+    fn sweep_covers_every_cell_and_policy() {
+        let sweep = FleetSweep::small();
+        let result = run_with_sweep(&tiny_config(), &sweep);
+        assert_eq!(result.cells.len(), 6, "2 fleet sizes x 3 policies");
+        for policy in ConsolidationPolicy::ALL {
+            let cell = result.cell(4, 8, policy).expect("4-cell sweep cell");
+            assert_eq!(cell.final_epoch.len(), 4);
+            assert!(cell.final_epoch_instructions() > 0);
+        }
+        let table = result.to_table();
+        assert!(table.contains("pollution-aware"));
+        assert!(table.contains("4 cells"));
+        assert!(table.contains("cell3"));
+    }
+
+    #[test]
+    fn pollution_aware_beats_load_balancing_for_sensitive_vms() {
+        // The acceptance claim of the subsystem: with the same fleet, same
+        // VMs and same seeds, co-locating polluters away from sensitive VMs
+        // must measurably reduce the sensitive VMs' aggregate degradation
+        // relative to count-balancing.
+        let sweep = FleetSweep::small();
+        let result = run_with_sweep(&tiny_config(), &sweep);
+        let balanced = result
+            .cell(4, 8, ConsolidationPolicy::LoadBalance)
+            .expect("load-balance cell");
+        let aware = result
+            .cell(4, 8, ConsolidationPolicy::PollutionAware)
+            .expect("pollution-aware cell");
+        assert!(
+            aware.sensitive_degradation_pct < balanced.sensitive_degradation_pct - 1.0,
+            "pollution-aware ({:.1}%) must beat load-balance ({:.1}%) by a visible margin",
+            aware.sensitive_degradation_pct,
+            balanced.sensitive_degradation_pct
+        );
+        assert!(
+            aware.migrations > 0,
+            "separation requires actual migrations"
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic_and_cell_parallelism_changes_nothing() {
+        let sweep = FleetSweep::small();
+        let serial = run_with_sweep(&tiny_config(), &sweep);
+        let rerun = run_with_sweep(&tiny_config(), &sweep);
+        assert_eq!(serial, rerun, "same config, same bytes");
+        let parallel = run_with_sweep(&tiny_config().with_parallel_engine(true), &sweep);
+        assert_eq!(serial, parallel, "cell-parallel epochs are bit-identical");
+        assert_eq!(serial.to_table(), parallel.to_table());
+    }
+}

@@ -23,7 +23,10 @@
 //!
 //! Beyond the paper, [`cloudscale`] models a cloud-scale consolidation
 //! machine (N sockets, dozens of VMs, placement policies) — the first
-//! scenario whose socket-parallel execution scales past two threads.
+//! scenario whose socket-parallel execution scales past two threads — and
+//! [`fleet`] models a whole cluster of such machines under a live-migrating
+//! control plane (`kyoto-cluster`), comparing load-balancing, bin-packing
+//! and pollution-aware consolidation.
 //!
 //! (Fig. 7 is the Pisces architecture diagram; its description lives in
 //! `kyoto_hypervisor::pisces`.)
@@ -47,6 +50,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig8;
 pub mod fig9;
+pub mod fleet;
 pub mod harness;
 pub mod tables;
 

@@ -108,6 +108,20 @@ impl HypervisorConfig {
     }
 }
 
+/// The pieces [`Hypervisor::take_vm`] extracts for a live migration.
+pub struct TakenVm {
+    /// The VM's configuration (pinning and all — the control plane
+    /// re-places it before re-adding).
+    pub config: VmConfig,
+    /// The per-vCPU workloads, execution state intact.
+    pub workloads: Vec<Box<dyn Workload>>,
+    /// The VM's final execution report on the source hypervisor.
+    pub report: VmReport,
+    /// Cache lines (all levels) the extraction invalidated at the source —
+    /// the warm state the VM must rebuild wherever it lands.
+    pub flushed_lines: u64,
+}
+
 /// One row of the per-tick execution history.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TickSample {
@@ -299,20 +313,45 @@ impl<S: Scheduler> Hypervisor<S> {
     ///
     /// Returns [`HypervisorError::UnknownVm`] when the VM does not exist.
     pub fn remove_vm(&mut self, vm: VmId) -> Result<(), HypervisorError> {
+        self.take_vm(vm).map(drop)
+    }
+
+    /// Removes a VM like [`Hypervisor::remove_vm`] but hands its pieces back
+    /// instead of dropping them: the configuration, the per-vCPU workloads
+    /// (with their execution state intact) and the final execution report.
+    ///
+    /// This is the extraction half of a live migration: a control plane
+    /// re-adds the returned config and workloads to another hypervisor, where
+    /// the VM arrives with a *cold* cache (its lines were flushed here and
+    /// nothing travels with it), so the post-migration warm-up penalty
+    /// emerges from the simulation itself.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HypervisorError::UnknownVm`] when the VM does not exist.
+    pub fn take_vm(&mut self, vm: VmId) -> Result<TakenVm, HypervisorError> {
         let Some(pos) = self.vms.iter().position(|v| v.id == vm) else {
             return Err(HypervisorError::UnknownVm { vm });
         };
+        let report = self.report(vm).expect("VM exists");
         let runtime = self.vms.remove(pos);
-        for vcpu in &runtime.vcpus {
+        let mut workloads = Vec::with_capacity(runtime.vcpus.len());
+        for vcpu in runtime.vcpus {
             self.scheduler.remove_vcpu(vcpu.id);
             self.pmu.unregister(vcpu.id.as_key());
             self.engine.clear_op_buffer(vcpu.id.as_key());
+            workloads.push(vcpu.workload);
         }
-        self.engine.machine_mut().flush_owner(vm.0);
+        let flushed_lines = self.engine.machine_mut().flush_owner(vm.0);
         if let Some(shadow) = self.engine.shadow_mut() {
             shadow.remove_owner(vm.0)
         }
-        Ok(())
+        Ok(TakenVm {
+            config: runtime.config,
+            workloads,
+            report,
+            flushed_lines,
+        })
     }
 
     /// The ids of every VM currently managed, in creation order.
@@ -770,6 +809,41 @@ mod tests {
                 .llc_occupancy_of(kyoto_sim::topology::SocketId(0), vm.0),
             0
         );
+    }
+
+    #[test]
+    fn take_vm_returns_config_workloads_and_report() {
+        let mut hv = xen_hypervisor(machine());
+        let vm = hv
+            .add_vm_with(
+                VmConfig::new("mover").pinned_to(vec![CoreId(0)]),
+                Box::new(SpecWorkload::new(SpecApp::Gcc, SCALE, 7)),
+            )
+            .unwrap();
+        hv.run_ticks(5);
+        let taken = hv.take_vm(vm).unwrap();
+        assert_eq!(taken.config.name, "mover");
+        assert_eq!(taken.workloads.len(), 1);
+        assert_eq!(taken.report.ticks_elapsed, 5);
+        assert!(taken.report.pmcs.instructions > 0);
+        assert!(
+            taken.flushed_lines > 0,
+            "a VM that ran for 5 ticks has warm cache state to drop"
+        );
+        assert!(hv.report(vm).is_none());
+        assert_eq!(
+            hv.engine()
+                .machine()
+                .llc_occupancy_of(kyoto_sim::topology::SocketId(0), vm.0),
+            0,
+            "extraction flushes the source cache"
+        );
+        // The extracted pieces can be re-added to another hypervisor and the
+        // workload keeps executing (its state travels; its cache does not).
+        let mut dest = xen_hypervisor(machine());
+        let new = dest.add_vm(taken.config, taken.workloads).unwrap();
+        dest.run_ticks(3);
+        assert!(dest.report(new).unwrap().pmcs.instructions > 0);
     }
 
     #[test]

@@ -65,7 +65,7 @@ pub mod vm;
 
 pub use cfs::{CfsConfig, CfsScheduler};
 pub use credit::{CreditConfig, CreditScheduler};
-pub use hypervisor::{Hypervisor, HypervisorConfig, HypervisorError, TickSample};
+pub use hypervisor::{Hypervisor, HypervisorConfig, HypervisorError, TakenVm, TickSample};
 pub use pisces::PiscesScheduler;
 pub use placement::{place_vms, Placement, PlacementPolicy};
 pub use scheduler::{ExecOverrides, Priority, Scheduler, TickReport};

@@ -470,10 +470,13 @@ impl Cache {
         self.lines[base..base + ways].contains(&probe)
     }
 
-    /// Invalidates every line belonging to `owner` (e.g. on VM destruction),
-    /// compacting each set so surviving lines keep their recency order.
-    pub fn flush_owner(&mut self, owner: OwnerId) {
+    /// Invalidates every line belonging to `owner` (e.g. on VM destruction
+    /// or the extraction half of a live migration), compacting each set so
+    /// surviving lines keep their recency order. Returns the number of lines
+    /// invalidated — the cache footprint the owner loses.
+    pub fn flush_owner(&mut self, owner: OwnerId) -> u64 {
         let ways = self.config.ways as usize;
+        let mut flushed = 0u64;
         for set in self.lines.chunks_mut(ways) {
             let mut kept = 0;
             for way in 0..ways {
@@ -484,6 +487,8 @@ impl Cache {
                 if owner_of(key) != owner {
                     set[kept] = key;
                     kept += 1;
+                } else {
+                    flushed += 1;
                 }
             }
             set[kept..].fill(0);
@@ -491,6 +496,7 @@ impl Cache {
         if let Some(count) = self.owner_lines.get_mut(usize::from(owner)) {
             *count = 0;
         }
+        flushed
     }
 
     /// Invalidates every line in the cache.

@@ -117,11 +117,10 @@ impl CoreCaches {
         &self.l2
     }
 
-    /// Flushes all lines of `owner` from the private caches.
-    pub fn flush_owner(&mut self, owner: OwnerId) {
-        self.l1d.flush_owner(owner);
-        self.l1i.flush_owner(owner);
-        self.l2.flush_owner(owner);
+    /// Flushes all lines of `owner` from the private caches, returning how
+    /// many were invalidated.
+    pub fn flush_owner(&mut self, owner: OwnerId) -> u64 {
+        self.l1d.flush_owner(owner) + self.l1i.flush_owner(owner) + self.l2.flush_owner(owner)
     }
 
     /// Pre-sizes the per-owner counters of every private cache for `owner`

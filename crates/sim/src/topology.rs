@@ -508,14 +508,18 @@ impl Machine {
     }
 
     /// Flushes every cache line owned by `owner` on the whole machine
-    /// (called when a VM is destroyed).
-    pub fn flush_owner(&mut self, owner: OwnerId) {
+    /// (called when a VM is destroyed or extracted for migration). Returns
+    /// the total number of lines invalidated across every cache level — the
+    /// warm state the owner would have to rebuild.
+    pub fn flush_owner(&mut self, owner: OwnerId) -> u64 {
+        let mut flushed = 0u64;
         for socket in &mut self.sockets {
-            socket.llc.flush_owner(owner);
+            flushed += socket.llc.flush_owner(owner);
             for core in &mut socket.cores {
-                core.flush_owner(owner);
+                flushed += core.flush_owner(owner);
             }
         }
+        flushed
     }
 
     /// Resets the statistics of every cache.

@@ -12,9 +12,12 @@
 //!   and the hypervisor run loop;
 //! * [`core`] — the paper's contribution: pollution permits, Equation 1,
 //!   pollution monitors and the KS4Xen / KS4Linux / KS4Pisces schedulers;
+//! * [`cluster`] — fleet-scale simulation: many machines under one
+//!   deterministic control plane, VM live migration and pollution-aware
+//!   consolidation;
 //! * [`metrics`] — IPC, degradation, Kendall's tau, summary statistics;
 //! * [`experiments`] — one module per table/figure of the paper's
-//!   evaluation.
+//!   evaluation, plus the beyond-paper `cloudscale` and `fleet` scenarios.
 //!
 //! See the `examples/` directory for runnable end-to-end scenarios and
 //! `EXPERIMENTS.md` for the paper-vs-measured record.
@@ -50,6 +53,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use kyoto_cluster as cluster;
 pub use kyoto_core as core;
 pub use kyoto_experiments as experiments;
 pub use kyoto_hypervisor as hypervisor;

@@ -9,6 +9,7 @@
 
 use kyoto::experiments::cloudscale::{self, CloudscaleSweep};
 use kyoto::experiments::config::ExperimentConfig;
+use kyoto::experiments::fleet::{self, FleetSweep};
 use kyoto::experiments::{fig1, fig9};
 
 fn test_config() -> ExperimentConfig {
@@ -48,5 +49,27 @@ fn cloudscale_output_is_byte_identical_with_the_parallel_engine() {
     let serial = cloudscale::run_with_sweep(&test_config(), &sweep).to_table();
     let parallel =
         cloudscale::run_with_sweep(&test_config().with_parallel_engine(true), &sweep).to_table();
+    assert_eq!(serial, parallel);
+}
+
+/// The cloudscale sweep's cells may fan out over scoped worker threads
+/// (`figures --jobs`); the assembled table must not change by a byte.
+#[test]
+fn cloudscale_output_is_byte_identical_across_sweep_jobs() {
+    let sweep = CloudscaleSweep::small();
+    let serial = cloudscale::run_with_sweep_jobs(&test_config(), &sweep, 1).to_table();
+    let threaded = cloudscale::run_with_sweep_jobs(&test_config(), &sweep, 8).to_table();
+    assert_eq!(serial, threaded);
+}
+
+/// The fleet scenario stacks two parallelism levels — cell-parallel cluster
+/// epochs plus the engine switch inside each cell — and must still render
+/// byte-identically (`--parallel-engine` flips both).
+#[test]
+fn fleet_output_is_byte_identical_with_parallel_cells() {
+    let sweep = FleetSweep::small();
+    let serial = fleet::run_with_sweep(&test_config(), &sweep).to_table();
+    let parallel =
+        fleet::run_with_sweep(&test_config().with_parallel_engine(true), &sweep).to_table();
     assert_eq!(serial, parallel);
 }
