@@ -8,9 +8,10 @@
 #      below a tolerant floor (committed baseline ~1.85-2x; 1.5x leaves room
 #      for runner noise while still catching a real regression), or
 #   2. the parallel-execution speedups — cluster epochs over serial epochs
-#      (`cluster_epoch_parallel_vs_serial`) and the socket-parallel engine on
-#      cloud machines (`parallel_vs_serial_speedup_cloud`) — drop below
-#      their floor, *provided the host can parallelise at all*.
+#      (`cluster_epoch_parallel_vs_serial`), the same control loop under
+#      churn (`fleet_churn_parallel_vs_serial`) and the socket-parallel
+#      engine on cloud machines (`parallel_vs_serial_speedup_cloud`) — drop
+#      below their floor, *provided the host can parallelise at all*.
 #
 # When the producing host had a single hardware thread
 # (`parallel_bench_threads == 1`), parallel speedups are structurally ~1.0x
@@ -78,7 +79,7 @@ if [ "$threads" -le 1 ]; then
 else
     echo "Checking parallel speedups in $file (threads: ${threads}, floor: ${parallel_floor}x)"
     awk -v floor="$parallel_floor" '
-        /"parallel_vs_serial_speedup_cloud"/ || /"cluster_epoch_parallel_vs_serial"/ { in_block = 1; next }
+        /"parallel_vs_serial_speedup_cloud"/ || /"cluster_epoch_parallel_vs_serial"/ || /"fleet_churn_parallel_vs_serial"/ { in_block = 1; next }
         in_block && /}/ { in_block = 0 }
         in_block && (/_sockets/ || /_cells/) {
             line = $0

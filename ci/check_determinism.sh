@@ -5,8 +5,10 @@
 # the serial engine and once with `--parallel-engine` (including the
 # cloudscale scenario, whose quick sweep runs 2- and 4-socket machines, the
 # first placements that scale the socket-parallel engine past two threads,
-# and the fleet scenario, whose clusters run their cells on scoped threads
-# under the same flag) — and fails on any byte of divergence. A third serial
+# the fleet scenario, whose clusters run their cells on scoped threads
+# under the same flag, and the churn scenario — fleet dynamics: seeded VM
+# arrival/departure streams plus a scripted drain/join cycle, in both
+# planner modes) — and fails on any byte of divergence. A third serial
 # run guards against run-to-run nondeterminism (uninitialised state, map
 # iteration order, ...).
 #
@@ -21,7 +23,7 @@ set -euo pipefail
 
 bin="${FIGURES_BIN:-target/release/figures}"
 out="${DETERMINISM_OUT:-target/determinism}"
-targets=(fig1 fig9 cloudscale fleet)
+targets=(fig1 fig9 cloudscale fleet churn)
 
 if [ ! -x "$bin" ]; then
     cargo build --release -p kyoto-bench --bin figures

@@ -10,17 +10,20 @@
 //! cargo run --release -p kyoto-bench --bin figures -- --parallel-engine all
 //! cargo run --release -p kyoto-bench --bin figures -- --scenario cloudscale
 //! cargo run --release -p kyoto-bench --bin figures -- --scenario fleet
+//! cargo run --release -p kyoto-bench --bin figures -- --scenario churn
 //! cargo run --release -p kyoto-bench --bin figures -- --no-timing all
 //! ```
 //!
 //! Figure scenarios are independent: each builds its own machine, engine and
 //! hypervisor from the shared [`ExperimentConfig`] and derives deterministic
 //! per-VM seeds from it. `--jobs N` therefore runs them on `N` scoped worker
-//! threads (the cloudscale sweep additionally fans its own cells out over
-//! the same budget); outputs are buffered and printed in the requested
-//! order, so the report is byte-identical whatever the parallelism. The
-//! `fleet` scenario (the `kyoto-cluster` subsystem) runs its cluster cells
-//! on scoped threads when `--parallel-engine` is set — also bit-identically.
+//! threads (the cloudscale and fleet sweeps additionally fan their own
+//! cells out over the same budget); outputs are buffered and printed in the
+//! requested order, so the report is byte-identical whatever the
+//! parallelism. The `fleet` scenario (the `kyoto-cluster` subsystem,
+//! including its churn sweep — `churn` renders that half alone) runs its
+//! cluster cells on scoped threads when `--parallel-engine` is set — also
+//! bit-identically.
 //! `--parallel-engine` additionally runs each scenario's engine ticks with
 //! one thread per populated socket (`SimEngine::run_slots_parallel`); the
 //! per-socket op order is preserved exactly, so figure content stays
@@ -40,7 +43,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-const ALL_TARGETS: [&str; 15] = [
+const ALL_TARGETS: [&str; 16] = [
     "table1",
     "table2",
     "fig1",
@@ -56,6 +59,7 @@ const ALL_TARGETS: [&str; 15] = [
     "fig12",
     "cloudscale",
     "fleet",
+    "churn",
 ];
 
 fn render_target(
@@ -97,7 +101,22 @@ fn render_target(
             } else {
                 FleetSweep::standard()
             };
-            fleet::run_with_sweep(config, &sweep).to_table()
+            // Static consolidation cells plus the churn sweep, fanned out
+            // over the shared `--jobs` budget like cloudscale's cells.
+            fleet::run_with_sweep_jobs(config, &sweep, jobs).to_table()
+        }
+        "churn" => {
+            // The churn half alone: fleet dynamics (VM arrival/departure
+            // streams, a scripted drain/join cycle) under every policy in
+            // both planner modes — the CI determinism gate's churn target.
+            let sweep = if quick {
+                FleetSweep::small()
+            } else {
+                FleetSweep::standard()
+            };
+            fleet::run_churn_with_jobs(config, &sweep, jobs)
+                .map(|churn| churn.to_table())
+                .unwrap_or_else(|| "Fleet churn: no churn sweep configured\n".to_string())
         }
         _ => return None,
     })

@@ -18,7 +18,8 @@ use kyoto_bench::legacy::{
     legacy_run_slots, LegacyCache, LegacyMachine, LegacySlot, LegacySpecWorkload,
 };
 use kyoto_cluster::cluster::{Cluster, ClusterConfig};
-use kyoto_cluster::planner::ConsolidationPolicy;
+use kyoto_cluster::events::{EventSchedule, EventScheduleConfig};
+use kyoto_cluster::planner::{ConsolidationPolicy, PlannerConfig};
 use kyoto_cluster::snapshot::CellId;
 use kyoto_experiments::cloudscale;
 use kyoto_hypervisor::vm::VmConfig;
@@ -26,6 +27,7 @@ use kyoto_sim::cache::{Cache, CacheConfig};
 use kyoto_sim::engine::{ExecSlot, SimEngine};
 use kyoto_sim::pmc::PmcSet;
 use kyoto_sim::topology::{CoreId, Machine, MachineConfig};
+use kyoto_sim::workload::Workload;
 use kyoto_workloads::spec::{SpecApp, SpecWorkload};
 use std::fmt::Write as _;
 use std::hint::black_box;
@@ -252,6 +254,52 @@ fn cluster_epoch_rate(cells: usize, scale: u64, parallel: bool) -> f64 {
     })
 }
 
+/// Wall-clock rate (epochs/second) of the cluster control loop under full
+/// fleet dynamics: a churning fleet of `cells` single-socket cells (two
+/// gcc-like VMs each at the start, one arrival and ~0.5 departures per
+/// epoch, a drain/join cycle on the last cell) planned by the cost-aware
+/// pollution-aware planner, with cell epochs serial or
+/// one-per-scoped-thread. Event application is pure control-plane work
+/// between epochs, so the two modes stay bit-identical (property-proven in
+/// `kyoto-cluster`) and the ratio is a pure wall-clock speedup.
+fn fleet_churn_epoch_rate(cells: usize, scale: u64, parallel: bool) -> f64 {
+    const EPOCHS: u64 = 4;
+    let schedule = EventSchedule::new(
+        EventScheduleConfig::new(0xbe9c)
+            .with_arrival_rate(1.0)
+            .with_departure_rate(0.5)
+            .with_drain(1, CellId(cells - 1))
+            .with_join(3, CellId(cells - 1)),
+    );
+    best_rate(EPOCHS as f64, || {
+        let config = ClusterConfig::new(cells, scale)
+            .with_epoch_ticks(5)
+            .with_policy(ConsolidationPolicy::PollutionAware)
+            .with_planner(
+                PlannerConfig::default()
+                    .with_polluter_threshold(200.0)
+                    .with_cost_aware(true),
+            )
+            .with_parallel_cells(parallel);
+        let mut cluster = Cluster::new(config);
+        for i in 0..cells * 2 {
+            cluster.add_vm(
+                CellId(i % cells),
+                VmConfig::new(format!("vm{i}")),
+                Box::new(SpecWorkload::new(SpecApp::Gcc, scale, i as u64)),
+            );
+        }
+        let mut spawn = |index: u64| -> (VmConfig, Box<dyn Workload>) {
+            (
+                VmConfig::new(format!("churn{index}")),
+                Box::new(SpecWorkload::new(SpecApp::Lbm, scale, 0xc0 + index)),
+            )
+        };
+        cluster.run_epochs_with_schedule(&schedule, EPOCHS, &mut spawn);
+        black_box(cluster.all_reports());
+    })
+}
+
 fn main() {
     let stdout_only = std::env::args().any(|a| a == "--stdout");
     let config = bench_config();
@@ -387,6 +435,27 @@ fn main() {
         cluster_speedups.push((cells, parallel / serial));
     }
 
+    // Fleet dynamics: the same control loop under churn (arrivals,
+    // departures, a drain/join cycle, cost-aware planning), serial vs
+    // cell-parallel.
+    let mut churn_speedups: Vec<(usize, f64)> = Vec::new();
+    {
+        let cells = 6usize;
+        let serial = fleet_churn_epoch_rate(cells, config.scale, false);
+        let parallel = fleet_churn_epoch_rate(cells, config.scale, true);
+        samples.push(Sample {
+            name: "fleet_churn_epoch_serial_6cells",
+            unit: "epochs/s",
+            value: serial,
+        });
+        samples.push(Sample {
+            name: "fleet_churn_epoch_parallel_6cells",
+            unit: "epochs/s",
+            value: parallel,
+        });
+        churn_speedups.push((cells, parallel / serial));
+    }
+
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"schema\": \"kyoto-substrate-bench/v1\",\n");
@@ -451,6 +520,16 @@ fn main() {
     json.push_str("  \"cluster_epoch_parallel_vs_serial\": {\n");
     for (i, (cells, speedup)) in cluster_speedups.iter().enumerate() {
         let comma = if i + 1 == cluster_speedups.len() {
+            ""
+        } else {
+            ","
+        };
+        let _ = writeln!(json, "    \"{cells}_cells\": {speedup:.2}{comma}");
+    }
+    json.push_str("  },\n");
+    json.push_str("  \"fleet_churn_parallel_vs_serial\": {\n");
+    for (i, (cells, speedup)) in churn_speedups.iter().enumerate() {
+        let comma = if i + 1 == churn_speedups.len() {
             ""
         } else {
             ","

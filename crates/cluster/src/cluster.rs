@@ -26,16 +26,17 @@
 //! exactly once per move, and the cold-cache penalty emerges from the LLC
 //! simulation instead of being a constant.
 
+use crate::events::{EventSchedule, FleetEvent};
 use crate::planner::{
     ConsolidationPolicy, MigrationMove, MigrationPlan, MigrationPlanner, PlannerConfig,
 };
 use crate::snapshot::{CellId, CellSnapshot, ClusterSnapshot, FleetVmId, VmSnapshot};
 use kyoto_core::ks4::{ks4xen_hypervisor, Ks4Xen};
 use kyoto_core::monitor::MonitoringStrategy;
-use kyoto_hypervisor::hypervisor::{Hypervisor, HypervisorConfig};
+use kyoto_hypervisor::hypervisor::{Hypervisor, HypervisorConfig, TakenVm};
 use kyoto_hypervisor::vm::{VcpuId, VmConfig, VmId, VmReport};
 use kyoto_sim::pmc::PmcSet;
-use kyoto_sim::topology::{CoreId, Machine, MachineConfig};
+use kyoto_sim::topology::{CoreId, Machine, MachineConfig, SocketId};
 use kyoto_sim::workload::Workload;
 use serde::{Deserialize, Serialize};
 
@@ -138,11 +139,11 @@ impl ClusterConfig {
 }
 
 /// A VM arriving on a cell at the next epoch (the in-flight half of a live
-/// migration).
+/// migration): the pieces `take_vm` extracted at the source, re-placed by
+/// the control plane.
 struct Arrival {
     fleet: FleetVmId,
-    config: VmConfig,
-    workloads: Vec<Box<dyn Workload>>,
+    taken: TakenVm,
 }
 
 /// One machine of the fleet: a simulated machine plus its own KS4Xen
@@ -152,6 +153,9 @@ pub struct Cell {
     id: CellId,
     hv: Hypervisor<Ks4Xen>,
     arrivals: Vec<Arrival>,
+    /// Draining for maintenance: the cell accepts no placements and the
+    /// planner evacuates it at every epoch boundary until it rejoins.
+    draining: bool,
 }
 
 impl Cell {
@@ -165,9 +169,15 @@ impl Cell {
         &self.hv
     }
 
+    /// Whether the cell is draining for maintenance.
+    pub fn is_draining(&self) -> bool {
+        self.draining
+    }
+
     /// Runs one epoch: `downtime_ticks` of blackout first when arrivals are
-    /// pending, then the arrivals join (in plan order), then the rest of the
-    /// epoch. Returns the local ids handed to the arrivals.
+    /// pending, then the arrivals join (in plan order, through the admit
+    /// half of the live-migration path), then the rest of the epoch.
+    /// Returns the local ids handed to the arrivals.
     fn run_epoch(&mut self, epoch_ticks: u64, downtime_ticks: u64) -> Vec<(FleetVmId, VmId)> {
         let arrivals = std::mem::take(&mut self.arrivals);
         if arrivals.is_empty() {
@@ -180,7 +190,7 @@ impl Cell {
         for arrival in arrivals {
             let local = self
                 .hv
-                .add_vm(arrival.config, arrival.workloads)
+                .admit_vm(arrival.taken)
                 .expect("planned arrival is valid");
             placed.push((arrival.fleet, local));
         }
@@ -252,11 +262,28 @@ struct FleetVm {
     added_at_tick: u64,
 }
 
+/// What the fleet-dynamics events of one epoch boundary did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EventCounts {
+    /// VMs admitted by arrival events.
+    pub arrivals: u64,
+    /// Arrivals rejected because every cell was draining or full.
+    pub rejected_arrivals: u64,
+    /// VMs removed by departure events.
+    pub departures: u64,
+    /// Cells that began draining.
+    pub drains: u64,
+    /// Cells that rejoined.
+    pub joins: u64,
+}
+
 /// Aggregate of one cell over one epoch.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CellEpochStats {
     /// The cell.
     pub cell: CellId,
+    /// Whether the cell was draining at the epoch boundary.
+    pub draining: bool,
     /// VMs resident at the epoch boundary.
     pub vms: usize,
     /// Instructions its VMs retired during the epoch.
@@ -280,6 +307,9 @@ pub struct EpochReport {
     /// Migrations planned at this epoch's boundary (they materialise during
     /// the next epoch).
     pub migrations: Vec<MigrationMove>,
+    /// Fleet-dynamics events applied at the boundary *before* this epoch
+    /// ran (all-zero for epochs driven without an event stream).
+    pub events: EventCounts,
 }
 
 /// Fleet-wide execution report of one VM, spanning every cell it lived on.
@@ -344,9 +374,17 @@ pub struct Cluster {
     planner: MigrationPlanner,
     cells: Vec<Cell>,
     vms: Vec<FleetVm>,
+    /// Final reports of VMs that departed the fleet, in departure order.
+    departed: Vec<FleetVmReport>,
     next_fleet_id: u32,
+    /// Monotonic index handed to the arrival spawner (also counts rejected
+    /// arrivals, so the spawned stream is independent of admission luck).
+    arrival_index: u64,
     epoch: u64,
     total_migrations: u64,
+    total_arrivals: u64,
+    total_departures: u64,
+    rejected_arrivals: u64,
     history: Vec<EpochReport>,
     freq_khz: u64,
 }
@@ -372,6 +410,7 @@ impl Cluster {
                     id: CellId(i),
                     hv,
                     arrivals: Vec::new(),
+                    draining: false,
                 }
             })
             .collect();
@@ -380,9 +419,14 @@ impl Cluster {
             config,
             cells,
             vms: Vec::new(),
+            departed: Vec::new(),
             next_fleet_id: 1,
+            arrival_index: 0,
             epoch: 0,
             total_migrations: 0,
+            total_arrivals: 0,
+            total_departures: 0,
+            rejected_arrivals: 0,
             history: Vec::new(),
             freq_khz,
         }
@@ -421,6 +465,44 @@ impl Cluster {
     /// Total migrations applied since construction.
     pub fn total_migrations(&self) -> u64 {
         self.total_migrations
+    }
+
+    /// VMs admitted by arrival events since construction (excludes VMs
+    /// added directly through [`Cluster::add_vm`]).
+    pub fn total_arrivals(&self) -> u64 {
+        self.total_arrivals
+    }
+
+    /// VMs removed by departure events since construction.
+    pub fn total_departures(&self) -> u64 {
+        self.total_departures
+    }
+
+    /// Arrival events rejected because every cell was draining or full.
+    pub fn rejected_arrivals(&self) -> u64 {
+        self.rejected_arrivals
+    }
+
+    /// Whether `cell` is draining for maintenance.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cell` does not exist.
+    pub fn is_draining(&self, cell: CellId) -> bool {
+        self.cells[cell.0].draining
+    }
+
+    /// Starts or stops draining `cell`. A draining cell accepts no churn
+    /// arrivals and no planner moves, and the planner evacuates its
+    /// resident VMs (via the live-migration path) at every epoch boundary
+    /// until the cell is empty or rejoins.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cell` does not exist.
+    pub fn set_draining(&mut self, cell: CellId, draining: bool) {
+        assert!(cell.0 < self.cells.len(), "unknown {cell}");
+        self.cells[cell.0].draining = draining;
     }
 
     /// Total warm cache lines dropped at source cells by every migration so
@@ -542,6 +624,7 @@ impl Cluster {
                 .iter()
                 .map(|cell| CellEpochStats {
                     cell: cell.cell,
+                    draining: cell.draining,
                     vms: cell.vms.len(),
                     instructions: cell.vms.iter().map(|vm| vm.instructions).sum(),
                     llc_misses: cell.vms.iter().map(|vm| vm.llc_misses).sum(),
@@ -550,6 +633,7 @@ impl Cluster {
                 })
                 .collect(),
             migrations: plan.moves,
+            events: EventCounts::default(),
         });
         self.epoch += 1;
         self.history.last().expect("just pushed")
@@ -560,6 +644,146 @@ impl Cluster {
         for _ in 0..epochs {
             self.run_epoch();
         }
+    }
+
+    /// Applies fleet-dynamics events at this epoch boundary, then runs one
+    /// epoch. `spawn` supplies the configuration and workload of each
+    /// arrival, keyed by a monotonic arrival index (counted across the
+    /// cluster's lifetime, rejected arrivals included) so the arrival
+    /// stream is a pure function of the index sequence.
+    ///
+    /// Event semantics, applied in list order:
+    ///
+    /// * [`FleetEvent::CellDrain`]/[`FleetEvent::CellJoin`] toggle the
+    ///   cell's draining flag (evacuation itself is the planner's job at
+    ///   the epoch boundary that follows the epoch run);
+    /// * [`FleetEvent::VmDeparture`] folds its `pick` onto the resident
+    ///   population (`pick % population`, fleet-id order), archives the
+    ///   victim's final report and removes it through the extraction path
+    ///   (cache lines flushed at the source);
+    /// * [`FleetEvent::VmArrival`] admits a new VM onto the open cell with
+    ///   the most free cores (ties toward the lowest id), or rejects it
+    ///   loudly in the counters when every cell is draining or full.
+    pub fn run_epoch_with_events(
+        &mut self,
+        events: &[FleetEvent],
+        spawn: &mut dyn FnMut(u64) -> (VmConfig, Box<dyn Workload>),
+    ) -> &EpochReport {
+        let mut counts = EventCounts::default();
+        for &event in events {
+            self.apply_event(event, spawn, &mut counts);
+        }
+        self.run_epoch();
+        self.history.last_mut().expect("just pushed").events = counts;
+        self.history.last().expect("just pushed")
+    }
+
+    /// Runs `epochs` epochs under `schedule`, applying each epoch's events
+    /// at its boundary (see [`Cluster::run_epoch_with_events`]).
+    pub fn run_epochs_with_schedule(
+        &mut self,
+        schedule: &EventSchedule,
+        epochs: u64,
+        spawn: &mut dyn FnMut(u64) -> (VmConfig, Box<dyn Workload>),
+    ) {
+        for _ in 0..epochs {
+            let events = schedule.events_for_epoch(self.epoch);
+            self.run_epoch_with_events(&events, spawn);
+        }
+    }
+
+    /// Applies one fleet-dynamics event.
+    fn apply_event(
+        &mut self,
+        event: FleetEvent,
+        spawn: &mut dyn FnMut(u64) -> (VmConfig, Box<dyn Workload>),
+        counts: &mut EventCounts,
+    ) {
+        match event {
+            FleetEvent::CellDrain(cell) => {
+                // Cell ids are static schedule configuration: referencing a
+                // cell that does not exist is a config bug, and silently
+                // dropping the drain would quietly measure a no-maintenance
+                // run — fail loudly instead (matching `set_draining`).
+                assert!(cell.0 < self.cells.len(), "unknown {cell}");
+                if !self.cells[cell.0].draining {
+                    self.cells[cell.0].draining = true;
+                    counts.drains += 1;
+                }
+            }
+            FleetEvent::CellJoin(cell) => {
+                assert!(cell.0 < self.cells.len(), "unknown {cell}");
+                if self.cells[cell.0].draining {
+                    self.cells[cell.0].draining = false;
+                    counts.joins += 1;
+                }
+            }
+            FleetEvent::VmDeparture { pick } => {
+                if self.depart_vm(pick) {
+                    counts.departures += 1;
+                    self.total_departures += 1;
+                }
+            }
+            FleetEvent::VmArrival => {
+                let index = self.arrival_index;
+                self.arrival_index += 1;
+                let (config, workload) = spawn(index);
+                match self.admission_cell() {
+                    Some(cell) => {
+                        self.add_vm(cell, config, workload);
+                        counts.arrivals += 1;
+                        self.total_arrivals += 1;
+                    }
+                    None => {
+                        counts.rejected_arrivals += 1;
+                        self.rejected_arrivals += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// The admission target for a churn arrival: the open (non-draining)
+    /// cell with the most free cores, ties toward the lowest id. `None`
+    /// when every cell is draining or full.
+    fn admission_cell(&self) -> Option<CellId> {
+        let cores = self.cores_per_cell();
+        let occupancy = self.occupancies();
+        (0..self.cells.len())
+            .filter(|&c| !self.cells[c].draining && occupancy[c] < cores)
+            .max_by_key(|&c| (cores - occupancy[c], std::cmp::Reverse(c)))
+            .map(CellId)
+    }
+
+    /// Removes the VM a departure event selects: `pick % population` over
+    /// the resident VMs in fleet-id order. In-flight VMs (mid-migration)
+    /// are not candidates. Returns false on an empty fleet.
+    fn depart_vm(&mut self, pick: u64) -> bool {
+        let resident: Vec<usize> = self
+            .vms
+            .iter()
+            .enumerate()
+            .filter(|(_, vm)| vm.local.is_some())
+            .map(|(index, _)| index)
+            .collect();
+        if resident.is_empty() {
+            return false;
+        }
+        let index = resident[(pick % resident.len() as u64) as usize];
+        let report = self
+            .report(self.vms[index].id)
+            .expect("departing VM is known");
+        let local = self.vms[index].local.take().expect("resident VM");
+        let cell = self.vms[index].cell;
+        // Extraction flushes the VM's cache lines at the source; the pieces
+        // leave the fleet, so nothing is re-admitted anywhere.
+        let _ = self.cells[cell.0]
+            .hv
+            .take_vm(local)
+            .expect("departing VM is resident on its cell");
+        self.vms.remove(index);
+        self.departed.push(report);
+        true
     }
 
     /// The fleet at the last epoch boundary (epoch deltas relative to the
@@ -575,6 +799,7 @@ impl Cluster {
             .map(|cell| CellSnapshot {
                 cell: cell.id,
                 cores,
+                draining: cell.draining,
                 vms: Vec::new(),
             })
             .collect();
@@ -620,6 +845,17 @@ impl Cluster {
                     .measured_llc_cap(VcpuId::new(local, 0))
             })
             .unwrap_or(raw_rate);
+        // What flush_owner would invalidate if the VM migrated now — the
+        // cost-aware planner's cold-cache refill estimate.
+        let resident_lines = vm
+            .local
+            .map(|local| {
+                let machine = self.cells[vm.cell.0].hv.engine().machine();
+                (0..machine.num_sockets())
+                    .map(|socket| machine.llc_occupancy_of(SocketId(socket), local.0))
+                    .sum()
+            })
+            .unwrap_or(0);
         VmSnapshot {
             vm: vm.id,
             name: vm.name.clone(),
@@ -629,6 +865,7 @@ impl Cluster {
             llc_misses: delta.pmcs.llc_misses,
             ipc: delta.pmcs.ipc(),
             working_set_bytes: vm.working_set_bytes,
+            resident_lines,
         }
     }
 
@@ -657,7 +894,7 @@ impl Cluster {
                 .local
                 .take()
                 .expect("planned VM is resident");
-            let taken = self.cells[mv.from.0]
+            let mut taken = self.cells[mv.from.0]
                 .hv
                 .take_vm(local)
                 .expect("planned VM is resident on its source cell");
@@ -670,15 +907,16 @@ impl Cluster {
                 vm.migrations += 1;
                 vm.flushed_lines += taken.flushed_lines;
             }
-            let config = VmConfig {
+            // Re-place for the destination cell; everything else the source
+            // extracted travels as-is through the admit path.
+            taken.config = VmConfig {
                 pinning: Some(vec![CoreId(core)]),
                 numa_node: None,
                 ..taken.config
             };
             self.cells[mv.to.0].arrivals.push(Arrival {
                 fleet: mv.vm,
-                config,
-                workloads: taken.workloads,
+                taken,
             });
         }
         self.total_migrations += plan.moves.len() as u64;
@@ -709,6 +947,22 @@ impl Cluster {
             .iter()
             .filter_map(|vm| self.report(vm.id))
             .collect()
+    }
+
+    /// Final reports of VMs that departed the fleet, in departure order
+    /// (their `cluster_ticks` denominator is frozen at the departure
+    /// boundary).
+    pub fn departed_reports(&self) -> &[FleetVmReport] {
+        &self.departed
+    }
+
+    /// Reports of every VM that ever ran on the fleet — departed and live —
+    /// in fleet-id order.
+    pub fn all_reports(&self) -> Vec<FleetVmReport> {
+        let mut reports = self.departed.clone();
+        reports.extend(self.reports());
+        reports.sort_by_key(|report| report.vm);
+        reports
     }
 
     /// Current VM count per cell (including in-flight arrivals headed
@@ -908,5 +1162,105 @@ mod tests {
         let b = cluster.snapshot();
         assert_eq!(a, b, "snapshot() must not mutate bookkeeping");
         assert_eq!(a.total_vms(), 4);
+        for cell in &a.cells {
+            for vm in &cell.vms {
+                assert!(
+                    vm.resident_lines > 0,
+                    "{} ran an epoch and must own warm lines",
+                    vm.vm
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn draining_cells_are_evacuated_and_rejoin() {
+        use crate::events::FleetEvent;
+        let config = ClusterConfig::new(2, SCALE)
+            .with_epoch_ticks(4)
+            .with_policy(ConsolidationPolicy::LoadBalance);
+        let mut cluster = seeded(config, 2);
+        assert_eq!(cluster.occupancies(), vec![1, 1]);
+        let mut spawn =
+            |_: u64| -> (VmConfig, Box<dyn Workload>) { unreachable!("no arrivals scheduled") };
+        cluster.run_epoch_with_events(&[FleetEvent::CellDrain(CellId(0))], &mut spawn);
+        assert!(cluster.is_draining(CellId(0)));
+        assert_eq!(
+            cluster.history().last().unwrap().events.drains,
+            1,
+            "the drain is counted"
+        );
+        // The boundary after the drained epoch plans the evacuation; one
+        // more epoch materialises it.
+        cluster.run_epoch_with_events(&[], &mut spawn);
+        assert_eq!(cluster.occupancies(), vec![0, 2], "cell 0 evacuated");
+        // Rejoin: load balancing spreads the fleet back out.
+        cluster.run_epoch_with_events(&[FleetEvent::CellJoin(CellId(0))], &mut spawn);
+        assert!(!cluster.is_draining(CellId(0)));
+        cluster.run_epoch_with_events(&[], &mut spawn);
+        assert_eq!(cluster.occupancies(), vec![1, 1], "cell 0 repopulated");
+    }
+
+    #[test]
+    fn departures_archive_final_reports() {
+        let mut cluster = seeded(ClusterConfig::new(2, SCALE).with_epoch_ticks(4), 4);
+        cluster.run_epoch();
+        let mut spawn =
+            |_: u64| -> (VmConfig, Box<dyn Workload>) { unreachable!("no arrivals scheduled") };
+        use crate::events::FleetEvent;
+        cluster.run_epoch_with_events(&[FleetEvent::VmDeparture { pick: 1 }], &mut spawn);
+        assert_eq!(cluster.total_departures(), 1);
+        assert_eq!(cluster.reports().len(), 3);
+        let departed = cluster.departed_reports();
+        assert_eq!(departed.len(), 1);
+        // pick % 4 = 1 selects the second VM in fleet-id order.
+        assert_eq!(departed[0].vm, FleetVmId(2));
+        assert!(departed[0].pmcs.instructions > 0);
+        assert_eq!(
+            departed[0].cluster_ticks, 4,
+            "the departed denominator freezes at the departure boundary"
+        );
+        assert_eq!(cluster.all_reports().len(), 4, "archive + live");
+        // The departed VM's cache lines are gone from its source cell
+        // (fleet VM 2 was the second add: cell 1, local id 1).
+        let machine = cluster.cells()[1].hypervisor().engine().machine();
+        let total: u64 = (0..machine.num_sockets())
+            .map(|s| machine.llc_occupancy_of(SocketId(s), 1))
+            .sum();
+        assert_eq!(total, 0, "extraction flushed the departed VM");
+    }
+
+    #[test]
+    fn arrivals_land_on_the_emptiest_open_cell_or_are_rejected() {
+        use crate::events::FleetEvent;
+        let config = ClusterConfig::new(2, SCALE).with_epoch_ticks(4);
+        let mut cluster = seeded(config, 3); // cell0: 2 VMs, cell1: 1 VM
+        let mut spawned = 0u64;
+        let mut spawn = |index: u64| -> (VmConfig, Box<dyn Workload>) {
+            spawned += 1;
+            (
+                VmConfig::new(format!("arrival{index}")),
+                workload(SpecApp::Gcc, 0xa0 + index),
+            )
+        };
+        cluster.run_epoch_with_events(&[FleetEvent::VmArrival], &mut spawn);
+        assert_eq!(cluster.total_arrivals(), 1);
+        assert_eq!(
+            cluster.occupancies(),
+            vec![2, 2],
+            "the arrival picked the emptier cell"
+        );
+        // Drain both cells: the next arrival has nowhere to go.
+        cluster.run_epoch_with_events(
+            &[
+                FleetEvent::CellDrain(CellId(0)),
+                FleetEvent::CellDrain(CellId(1)),
+                FleetEvent::VmArrival,
+            ],
+            &mut spawn,
+        );
+        assert_eq!(cluster.rejected_arrivals(), 1);
+        assert_eq!(cluster.total_arrivals(), 1, "no admission while draining");
+        assert_eq!(spawned, 2, "the spawner still consumed the index");
     }
 }

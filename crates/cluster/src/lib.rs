@@ -10,9 +10,12 @@
 //!   epoch-driven control loop (serially or one-cell-per-scoped-thread,
 //!   bit-identically);
 //! * [`planner`] — the pure [`planner::MigrationPlanner`] with its
-//!   load-balancing, bin-packing and pollution-aware consolidation
-//!   policies, plus the live-migration cost model (downtime blackout +
-//!   cold-cache arrival);
+//!   load-balancing, bin-packing, pollution-aware and density-capped
+//!   consolidation policies, the live-migration cost model (downtime
+//!   blackout + cold-cache arrival) and the cost-aware move gate;
+//! * [`events`] — deterministic fleet dynamics: seeded VM
+//!   arrival/departure streams and scripted cell drain/join maintenance
+//!   events, driven through the epoch control loop;
 //! * [`snapshot`] — the per-epoch observations the planner consumes.
 //!
 //! # Example: four VMs rebalanced across two machines
@@ -44,10 +47,14 @@
 #![warn(missing_docs)]
 
 pub mod cluster;
+pub mod events;
 pub mod planner;
 pub mod snapshot;
 
-pub use cluster::{Cell, CellEpochStats, Cluster, ClusterConfig, EpochReport, FleetVmReport};
+pub use cluster::{
+    Cell, CellEpochStats, Cluster, ClusterConfig, EpochReport, EventCounts, FleetVmReport,
+};
+pub use events::{EventSchedule, EventScheduleConfig, FleetEvent};
 pub use planner::{
     ConsolidationPolicy, MigrationCostModel, MigrationMove, MigrationPlan, MigrationPlanner,
     PlannerConfig,

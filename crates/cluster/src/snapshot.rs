@@ -52,6 +52,11 @@ pub struct VmSnapshot {
     pub ipc: f64,
     /// Working-set size of the VM's workload in bytes.
     pub working_set_bytes: u64,
+    /// LLC lines the VM currently owns on its cell — what
+    /// `Machine::flush_owner` would invalidate if the VM migrated now, and
+    /// therefore the cold-cache refill bill the cost-aware planner charges a
+    /// candidate move.
+    pub resident_lines: u64,
 }
 
 /// One cell at an epoch boundary: capacity plus the VMs it hosts.
@@ -62,6 +67,10 @@ pub struct CellSnapshot {
     /// Number of physical cores the cell's machine has — its VM capacity
     /// under the no-overcommit rule the planner enforces.
     pub cores: usize,
+    /// Whether the cell is draining for maintenance: it stops accepting
+    /// placements (the planner never targets it, admission skips it) and
+    /// its resident VMs are evacuated before any policy move is considered.
+    pub draining: bool,
     /// Resident VMs in fleet-id order.
     pub vms: Vec<VmSnapshot>,
 }
@@ -70,6 +79,11 @@ impl CellSnapshot {
     /// Number of VMs resident on the cell.
     pub fn occupancy(&self) -> usize {
         self.vms.len()
+    }
+
+    /// Whether the cell accepts new placements (i.e. it is not draining).
+    pub fn is_open(&self) -> bool {
+        !self.draining
     }
 
     /// Cores not currently claimed by a resident VM (saturating: a cell
@@ -126,6 +140,7 @@ mod tests {
             llc_misses: 10,
             ipc: 1.0,
             working_set_bytes: 4096,
+            resident_lines: 64,
         }
     }
 
@@ -134,11 +149,24 @@ mod tests {
         let cell = CellSnapshot {
             cell: CellId(0),
             cores: 4,
+            draining: false,
             vms: vec![vm(1, 10.0), vm(2, 5.0)],
         };
         assert_eq!(cell.occupancy(), 2);
         assert_eq!(cell.free_cores(), 2);
+        assert!(cell.is_open());
         assert!((cell.pollution_rate() - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn draining_cells_are_not_open() {
+        let cell = CellSnapshot {
+            cell: CellId(0),
+            cores: 4,
+            draining: true,
+            vms: vec![vm(1, 0.0)],
+        };
+        assert!(!cell.is_open());
     }
 
     #[test]
@@ -146,6 +174,7 @@ mod tests {
         let cell = CellSnapshot {
             cell: CellId(0),
             cores: 1,
+            draining: false,
             vms: vec![vm(1, 0.0), vm(2, 0.0)],
         };
         assert_eq!(cell.free_cores(), 0);
@@ -159,11 +188,13 @@ mod tests {
                 CellSnapshot {
                     cell: CellId(0),
                     cores: 4,
+                    draining: false,
                     vms: vec![vm(1, 1.0)],
                 },
                 CellSnapshot {
                     cell: CellId(1),
                     cores: 4,
+                    draining: false,
                     vms: vec![vm(2, 2.0)],
                 },
             ],

@@ -2,15 +2,23 @@
 //!
 //! 1. the migration planner is a pure function — equal snapshots give equal
 //!    plans — and every plan it emits is valid (resident VMs only, no VM
-//!    moved twice, no destination pushed past its core capacity);
+//!    moved twice, no destination pushed past its core capacity, no
+//!    destination draining);
 //! 2. serial and cell-parallel cluster epochs are **bit-identical** across
 //!    every consolidation policy and cell count (each cell owns all its
-//!    state, so thread scheduling cannot leak into results).
+//!    state, so thread scheduling cannot leak into results) — including
+//!    under full fleet dynamics (seeded arrival/departure churn plus
+//!    scripted drain/join maintenance events);
+//! 3. the cost-aware planner is a strict refinement of the fixed-budget
+//!    planner: its plan is a subset of the fixed-budget plan (so its total
+//!    downtime can never exceed it), and drain evacuations are never gated.
 
 use kyoto_cluster::cluster::{Cluster, ClusterConfig};
+use kyoto_cluster::events::{EventSchedule, EventScheduleConfig};
 use kyoto_cluster::planner::{ConsolidationPolicy, MigrationPlanner, PlannerConfig};
 use kyoto_cluster::snapshot::{CellId, CellSnapshot, ClusterSnapshot, FleetVmId, VmSnapshot};
 use kyoto_hypervisor::vm::VmConfig;
+use kyoto_sim::workload::Workload;
 use kyoto_workloads::spec::{SpecApp, SpecWorkload};
 use proptest::prelude::*;
 
@@ -19,16 +27,24 @@ fn arb_policy() -> impl Strategy<Value = ConsolidationPolicy> {
         Just(ConsolidationPolicy::LoadBalance),
         Just(ConsolidationPolicy::BinPack),
         Just(ConsolidationPolicy::PollutionAware),
+        Just(ConsolidationPolicy::PollutionAwareDensity),
     ]
 }
 
 /// Builds a snapshot from generated raw material: cell count, cores per
-/// cell, and per-VM (cell choice, pollution rate, punishments) triples.
-fn snapshot_from(cells: usize, cores: usize, vms: &[(usize, f64, u64)]) -> ClusterSnapshot {
+/// cell, a draining mask, and per-VM (cell choice, pollution rate,
+/// punishments) triples.
+fn snapshot_with_drains(
+    cells: usize,
+    cores: usize,
+    draining_mask: u32,
+    vms: &[(usize, f64, u64)],
+) -> ClusterSnapshot {
     let mut cell_snapshots: Vec<CellSnapshot> = (0..cells)
         .map(|i| CellSnapshot {
             cell: CellId(i),
             cores,
+            draining: draining_mask & (1 << i) != 0,
             vms: Vec::new(),
         })
         .collect();
@@ -43,6 +59,7 @@ fn snapshot_from(cells: usize, cores: usize, vms: &[(usize, f64, u64)]) -> Clust
             llc_misses: (pollution_rate * 10.0) as u64,
             ipc: 1.0,
             working_set_bytes: 64 * 1024,
+            resident_lines: (pollution_rate * 2.0) as u64 + i as u64 * 16,
         });
     }
     ClusterSnapshot {
@@ -51,27 +68,35 @@ fn snapshot_from(cells: usize, cores: usize, vms: &[(usize, f64, u64)]) -> Clust
     }
 }
 
+fn snapshot_from(cells: usize, cores: usize, vms: &[(usize, f64, u64)]) -> ClusterSnapshot {
+    snapshot_with_drains(cells, cores, 0, vms)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
-    /// Plans are deterministic and valid for any snapshot shape: every move
-    /// references a resident VM at its true cell, no VM moves twice, no
-    /// destination is pushed past its capacity, and the per-epoch move
-    /// budget holds.
+    /// Plans are deterministic and valid for any snapshot shape — draining
+    /// cells included: every move references a resident VM at its true
+    /// cell, no VM moves twice, no destination is pushed past its capacity
+    /// or is draining, and the per-epoch move budget holds. Covers the
+    /// fixed-budget and the cost-aware planner.
     #[test]
     fn plans_are_deterministic_valid_and_never_overcommit(
         cells in 1usize..6,
         cores in 1usize..5,
         max_moves in 1usize..8,
         threshold in 0.0f64..1500.0,
+        draining_mask in 0u32..64,
+        cost_aware in 0u32..2,
         policy in arb_policy(),
         vms in prop::collection::vec((0usize..6, 0.0f64..2000.0, 0u64..4), 0..16),
     ) {
-        let snapshot = snapshot_from(cells, cores, &vms);
+        let snapshot = snapshot_with_drains(cells, cores, draining_mask, &vms);
         let planner = MigrationPlanner::new(
             PlannerConfig::default()
                 .with_max_moves(max_moves)
-                .with_polluter_threshold(threshold),
+                .with_polluter_threshold(threshold)
+                .with_cost_aware(cost_aware == 1),
         );
         let plan = planner.plan(&snapshot, policy);
         let again = planner.plan(&snapshot, policy);
@@ -79,6 +104,63 @@ proptest! {
         prop_assert!(plan.len() <= max_moves, "move budget exceeded");
         if let Err(violation) = plan.validate(&snapshot) {
             prop_assert!(false, "invalid plan under {:?}: {}", policy, violation);
+        }
+        for mv in &plan.moves {
+            prop_assert!(
+                !snapshot.cells[mv.to.0].draining,
+                "{:?} evacuates into a draining cell under {:?}",
+                mv,
+                policy
+            );
+        }
+    }
+
+    /// The cost-aware plan is a subset of the fixed-budget plan for the
+    /// same snapshot and policy — so its total downtime can never exceed
+    /// the fixed-budget planner's — and it keeps every drain evacuation the
+    /// fixed-budget planner found room for.
+    #[test]
+    fn cost_aware_is_a_subset_of_the_fixed_budget_plan(
+        cells in 2usize..6,
+        cores in 1usize..5,
+        max_moves in 1usize..8,
+        threshold in 0.0f64..1500.0,
+        draining_mask in 0u32..64,
+        savings_per_tick in 0.0f64..500.0,
+        policy in arb_policy(),
+        vms in prop::collection::vec((0usize..6, 0.0f64..2000.0, 0u64..4), 0..16),
+    ) {
+        let snapshot = snapshot_with_drains(cells, cores, draining_mask, &vms);
+        let base = PlannerConfig::default()
+            .with_max_moves(max_moves)
+            .with_polluter_threshold(threshold)
+            .with_savings_per_tick(savings_per_tick);
+        let fixed = MigrationPlanner::new(base).plan(&snapshot, policy);
+        let cost_aware =
+            MigrationPlanner::new(base.with_cost_aware(true)).plan(&snapshot, policy);
+        let cost = base.cost;
+        prop_assert!(
+            cost_aware.total_downtime_ticks(&cost) <= fixed.total_downtime_ticks(&cost),
+            "cost-aware inflicted more downtime: {:?} vs {:?}",
+            cost_aware,
+            fixed
+        );
+        for mv in &cost_aware.moves {
+            prop_assert!(
+                fixed.moves.contains(mv),
+                "{:?} is not in the fixed-budget plan {:?}",
+                mv,
+                fixed
+            );
+        }
+        for mv in &fixed.moves {
+            if snapshot.cells[mv.from.0].draining {
+                prop_assert!(
+                    cost_aware.moves.contains(mv),
+                    "evacuation {:?} was cost-gated",
+                    mv
+                );
+            }
         }
     }
 
@@ -160,6 +242,80 @@ proptest! {
                 cluster.history().to_vec(),
                 cluster.occupancies(),
                 cluster.total_migrations(),
+            )
+        };
+        prop_assert_eq!(run(false), run(true));
+    }
+
+    /// Serial and cell-parallel epochs stay bit-identical under full fleet
+    /// dynamics: seeded arrival/departure churn plus a scripted drain/join
+    /// cycle, across every consolidation policy (cost-aware planning on, so
+    /// the gate is exercised too). Event application is control-plane work
+    /// between epochs — single-threaded either way — so thread scheduling
+    /// must not be able to leak into any report, occupancy or counter.
+    #[test]
+    fn churn_epochs_are_bit_identical_serial_vs_parallel(
+        cells in 2usize..5,
+        initial_vms in 2usize..7,
+        policy in arb_policy(),
+        seed in 0u64..1_000,
+        arrival_rate in 0.0f64..2.0,
+        departure_rate in 0.0f64..1.5,
+    ) {
+        let apps = [
+            SpecApp::Gcc,
+            SpecApp::Lbm,
+            SpecApp::Omnetpp,
+            SpecApp::Mcf,
+            SpecApp::Soplex,
+            SpecApp::Milc,
+        ];
+        let drained = CellId(cells - 1);
+        let schedule = EventSchedule::new(
+            EventScheduleConfig::new(seed)
+                .with_arrival_rate(arrival_rate)
+                .with_departure_rate(departure_rate)
+                .with_drain(1, drained)
+                .with_join(3, drained),
+        );
+        let run = |parallel: bool| {
+            let config = ClusterConfig::new(cells, 256)
+                .with_epoch_ticks(3)
+                .with_policy(policy)
+                .with_planner(
+                    PlannerConfig::default()
+                        .with_max_moves(3)
+                        .with_polluter_threshold(200.0)
+                        .with_cost_aware(true),
+                )
+                .with_parallel_cells(parallel);
+            let mut cluster = Cluster::new(config);
+            for i in 0..initial_vms {
+                let app = apps[i % apps.len()];
+                cluster.add_vm(
+                    CellId(i % cells),
+                    VmConfig::new(format!("vm{i}-{}", app.name())).with_llc_cap(50.0),
+                    Box::new(SpecWorkload::new(app, 256, seed.wrapping_add(i as u64))),
+                );
+            }
+            let mut spawn = |index: u64| -> (VmConfig, Box<dyn Workload>) {
+                let app = apps[(index as usize) % apps.len()];
+                (
+                    VmConfig::new(format!("churn{index}-{}", app.name())).with_llc_cap(50.0),
+                    Box::new(SpecWorkload::new(app, 256, seed ^ (0xA11 + index))),
+                )
+            };
+            cluster.run_epochs_with_schedule(&schedule, 5, &mut spawn);
+            (
+                cluster.all_reports(),
+                cluster.history().to_vec(),
+                cluster.occupancies(),
+                (
+                    cluster.total_migrations(),
+                    cluster.total_arrivals(),
+                    cluster.total_departures(),
+                    cluster.rejected_arrivals(),
+                ),
             )
         };
         prop_assert_eq!(run(false), run(true));

@@ -22,7 +22,7 @@
 //! timing noise.
 
 use crate::config::ExperimentConfig;
-use crate::harness::{calibrate_permits, spec_workload, warmup_and_measure, Measurement};
+use crate::harness::{calibrate_permits, run_jobs, spec_workload, warmup_and_measure, Measurement};
 use kyoto_core::ks4::ks4xen_hypervisor;
 use kyoto_core::monitor::MonitoringStrategy;
 use kyoto_hypervisor::placement::{place_vms, Placement, PlacementPolicy};
@@ -31,8 +31,6 @@ use kyoto_hypervisor::xen_hypervisor;
 use kyoto_sim::workload::Workload;
 use kyoto_workloads::spec::SpecApp;
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 /// The heterogeneous application mix cycled across the VMs of a cell:
 /// cache-sensitive, streaming/disruptive and compute-bound apps interleaved
@@ -481,33 +479,10 @@ fn run_cells(
     specs: &[(usize, usize, PlacementPolicy)],
     jobs: usize,
 ) -> Vec<CloudscaleCell> {
-    let workers = jobs.clamp(1, specs.len().max(1));
-    if workers <= 1 {
-        return specs
-            .iter()
-            .map(|&(sockets, vms, placement)| run_cell(config, sockets, vms, placement))
-            .collect();
-    }
-    let results: Mutex<Vec<Option<CloudscaleCell>>> = Mutex::new(vec![None; specs.len()]);
-    let cursor = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let index = cursor.fetch_add(1, Ordering::Relaxed);
-                let Some(&(sockets, vms, placement)) = specs.get(index) else {
-                    break;
-                };
-                let cell = run_cell(config, sockets, vms, placement);
-                results.lock().expect("no poisoned worker")[index] = Some(cell);
-            });
-        }
-    });
-    results
-        .into_inner()
-        .expect("no poisoned worker")
-        .into_iter()
-        .map(|cell| cell.expect("every cell computed"))
-        .collect()
+    run_jobs(specs.len(), jobs, |index| {
+        let (sockets, vms, placement) = specs[index];
+        run_cell(config, sockets, vms, placement)
+    })
 }
 
 /// Runs the full sweep described by `sweep`, with its independent cells

@@ -19,20 +19,32 @@
 //! load-balancing, which spreads VM *counts* evenly and thereby gives almost
 //! every sensitive VM a polluting neighbour.
 //!
+//! The sweep also carries the **churn** half (rendered standalone by
+//! `figures --scenario churn`): a fleet under seeded VM arrival/departure
+//! streams and a scripted drain/join maintenance cycle, swept over
+//! arrival rate × policy × planner mode. Its headline is the cost-aware
+//! planner ([`PlannerConfig::with_cost_aware`]) cutting total migration
+//! downtime below the fixed-budget planner's at equal-or-better
+//! sensitive-VM degradation.
+//!
 //! Determinism: all policies start from the same arrival-order seeding, the
-//! control loop is epoch-driven and pure, and cells share no state — so the
-//! rendered table is byte-identical whether cells run serially or one per
-//! scoped thread (`--parallel-engine` flips both engine- and cell-level
-//! parallelism here; the CI determinism gate diffs the two).
+//! event schedule is a pure function of `(seed, epoch)`, the control loop
+//! is epoch-driven and pure, and cells share no state — so the rendered
+//! table is byte-identical whether cells run serially or one per scoped
+//! thread (`--parallel-engine` flips both engine- and cell-level
+//! parallelism here; the CI determinism gate diffs the two), and whether
+//! sweep cells fan out over `--jobs` worker threads or not.
 
 use crate::config::ExperimentConfig;
-use crate::harness::calibrate_permits;
+use crate::harness::{calibrate_permits, run_jobs};
 use kyoto_cluster::cluster::{CellEpochStats, Cluster, ClusterConfig};
+use kyoto_cluster::events::{EventSchedule, EventScheduleConfig};
 use kyoto_cluster::planner::{ConsolidationPolicy, PlannerConfig};
 use kyoto_cluster::snapshot::CellId;
 use kyoto_core::monitor::MonitoringStrategy;
 use kyoto_hypervisor::vm::VmConfig;
 use kyoto_metrics::degradation::degradation_percent;
+use kyoto_sim::workload::Workload;
 use kyoto_workloads::spec::SpecApp;
 use serde::{Deserialize, Serialize};
 
@@ -70,11 +82,15 @@ pub struct FleetSweep {
     /// Paper-scale pollution permit (in thousands) booked by every VM, as in
     /// Fig. 5's `250k`.
     pub permit_paper_kilo: f64,
+    /// The churn sweep riding along (fleet dynamics: VM arrival/departure
+    /// streams, a scripted drain/join cycle, and the fixed-budget vs
+    /// cost-aware planner comparison). `None` runs the static sweep only.
+    pub churn: Option<ChurnSweep>,
 }
 
 impl FleetSweep {
-    /// The standard sweep: 2/4/8 cells × 2/3 VMs per cell, all three
-    /// policies, seven 6-tick epochs, 250k permits.
+    /// The standard sweep: 2/4/8 cells × 2/3 VMs per cell, every policy,
+    /// seven 6-tick epochs, 250k permits, plus the standard churn sweep.
     pub fn standard() -> Self {
         FleetSweep {
             cell_counts: vec![2, 4, 8],
@@ -83,11 +99,13 @@ impl FleetSweep {
             epochs: 7,
             epoch_ticks: 6,
             permit_paper_kilo: 250.0,
+            churn: Some(ChurnSweep::standard()),
         }
     }
 
     /// A small sweep for tests and the CI determinism gate: 2/4 cells, two
-    /// VMs per cell, all three policies, four 4-tick epochs.
+    /// VMs per cell, every policy, four 4-tick epochs, plus the small churn
+    /// sweep.
     pub fn small() -> Self {
         FleetSweep {
             cell_counts: vec![2, 4],
@@ -96,12 +114,88 @@ impl FleetSweep {
             epochs: 4,
             epoch_ticks: 4,
             permit_paper_kilo: 250.0,
+            churn: Some(ChurnSweep::small()),
         }
     }
 
     /// Total ticks one run covers.
     pub fn total_ticks(&self) -> u64 {
         self.epochs * self.epoch_ticks
+    }
+}
+
+/// The churn sweep a fleet run covers: arrival rate × policy × cost-model
+/// on/off, under a seeded departure stream and one scripted drain/join
+/// maintenance cycle.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChurnSweep {
+    /// Cells (machines) in the churning fleet.
+    pub cells: usize,
+    /// VMs seeded per cell before churn begins.
+    pub initial_vms_per_cell: usize,
+    /// Expected VM arrivals per epoch — the sweep axis.
+    pub arrival_rates: Vec<f64>,
+    /// Expected VM departures per epoch (fixed across the sweep).
+    pub departure_rate: f64,
+    /// Consolidation policies to compare at every arrival rate.
+    pub policies: Vec<ConsolidationPolicy>,
+    /// Planner modes to compare: `false` = fixed move budget, `true` =
+    /// cost-aware gate.
+    pub cost_modes: Vec<bool>,
+    /// Control-loop epochs each run executes.
+    pub epochs: u64,
+    /// Scheduler ticks per epoch.
+    pub epoch_ticks: u64,
+    /// Epoch boundary at which the last cell starts draining.
+    pub drain_epoch: u64,
+    /// Epoch boundary at which it rejoins.
+    pub join_epoch: u64,
+    /// Seed of the arrival/departure event streams.
+    pub seed: u64,
+}
+
+impl ChurnSweep {
+    /// The standard churn sweep: a 4-cell fleet seeded at 2 VMs per cell,
+    /// arrival rates 0.5 and 1.5 per epoch against 0.5 departures, every
+    /// policy in both planner modes, eight 6-tick epochs with the last cell
+    /// draining at epoch 2 and rejoining at epoch 5.
+    pub fn standard() -> Self {
+        ChurnSweep {
+            cells: 4,
+            initial_vms_per_cell: 2,
+            arrival_rates: vec![0.5, 1.5],
+            departure_rate: 0.5,
+            policies: ConsolidationPolicy::ALL.to_vec(),
+            cost_modes: vec![false, true],
+            epochs: 8,
+            epoch_ticks: 6,
+            drain_epoch: 2,
+            join_epoch: 5,
+            seed: 0xC0FFEE,
+        }
+    }
+
+    /// A small churn sweep for tests and the CI determinism gate: 3 cells,
+    /// one arrival rate, three policies, both planner modes, five 4-tick
+    /// epochs with a drain/join cycle.
+    pub fn small() -> Self {
+        ChurnSweep {
+            cells: 3,
+            initial_vms_per_cell: 2,
+            arrival_rates: vec![1.0],
+            departure_rate: 0.5,
+            policies: vec![
+                ConsolidationPolicy::LoadBalance,
+                ConsolidationPolicy::PollutionAware,
+                ConsolidationPolicy::PollutionAwareDensity,
+            ],
+            cost_modes: vec![false, true],
+            epochs: 5,
+            epoch_ticks: 4,
+            drain_epoch: 1,
+            join_epoch: 3,
+            seed: 0xC0FFEE,
+        }
     }
 }
 
@@ -140,6 +234,103 @@ impl FleetCell {
     }
 }
 
+/// One churn sweep point: an arrival rate, a policy and a planner mode.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChurnCell {
+    /// Expected arrivals per epoch.
+    pub arrival_rate: f64,
+    /// Consolidation policy driving the planner.
+    pub policy: ConsolidationPolicy,
+    /// Whether the cost-aware gate was on.
+    pub cost_aware: bool,
+    /// Live migrations the control plane applied over the run.
+    pub migrations: u64,
+    /// Blackout ticks those migrations inflicted in total.
+    pub downtime_ticks: u64,
+    /// VMs admitted by arrival events.
+    pub arrivals: u64,
+    /// VMs removed by departure events.
+    pub departures: u64,
+    /// Arrivals rejected (fleet full or draining).
+    pub rejected_arrivals: u64,
+    /// VMs resident when the run ended.
+    pub final_vms: usize,
+    /// Mean degradation (percent vs solo) of every sensitive VM that ever
+    /// ran, departed VMs included.
+    pub sensitive_degradation_pct: f64,
+    /// Mean degradation (percent vs solo) of every disruptive VM that ever
+    /// ran.
+    pub disruptive_degradation_pct: f64,
+    /// Total Kyoto punishments across the fleet's lifetime.
+    pub punishments: u64,
+}
+
+/// The churn dataset: fleet dynamics under every (rate, policy, planner
+/// mode) combination.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChurnResult {
+    /// Cells in the churning fleet.
+    pub cells: usize,
+    /// VMs seeded before churn began.
+    pub initial_vms: usize,
+    /// Expected departures per epoch.
+    pub departure_rate: f64,
+    /// Epoch at which the last cell drained / rejoined.
+    pub drain_join: (u64, u64),
+    /// Paper-scale permit booked by every VM.
+    pub permit_paper_kilo: f64,
+    /// Every sweep point: rate outer, policy middle, planner mode inner
+    /// (fixed budget first, cost-aware second).
+    pub rows: Vec<ChurnCell>,
+}
+
+impl ChurnResult {
+    /// The sweep point for a rate / policy / planner mode, if present.
+    pub fn row(
+        &self,
+        arrival_rate: f64,
+        policy: ConsolidationPolicy,
+        cost_aware: bool,
+    ) -> Option<&ChurnCell> {
+        self.rows.iter().find(|r| {
+            (r.arrival_rate - arrival_rate).abs() < 1e-12
+                && r.policy == policy
+                && r.cost_aware == cost_aware
+        })
+    }
+
+    /// Renders the churn table.
+    pub fn to_table(&self) -> String {
+        let mut out = format!(
+            "Fleet churn: arrival-rate x policy x planner-mode sweep ({} cells, {} initial VMs, {:.2} departures/epoch, drain@{} join@{}, {}k permits)\n",
+            self.cells,
+            self.initial_vms,
+            self.departure_rate,
+            self.drain_join.0,
+            self.drain_join.1,
+            self.permit_paper_kilo,
+        );
+        for row in &self.rows {
+            out.push_str(&format!(
+                "  rate {:.2}  {:<17} {:<10}  migrations {:>2} (downtime {:>2} ticks)  arr {:>2} dep {:>2} rej {:>2}  vms {:>2}  degradation sens {:5.1}% / dis {:5.1}%  punish {:>5}\n",
+                row.arrival_rate,
+                row.policy.label(),
+                if row.cost_aware { "cost-aware" } else { "fixed" },
+                row.migrations,
+                row.downtime_ticks,
+                row.arrivals,
+                row.departures,
+                row.rejected_arrivals,
+                row.final_vms,
+                row.sensitive_degradation_pct,
+                row.disruptive_degradation_pct,
+                row.punishments,
+            ));
+        }
+        out
+    }
+}
+
 /// The fleet dataset.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FleetResult {
@@ -147,6 +338,8 @@ pub struct FleetResult {
     pub permit_paper_kilo: f64,
     /// Every sweep cell, cell-count outer, VM-count middle, policy inner.
     pub cells: Vec<FleetCell>,
+    /// The churn sweep, when the fleet sweep carried one.
+    pub churn: Option<ChurnResult>,
 }
 
 impl FleetResult {
@@ -182,8 +375,9 @@ impl FleetResult {
             ));
             for stats in &cell.final_epoch {
                 out.push_str(&format!(
-                    "    {}: {} vms  instr {:>9}  llc_miss {:>7}  punish {:>4}  pollution {:8.1}/ms\n",
+                    "    {}{}: {} vms  instr {:>9}  llc_miss {:>7}  punish {:>4}  pollution {:8.1}/ms\n",
                     stats.cell,
+                    if stats.draining { " (draining)" } else { "" },
                     stats.vms,
                     stats.instructions,
                     stats.llc_misses,
@@ -191,6 +385,9 @@ impl FleetResult {
                     stats.pollution_rate,
                 ));
             }
+        }
+        if let Some(churn) = &self.churn {
+            out.push_str(&churn.to_table());
         }
         out
     }
@@ -361,28 +558,201 @@ pub fn calibrate_sweep(config: &ExperimentConfig, sweep: &FleetSweep) -> SweepCa
     }
 }
 
-/// Runs the full sweep described by `sweep`.
-pub fn run_with_sweep(config: &ExperimentConfig, sweep: &FleetSweep) -> FleetResult {
-    let calibration = calibrate_sweep(config, sweep);
-    let mut cells = Vec::new();
-    for &cell_count in &sweep.cell_counts {
-        for &vms_per_cell in &sweep.vms_per_cell {
-            for &policy in &sweep.policies {
-                cells.push(run_cell(
-                    config,
-                    sweep,
-                    cell_count,
-                    vms_per_cell,
-                    policy,
-                    &calibration,
-                ));
+/// The app behind a fleet VM, recovered from its configured name (every
+/// fleet VM is named `...-<app>`). Lets churn runs fold live *and departed*
+/// VM reports back onto their solo baselines.
+fn app_of_report(name: &str) -> SpecApp {
+    *FLEET_MIX
+        .iter()
+        .find(|app| name.ends_with(&format!("-{}", app.name())))
+        .expect("fleet VM names carry their app")
+}
+
+/// Runs one churn sweep point: seed the fleet in arrival order, drive
+/// `churn.epochs` epochs under the seeded arrival/departure streams and the
+/// scripted drain/join cycle, and fold every VM that ever ran (departed
+/// included) into a [`ChurnCell`].
+pub fn run_churn_cell(
+    config: &ExperimentConfig,
+    churn: &ChurnSweep,
+    arrival_rate: f64,
+    policy: ConsolidationPolicy,
+    cost_aware: bool,
+    calibration: &SweepCalibration,
+) -> ChurnCell {
+    let cluster_config = ClusterConfig::new(churn.cells, config.scale)
+        .with_epoch_ticks(churn.epoch_ticks)
+        .with_policy(policy)
+        .with_parallel_cells(config.parallel_engine)
+        .with_hypervisor(config.hypervisor_config())
+        .with_strategy(MonitoringStrategy::SimulatorAttribution)
+        .with_planner(
+            PlannerConfig::default()
+                .with_max_moves(4)
+                .with_polluter_threshold(calibration.polluter_threshold)
+                .with_cost_aware(cost_aware),
+        );
+    let mut cluster = Cluster::new(cluster_config);
+    let initial = churn.cells * churn.initial_vms_per_cell;
+    for i in 0..initial {
+        let app = FLEET_MIX[i % FLEET_MIX.len()];
+        cluster.add_vm(
+            CellId(i / churn.initial_vms_per_cell),
+            VmConfig::new(format!("fvm{i}-{}", app.name())).with_llc_cap(calibration.permit),
+            Box::new(config.workload(app, app_salt(i))),
+        );
+    }
+    let drained = CellId(churn.cells - 1);
+    let schedule = EventSchedule::new(
+        EventScheduleConfig::new(churn.seed)
+            .with_arrival_rate(arrival_rate)
+            .with_departure_rate(churn.departure_rate)
+            .with_drain(churn.drain_epoch, drained)
+            .with_join(churn.join_epoch, drained),
+    );
+    let permit = calibration.permit;
+    let mut spawn = |index: u64| -> (VmConfig, Box<dyn Workload>) {
+        let k = initial + index as usize;
+        let app = FLEET_MIX[k % FLEET_MIX.len()];
+        (
+            VmConfig::new(format!("fvm{k}-{}", app.name())).with_llc_cap(permit),
+            Box::new(config.workload(app, app_salt(k))),
+        )
+    };
+    cluster.run_epochs_with_schedule(&schedule, churn.epochs, &mut spawn);
+
+    let downtime_per_move = cluster.config().planner.cost.downtime_ticks;
+    let mut sensitive = (0usize, 0.0f64);
+    let mut disruptive = (0usize, 0.0f64);
+    let mut punishments = 0u64;
+    for report in cluster.all_reports() {
+        punishments += report.punishments;
+        let app = app_of_report(&report.name);
+        let solo = calibration
+            .baselines
+            .iter()
+            .find(|(a, _)| *a == app)
+            .map(|(_, t)| *t)
+            .expect("baseline for every app in the mix");
+        let degradation = degradation_percent(solo, report.instructions_per_tick());
+        if is_sensitive(app) {
+            sensitive.0 += 1;
+            sensitive.1 += degradation;
+        } else {
+            disruptive.0 += 1;
+            disruptive.1 += degradation;
+        }
+    }
+    let mean = |(count, sum): (usize, f64)| if count == 0 { 0.0 } else { sum / count as f64 };
+    ChurnCell {
+        arrival_rate,
+        policy,
+        cost_aware,
+        migrations: cluster.total_migrations(),
+        downtime_ticks: cluster.total_migrations() * downtime_per_move,
+        arrivals: cluster.total_arrivals(),
+        departures: cluster.total_departures(),
+        rejected_arrivals: cluster.rejected_arrivals(),
+        final_vms: cluster.reports().len(),
+        sensitive_degradation_pct: mean(sensitive),
+        disruptive_degradation_pct: mean(disruptive),
+        punishments,
+    }
+}
+
+/// Runs the churn sweep with its points spread over up to `jobs` scoped
+/// worker threads.
+fn run_churn_sweep(
+    config: &ExperimentConfig,
+    churn: &ChurnSweep,
+    permit_paper_kilo: f64,
+    calibration: &SweepCalibration,
+    jobs: usize,
+) -> ChurnResult {
+    let mut specs: Vec<(f64, ConsolidationPolicy, bool)> = Vec::new();
+    for &rate in &churn.arrival_rates {
+        for &policy in &churn.policies {
+            for &cost_aware in &churn.cost_modes {
+                specs.push((rate, policy, cost_aware));
             }
         }
     }
+    let rows = run_jobs(specs.len(), jobs, |index| {
+        let (rate, policy, cost_aware) = specs[index];
+        run_churn_cell(config, churn, rate, policy, cost_aware, calibration)
+    });
+    ChurnResult {
+        cells: churn.cells,
+        initial_vms: churn.cells * churn.initial_vms_per_cell,
+        departure_rate: churn.departure_rate,
+        drain_join: (churn.drain_epoch, churn.join_epoch),
+        permit_paper_kilo,
+        rows,
+    }
+}
+
+/// Runs the full sweep described by `sweep` — the static consolidation
+/// cells plus the churn sweep when one is configured — with the
+/// independent sweep cells spread over up to `jobs` scoped worker threads
+/// (`jobs <= 1` runs serially; the output is byte-identical either way).
+pub fn run_with_sweep_jobs(
+    config: &ExperimentConfig,
+    sweep: &FleetSweep,
+    jobs: usize,
+) -> FleetResult {
+    let calibration = calibrate_sweep(config, sweep);
+    let mut specs: Vec<(usize, usize, ConsolidationPolicy)> = Vec::new();
+    for &cell_count in &sweep.cell_counts {
+        for &vms_per_cell in &sweep.vms_per_cell {
+            for &policy in &sweep.policies {
+                specs.push((cell_count, vms_per_cell, policy));
+            }
+        }
+    }
+    let cells = run_jobs(specs.len(), jobs, |index| {
+        let (cell_count, vms_per_cell, policy) = specs[index];
+        run_cell(
+            config,
+            sweep,
+            cell_count,
+            vms_per_cell,
+            policy,
+            &calibration,
+        )
+    });
+    let churn = sweep
+        .churn
+        .as_ref()
+        .map(|churn| run_churn_sweep(config, churn, sweep.permit_paper_kilo, &calibration, jobs));
     FleetResult {
         permit_paper_kilo: sweep.permit_paper_kilo,
         cells,
+        churn,
     }
+}
+
+/// Runs the full sweep described by `sweep` on the calling thread.
+pub fn run_with_sweep(config: &ExperimentConfig, sweep: &FleetSweep) -> FleetResult {
+    run_with_sweep_jobs(config, sweep, 1)
+}
+
+/// Runs only the churn half of `sweep` (the `figures --scenario churn`
+/// target), with its points spread over up to `jobs` worker threads.
+/// Returns `None` when the sweep carries no churn component.
+pub fn run_churn_with_jobs(
+    config: &ExperimentConfig,
+    sweep: &FleetSweep,
+    jobs: usize,
+) -> Option<ChurnResult> {
+    let churn = sweep.churn.as_ref()?;
+    let calibration = calibrate_sweep(config, sweep);
+    Some(run_churn_sweep(
+        config,
+        churn,
+        sweep.permit_paper_kilo,
+        &calibration,
+        jobs,
+    ))
 }
 
 /// Runs the standard fleet sweep.
@@ -406,9 +776,12 @@ mod tests {
 
     #[test]
     fn sweep_covers_every_cell_and_policy() {
-        let sweep = FleetSweep::small();
+        let sweep = FleetSweep {
+            churn: None,
+            ..FleetSweep::small()
+        };
         let result = run_with_sweep(&tiny_config(), &sweep);
-        assert_eq!(result.cells.len(), 6, "2 fleet sizes x 3 policies");
+        assert_eq!(result.cells.len(), 8, "2 fleet sizes x 4 policies");
         for policy in ConsolidationPolicy::ALL {
             let cell = result.cell(4, 8, policy).expect("4-cell sweep cell");
             assert_eq!(cell.final_epoch.len(), 4);
@@ -416,6 +789,7 @@ mod tests {
         }
         let table = result.to_table();
         assert!(table.contains("pollution-aware"));
+        assert!(table.contains("pollution-density"));
         assert!(table.contains("4 cells"));
         assert!(table.contains("cell3"));
     }
@@ -426,7 +800,10 @@ mod tests {
         // VMs and same seeds, co-locating polluters away from sensitive VMs
         // must measurably reduce the sensitive VMs' aggregate degradation
         // relative to count-balancing.
-        let sweep = FleetSweep::small();
+        let sweep = FleetSweep {
+            churn: None,
+            ..FleetSweep::small()
+        };
         let result = run_with_sweep(&tiny_config(), &sweep);
         let balanced = result
             .cell(4, 8, ConsolidationPolicy::LoadBalance)
@@ -455,5 +832,100 @@ mod tests {
         let parallel = run_with_sweep(&tiny_config().with_parallel_engine(true), &sweep);
         assert_eq!(serial, parallel, "cell-parallel epochs are bit-identical");
         assert_eq!(serial.to_table(), parallel.to_table());
+        assert!(serial.churn.is_some(), "small sweep carries the churn half");
+    }
+
+    #[test]
+    fn sweep_worker_threads_change_no_bytes() {
+        let sweep = FleetSweep::small();
+        let serial = run_with_sweep_jobs(&tiny_config(), &sweep, 1);
+        let threaded = run_with_sweep_jobs(&tiny_config(), &sweep, 4);
+        assert_eq!(serial, threaded);
+        assert_eq!(serial.to_table(), threaded.to_table());
+    }
+
+    #[test]
+    fn churn_sweep_covers_every_point_and_reports_dynamics() {
+        let sweep = FleetSweep::small();
+        let churn = run_churn_with_jobs(&tiny_config(), &sweep, 1).expect("churn configured");
+        assert_eq!(churn.rows.len(), 6, "1 rate x 3 policies x 2 modes");
+        let table = churn.to_table();
+        assert!(table.contains("Fleet churn"));
+        assert!(table.contains("cost-aware"));
+        assert!(table.contains("fixed"));
+        for row in &churn.rows {
+            assert!(
+                row.arrivals + row.departures > 0,
+                "churn must actually happen: {row:?}"
+            );
+            assert!(row.final_vms > 0, "the fleet must survive: {row:?}");
+        }
+    }
+
+    #[test]
+    fn cost_aware_lowers_downtime_without_hurting_sensitive_vms_somewhere() {
+        // The PR's acceptance claim: at least one churn sweep point must
+        // show the cost-aware planner beating the fixed-budget planner on
+        // total downtime at equal-or-better sensitive degradation.
+        let sweep = FleetSweep::small();
+        let churn = run_churn_with_jobs(&tiny_config(), &sweep, 1).expect("churn configured");
+        let churn_sweep = sweep.churn.as_ref().unwrap();
+        let mut witnessed = false;
+        for &rate in &churn_sweep.arrival_rates {
+            for &policy in &churn_sweep.policies {
+                let fixed = churn.row(rate, policy, false).expect("fixed row");
+                let aware = churn.row(rate, policy, true).expect("cost-aware row");
+                assert!(
+                    aware.downtime_ticks <= fixed.downtime_ticks,
+                    "cost-aware may never inflict more downtime ({policy:?} @ {rate})"
+                );
+                if aware.downtime_ticks < fixed.downtime_ticks
+                    && aware.sensitive_degradation_pct <= fixed.sensitive_degradation_pct + 0.05
+                {
+                    witnessed = true;
+                }
+            }
+        }
+        assert!(
+            witnessed,
+            "no sweep point shows the cost-aware win: {:#?}",
+            churn.rows
+        );
+    }
+
+    #[test]
+    fn density_cap_keeps_separation_paying_at_three_vms_per_cell() {
+        // Pins the DESIGN.md inversion fix: at 3+ VMs per 4-core cell,
+        // plain separation concentrates the sensitive VMs until they
+        // degrade each other; the density-capped policy must hold
+        // sensitive degradation at or below the load-balance baseline.
+        let sweep = FleetSweep {
+            churn: None,
+            ..FleetSweep::small()
+        };
+        let config = tiny_config();
+        let calibration = calibrate_sweep(&config, &sweep);
+        let balanced = run_cell(
+            &config,
+            &sweep,
+            4,
+            3,
+            ConsolidationPolicy::LoadBalance,
+            &calibration,
+        );
+        let density = run_cell(
+            &config,
+            &sweep,
+            4,
+            3,
+            ConsolidationPolicy::PollutionAwareDensity,
+            &calibration,
+        );
+        assert!(
+            density.sensitive_degradation_pct <= balanced.sensitive_degradation_pct + 0.05,
+            "density-aware ({:.2}%) must not lose to load-balance ({:.2}%) at 3 VMs/cell",
+            density.sensitive_degradation_pct,
+            balanced.sensitive_degradation_pct
+        );
     }
 }

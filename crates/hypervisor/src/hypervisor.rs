@@ -354,6 +354,24 @@ impl<S: Scheduler> Hypervisor<S> {
         })
     }
 
+    /// Admits the pieces a [`Hypervisor::take_vm`] on another hypervisor
+    /// extracted — the arrival half of a live migration, mirroring the
+    /// extraction half. The workloads resume exactly where they stopped;
+    /// nothing of the VM's cache footprint arrives with them, so the first
+    /// post-admission ticks re-fetch the working set through a cold cache.
+    ///
+    /// The source-side report and flushed-line count travel inside `taken`
+    /// for the control plane's bookkeeping but play no role here.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Hypervisor::add_vm`] (the configuration's pinning must be
+    /// valid on *this* machine — re-place before admitting when topologies
+    /// differ).
+    pub fn admit_vm(&mut self, taken: TakenVm) -> Result<VmId, HypervisorError> {
+        self.add_vm(taken.config, taken.workloads)
+    }
+
     /// The ids of every VM currently managed, in creation order.
     pub fn vm_ids(&self) -> Vec<VmId> {
         self.vms.iter().map(|v| v.id).collect()
@@ -838,12 +856,35 @@ mod tests {
             0,
             "extraction flushes the source cache"
         );
-        // The extracted pieces can be re-added to another hypervisor and the
+        // The extracted pieces can be admitted to another hypervisor and the
         // workload keeps executing (its state travels; its cache does not).
         let mut dest = xen_hypervisor(machine());
-        let new = dest.add_vm(taken.config, taken.workloads).unwrap();
+        let new = dest.admit_vm(taken).unwrap();
         dest.run_ticks(3);
-        assert!(dest.report(new).unwrap().pmcs.instructions > 0);
+        let report = dest.report(new).unwrap();
+        assert_eq!(report.name, "mover");
+        assert!(report.pmcs.instructions > 0);
+    }
+
+    #[test]
+    fn admit_vm_rejects_invalid_pinning_on_the_new_machine() {
+        // A VM pinned to core 3 of the 4-core paper machine cannot be
+        // admitted onto a smaller machine without re-placement.
+        let mut hv = xen_hypervisor(machine());
+        let vm = hv
+            .add_vm_with(
+                VmConfig::new("pinned").pinned_to(vec![CoreId(3)]),
+                Box::new(ComputeOnly::new(1)),
+            )
+            .unwrap();
+        hv.run_ticks(2);
+        let taken = hv.take_vm(vm).unwrap();
+        let small = MachineConfig::scaled_paper_machine(SCALE).with_cores_per_socket(2);
+        let mut dest = xen_hypervisor(Machine::new(small));
+        assert!(matches!(
+            dest.admit_vm(taken),
+            Err(HypervisorError::InvalidPinning { core: 3 })
+        ));
     }
 
     #[test]

@@ -64,7 +64,9 @@ fn cloudscale_output_is_byte_identical_across_sweep_jobs() {
 
 /// The fleet scenario stacks two parallelism levels — cell-parallel cluster
 /// epochs plus the engine switch inside each cell — and must still render
-/// byte-identically (`--parallel-engine` flips both).
+/// byte-identically (`--parallel-engine` flips both). The small sweep
+/// carries the churn half, so arrival/departure/drain/join dynamics are
+/// covered too.
 #[test]
 fn fleet_output_is_byte_identical_with_parallel_cells() {
     let sweep = FleetSweep::small();
@@ -72,4 +74,37 @@ fn fleet_output_is_byte_identical_with_parallel_cells() {
     let parallel =
         fleet::run_with_sweep(&test_config().with_parallel_engine(true), &sweep).to_table();
     assert_eq!(serial, parallel);
+    assert!(
+        serial.contains("Fleet churn"),
+        "churn rides in the fleet table"
+    );
+}
+
+/// The fleet sweep's cells (static consolidation and churn points alike)
+/// may fan out over scoped worker threads (`figures --jobs`); the assembled
+/// table must not change by a byte.
+#[test]
+fn fleet_output_is_byte_identical_across_sweep_jobs() {
+    let sweep = FleetSweep::small();
+    let serial = fleet::run_with_sweep_jobs(&test_config(), &sweep, 1).to_table();
+    let threaded = fleet::run_with_sweep_jobs(&test_config(), &sweep, 8).to_table();
+    assert_eq!(serial, threaded);
+}
+
+/// The standalone churn rendering (the determinism gate's `churn` target)
+/// is byte-identical across the engine switch and worker-thread counts.
+#[test]
+fn churn_output_is_byte_identical_with_parallel_cells_and_jobs() {
+    let sweep = FleetSweep::small();
+    let serial = fleet::run_churn_with_jobs(&test_config(), &sweep, 1)
+        .expect("small sweep has churn")
+        .to_table();
+    let parallel = fleet::run_churn_with_jobs(&test_config().with_parallel_engine(true), &sweep, 1)
+        .expect("small sweep has churn")
+        .to_table();
+    let threaded = fleet::run_churn_with_jobs(&test_config(), &sweep, 8)
+        .expect("small sweep has churn")
+        .to_table();
+    assert_eq!(serial, parallel);
+    assert_eq!(serial, threaded);
 }
