@@ -11,7 +11,13 @@
 #      (`cluster_epoch_parallel_vs_serial`), the same control loop under
 #      churn (`fleet_churn_parallel_vs_serial`) and the socket-parallel
 #      engine on cloud machines (`parallel_vs_serial_speedup_cloud`) — drop
-#      below their floor, *provided the host can parallelise at all*.
+#      below their floor, *provided the host can parallelise at all*, or
+#
+#   3. installing a zero-rate fault plan costs measurable throughput
+#      (`fault_machinery_overhead.zero_rate_plan_vs_no_plan`): a plan that
+#      schedules nothing must be free, so the epoch-rate ratio should sit
+#      near 1.0. The floor is tolerant (wall-clock noise on a short run)
+#      but catches the fault boundary growing real per-epoch cost.
 #
 # When the producing host had a single hardware thread
 # (`parallel_bench_threads == 1`), parallel speedups are structurally ~1.0x
@@ -24,11 +30,13 @@
 #   ci/check_bench.sh [path/to/BENCH_substrate.json]
 #   BENCH_MIN_SPEEDUP=1.7 ci/check_bench.sh       # override the serial floor
 #   PARALLEL_MIN_SPEEDUP=1.3 ci/check_bench.sh    # override the parallel floor
+#   KYOTO_MIN_FAULT_OVERHEAD_RATIO=0.9 ci/check_bench.sh  # override the fault floor
 set -euo pipefail
 
 file="${1:-BENCH_substrate.json}"
 floor="${BENCH_MIN_SPEEDUP:-1.5}"
 parallel_floor="${PARALLEL_MIN_SPEEDUP:-1.1}"
+fault_floor="${KYOTO_MIN_FAULT_OVERHEAD_RATIO:-0.8}"
 
 if [ ! -f "$file" ]; then
     echo "error: $file not found (run: cargo run --release -p kyoto-bench --bin substrate_baseline)" >&2
@@ -103,4 +111,29 @@ else
         }
     ' "$file"
 fi
+
+echo "Checking fault-machinery overhead in $file (floor: ${fault_floor}x)"
+awk -v floor="$fault_floor" '
+    /"fault_machinery_overhead"/ { in_block = 1; next }
+    in_block && /}/ { in_block = 0 }
+    in_block && /zero_rate_plan_vs_no_plan/ {
+        line = $0
+        gsub(/[",]/, "", line)
+        split(line, kv, ":")
+        value = kv[2] + 0
+        seen += 1
+        printf "  zero_rate_plan_vs_no_plan: %.2fx\n", value
+        if (value < floor) {
+            printf "  ^^^ below the %.2fx floor: a zero-rate fault plan must be ~free\n", floor
+            bad = 1
+        }
+    }
+    END {
+        if (seen == 0) {
+            print "error: no fault_machinery_overhead entry found" > "/dev/stderr"
+            exit 2
+        }
+        exit bad
+    }
+' "$file"
 echo "bench gate OK"

@@ -6,9 +6,11 @@
 # cloudscale scenario, whose quick sweep runs 2- and 4-socket machines, the
 # first placements that scale the socket-parallel engine past two threads,
 # the fleet scenario, whose clusters run their cells on scoped threads
-# under the same flag, and the churn scenario — fleet dynamics: seeded VM
+# under the same flag, the churn scenario — fleet dynamics: seeded VM
 # arrival/departure streams plus a scripted drain/join cycle, in both
-# planner modes) — and fails on any byte of divergence. A third serial
+# planner modes — and the failures scenario: injected cell crashes,
+# slowdowns and mid-migration aborts, whose fault plan is a pure function
+# of (seed, epoch)) — and fails on any byte of divergence. A third serial
 # run guards against run-to-run nondeterminism (uninitialised state, map
 # iteration order, ...).
 #
@@ -23,7 +25,7 @@ set -euo pipefail
 
 bin="${FIGURES_BIN:-target/release/figures}"
 out="${DETERMINISM_OUT:-target/determinism}"
-targets=(fig1 fig9 cloudscale fleet churn)
+targets=(fig1 fig9 cloudscale fleet churn failures)
 
 if [ ! -x "$bin" ]; then
     cargo build --release -p kyoto-bench --bin figures

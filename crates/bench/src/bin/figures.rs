@@ -11,6 +11,7 @@
 //! cargo run --release -p kyoto-bench --bin figures -- --scenario cloudscale
 //! cargo run --release -p kyoto-bench --bin figures -- --scenario fleet
 //! cargo run --release -p kyoto-bench --bin figures -- --scenario churn
+//! cargo run --release -p kyoto-bench --bin figures -- --scenario failures
 //! cargo run --release -p kyoto-bench --bin figures -- --no-timing all
 //! ```
 //!
@@ -35,6 +36,7 @@
 use kyoto_bench::{figures_config, figures_quick_config};
 use kyoto_experiments::cloudscale::{self, CloudscaleSweep};
 use kyoto_experiments::config::ExperimentConfig;
+use kyoto_experiments::failures::{self, FailureSweep};
 use kyoto_experiments::fleet::{self, FleetSweep};
 use kyoto_experiments::{
     fig1, fig10, fig11, fig12, fig2, fig3, fig4, fig5, fig6, fig8, fig9, tables,
@@ -43,7 +45,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-const ALL_TARGETS: [&str; 16] = [
+const ALL_TARGETS: [&str; 17] = [
     "table1",
     "table2",
     "fig1",
@@ -60,6 +62,7 @@ const ALL_TARGETS: [&str; 16] = [
     "cloudscale",
     "fleet",
     "churn",
+    "failures",
 ];
 
 fn render_target(
@@ -117,6 +120,19 @@ fn render_target(
             fleet::run_churn_with_jobs(config, &sweep, jobs)
                 .map(|churn| churn.to_table())
                 .unwrap_or_else(|| "Fleet churn: no churn sweep configured\n".to_string())
+        }
+        "failures" => {
+            // The fleet under injected faults: cell crashes (orphans
+            // re-admitted through the bounded-backoff retry queue),
+            // slowdowns and mid-migration aborts, swept over crash rate x
+            // policy x planner mode — the CI determinism gate's failures
+            // target.
+            let sweep = if quick {
+                FailureSweep::small()
+            } else {
+                FailureSweep::standard()
+            };
+            failures::run_with_sweep_jobs(config, &sweep, jobs).to_table()
         }
         _ => return None,
     })

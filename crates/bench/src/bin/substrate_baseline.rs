@@ -19,6 +19,7 @@ use kyoto_bench::legacy::{
 };
 use kyoto_cluster::cluster::{Cluster, ClusterConfig};
 use kyoto_cluster::events::{EventSchedule, EventScheduleConfig};
+use kyoto_cluster::faults::{FaultPlan, FaultPlanConfig};
 use kyoto_cluster::planner::{ConsolidationPolicy, PlannerConfig};
 use kyoto_cluster::snapshot::CellId;
 use kyoto_experiments::cloudscale;
@@ -235,6 +236,20 @@ fn cloud_engine_rate(sockets: usize, scale: u64, parallel: bool) -> f64 {
 /// analogue of the socket-parallel engine rows. Needs as many hardware
 /// threads as cells to approach the ideal.
 fn cluster_epoch_rate(cells: usize, scale: u64, parallel: bool) -> f64 {
+    cluster_epoch_rate_faulted(cells, scale, parallel, false)
+}
+
+/// [`cluster_epoch_rate`] with an optional zero-rate [`FaultPlan`]
+/// installed. A zero-rate plan schedules no faults, so the simulation is
+/// bit-identical to the plan-free run and the rate ratio isolates the pure
+/// bookkeeping cost of the fault boundary (expected ~1.0; CI asserts it
+/// stays above `KYOTO_MIN_FAULT_OVERHEAD_RATIO`).
+fn cluster_epoch_rate_faulted(
+    cells: usize,
+    scale: u64,
+    parallel: bool,
+    zero_rate_plan: bool,
+) -> f64 {
     const EPOCHS: u64 = 4;
     best_rate(EPOCHS as f64, || {
         let config = ClusterConfig::new(cells, scale)
@@ -242,14 +257,19 @@ fn cluster_epoch_rate(cells: usize, scale: u64, parallel: bool) -> f64 {
             .with_policy(ConsolidationPolicy::LoadBalance)
             .with_parallel_cells(parallel);
         let mut cluster = Cluster::new(config);
-        for i in 0..cells * 2 {
-            cluster.add_vm(
-                CellId(i % cells),
-                VmConfig::new(format!("vm{i}")),
-                Box::new(SpecWorkload::new(SpecApp::Gcc, scale, i as u64)),
-            );
+        if zero_rate_plan {
+            cluster.install_faults(FaultPlan::new(FaultPlanConfig::new(0xFA17)));
         }
-        cluster.run_epochs(EPOCHS);
+        for i in 0..cells * 2 {
+            cluster
+                .add_vm(
+                    CellId(i % cells),
+                    VmConfig::new(format!("vm{i}")),
+                    Box::new(SpecWorkload::new(SpecApp::Gcc, scale, i as u64)),
+                )
+                .expect("seeding stays within cell capacity");
+        }
+        cluster.run_epochs(EPOCHS).expect("bench run is fault-free");
         black_box(cluster.reports());
     })
 }
@@ -283,11 +303,13 @@ fn fleet_churn_epoch_rate(cells: usize, scale: u64, parallel: bool) -> f64 {
             .with_parallel_cells(parallel);
         let mut cluster = Cluster::new(config);
         for i in 0..cells * 2 {
-            cluster.add_vm(
-                CellId(i % cells),
-                VmConfig::new(format!("vm{i}")),
-                Box::new(SpecWorkload::new(SpecApp::Gcc, scale, i as u64)),
-            );
+            cluster
+                .add_vm(
+                    CellId(i % cells),
+                    VmConfig::new(format!("vm{i}")),
+                    Box::new(SpecWorkload::new(SpecApp::Gcc, scale, i as u64)),
+                )
+                .expect("seeding stays within cell capacity");
         }
         let mut spawn = |index: u64| -> (VmConfig, Box<dyn Workload>) {
             (
@@ -295,7 +317,9 @@ fn fleet_churn_epoch_rate(cells: usize, scale: u64, parallel: bool) -> f64 {
                 Box::new(SpecWorkload::new(SpecApp::Lbm, scale, 0xc0 + index)),
             )
         };
-        cluster.run_epochs_with_schedule(&schedule, EPOCHS, &mut spawn);
+        cluster
+            .run_epochs_with_schedule(&schedule, EPOCHS, &mut spawn)
+            .expect("bench run is fault-free");
         black_box(cluster.all_reports());
     })
 }
@@ -456,6 +480,28 @@ fn main() {
         churn_speedups.push((cells, parallel / serial));
     }
 
+    // Fault machinery overhead: the same fleet epoch loop with a zero-rate
+    // FaultPlan installed vs no plan at all. A zero-rate plan injects
+    // nothing, so the two runs are bit-identical and the ratio isolates the
+    // fault boundary's bookkeeping cost (~1.0 expected; ci/check_bench.sh
+    // asserts a floor).
+    let fault_overhead_ratio = {
+        let cells = 4usize;
+        let bare = cluster_epoch_rate_faulted(cells, config.scale, false, false);
+        let planned = cluster_epoch_rate_faulted(cells, config.scale, false, true);
+        samples.push(Sample {
+            name: "cluster_epoch_no_fault_plan_4cells",
+            unit: "epochs/s",
+            value: bare,
+        });
+        samples.push(Sample {
+            name: "cluster_epoch_zero_rate_plan_4cells",
+            unit: "epochs/s",
+            value: planned,
+        });
+        planned / bare
+    };
+
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"schema\": \"kyoto-substrate-bench/v1\",\n");
@@ -526,6 +572,12 @@ fn main() {
         };
         let _ = writeln!(json, "    \"{cells}_cells\": {speedup:.2}{comma}");
     }
+    json.push_str("  },\n");
+    json.push_str("  \"fault_machinery_overhead\": {\n");
+    let _ = writeln!(
+        json,
+        "    \"zero_rate_plan_vs_no_plan\": {fault_overhead_ratio:.2}"
+    );
     json.push_str("  },\n");
     json.push_str("  \"fleet_churn_parallel_vs_serial\": {\n");
     for (i, (cells, speedup)) in churn_speedups.iter().enumerate() {

@@ -25,8 +25,31 @@
 //! its whole working set through a cold cache. Downtime is therefore charged
 //! exactly once per move, and the cold-cache penalty emerges from the LLC
 //! simulation instead of being a constant.
+//!
+//! # Faults and recovery
+//!
+//! With a [`FaultPlan`] installed ([`Cluster::install_faults`]) the epoch
+//! boundary also applies deterministic faults (see [`crate::faults`]):
+//! crashed cells orphan their VMs into a bounded exponential-backoff retry
+//! queue (re-admission goes through the normal admission path and charges
+//! the arrival blackout), slowed-down cells run with a divided cycle
+//! budget, and planned migrations can abort at the source, in flight, or at
+//! the destination — always rolling the VM back to its source cell so no VM
+//! is ever lost or duplicated (the conservation property test pins this).
+//! Without a plan installed the fault path is never entered.
+//!
+//! # Checkpoint / restore
+//!
+//! [`Cluster::checkpoint`] deep-clones the entire fleet — machine state,
+//! hypervisors, in-flight arrivals, the retry queue, counters and history —
+//! into a [`FleetCheckpoint`](crate::checkpoint::FleetCheckpoint);
+//! [`Cluster::restore`] rebuilds a cluster that resumes **bit-identically**
+//! (property-tested across policies and planner modes).
 
+use crate::checkpoint::FleetCheckpoint;
+use crate::error::ClusterError;
 use crate::events::{EventSchedule, FleetEvent};
+use crate::faults::{AbortPoint, FaultCounts, FaultEvent, FaultPlan, RecoveryParams};
 use crate::planner::{
     ConsolidationPolicy, MigrationMove, MigrationPlan, MigrationPlanner, PlannerConfig,
 };
@@ -39,6 +62,7 @@ use kyoto_sim::pmc::PmcSet;
 use kyoto_sim::topology::{CoreId, Machine, MachineConfig, SocketId};
 use kyoto_sim::workload::Workload;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 
 /// Static configuration of a cluster.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -141,21 +165,40 @@ impl ClusterConfig {
 /// A VM arriving on a cell at the next epoch (the in-flight half of a live
 /// migration): the pieces `take_vm` extracted at the source, re-placed by
 /// the control plane.
-struct Arrival {
-    fleet: FleetVmId,
-    taken: TakenVm,
+pub(crate) struct Arrival {
+    pub(crate) fleet: FleetVmId,
+    pub(crate) taken: TakenVm,
+}
+
+impl Arrival {
+    fn try_clone(&self) -> Option<Arrival> {
+        Some(Arrival {
+            fleet: self.fleet,
+            taken: self.taken.try_clone()?,
+        })
+    }
 }
 
 /// One machine of the fleet: a simulated machine plus its own KS4Xen
 /// hypervisor. Cells own all their state; the cluster never reaches into a
 /// cell while another cell is running.
 pub struct Cell {
-    id: CellId,
-    hv: Hypervisor<Ks4Xen>,
-    arrivals: Vec<Arrival>,
+    pub(crate) id: CellId,
+    pub(crate) hv: Hypervisor<Ks4Xen>,
+    pub(crate) arrivals: Vec<Arrival>,
     /// Draining for maintenance: the cell accepts no placements and the
     /// planner evacuates it at every epoch boundary until it rejoins.
-    draining: bool,
+    pub(crate) draining: bool,
+    /// Crashed: the cell runs nothing and accepts nothing until the epoch
+    /// this holds (exclusive), at which point it reboots empty.
+    pub(crate) down_until: Option<u64>,
+    /// Slowed down: the cycle-budget divisor resets to 1 at the epoch this
+    /// holds (exclusive).
+    pub(crate) slow_until: Option<u64>,
+    /// Blackout windows owed to migrations that aborted at this cell after
+    /// it committed its handshake ([`AbortPoint::Dest`]): the cell stalls
+    /// for the downtime window without admitting anyone.
+    pub(crate) phantom_blackouts: u64,
 }
 
 impl Cell {
@@ -174,28 +217,55 @@ impl Cell {
         self.draining
     }
 
-    /// Runs one epoch: `downtime_ticks` of blackout first when arrivals are
-    /// pending, then the arrivals join (in plan order, through the admit
-    /// half of the live-migration path), then the rest of the epoch.
-    /// Returns the local ids handed to the arrivals.
-    fn run_epoch(&mut self, epoch_ticks: u64, downtime_ticks: u64) -> Vec<(FleetVmId, VmId)> {
-        let arrivals = std::mem::take(&mut self.arrivals);
-        if arrivals.is_empty() {
-            self.hv.run_ticks(epoch_ticks);
-            return Vec::new();
+    /// Whether the cell is down after a crash.
+    pub fn is_down(&self) -> bool {
+        self.down_until.is_some()
+    }
+
+    /// Runs one epoch. Phantom blackouts left by dest-side migration aborts
+    /// stall the *whole cell* first (its residents run nowhere during the
+    /// stall — the handshake cost of a migration the cell never got); then,
+    /// when arrivals are pending, `downtime_ticks` of blackout run without
+    /// them (the cost lands on the arriving VM), the arrivals join (in plan
+    /// order, through the admit half of the live-migration path), and the
+    /// rest of the epoch runs. Returns the local ids handed to the
+    /// arrivals. A down cell runs nothing.
+    fn run_epoch(
+        &mut self,
+        epoch_ticks: u64,
+        downtime_ticks: u64,
+    ) -> Result<Vec<(FleetVmId, VmId)>, ClusterError> {
+        if self.down_until.is_some() {
+            debug_assert!(
+                self.arrivals.is_empty() && self.phantom_blackouts == 0,
+                "a down cell can hold no pending work"
+            );
+            return Ok(Vec::new());
         }
-        let blackout = downtime_ticks.min(epoch_ticks);
+        let arrivals = std::mem::take(&mut self.arrivals);
+        let phantoms = std::mem::take(&mut self.phantom_blackouts);
+        let stall = (downtime_ticks * phantoms).min(epoch_ticks);
+        let remaining = epoch_ticks - stall;
+        if arrivals.is_empty() {
+            self.hv.run_ticks(remaining);
+            return Ok(Vec::new());
+        }
+        let blackout = downtime_ticks.min(remaining);
         self.hv.run_ticks(blackout);
         let mut placed = Vec::with_capacity(arrivals.len());
         for arrival in arrivals {
-            let local = self
-                .hv
-                .admit_vm(arrival.taken)
-                .expect("planned arrival is valid");
+            let local =
+                self.hv
+                    .admit_vm(arrival.taken)
+                    .map_err(|source| ClusterError::Admission {
+                        cell: self.id,
+                        vm: arrival.fleet,
+                        source,
+                    })?;
             placed.push((arrival.fleet, local));
         }
-        self.hv.run_ticks(epoch_ticks - blackout);
-        placed
+        self.hv.run_ticks(remaining - blackout);
+        Ok(placed)
     }
 }
 
@@ -242,11 +312,13 @@ impl Totals {
 }
 
 /// Control-plane state of one fleet VM.
-struct FleetVm {
+#[derive(Debug, Clone)]
+pub(crate) struct FleetVm {
     id: FleetVmId,
     name: String,
     cell: CellId,
-    /// Local id on the current cell; `None` while in flight between cells.
+    /// Local id on the current cell; `None` while in flight between cells
+    /// or orphaned by a crash.
     local: Option<VmId>,
     core: usize,
     working_set_bytes: u64,
@@ -260,6 +332,35 @@ struct FleetVm {
     /// Cluster tick at which the VM was added (so VMs arriving mid-run get
     /// a correct wall-clock denominator).
     added_at_tick: u64,
+    /// Waiting in the crash-recovery retry queue: the VM claims no cell
+    /// resources (core, snapshot slot, occupancy) until re-admitted.
+    orphaned: bool,
+}
+
+/// One crash-orphaned VM waiting in the retry queue: the pieces `take_vm`
+/// salvaged from the crashed cell, plus the backoff bookkeeping.
+pub(crate) struct Orphan {
+    pub(crate) fleet: FleetVmId,
+    pub(crate) taken: TakenVm,
+    /// Epoch of the crash that orphaned the VM (re-admission latency is
+    /// measured from here).
+    pub(crate) crashed_at: u64,
+    /// Failed re-admission attempts so far.
+    pub(crate) attempts: u32,
+    /// Next epoch at which admission is retried (exponential backoff).
+    pub(crate) next_attempt: u64,
+}
+
+impl Orphan {
+    fn try_clone(&self) -> Option<Orphan> {
+        Some(Orphan {
+            fleet: self.fleet,
+            taken: self.taken.try_clone()?,
+            crashed_at: self.crashed_at,
+            attempts: self.attempts,
+            next_attempt: self.next_attempt,
+        })
+    }
 }
 
 /// What the fleet-dynamics events of one epoch boundary did.
@@ -284,6 +385,8 @@ pub struct CellEpochStats {
     pub cell: CellId,
     /// Whether the cell was draining at the epoch boundary.
     pub draining: bool,
+    /// Whether the cell was down (crashed) at the epoch boundary.
+    pub down: bool,
     /// VMs resident at the epoch boundary.
     pub vms: usize,
     /// Instructions its VMs retired during the epoch.
@@ -310,6 +413,9 @@ pub struct EpochReport {
     /// Fleet-dynamics events applied at the boundary *before* this epoch
     /// ran (all-zero for epochs driven without an event stream).
     pub events: EventCounts,
+    /// Faults injected and recoveries performed at the boundary *before*
+    /// this epoch ran (all-zero without an installed [`FaultPlan`]).
+    pub faults: FaultCounts,
 }
 
 /// Fleet-wide execution report of one VM, spanning every cell it lived on.
@@ -370,23 +476,51 @@ impl FleetVmReport {
 
 /// The fleet: cells + control plane.
 pub struct Cluster {
-    config: ClusterConfig,
-    planner: MigrationPlanner,
-    cells: Vec<Cell>,
-    vms: Vec<FleetVm>,
-    /// Final reports of VMs that departed the fleet, in departure order.
-    departed: Vec<FleetVmReport>,
-    next_fleet_id: u32,
+    pub(crate) config: ClusterConfig,
+    pub(crate) planner: MigrationPlanner,
+    pub(crate) cells: Vec<Cell>,
+    pub(crate) vms: Vec<FleetVm>,
+    /// Final reports of VMs that departed the fleet (or were permanently
+    /// rejected after a crash), in departure order.
+    pub(crate) departed: Vec<FleetVmReport>,
+    /// Crash-orphaned VMs waiting for re-admission, in orphaning order.
+    pub(crate) retry: Vec<Orphan>,
+    /// The installed fault plan, if any. `None` keeps the fault path
+    /// entirely out of the epoch loop.
+    pub(crate) faults: Option<FaultPlan>,
+    pub(crate) next_fleet_id: u32,
     /// Monotonic index handed to the arrival spawner (also counts rejected
     /// arrivals, so the spawned stream is independent of admission luck).
-    arrival_index: u64,
-    epoch: u64,
-    total_migrations: u64,
-    total_arrivals: u64,
-    total_departures: u64,
-    rejected_arrivals: u64,
-    history: Vec<EpochReport>,
-    freq_khz: u64,
+    pub(crate) arrival_index: u64,
+    pub(crate) epoch: u64,
+    pub(crate) total_migrations: u64,
+    pub(crate) total_arrivals: u64,
+    pub(crate) total_departures: u64,
+    pub(crate) rejected_arrivals: u64,
+    /// Lifetime fault/recovery totals (sums of the per-epoch
+    /// [`EpochReport::faults`] counts).
+    pub(crate) total_faults: FaultCounts,
+    /// Summed re-admission latency (epochs from crash to re-queue) of every
+    /// readmitted orphan, for the mean latency metric.
+    pub(crate) readmission_latency_epochs: u64,
+    pub(crate) history: Vec<EpochReport>,
+    pub(crate) freq_khz: u64,
+}
+
+/// Builds one cell's hypervisor (shared by construction and post-crash
+/// reboot, so a rebooted cell is indistinguishable from a fresh one).
+fn build_cell_hv(config: &ClusterConfig, machine_config: &MachineConfig) -> Hypervisor<Ks4Xen> {
+    let mut hv = ks4xen_hypervisor(
+        Machine::new(machine_config.clone()),
+        config.hypervisor,
+        config.strategy,
+    );
+    if matches!(config.strategy, MonitoringStrategy::SimulatorAttribution) {
+        hv.engine_mut()
+            .enable_shadow_attribution()
+            .expect("valid LLC geometry");
+    }
+    hv
 }
 
 impl Cluster {
@@ -395,23 +529,14 @@ impl Cluster {
         let machine_config = config.cell_machine_config();
         let freq_khz = machine_config.freq_khz;
         let cells = (0..config.cells)
-            .map(|i| {
-                let mut hv = ks4xen_hypervisor(
-                    Machine::new(machine_config.clone()),
-                    config.hypervisor,
-                    config.strategy,
-                );
-                if matches!(config.strategy, MonitoringStrategy::SimulatorAttribution) {
-                    hv.engine_mut()
-                        .enable_shadow_attribution()
-                        .expect("valid LLC geometry");
-                }
-                Cell {
-                    id: CellId(i),
-                    hv,
-                    arrivals: Vec::new(),
-                    draining: false,
-                }
+            .map(|i| Cell {
+                id: CellId(i),
+                hv: build_cell_hv(&config, &machine_config),
+                arrivals: Vec::new(),
+                draining: false,
+                down_until: None,
+                slow_until: None,
+                phantom_blackouts: 0,
             })
             .collect();
         Cluster {
@@ -420,6 +545,8 @@ impl Cluster {
             cells,
             vms: Vec::new(),
             departed: Vec::new(),
+            retry: Vec::new(),
+            faults: None,
             next_fleet_id: 1,
             arrival_index: 0,
             epoch: 0,
@@ -427,9 +554,23 @@ impl Cluster {
             total_arrivals: 0,
             total_departures: 0,
             rejected_arrivals: 0,
+            total_faults: FaultCounts::default(),
+            readmission_latency_epochs: 0,
             history: Vec::new(),
             freq_khz,
         }
+    }
+
+    /// Installs (or replaces) the fault plan driving crash/slowdown/abort
+    /// injection at every subsequent epoch boundary. Without a plan the
+    /// fault machinery is never entered.
+    pub fn install_faults(&mut self, plan: FaultPlan) {
+        self.faults = Some(plan);
+    }
+
+    /// The installed fault plan, if any.
+    pub fn faults(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
     }
 
     /// The cluster configuration.
@@ -492,17 +633,51 @@ impl Cluster {
         self.cells[cell.0].draining
     }
 
+    /// Whether `cell` is down after a crash.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cell` does not exist.
+    pub fn is_down(&self, cell: CellId) -> bool {
+        self.cells[cell.0].is_down()
+    }
+
+    /// Lifetime fault and recovery totals (sums of the per-epoch
+    /// [`EpochReport::faults`] counts).
+    pub fn total_faults(&self) -> FaultCounts {
+        self.total_faults
+    }
+
+    /// Crash-orphaned VMs currently waiting in the re-admission retry
+    /// queue.
+    pub fn orphan_count(&self) -> usize {
+        self.retry.len()
+    }
+
+    /// Mean epochs from crash to successful re-admission across every
+    /// readmitted orphan so far (`None` until one has been readmitted).
+    pub fn mean_readmission_latency_epochs(&self) -> Option<f64> {
+        if self.total_faults.readmitted == 0 {
+            None
+        } else {
+            Some(self.readmission_latency_epochs as f64 / self.total_faults.readmitted as f64)
+        }
+    }
+
     /// Starts or stops draining `cell`. A draining cell accepts no churn
     /// arrivals and no planner moves, and the planner evacuates its
     /// resident VMs (via the live-migration path) at every epoch boundary
     /// until the cell is empty or rejoins.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when `cell` does not exist.
-    pub fn set_draining(&mut self, cell: CellId, draining: bool) {
-        assert!(cell.0 < self.cells.len(), "unknown {cell}");
+    /// [`ClusterError::UnknownCell`] when `cell` does not exist.
+    pub fn set_draining(&mut self, cell: CellId, draining: bool) -> Result<(), ClusterError> {
+        if cell.0 >= self.cells.len() {
+            return Err(ClusterError::UnknownCell { cell });
+        }
         self.cells[cell.0].draining = draining;
+        Ok(())
     }
 
     /// Total warm cache lines dropped at source cells by every migration so
@@ -521,18 +696,21 @@ impl Cluster {
     /// (placement is the control plane's job); its name, weight, cap and
     /// `llc_cap` permit are kept.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when `cell` does not exist.
+    /// [`ClusterError::UnknownCell`] when `cell` does not exist;
+    /// [`ClusterError::Admission`] when the cell's hypervisor refuses the
+    /// placement.
     pub fn add_vm(
         &mut self,
         cell: CellId,
         config: VmConfig,
         workload: Box<dyn Workload>,
-    ) -> FleetVmId {
-        assert!(cell.0 < self.cells.len(), "unknown {cell}");
+    ) -> Result<FleetVmId, ClusterError> {
+        if cell.0 >= self.cells.len() {
+            return Err(ClusterError::UnknownCell { cell });
+        }
         let fleet = FleetVmId(self.next_fleet_id);
-        self.next_fleet_id += 1;
         let core = self.free_core(cell);
         let working_set_bytes = workload.working_set_bytes();
         let config = VmConfig {
@@ -544,7 +722,12 @@ impl Cluster {
         let local = self.cells[cell.0]
             .hv
             .add_vm(config, vec![workload])
-            .expect("single workload on an existing core");
+            .map_err(|source| ClusterError::Admission {
+                cell,
+                vm: fleet,
+                source,
+            })?;
+        self.next_fleet_id += 1;
         self.vms.push(FleetVm {
             id: fleet,
             name,
@@ -557,18 +740,20 @@ impl Cluster {
             migrations: 0,
             flushed_lines: 0,
             added_at_tick: self.elapsed_ticks(),
+            orphaned: false,
         });
-        fleet
+        Ok(fleet)
     }
 
     /// Lowest core of `cell` not claimed by a resident or in-flight VM
-    /// (wraps into time-sharing when the cell is overfull).
+    /// (wraps into time-sharing when the cell is overfull). Orphaned VMs
+    /// claim nothing.
     fn free_core(&self, cell: CellId) -> usize {
         let cores = self.cores_per_cell();
         let used: Vec<usize> = self
             .vms
             .iter()
-            .filter(|vm| vm.cell == cell)
+            .filter(|vm| vm.cell == cell && !vm.orphaned)
             .map(|vm| vm.core)
             .collect();
         (0..cores)
@@ -576,16 +761,27 @@ impl Cluster {
             .unwrap_or(used.len() % cores.max(1))
     }
 
-    /// Runs one epoch: every cell executes `epoch_ticks` (serially or on
-    /// scoped threads, bit-identically), then the control plane snapshots
-    /// the fleet, plans migrations under the configured policy and applies
-    /// them (arrivals materialise during the *next* epoch). Returns the
-    /// epoch's report.
-    pub fn run_epoch(&mut self) -> &EpochReport {
+    /// Runs one epoch: the fault boundary fires first (recoveries, then the
+    /// [`FaultPlan`]'s faults, then the orphan retry queue), every cell
+    /// executes `epoch_ticks` (serially or on scoped threads,
+    /// bit-identically), then the control plane snapshots the fleet, plans
+    /// migrations under the configured policy and applies them — minus any
+    /// move an injected [`FaultEvent::MigrationAbort`] claims (arrivals
+    /// materialise during the *next* epoch). Returns the epoch's report.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Admission`] when a cell refuses an arrival it
+    /// previously had capacity for, [`ClusterError::InvalidPlan`] when the
+    /// planner emits a plan that fails validation — both indicate control-
+    /// plane bugs, surfaced instead of panicking the fleet.
+    pub fn run_epoch(&mut self) -> Result<&EpochReport, ClusterError> {
+        let mut faults = FaultCounts::default();
+        let aborts = self.apply_fault_boundary(&mut faults)?;
         let epoch_ticks = self.config.epoch_ticks;
         let downtime = self.planner.config().cost.downtime_ticks;
         let parallel = self.config.parallel_cells && self.cells.len() >= 2;
-        let placements: Vec<Vec<(FleetVmId, VmId)>> = if parallel {
+        let placements: Vec<Result<Vec<(FleetVmId, VmId)>, ClusterError>> = if parallel {
             std::thread::scope(|scope| {
                 let handles: Vec<_> = self
                     .cells
@@ -604,7 +800,7 @@ impl Cluster {
                 .collect()
         };
         for placed in placements {
-            for (fleet, local) in placed {
+            for (fleet, local) in placed? {
                 let vm = self
                     .vms
                     .iter_mut()
@@ -615,8 +811,11 @@ impl Cluster {
         }
         let snapshot = self.snapshot_and_advance();
         let plan = self.planner.plan(&snapshot, self.config.policy);
-        debug_assert_eq!(plan.validate(&snapshot), Ok(()));
-        self.apply(&plan);
+        if let Err(reason) = plan.validate(&snapshot) {
+            return Err(ClusterError::InvalidPlan { reason });
+        }
+        self.apply(&plan, &aborts, &mut faults);
+        self.total_faults.accumulate(&faults);
         self.history.push(EpochReport {
             epoch: self.epoch,
             cells: snapshot
@@ -625,6 +824,7 @@ impl Cluster {
                 .map(|cell| CellEpochStats {
                     cell: cell.cell,
                     draining: cell.draining,
+                    down: cell.down,
                     vms: cell.vms.len(),
                     instructions: cell.vms.iter().map(|vm| vm.instructions).sum(),
                     llc_misses: cell.vms.iter().map(|vm| vm.llc_misses).sum(),
@@ -634,16 +834,18 @@ impl Cluster {
                 .collect(),
             migrations: plan.moves,
             events: EventCounts::default(),
+            faults,
         });
         self.epoch += 1;
-        self.history.last().expect("just pushed")
+        Ok(self.history.last().expect("just pushed"))
     }
 
-    /// Runs `epochs` epochs.
-    pub fn run_epochs(&mut self, epochs: u64) {
+    /// Runs `epochs` epochs, stopping at the first error.
+    pub fn run_epochs(&mut self, epochs: u64) -> Result<(), ClusterError> {
         for _ in 0..epochs {
-            self.run_epoch();
+            self.run_epoch()?;
         }
+        Ok(())
     }
 
     /// Applies fleet-dynamics events at this epoch boundary, then runs one
@@ -668,14 +870,14 @@ impl Cluster {
         &mut self,
         events: &[FleetEvent],
         spawn: &mut dyn FnMut(u64) -> (VmConfig, Box<dyn Workload>),
-    ) -> &EpochReport {
+    ) -> Result<&EpochReport, ClusterError> {
         let mut counts = EventCounts::default();
         for &event in events {
-            self.apply_event(event, spawn, &mut counts);
+            self.apply_event(event, spawn, &mut counts)?;
         }
-        self.run_epoch();
+        self.run_epoch()?;
         self.history.last_mut().expect("just pushed").events = counts;
-        self.history.last().expect("just pushed")
+        Ok(self.history.last().expect("just pushed"))
     }
 
     /// Runs `epochs` epochs under `schedule`, applying each epoch's events
@@ -685,34 +887,40 @@ impl Cluster {
         schedule: &EventSchedule,
         epochs: u64,
         spawn: &mut dyn FnMut(u64) -> (VmConfig, Box<dyn Workload>),
-    ) {
+    ) -> Result<(), ClusterError> {
         for _ in 0..epochs {
             let events = schedule.events_for_epoch(self.epoch);
-            self.run_epoch_with_events(&events, spawn);
+            self.run_epoch_with_events(&events, spawn)?;
         }
+        Ok(())
     }
 
-    /// Applies one fleet-dynamics event.
+    /// Applies one fleet-dynamics event. Referencing a cell that does not
+    /// exist is a schedule-configuration bug; silently dropping the event
+    /// would quietly measure a different scenario, so it surfaces as
+    /// [`ClusterError::UnknownCell`].
     fn apply_event(
         &mut self,
         event: FleetEvent,
         spawn: &mut dyn FnMut(u64) -> (VmConfig, Box<dyn Workload>),
         counts: &mut EventCounts,
-    ) {
+    ) -> Result<(), ClusterError> {
         match event {
             FleetEvent::CellDrain(cell) => {
-                // Cell ids are static schedule configuration: referencing a
-                // cell that does not exist is a config bug, and silently
-                // dropping the drain would quietly measure a no-maintenance
-                // run — fail loudly instead (matching `set_draining`).
-                assert!(cell.0 < self.cells.len(), "unknown {cell}");
+                if cell.0 >= self.cells.len() {
+                    return Err(ClusterError::UnknownCell { cell });
+                }
                 if !self.cells[cell.0].draining {
                     self.cells[cell.0].draining = true;
                     counts.drains += 1;
                 }
             }
             FleetEvent::CellJoin(cell) => {
-                assert!(cell.0 < self.cells.len(), "unknown {cell}");
+                if cell.0 >= self.cells.len() {
+                    return Err(ClusterError::UnknownCell { cell });
+                }
+                // Joining clears the draining flag only: a crashed cell
+                // stays down until its reboot epoch regardless of joins.
                 if self.cells[cell.0].draining {
                     self.cells[cell.0].draining = false;
                     counts.joins += 1;
@@ -730,7 +938,7 @@ impl Cluster {
                 let (config, workload) = spawn(index);
                 match self.admission_cell() {
                     Some(cell) => {
-                        self.add_vm(cell, config, workload);
+                        self.add_vm(cell, config, workload)?;
                         counts.arrivals += 1;
                         self.total_arrivals += 1;
                     }
@@ -741,46 +949,59 @@ impl Cluster {
                 }
             }
         }
+        Ok(())
     }
 
-    /// The admission target for a churn arrival: the open (non-draining)
-    /// cell with the most free cores, ties toward the lowest id. `None`
-    /// when every cell is draining or full.
+    /// The admission target for a churn arrival or an orphan re-admission:
+    /// the open (neither draining nor down) cell with the most free cores,
+    /// ties toward the lowest id. `None` when every cell is draining, down
+    /// or full.
     fn admission_cell(&self) -> Option<CellId> {
         let cores = self.cores_per_cell();
         let occupancy = self.occupancies();
         (0..self.cells.len())
-            .filter(|&c| !self.cells[c].draining && occupancy[c] < cores)
+            .filter(|&c| {
+                !self.cells[c].draining && !self.cells[c].is_down() && occupancy[c] < cores
+            })
             .max_by_key(|&c| (cores - occupancy[c], std::cmp::Reverse(c)))
             .map(CellId)
     }
 
     /// Removes the VM a departure event selects: `pick % population` over
-    /// the resident VMs in fleet-id order. In-flight VMs (mid-migration)
-    /// are not candidates. Returns false on an empty fleet.
+    /// the resident *and orphaned* VMs in fleet-id order (a customer can
+    /// cancel a VM that is waiting out a crash; it leaves the retry queue
+    /// with its report archived). In-flight VMs (mid-migration) are not
+    /// candidates. Returns false on an empty fleet.
     fn depart_vm(&mut self, pick: u64) -> bool {
-        let resident: Vec<usize> = self
+        let candidates: Vec<usize> = self
             .vms
             .iter()
             .enumerate()
-            .filter(|(_, vm)| vm.local.is_some())
+            .filter(|(_, vm)| vm.local.is_some() || vm.orphaned)
             .map(|(index, _)| index)
             .collect();
-        if resident.is_empty() {
+        if candidates.is_empty() {
             return false;
         }
-        let index = resident[(pick % resident.len() as u64) as usize];
+        let index = candidates[(pick % candidates.len() as u64) as usize];
         let report = self
             .report(self.vms[index].id)
             .expect("departing VM is known");
-        let local = self.vms[index].local.take().expect("resident VM");
-        let cell = self.vms[index].cell;
-        // Extraction flushes the VM's cache lines at the source; the pieces
-        // leave the fleet, so nothing is re-admitted anywhere.
-        let _ = self.cells[cell.0]
-            .hv
-            .take_vm(local)
-            .expect("departing VM is resident on its cell");
+        if self.vms[index].orphaned {
+            // The VM never made it back from its crash: drop its retry
+            // entry along with it.
+            let fleet = self.vms[index].id;
+            self.retry.retain(|orphan| orphan.fleet != fleet);
+        } else {
+            let local = self.vms[index].local.take().expect("resident VM");
+            let cell = self.vms[index].cell;
+            // Extraction flushes the VM's cache lines at the source; the
+            // pieces leave the fleet, so nothing is re-admitted anywhere.
+            let _ = self.cells[cell.0]
+                .hv
+                .take_vm(local)
+                .expect("departing VM is resident on its cell");
+        }
         self.vms.remove(index);
         self.departed.push(report);
         true
@@ -800,10 +1021,11 @@ impl Cluster {
                 cell: cell.id,
                 cores,
                 draining: cell.draining,
+                down: cell.is_down(),
                 vms: Vec::new(),
             })
             .collect();
-        for vm in &self.vms {
+        for vm in self.vms.iter().filter(|vm| !vm.orphaned) {
             cells[vm.cell.0].vms.push(self.vm_snapshot(vm, vm.last));
         }
         ClusterSnapshot {
@@ -883,43 +1105,484 @@ impl Cluster {
     /// Applies a migration plan: extract each VM from its source cell (cache
     /// flushed, workload state kept) and queue it on the destination, where
     /// it lands on the lowest free core after the downtime blackout.
-    fn apply(&mut self, plan: &MigrationPlan) {
-        for mv in &plan.moves {
-            let index = self
-                .vms
-                .iter()
-                .position(|vm| vm.id == mv.vm)
-                .expect("planned VM is known");
-            let local = self.vms[index]
-                .local
-                .take()
-                .expect("planned VM is resident");
-            let mut taken = self.cells[mv.from.0]
+    ///
+    /// `aborts` carries the epoch's injected [`FaultEvent::MigrationAbort`]
+    /// picks; each is folded onto the move list at apply time (`pick %
+    /// moves`), first claim wins. An aborted move rolls back atomically —
+    /// the VM ends the boundary attached to its source cell, never lost or
+    /// duplicated — but the cost already sunk is not refunded (see
+    /// [`AbortPoint`]). Only completed moves count as migrations.
+    fn apply(
+        &mut self,
+        plan: &MigrationPlan,
+        aborts: &[(u64, AbortPoint)],
+        counts: &mut FaultCounts,
+    ) {
+        let mut claimed: BTreeMap<usize, AbortPoint> = BTreeMap::new();
+        if !plan.moves.is_empty() {
+            for &(pick, at) in aborts {
+                claimed
+                    .entry((pick % plan.moves.len() as u64) as usize)
+                    .or_insert(at);
+            }
+        }
+        let mut completed = 0u64;
+        for (mv_index, mv) in plan.moves.iter().enumerate() {
+            match claimed.get(&mv_index).copied() {
+                Some(AbortPoint::Source) => {
+                    // Pre-copy failed before suspension: the move is simply
+                    // cancelled and the VM keeps running at the source.
+                    counts.aborted_source += 1;
+                    continue;
+                }
+                Some(at @ (AbortPoint::InFlight | AbortPoint::Dest)) => {
+                    // The protocol got as far as extraction, so the rollback
+                    // re-admits the VM on its *source* cell: it pays the
+                    // blackout and arrives with a cold cache — all the cost
+                    // of a migration with none of the benefit. The move
+                    // never completed, so `migrations` is not incremented.
+                    let index = self
+                        .vms
+                        .iter()
+                        .position(|vm| vm.id == mv.vm)
+                        .expect("planned VM is known");
+                    let local = self.vms[index]
+                        .local
+                        .take()
+                        .expect("planned VM is resident");
+                    let mut taken = self.cells[mv.from.0]
+                        .hv
+                        .take_vm(local)
+                        .expect("planned VM is resident on its source cell");
+                    let core = self.vms[index].core;
+                    {
+                        let vm = &mut self.vms[index];
+                        vm.carried = vm.carried.plus(Totals::of(&taken.report));
+                        vm.flushed_lines += taken.flushed_lines;
+                    }
+                    taken.config = VmConfig {
+                        pinning: Some(vec![CoreId(core)]),
+                        numa_node: None,
+                        ..taken.config
+                    };
+                    self.cells[mv.from.0].arrivals.push(Arrival {
+                        fleet: mv.vm,
+                        taken,
+                    });
+                    if at == AbortPoint::Dest {
+                        // The destination had already committed its blackout
+                        // window: it stalls for a handshake it got nothing
+                        // for.
+                        self.cells[mv.to.0].phantom_blackouts += 1;
+                        counts.aborted_dest += 1;
+                    } else {
+                        counts.aborted_in_flight += 1;
+                    }
+                }
+                None => {
+                    let index = self
+                        .vms
+                        .iter()
+                        .position(|vm| vm.id == mv.vm)
+                        .expect("planned VM is known");
+                    let local = self.vms[index]
+                        .local
+                        .take()
+                        .expect("planned VM is resident");
+                    let mut taken = self.cells[mv.from.0]
+                        .hv
+                        .take_vm(local)
+                        .expect("planned VM is resident on its source cell");
+                    let core = self.free_core(mv.to);
+                    {
+                        let vm = &mut self.vms[index];
+                        vm.carried = vm.carried.plus(Totals::of(&taken.report));
+                        vm.cell = mv.to;
+                        vm.core = core;
+                        vm.migrations += 1;
+                        vm.flushed_lines += taken.flushed_lines;
+                    }
+                    // Re-place for the destination cell; everything else the
+                    // source extracted travels as-is through the admit path.
+                    taken.config = VmConfig {
+                        pinning: Some(vec![CoreId(core)]),
+                        numa_node: None,
+                        ..taken.config
+                    };
+                    self.cells[mv.to.0].arrivals.push(Arrival {
+                        fleet: mv.vm,
+                        taken,
+                    });
+                    completed += 1;
+                }
+            }
+        }
+        self.total_migrations += completed;
+    }
+
+    /// Applies the fault boundary of the current epoch: expire slowdowns and
+    /// reboot cells whose down time is over, inject the [`FaultPlan`]'s
+    /// faults for this epoch (crashes and slowdowns act immediately;
+    /// migration-abort picks are collected and returned for
+    /// [`Cluster::apply`] to fold onto the plan), then walk the orphan
+    /// retry queue. A no-op returning no aborts when no plan is installed.
+    fn apply_fault_boundary(
+        &mut self,
+        counts: &mut FaultCounts,
+    ) -> Result<Vec<(u64, AbortPoint)>, ClusterError> {
+        let Some(plan) = &self.faults else {
+            return Ok(Vec::new());
+        };
+        let params = plan.recovery();
+        let planned = plan.faults_for_epoch(self.epoch);
+        let epoch = self.epoch;
+        for cell in &mut self.cells {
+            if cell.down_until.is_some_and(|until| epoch >= until) {
+                // The machine finished rebooting: it rejoins empty (its
+                // hypervisor was rebuilt fresh at crash time).
+                cell.down_until = None;
+                counts.recoveries += 1;
+            }
+            if cell.slow_until.is_some_and(|until| epoch >= until) {
+                cell.slow_until = None;
+                cell.hv.set_cycle_budget_divisor(1);
+            }
+        }
+        let mut aborts = Vec::new();
+        for fault in planned {
+            match fault {
+                FaultEvent::CellCrash { pick } => {
+                    let up: Vec<usize> = (0..self.cells.len())
+                        .filter(|&c| !self.cells[c].is_down())
+                        .collect();
+                    if up.is_empty() {
+                        continue;
+                    }
+                    let victim = up[(pick % up.len() as u64) as usize];
+                    self.crash_cell_now(CellId(victim), params, counts)?;
+                }
+                FaultEvent::CellSlowdown { pick } => {
+                    let up: Vec<usize> = (0..self.cells.len())
+                        .filter(|&c| !self.cells[c].is_down())
+                        .collect();
+                    if up.is_empty() {
+                        continue;
+                    }
+                    let victim = &mut self.cells[up[(pick % up.len() as u64) as usize]];
+                    victim.hv.set_cycle_budget_divisor(params.slowdown_factor);
+                    victim.slow_until = Some(epoch + params.slowdown_epochs);
+                    counts.slowdowns += 1;
+                }
+                FaultEvent::MigrationAbort { pick, at } => aborts.push((pick, at)),
+            }
+        }
+        self.process_retry_queue(params, counts)?;
+        Ok(aborts)
+    }
+
+    /// Crashes `cell` right now: resident VMs are extracted (their totals
+    /// and flushed lines charged) and orphaned into the retry queue,
+    /// in-flight arrivals headed here are orphaned too (their totals were
+    /// already charged at extraction), pending phantom blackouts die with
+    /// the machine, the hypervisor is rebuilt fresh, and the cell stays
+    /// down for the configured number of epochs. The draining flag
+    /// survives the crash — a crashed maintenance drain resumes as a drain
+    /// after reboot instead of deadlocking.
+    fn crash_cell_now(
+        &mut self,
+        cell: CellId,
+        params: RecoveryParams,
+        counts: &mut FaultCounts,
+    ) -> Result<(), ClusterError> {
+        let epoch = self.epoch;
+        counts.crashes += 1;
+        let residents: Vec<usize> = self
+            .vms
+            .iter()
+            .enumerate()
+            .filter(|(_, vm)| vm.cell == cell && vm.local.is_some())
+            .map(|(index, _)| index)
+            .collect();
+        for index in residents {
+            let local = self.vms[index].local.take().expect("resident VM");
+            let taken = self.cells[cell.0]
                 .hv
                 .take_vm(local)
-                .expect("planned VM is resident on its source cell");
-            let core = self.free_core(mv.to);
-            {
+                .map_err(|source| ClusterError::Hypervisor { cell, source })?;
+            let fleet = {
                 let vm = &mut self.vms[index];
                 vm.carried = vm.carried.plus(Totals::of(&taken.report));
-                vm.cell = mv.to;
-                vm.core = core;
-                vm.migrations += 1;
                 vm.flushed_lines += taken.flushed_lines;
-            }
-            // Re-place for the destination cell; everything else the source
-            // extracted travels as-is through the admit path.
-            taken.config = VmConfig {
-                pinning: Some(vec![CoreId(core)]),
-                numa_node: None,
-                ..taken.config
+                vm.orphaned = true;
+                vm.id
             };
-            self.cells[mv.to.0].arrivals.push(Arrival {
-                fleet: mv.vm,
+            counts.orphaned += 1;
+            self.retry.push(Orphan {
+                fleet,
                 taken,
+                crashed_at: epoch,
+                attempts: 0,
+                next_attempt: epoch + 1,
             });
         }
-        self.total_migrations += plan.moves.len() as u64;
+        for arrival in std::mem::take(&mut self.cells[cell.0].arrivals) {
+            if let Some(vm) = self.vms.iter_mut().find(|vm| vm.id == arrival.fleet) {
+                vm.orphaned = true;
+            }
+            counts.orphaned += 1;
+            self.retry.push(Orphan {
+                fleet: arrival.fleet,
+                taken: arrival.taken,
+                crashed_at: epoch,
+                attempts: 0,
+                next_attempt: epoch + 1,
+            });
+        }
+        let machine_config = self.config.cell_machine_config();
+        let crashed = &mut self.cells[cell.0];
+        crashed.phantom_blackouts = 0;
+        crashed.slow_until = None;
+        crashed.hv = build_cell_hv(&self.config, &machine_config);
+        crashed.down_until = Some(epoch + params.down_epochs);
+        Ok(())
+    }
+
+    /// Walks the orphan retry queue in orphaning order: every due orphan is
+    /// re-admitted onto the best open cell (through the normal arrival
+    /// path, so the blackout is charged naturally), or backs off
+    /// exponentially, or — once its retry budget is exhausted — is
+    /// permanently rejected with its final report archived. Nothing is
+    /// silently dropped.
+    fn process_retry_queue(
+        &mut self,
+        params: RecoveryParams,
+        counts: &mut FaultCounts,
+    ) -> Result<(), ClusterError> {
+        let epoch = self.epoch;
+        let mut index = 0;
+        while index < self.retry.len() {
+            if self.retry[index].next_attempt > epoch {
+                index += 1;
+                continue;
+            }
+            match self.admission_cell() {
+                Some(cell) => {
+                    let orphan = self.retry.remove(index);
+                    let core = self.free_core(cell);
+                    let mut taken = orphan.taken;
+                    taken.config = VmConfig {
+                        pinning: Some(vec![CoreId(core)]),
+                        numa_node: None,
+                        ..taken.config
+                    };
+                    let vm = self
+                        .vms
+                        .iter_mut()
+                        .find(|vm| vm.id == orphan.fleet)
+                        .ok_or(ClusterError::UnknownVm { vm: orphan.fleet })?;
+                    vm.cell = cell;
+                    vm.core = core;
+                    vm.orphaned = false;
+                    self.cells[cell.0].arrivals.push(Arrival {
+                        fleet: orphan.fleet,
+                        taken,
+                    });
+                    counts.readmitted += 1;
+                    self.readmission_latency_epochs += epoch - orphan.crashed_at;
+                }
+                None => {
+                    self.retry[index].attempts += 1;
+                    if self.retry[index].attempts >= params.max_retries {
+                        let orphan = self.retry.remove(index);
+                        let report = self
+                            .report(orphan.fleet)
+                            .ok_or(ClusterError::UnknownVm { vm: orphan.fleet })?;
+                        let position = self
+                            .vms
+                            .iter()
+                            .position(|vm| vm.id == orphan.fleet)
+                            .ok_or(ClusterError::UnknownVm { vm: orphan.fleet })?;
+                        self.vms.remove(position);
+                        self.departed.push(report);
+                        counts.rejected_orphans += 1;
+                    } else {
+                        let attempts = self.retry[index].attempts;
+                        self.retry[index].next_attempt = epoch + (1u64 << attempts.min(6));
+                        counts.retry_backoffs += 1;
+                        index += 1;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks the fleet's VM-conservation invariants — the property the
+    /// fault machinery must never break: every VM ever admitted is
+    /// accounted for exactly once (live or departed), the retry queue and
+    /// the `orphaned` flags mirror each other, no VM is resident on a down
+    /// cell, and every in-flight VM sits in exactly one arrival queue.
+    /// Returns a description of the first violation.
+    pub fn verify_conservation(&self) -> Result<(), String> {
+        for orphan in &self.retry {
+            match self.vms.iter().find(|vm| vm.id == orphan.fleet) {
+                None => {
+                    return Err(format!(
+                        "{} is retry-queued but missing from the fleet",
+                        orphan.fleet
+                    ))
+                }
+                Some(vm) if !vm.orphaned => {
+                    return Err(format!(
+                        "{} is retry-queued but not flagged orphaned",
+                        vm.id
+                    ))
+                }
+                Some(vm) if vm.local.is_some() => {
+                    return Err(format!("{} is both orphaned and resident", vm.id))
+                }
+                _ => {}
+            }
+        }
+        for vm in self.vms.iter().filter(|vm| vm.orphaned) {
+            if !self.retry.iter().any(|orphan| orphan.fleet == vm.id) {
+                return Err(format!(
+                    "{} is flagged orphaned but missing from the retry queue",
+                    vm.id
+                ));
+            }
+        }
+        let mut ids: Vec<u32> = self
+            .vms
+            .iter()
+            .map(|vm| vm.id.0)
+            .chain(self.departed.iter().map(|report| report.vm.0))
+            .collect();
+        ids.sort_unstable();
+        let assigned = ids.len();
+        ids.dedup();
+        if ids.len() != assigned {
+            return Err("a fleet VM is accounted for twice across live and departed".to_string());
+        }
+        if assigned as u32 != self.next_fleet_id - 1 {
+            return Err(format!(
+                "{} fleet ids were assigned but only {assigned} VMs are accounted for",
+                self.next_fleet_id - 1
+            ));
+        }
+        for vm in self.vms.iter().filter(|vm| !vm.orphaned) {
+            if vm.local.is_none() {
+                let queued = self
+                    .cells
+                    .iter()
+                    .flat_map(|cell| cell.arrivals.iter())
+                    .filter(|arrival| arrival.fleet == vm.id)
+                    .count();
+                if queued != 1 {
+                    return Err(format!(
+                        "{} is in flight but sits in {queued} arrival queues",
+                        vm.id
+                    ));
+                }
+            } else if self.cells[vm.cell.0].is_down() {
+                return Err(format!("{} is resident on down {}", vm.id, vm.cell));
+            }
+        }
+        Ok(())
+    }
+
+    /// Deep-copies the entire fleet — machine state, hypervisors, in-flight
+    /// arrivals, the retry queue, counters and history — into a
+    /// [`FleetCheckpoint`]. [`Cluster::restore`] resumes bit-identically.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Checkpoint`] when a cell's hypervisor hosts a
+    /// workload without [`Workload::try_clone_box`] support;
+    /// [`ClusterError::UncloneableVm`] when such a workload is travelling
+    /// outside any hypervisor (in flight or orphaned).
+    pub fn checkpoint(&self) -> Result<FleetCheckpoint, ClusterError> {
+        let mut cells = Vec::with_capacity(self.cells.len());
+        for cell in &self.cells {
+            let hv = cell
+                .hv
+                .try_clone()
+                .map_err(|source| ClusterError::Checkpoint {
+                    cell: cell.id,
+                    source,
+                })?;
+            let mut arrivals = Vec::with_capacity(cell.arrivals.len());
+            for arrival in &cell.arrivals {
+                arrivals.push(
+                    arrival
+                        .try_clone()
+                        .ok_or(ClusterError::UncloneableVm { vm: arrival.fleet })?,
+                );
+            }
+            cells.push(Cell {
+                id: cell.id,
+                hv,
+                arrivals,
+                draining: cell.draining,
+                down_until: cell.down_until,
+                slow_until: cell.slow_until,
+                phantom_blackouts: cell.phantom_blackouts,
+            });
+        }
+        let mut retry = Vec::with_capacity(self.retry.len());
+        for orphan in &self.retry {
+            retry.push(
+                orphan
+                    .try_clone()
+                    .ok_or(ClusterError::UncloneableVm { vm: orphan.fleet })?,
+            );
+        }
+        Ok(FleetCheckpoint {
+            config: self.config,
+            cells,
+            vms: self.vms.clone(),
+            departed: self.departed.clone(),
+            retry,
+            faults: self.faults.clone(),
+            next_fleet_id: self.next_fleet_id,
+            arrival_index: self.arrival_index,
+            epoch: self.epoch,
+            total_migrations: self.total_migrations,
+            total_arrivals: self.total_arrivals,
+            total_departures: self.total_departures,
+            rejected_arrivals: self.rejected_arrivals,
+            total_faults: self.total_faults,
+            readmission_latency_epochs: self.readmission_latency_epochs,
+            history: self.history.clone(),
+            freq_khz: self.freq_khz,
+        })
+    }
+
+    /// Rebuilds a cluster from a [`FleetCheckpoint`]. The restored cluster
+    /// resumes **bit-identically**: `run(k)` equals
+    /// `restore(checkpoint(run(j))).run(k - j)` for every `j <= k`
+    /// (property-tested across policies and planner modes).
+    pub fn restore(checkpoint: FleetCheckpoint) -> Cluster {
+        Cluster {
+            planner: MigrationPlanner::new(checkpoint.config.planner),
+            config: checkpoint.config,
+            cells: checkpoint.cells,
+            vms: checkpoint.vms,
+            departed: checkpoint.departed,
+            retry: checkpoint.retry,
+            faults: checkpoint.faults,
+            next_fleet_id: checkpoint.next_fleet_id,
+            arrival_index: checkpoint.arrival_index,
+            epoch: checkpoint.epoch,
+            total_migrations: checkpoint.total_migrations,
+            total_arrivals: checkpoint.total_arrivals,
+            total_departures: checkpoint.total_departures,
+            rejected_arrivals: checkpoint.rejected_arrivals,
+            total_faults: checkpoint.total_faults,
+            readmission_latency_epochs: checkpoint.readmission_latency_epochs,
+            history: checkpoint.history,
+            freq_khz: checkpoint.freq_khz,
+        }
     }
 
     /// The fleet-wide report of one VM.
@@ -966,10 +1629,11 @@ impl Cluster {
     }
 
     /// Current VM count per cell (including in-flight arrivals headed
-    /// there), in cell order.
+    /// there, excluding orphans — they claim no cell until re-admitted),
+    /// in cell order.
     pub fn occupancies(&self) -> Vec<usize> {
         let mut occupancy = vec![0usize; self.cells.len()];
-        for vm in &self.vms {
+        for vm in self.vms.iter().filter(|vm| !vm.orphaned) {
             occupancy[vm.cell.0] += 1;
         }
         occupancy
@@ -993,11 +1657,13 @@ mod tests {
         for i in 0..vms {
             let app = apps[i % apps.len()];
             let cell = CellId(i % cluster.num_cells());
-            cluster.add_vm(
-                cell,
-                VmConfig::new(format!("vm{i}-{}", app.name())),
-                workload(app, 0xf1ee7 + i as u64),
-            );
+            cluster
+                .add_vm(
+                    cell,
+                    VmConfig::new(format!("vm{i}-{}", app.name())),
+                    workload(app, 0xf1ee7 + i as u64),
+                )
+                .unwrap();
         }
         cluster
     }
@@ -1005,7 +1671,7 @@ mod tests {
     #[test]
     fn vms_run_and_report_across_epochs() {
         let mut cluster = seeded(ClusterConfig::new(2, SCALE).with_epoch_ticks(4), 4);
-        cluster.run_epochs(2);
+        cluster.run_epochs(2).unwrap();
         assert_eq!(cluster.epoch(), 2);
         assert_eq!(cluster.elapsed_ticks(), 8);
         let reports = cluster.reports();
@@ -1026,14 +1692,16 @@ mod tests {
             .with_policy(ConsolidationPolicy::LoadBalance);
         let mut cluster = Cluster::new(config);
         for i in 0..4 {
-            cluster.add_vm(
-                CellId(0),
-                VmConfig::new(format!("vm{i}")),
-                workload(SpecApp::Gcc, i as u64),
-            );
+            cluster
+                .add_vm(
+                    CellId(0),
+                    VmConfig::new(format!("vm{i}")),
+                    workload(SpecApp::Gcc, i as u64),
+                )
+                .unwrap();
         }
         assert_eq!(cluster.occupancies(), vec![4, 0]);
-        cluster.run_epochs(3);
+        cluster.run_epochs(3).unwrap();
         assert_eq!(cluster.occupancies(), vec![2, 2]);
         assert!(cluster.total_migrations() >= 2);
         let migrated: u64 = cluster.reports().iter().map(|r| r.migrations).sum();
@@ -1049,13 +1717,15 @@ mod tests {
         // One VM per cell; the machine has 4 cores per cell, so all three
         // fit on one cell.
         for i in 0..3 {
-            cluster.add_vm(
-                CellId(i),
-                VmConfig::new(format!("vm{i}")),
-                workload(SpecApp::Gcc, i as u64),
-            );
+            cluster
+                .add_vm(
+                    CellId(i),
+                    VmConfig::new(format!("vm{i}")),
+                    workload(SpecApp::Gcc, i as u64),
+                )
+                .unwrap();
         }
-        cluster.run_epochs(3);
+        cluster.run_epochs(3).unwrap();
         let occupancies = cluster.occupancies();
         let empty = occupancies.iter().filter(|&&n| n == 0).count();
         assert_eq!(
@@ -1076,13 +1746,15 @@ mod tests {
             );
         let mut cluster = Cluster::new(config);
         for i in 0..2 {
-            cluster.add_vm(
-                CellId(0),
-                VmConfig::new(format!("vm{i}")),
-                workload(SpecApp::Gcc, i as u64),
-            );
+            cluster
+                .add_vm(
+                    CellId(0),
+                    VmConfig::new(format!("vm{i}")),
+                    workload(SpecApp::Gcc, i as u64),
+                )
+                .unwrap();
         }
-        cluster.run_epochs(3);
+        cluster.run_epochs(3).unwrap();
         let reports = cluster.reports();
         let moved: Vec<_> = reports.iter().filter(|r| r.migrations > 0).collect();
         assert_eq!(moved.len(), 1);
@@ -1102,13 +1774,17 @@ mod tests {
             .with_policy(ConsolidationPolicy::LoadBalance)
             .with_planner(PlannerConfig::default().with_max_moves(1));
         let mut cluster = Cluster::new(config);
-        let a = cluster.add_vm(CellId(0), VmConfig::new("a"), workload(SpecApp::Gcc, 1));
-        cluster.add_vm(CellId(0), VmConfig::new("b"), workload(SpecApp::Gcc, 2));
-        cluster.run_epoch();
+        let a = cluster
+            .add_vm(CellId(0), VmConfig::new("a"), workload(SpecApp::Gcc, 1))
+            .unwrap();
+        cluster
+            .add_vm(CellId(0), VmConfig::new("b"), workload(SpecApp::Gcc, 2))
+            .unwrap();
+        cluster.run_epoch().unwrap();
         // The balancer moved the most recent arrival (b) — a stays warm.
         let b = cluster.reports()[1].vm;
         let before = cluster.report(b).unwrap().pmcs.llc_misses;
-        cluster.run_epoch();
+        cluster.run_epoch().unwrap();
         let after = cluster.report(b).unwrap().pmcs.llc_misses;
         assert!(
             after > before,
@@ -1131,7 +1807,7 @@ mod tests {
                 .with_policy(ConsolidationPolicy::LoadBalance)
                 .with_parallel_cells(parallel);
             let mut cluster = seeded(config, 6);
-            cluster.run_epochs(3);
+            cluster.run_epochs(3).unwrap();
             (cluster.reports(), cluster.history().to_vec())
         };
         assert_eq!(run(false), run(true));
@@ -1140,9 +1816,11 @@ mod tests {
     #[test]
     fn vms_added_mid_run_get_a_correct_tick_denominator() {
         let mut cluster = seeded(ClusterConfig::new(2, SCALE).with_epoch_ticks(4), 2);
-        cluster.run_epochs(2);
-        let late = cluster.add_vm(CellId(1), VmConfig::new("late"), workload(SpecApp::Gcc, 99));
-        cluster.run_epochs(1);
+        cluster.run_epochs(2).unwrap();
+        let late = cluster
+            .add_vm(CellId(1), VmConfig::new("late"), workload(SpecApp::Gcc, 99))
+            .unwrap();
+        cluster.run_epochs(1).unwrap();
         let report = cluster.report(late).unwrap();
         assert_eq!(
             report.cluster_ticks, 4,
@@ -1157,7 +1835,7 @@ mod tests {
     #[test]
     fn snapshot_is_stable_and_pure() {
         let mut cluster = seeded(ClusterConfig::new(2, SCALE).with_epoch_ticks(4), 4);
-        cluster.run_epoch();
+        cluster.run_epoch().unwrap();
         let a = cluster.snapshot();
         let b = cluster.snapshot();
         assert_eq!(a, b, "snapshot() must not mutate bookkeeping");
@@ -1183,7 +1861,9 @@ mod tests {
         assert_eq!(cluster.occupancies(), vec![1, 1]);
         let mut spawn =
             |_: u64| -> (VmConfig, Box<dyn Workload>) { unreachable!("no arrivals scheduled") };
-        cluster.run_epoch_with_events(&[FleetEvent::CellDrain(CellId(0))], &mut spawn);
+        cluster
+            .run_epoch_with_events(&[FleetEvent::CellDrain(CellId(0))], &mut spawn)
+            .unwrap();
         assert!(cluster.is_draining(CellId(0)));
         assert_eq!(
             cluster.history().last().unwrap().events.drains,
@@ -1192,23 +1872,27 @@ mod tests {
         );
         // The boundary after the drained epoch plans the evacuation; one
         // more epoch materialises it.
-        cluster.run_epoch_with_events(&[], &mut spawn);
+        cluster.run_epoch_with_events(&[], &mut spawn).unwrap();
         assert_eq!(cluster.occupancies(), vec![0, 2], "cell 0 evacuated");
         // Rejoin: load balancing spreads the fleet back out.
-        cluster.run_epoch_with_events(&[FleetEvent::CellJoin(CellId(0))], &mut spawn);
+        cluster
+            .run_epoch_with_events(&[FleetEvent::CellJoin(CellId(0))], &mut spawn)
+            .unwrap();
         assert!(!cluster.is_draining(CellId(0)));
-        cluster.run_epoch_with_events(&[], &mut spawn);
+        cluster.run_epoch_with_events(&[], &mut spawn).unwrap();
         assert_eq!(cluster.occupancies(), vec![1, 1], "cell 0 repopulated");
     }
 
     #[test]
     fn departures_archive_final_reports() {
         let mut cluster = seeded(ClusterConfig::new(2, SCALE).with_epoch_ticks(4), 4);
-        cluster.run_epoch();
+        cluster.run_epoch().unwrap();
         let mut spawn =
             |_: u64| -> (VmConfig, Box<dyn Workload>) { unreachable!("no arrivals scheduled") };
         use crate::events::FleetEvent;
-        cluster.run_epoch_with_events(&[FleetEvent::VmDeparture { pick: 1 }], &mut spawn);
+        cluster
+            .run_epoch_with_events(&[FleetEvent::VmDeparture { pick: 1 }], &mut spawn)
+            .unwrap();
         assert_eq!(cluster.total_departures(), 1);
         assert_eq!(cluster.reports().len(), 3);
         let departed = cluster.departed_reports();
@@ -1243,7 +1927,9 @@ mod tests {
                 workload(SpecApp::Gcc, 0xa0 + index),
             )
         };
-        cluster.run_epoch_with_events(&[FleetEvent::VmArrival], &mut spawn);
+        cluster
+            .run_epoch_with_events(&[FleetEvent::VmArrival], &mut spawn)
+            .unwrap();
         assert_eq!(cluster.total_arrivals(), 1);
         assert_eq!(
             cluster.occupancies(),
@@ -1251,14 +1937,16 @@ mod tests {
             "the arrival picked the emptier cell"
         );
         // Drain both cells: the next arrival has nowhere to go.
-        cluster.run_epoch_with_events(
-            &[
-                FleetEvent::CellDrain(CellId(0)),
-                FleetEvent::CellDrain(CellId(1)),
-                FleetEvent::VmArrival,
-            ],
-            &mut spawn,
-        );
+        cluster
+            .run_epoch_with_events(
+                &[
+                    FleetEvent::CellDrain(CellId(0)),
+                    FleetEvent::CellDrain(CellId(1)),
+                    FleetEvent::VmArrival,
+                ],
+                &mut spawn,
+            )
+            .unwrap();
         assert_eq!(cluster.rejected_arrivals(), 1);
         assert_eq!(cluster.total_arrivals(), 1, "no admission while draining");
         assert_eq!(spawned, 2, "the spawner still consumed the index");

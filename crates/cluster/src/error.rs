@@ -1,0 +1,132 @@
+//! Typed errors for the fleet control loop.
+//!
+//! The cluster used to `panic!`/`expect` its way through fallible paths
+//! (admission, planning, event application). With fault injection in the
+//! picture those paths are *expected* to go wrong — a crash can race an
+//! admission decision, a plan can name a cell that just went down — so the
+//! epoch loop now surfaces a [`ClusterError`] instead of aborting the
+//! process.
+
+use crate::snapshot::{CellId, FleetVmId};
+use kyoto_hypervisor::hypervisor::HypervisorError;
+
+/// Anything that can go wrong while driving the fleet.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ClusterError {
+    /// An API call named a cell id outside the fleet.
+    UnknownCell {
+        /// The offending cell id.
+        cell: CellId,
+    },
+    /// An API call named a fleet VM id that does not exist (or no longer
+    /// exists).
+    UnknownVm {
+        /// The offending fleet VM id.
+        vm: FleetVmId,
+    },
+    /// Admitting a VM onto a cell's hypervisor failed.
+    Admission {
+        /// The cell that refused the placement.
+        cell: CellId,
+        /// The fleet VM being placed.
+        vm: FleetVmId,
+        /// The underlying hypervisor error.
+        source: HypervisorError,
+    },
+    /// A per-cell hypervisor operation (extraction, lookup) failed.
+    Hypervisor {
+        /// The cell whose hypervisor errored.
+        cell: CellId,
+        /// The underlying hypervisor error.
+        source: HypervisorError,
+    },
+    /// The planner produced a plan that fails validation against the
+    /// snapshot it was derived from.
+    InvalidPlan {
+        /// The validator's explanation.
+        reason: String,
+    },
+    /// Fleet state cannot be checkpointed because a cell's machine state
+    /// does not support deep cloning (e.g. an uncloneable workload).
+    Checkpoint {
+        /// The cell that refused to clone.
+        cell: CellId,
+        /// The underlying hypervisor error.
+        source: HypervisorError,
+    },
+    /// Fleet state cannot be checkpointed because a VM travelling outside
+    /// any hypervisor (in-flight or orphaned) carries a workload that does
+    /// not support cloning.
+    UncloneableVm {
+        /// The fleet VM whose workload refused to clone.
+        vm: FleetVmId,
+    },
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::UnknownCell { cell } => write!(f, "unknown cell {cell:?}"),
+            ClusterError::UnknownVm { vm } => write!(f, "unknown fleet VM {vm:?}"),
+            ClusterError::Admission { cell, vm, source } => {
+                write!(f, "admission of {vm:?} onto {cell:?} failed: {source}")
+            }
+            ClusterError::Hypervisor { cell, source } => {
+                write!(f, "hypervisor operation on {cell:?} failed: {source}")
+            }
+            ClusterError::InvalidPlan { reason } => {
+                write!(f, "migration plan failed validation: {reason}")
+            }
+            ClusterError::Checkpoint { cell, source } => {
+                write!(f, "cannot checkpoint {cell:?}: {source}")
+            }
+            ClusterError::UncloneableVm { vm } => {
+                write!(
+                    f,
+                    "cannot checkpoint {vm:?}: its workload does not support cloning"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClusterError::Admission { source, .. }
+            | ClusterError::Hypervisor { source, .. }
+            | ClusterError::Checkpoint { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_offender() {
+        let err = ClusterError::UnknownCell { cell: CellId(7) };
+        assert!(err.to_string().contains("CellId(7)"));
+        let err = ClusterError::InvalidPlan {
+            reason: "move 0: dest cell is down".to_string(),
+        };
+        assert!(err.to_string().contains("dest cell is down"));
+    }
+
+    #[test]
+    fn hypervisor_errors_are_chained_as_sources() {
+        use std::error::Error;
+        let err = ClusterError::Hypervisor {
+            cell: CellId(1),
+            source: HypervisorError::UnknownVm {
+                vm: kyoto_hypervisor::vm::VmId(3),
+            },
+        };
+        assert!(err.source().is_some());
+        let err = ClusterError::UnknownVm { vm: FleetVmId(2) };
+        assert!(err.source().is_none());
+    }
+}

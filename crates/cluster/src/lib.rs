@@ -16,6 +16,14 @@
 //! * [`events`] — deterministic fleet dynamics: seeded VM
 //!   arrival/departure streams and scripted cell drain/join maintenance
 //!   events, driven through the epoch control loop;
+//! * [`faults`] — deterministic fault injection: cell crashes (orphaned
+//!   VMs re-enter admission through a bounded-backoff retry queue), cell
+//!   slowdowns (divided cycle budgets) and mid-migration aborts that roll
+//!   back atomically;
+//! * [`checkpoint`] — deep fleet checkpoints that
+//!   [`cluster::Cluster::restore`] resumes bit-identically;
+//! * [`error`] — the typed [`error::ClusterError`] the control loop
+//!   surfaces instead of panicking;
 //! * [`snapshot`] — the per-epoch observations the planner consumes.
 //!
 //! # Example: four VMs rebalanced across two machines
@@ -32,13 +40,15 @@
 //!     .with_policy(ConsolidationPolicy::LoadBalance);
 //! let mut cluster = Cluster::new(config);
 //! for i in 0..4 {
-//!     cluster.add_vm(
-//!         CellId(0),
-//!         VmConfig::new(format!("vm{i}")),
-//!         Box::new(SpecWorkload::new(SpecApp::Gcc, 256, i)),
-//!     );
+//!     cluster
+//!         .add_vm(
+//!             CellId(0),
+//!             VmConfig::new(format!("vm{i}")),
+//!             Box::new(SpecWorkload::new(SpecApp::Gcc, 256, i)),
+//!         )
+//!         .unwrap();
 //! }
-//! cluster.run_epochs(3);
+//! cluster.run_epochs(3).unwrap();
 //! assert_eq!(cluster.occupancies(), vec![2, 2]);
 //! assert!(cluster.total_migrations() >= 2);
 //! ```
@@ -46,15 +56,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod cluster;
+pub mod error;
 pub mod events;
+pub mod faults;
 pub mod planner;
 pub mod snapshot;
 
+pub use checkpoint::FleetCheckpoint;
 pub use cluster::{
     Cell, CellEpochStats, Cluster, ClusterConfig, EpochReport, EventCounts, FleetVmReport,
 };
+pub use error::ClusterError;
 pub use events::{EventSchedule, EventScheduleConfig, FleetEvent};
+pub use faults::{AbortPoint, FaultCounts, FaultEvent, FaultPlan, FaultPlanConfig};
 pub use planner::{
     ConsolidationPolicy, MigrationCostModel, MigrationMove, MigrationPlan, MigrationPlanner,
     PlannerConfig,

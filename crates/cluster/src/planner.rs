@@ -211,6 +211,12 @@ impl MigrationPlan {
                     mv.vm, mv.to
                 ));
             }
+            if snapshot.cells[to].down {
+                return Err(format!(
+                    "{} is moved into {} while it is down",
+                    mv.vm, mv.to
+                ));
+            }
             if occupancy[to] + 1 > cores[to] {
                 return Err(format!(
                     "{} would overcommit {} ({} VMs on {} cores)",
@@ -314,6 +320,9 @@ struct PlanState {
     cores: Vec<usize>,
     /// Draining cells: never a valid destination.
     draining: Vec<bool>,
+    /// Crashed (down) cells: they host nothing and may receive nothing
+    /// until they reboot.
+    down: Vec<bool>,
     /// Resident VM ids per cell, updated as moves are planned. Order within
     /// a cell: snapshot order, with planned arrivals appended.
     residents: Vec<Vec<FleetVmId>>,
@@ -327,6 +336,7 @@ impl PlanState {
         PlanState {
             cores: snapshot.cells.iter().map(|c| c.cores).collect(),
             draining: snapshot.cells.iter().map(|c| c.draining).collect(),
+            down: snapshot.cells.iter().map(|c| c.down).collect(),
             residents: snapshot
                 .cells
                 .iter()
@@ -346,9 +356,15 @@ impl PlanState {
         self.occupancy(cell) < self.cores[cell]
     }
 
-    /// Whether the cell may receive a VM: not draining and below capacity.
+    /// Whether the cell refuses all placements: draining or down.
+    fn blocked(&self, cell: usize) -> bool {
+        self.draining[cell] || self.down[cell]
+    }
+
+    /// Whether the cell may receive a VM: neither draining nor down, and
+    /// below capacity.
     fn is_open(&self, cell: usize) -> bool {
-        !self.draining[cell] && self.has_capacity(cell)
+        !self.blocked(cell) && self.has_capacity(cell)
     }
 
     fn free_cores(&self, cell: usize) -> usize {
@@ -541,7 +557,7 @@ impl MigrationPlanner {
                 .max_by_key(|&c| (state.occupancy(c), std::cmp::Reverse(c)))
                 .expect("at least one cell");
             let Some(dst) = (0..cells)
-                .filter(|&c| !state.draining[c])
+                .filter(|&c| !state.blocked(c))
                 .min_by_key(|&c| (state.occupancy(c), c))
             else {
                 break;
@@ -571,7 +587,7 @@ impl MigrationPlanner {
         let total: usize = (0..cells).map(|c| state.occupancy(c)).sum();
         // Cells to keep: fullest open cells first (ties toward low ids),
         // until their combined capacity covers the fleet.
-        let mut by_occupancy: Vec<usize> = (0..cells).filter(|&c| !state.draining[c]).collect();
+        let mut by_occupancy: Vec<usize> = (0..cells).filter(|&c| !state.blocked(c)).collect();
         by_occupancy.sort_by_key(|&c| (std::cmp::Reverse(state.occupancy(c)), c));
         let mut kept: BTreeSet<usize> = BTreeSet::new();
         let mut capacity = 0usize;
@@ -665,7 +681,7 @@ impl MigrationPlanner {
         // Designate sin-bin cells among the open cells: most polluters
         // first, ties toward high ids (the bin gravitates to the end of the
         // fleet), until their capacity covers every polluter.
-        let mut by_polluters: Vec<usize> = (0..cells).filter(|&c| !state.draining[c]).collect();
+        let mut by_polluters: Vec<usize> = (0..cells).filter(|&c| !state.blocked(c)).collect();
         by_polluters.sort_by_key(|&c| {
             (
                 std::cmp::Reverse(polluters_on(state, c)),
@@ -691,7 +707,7 @@ impl MigrationPlanner {
         } else {
             usize::MAX
         };
-        let is_clean = |state: &PlanState, c: usize| !bin_set.contains(&c) && !state.draining[c];
+        let is_clean = |state: &PlanState, c: usize| !bin_set.contains(&c) && !state.blocked(c);
         // Destination for a sensitive VM: under the density cap the clean
         // cell with the fewest sensitive VMs (then most free cores, then
         // low id); otherwise the clean cell with the most free cores (low
@@ -866,6 +882,7 @@ mod tests {
                     cell: CellId(i),
                     cores,
                     draining: false,
+                    down: false,
                     vms,
                 })
                 .collect(),
@@ -882,6 +899,7 @@ mod tests {
                     cell: CellId(i),
                     cores,
                     draining,
+                    down: false,
                     vms,
                 })
                 .collect(),
@@ -1246,6 +1264,38 @@ mod tests {
                 "cell {cell} hosts {count} sensitive VMs: {location:?}"
             );
         }
+    }
+
+    #[test]
+    fn down_cells_are_never_migration_targets() {
+        // Cell 2 crashed: it is empty (its VMs were orphaned) and must not
+        // receive anything, even though it has the most free cores.
+        let mut snap = snapshot(vec![
+            (
+                4,
+                vec![vm(1, 900.0, 2), vm(2, 1.0, 0), vm(3, 1.0, 0), vm(4, 1.0, 0)],
+            ),
+            (4, vec![vm(5, 800.0, 2)]),
+            (4, vec![]),
+        ]);
+        snap.cells[2].down = true;
+        for policy in ConsolidationPolicy::ALL {
+            let plan = planner().plan(&snap, policy);
+            plan.validate(&snap).unwrap();
+            assert!(
+                plan.moves.iter().all(|mv| mv.to != CellId(2)),
+                "{policy:?} targeted the down cell: {plan:?}"
+            );
+        }
+        let into_down = MigrationPlan {
+            moves: vec![MigrationMove {
+                vm: FleetVmId(1),
+                from: CellId(0),
+                to: CellId(2),
+            }],
+        };
+        let err = into_down.validate(&snap).unwrap_err();
+        assert!(err.contains("down"), "{err}");
     }
 
     #[test]

@@ -71,6 +71,10 @@ pub struct CellSnapshot {
     /// placements (the planner never targets it, admission skips it) and
     /// its resident VMs are evacuated before any policy move is considered.
     pub draining: bool,
+    /// Whether the cell is down after a crash: it runs nothing, hosts
+    /// nothing (its VMs were orphaned into the retry queue), and accepts no
+    /// placements until it reboots.
+    pub down: bool,
     /// Resident VMs in fleet-id order.
     pub vms: Vec<VmSnapshot>,
 }
@@ -81,9 +85,10 @@ impl CellSnapshot {
         self.vms.len()
     }
 
-    /// Whether the cell accepts new placements (i.e. it is not draining).
+    /// Whether the cell accepts new placements (i.e. it is neither draining
+    /// nor down).
     pub fn is_open(&self) -> bool {
-        !self.draining
+        !self.draining && !self.down
     }
 
     /// Cores not currently claimed by a resident VM (saturating: a cell
@@ -150,6 +155,7 @@ mod tests {
             cell: CellId(0),
             cores: 4,
             draining: false,
+            down: false,
             vms: vec![vm(1, 10.0), vm(2, 5.0)],
         };
         assert_eq!(cell.occupancy(), 2);
@@ -164,6 +170,7 @@ mod tests {
             cell: CellId(0),
             cores: 4,
             draining: true,
+            down: false,
             vms: vec![vm(1, 0.0)],
         };
         assert!(!cell.is_open());
@@ -175,6 +182,7 @@ mod tests {
             cell: CellId(0),
             cores: 1,
             draining: false,
+            down: false,
             vms: vec![vm(1, 0.0), vm(2, 0.0)],
         };
         assert_eq!(cell.free_cores(), 0);
@@ -189,12 +197,14 @@ mod tests {
                     cell: CellId(0),
                     cores: 4,
                     draining: false,
+                    down: false,
                     vms: vec![vm(1, 1.0)],
                 },
                 CellSnapshot {
                     cell: CellId(1),
                     cores: 4,
                     draining: false,
+                    down: false,
                     vms: vec![vm(2, 2.0)],
                 },
             ],

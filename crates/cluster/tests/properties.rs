@@ -15,6 +15,7 @@
 
 use kyoto_cluster::cluster::{Cluster, ClusterConfig};
 use kyoto_cluster::events::{EventSchedule, EventScheduleConfig};
+use kyoto_cluster::faults::{FaultPlan, FaultPlanConfig};
 use kyoto_cluster::planner::{ConsolidationPolicy, MigrationPlanner, PlannerConfig};
 use kyoto_cluster::snapshot::{CellId, CellSnapshot, ClusterSnapshot, FleetVmId, VmSnapshot};
 use kyoto_hypervisor::vm::VmConfig;
@@ -45,6 +46,7 @@ fn snapshot_with_drains(
             cell: CellId(i),
             cores,
             draining: draining_mask & (1 << i) != 0,
+            down: false,
             vms: Vec::new(),
         })
         .collect();
@@ -230,13 +232,15 @@ proptest! {
             let mut cluster = Cluster::new(config);
             for i in 0..vm_count {
                 let app = apps[i % apps.len()];
-                cluster.add_vm(
-                    CellId(i % cells),
-                    VmConfig::new(format!("vm{i}-{}", app.name())).with_llc_cap(50.0),
-                    Box::new(SpecWorkload::new(app, 256, seed.wrapping_add(i as u64))),
-                );
+                cluster
+                    .add_vm(
+                        CellId(i % cells),
+                        VmConfig::new(format!("vm{i}-{}", app.name())).with_llc_cap(50.0),
+                        Box::new(SpecWorkload::new(app, 256, seed.wrapping_add(i as u64))),
+                    )
+                    .unwrap();
             }
-            cluster.run_epochs(3);
+            cluster.run_epochs(3).unwrap();
             (
                 cluster.reports(),
                 cluster.history().to_vec(),
@@ -292,11 +296,13 @@ proptest! {
             let mut cluster = Cluster::new(config);
             for i in 0..initial_vms {
                 let app = apps[i % apps.len()];
-                cluster.add_vm(
-                    CellId(i % cells),
-                    VmConfig::new(format!("vm{i}-{}", app.name())).with_llc_cap(50.0),
-                    Box::new(SpecWorkload::new(app, 256, seed.wrapping_add(i as u64))),
-                );
+                cluster
+                    .add_vm(
+                        CellId(i % cells),
+                        VmConfig::new(format!("vm{i}-{}", app.name())).with_llc_cap(50.0),
+                        Box::new(SpecWorkload::new(app, 256, seed.wrapping_add(i as u64))),
+                    )
+                    .unwrap();
             }
             let mut spawn = |index: u64| -> (VmConfig, Box<dyn Workload>) {
                 let app = apps[(index as usize) % apps.len()];
@@ -305,7 +311,9 @@ proptest! {
                     Box::new(SpecWorkload::new(app, 256, seed ^ (0xA11 + index))),
                 )
             };
-            cluster.run_epochs_with_schedule(&schedule, 5, &mut spawn);
+            cluster
+                .run_epochs_with_schedule(&schedule, 5, &mut spawn)
+                .unwrap();
             (
                 cluster.all_reports(),
                 cluster.history().to_vec(),
@@ -316,6 +324,192 @@ proptest! {
                     cluster.total_departures(),
                     cluster.rejected_arrivals(),
                 ),
+            )
+        };
+        prop_assert_eq!(run(false), run(true));
+    }
+}
+
+proptest! {
+    // Fault runs stack crashes, rollbacks and retries on top of the epoch
+    // loop; a few cases per property cover the policy x planner-mode grid
+    // because every divergence or conservation break is deterministic.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// VM conservation holds under injected faults across every policy and
+    /// both planner modes: after every epoch, each VM ever admitted is
+    /// accounted for exactly once — resident, in flight, orphaned in the
+    /// retry queue, or departed with its report archived. Crashes, aborts
+    /// and retry rejections never lose or duplicate a VM, and the orphan
+    /// ledger balances exactly.
+    #[test]
+    fn faults_conserve_vms_across_policies_and_planner_modes(
+        cells in 2usize..5,
+        vm_count in 3usize..9,
+        policy in arb_policy(),
+        cost_aware in 0u32..2,
+        seed in 0u64..1_000,
+        crash_rate in 0.0f64..0.8,
+        abort_rate in 0.0f64..1.2,
+        slowdown_rate in 0.0f64..0.5,
+    ) {
+        let apps = [SpecApp::Gcc, SpecApp::Lbm, SpecApp::Omnetpp, SpecApp::Mcf];
+        let config = ClusterConfig::new(cells, 256)
+            .with_epoch_ticks(3)
+            .with_policy(policy)
+            .with_planner(
+                PlannerConfig::default()
+                    .with_max_moves(3)
+                    .with_polluter_threshold(200.0)
+                    .with_cost_aware(cost_aware == 1),
+            );
+        let mut cluster = Cluster::new(config);
+        for i in 0..vm_count {
+            let app = apps[i % apps.len()];
+            cluster
+                .add_vm(
+                    CellId(i % cells),
+                    VmConfig::new(format!("vm{i}-{}", app.name())).with_llc_cap(50.0),
+                    Box::new(SpecWorkload::new(app, 256, seed.wrapping_add(i as u64))),
+                )
+                .unwrap();
+        }
+        cluster.install_faults(FaultPlan::new(
+            FaultPlanConfig::new(seed ^ 0xFA11)
+                .with_crash_rate(crash_rate)
+                .with_slowdown_rate(slowdown_rate)
+                .with_abort_rate(abort_rate)
+                .with_down_epochs(2)
+                .with_max_retries(3),
+        ));
+        for epoch in 0..8 {
+            cluster.run_epoch().unwrap();
+            if let Err(violation) = cluster.verify_conservation() {
+                prop_assert!(false, "epoch {}: {}", epoch, violation);
+            }
+        }
+        let faults = cluster.total_faults();
+        prop_assert_eq!(
+            faults.orphaned,
+            faults.readmitted + faults.rejected_orphans + cluster.orphan_count() as u64,
+            "the orphan ledger must balance: {:?}",
+            faults
+        );
+    }
+
+    /// Checkpoint/restore is bit-identical: running `k` epochs straight
+    /// equals checkpointing after `j` and resuming for `k - j`, with a
+    /// fault plan installed, across every policy and both planner modes.
+    #[test]
+    fn restore_resumes_bit_identically(
+        cells in 2usize..4,
+        vm_count in 2usize..7,
+        policy in arb_policy(),
+        cost_aware in 0u32..2,
+        seed in 0u64..1_000,
+        split in 1u64..6,
+    ) {
+        let apps = [SpecApp::Gcc, SpecApp::Lbm, SpecApp::Omnetpp, SpecApp::Mcf];
+        let total = 6u64;
+        let j = split.min(total - 1);
+        let build = || {
+            let config = ClusterConfig::new(cells, 256)
+                .with_epoch_ticks(3)
+                .with_policy(policy)
+                .with_planner(
+                    PlannerConfig::default()
+                        .with_max_moves(3)
+                        .with_polluter_threshold(200.0)
+                        .with_cost_aware(cost_aware == 1),
+                );
+            let mut cluster = Cluster::new(config);
+            for i in 0..vm_count {
+                let app = apps[i % apps.len()];
+                cluster
+                    .add_vm(
+                        CellId(i % cells),
+                        VmConfig::new(format!("vm{i}-{}", app.name())).with_llc_cap(50.0),
+                        Box::new(SpecWorkload::new(app, 256, seed.wrapping_add(i as u64))),
+                    )
+                    .unwrap();
+            }
+            cluster.install_faults(FaultPlan::new(
+                FaultPlanConfig::new(seed ^ 0xC4EC)
+                    .with_crash_rate(0.4)
+                    .with_abort_rate(0.6)
+                    .with_down_epochs(2),
+            ));
+            cluster
+        };
+        let mut straight = build();
+        straight.run_epochs(total).unwrap();
+        let mut first = build();
+        first.run_epochs(j).unwrap();
+        let checkpoint = first.checkpoint().unwrap();
+        prop_assert_eq!(checkpoint.epoch(), j);
+        let mut resumed = Cluster::restore(checkpoint);
+        resumed.run_epochs(total - j).unwrap();
+        prop_assert_eq!(straight.all_reports(), resumed.all_reports());
+        prop_assert_eq!(straight.history().to_vec(), resumed.history().to_vec());
+        prop_assert_eq!(straight.occupancies(), resumed.occupancies());
+        prop_assert_eq!(straight.total_migrations(), resumed.total_migrations());
+        prop_assert_eq!(straight.total_faults(), resumed.total_faults());
+        prop_assert_eq!(straight.orphan_count(), resumed.orphan_count());
+        straight.verify_conservation().unwrap();
+        resumed.verify_conservation().unwrap();
+    }
+
+    /// Serial and cell-parallel epochs stay bit-identical with a fault plan
+    /// injecting crashes, slowdowns and aborts: fault application is
+    /// control-plane work between epochs, so thread scheduling must not
+    /// leak into any report, counter or retry decision.
+    #[test]
+    fn fault_epochs_are_bit_identical_serial_vs_parallel(
+        cells in 2usize..5,
+        vm_count in 2usize..8,
+        policy in arb_policy(),
+        seed in 0u64..1_000,
+        crash_rate in 0.0f64..0.7,
+        abort_rate in 0.0f64..1.0,
+    ) {
+        let apps = [SpecApp::Gcc, SpecApp::Lbm, SpecApp::Omnetpp, SpecApp::Mcf];
+        let run = |parallel: bool| {
+            let config = ClusterConfig::new(cells, 256)
+                .with_epoch_ticks(3)
+                .with_policy(policy)
+                .with_planner(
+                    PlannerConfig::default()
+                        .with_max_moves(3)
+                        .with_polluter_threshold(200.0)
+                        .with_cost_aware(true),
+                )
+                .with_parallel_cells(parallel);
+            let mut cluster = Cluster::new(config);
+            for i in 0..vm_count {
+                let app = apps[i % apps.len()];
+                cluster
+                    .add_vm(
+                        CellId(i % cells),
+                        VmConfig::new(format!("vm{i}-{}", app.name())).with_llc_cap(50.0),
+                        Box::new(SpecWorkload::new(app, 256, seed.wrapping_add(i as u64))),
+                    )
+                    .unwrap();
+            }
+            cluster.install_faults(FaultPlan::new(
+                FaultPlanConfig::new(seed ^ 0x5E71A1)
+                    .with_crash_rate(crash_rate)
+                    .with_slowdown_rate(0.3)
+                    .with_abort_rate(abort_rate)
+                    .with_down_epochs(2),
+            ));
+            cluster.run_epochs(7).unwrap();
+            cluster.verify_conservation().unwrap();
+            (
+                cluster.all_reports(),
+                cluster.history().to_vec(),
+                cluster.occupancies(),
+                cluster.total_faults(),
+                cluster.orphan_count(),
             )
         };
         prop_assert_eq!(run(false), run(true));

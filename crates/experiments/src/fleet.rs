@@ -62,7 +62,7 @@ pub const FLEET_MIX: [SpecApp; 6] = [
 
 /// Whether `app` counts as sensitive (victim) rather than disruptive
 /// (polluter) in the report.
-fn is_sensitive(app: SpecApp) -> bool {
+pub(crate) fn is_sensitive(app: SpecApp) -> bool {
     SpecApp::SENSITIVE_VMS.contains(&app)
 }
 
@@ -396,7 +396,7 @@ impl FleetResult {
 /// Derives the per-VM seed salt: VMs of the same app share a workload stream
 /// (they run on disjoint machines), which lets every app's solo baseline be
 /// measured once.
-fn app_salt(index: usize) -> u64 {
+pub(crate) fn app_salt(index: usize) -> u64 {
     0xf1ee7 + (index % FLEET_MIX.len()) as u64
 }
 
@@ -446,12 +446,16 @@ fn solo_baselines(
                 ConsolidationPolicy::LoadBalance,
                 polluter_threshold,
             ));
-            let vm = cluster.add_vm(
-                CellId(0),
-                VmConfig::new(format!("solo-{}", app.name())).with_llc_cap(permit),
-                Box::new(config.workload(app, app_salt(index))),
-            );
-            cluster.run_epochs(sweep.epochs);
+            let vm = cluster
+                .add_vm(
+                    CellId(0),
+                    VmConfig::new(format!("solo-{}", app.name())).with_llc_cap(permit),
+                    Box::new(config.workload(app, app_salt(index))),
+                )
+                .expect("cell 0 admits the solo VM");
+            cluster
+                .run_epochs(sweep.epochs)
+                .expect("solo run is fault-free");
             let report = cluster.report(vm).expect("solo VM exists");
             (app, report.instructions_per_tick())
         })
@@ -496,13 +500,17 @@ pub fn run_cell(
     for i in 0..vm_count {
         let app = FLEET_MIX[i % FLEET_MIX.len()];
         apps.push(app);
-        cluster.add_vm(
-            CellId((i / vms_per_cell).min(cells - 1)),
-            VmConfig::new(format!("fvm{i}-{}", app.name())).with_llc_cap(calibration.permit),
-            Box::new(config.workload(app, app_salt(i))),
-        );
+        cluster
+            .add_vm(
+                CellId((i / vms_per_cell).min(cells - 1)),
+                VmConfig::new(format!("fvm{i}-{}", app.name())).with_llc_cap(calibration.permit),
+                Box::new(config.workload(app, app_salt(i))),
+            )
+            .expect("seeding stays within cell capacity");
     }
-    cluster.run_epochs(sweep.epochs);
+    cluster
+        .run_epochs(sweep.epochs)
+        .expect("sweep run is fault-free");
 
     let downtime_per_move = cluster.config().planner.cost.downtime_ticks;
     let reports = cluster.reports();
@@ -561,7 +569,7 @@ pub fn calibrate_sweep(config: &ExperimentConfig, sweep: &FleetSweep) -> SweepCa
 /// The app behind a fleet VM, recovered from its configured name (every
 /// fleet VM is named `...-<app>`). Lets churn runs fold live *and departed*
 /// VM reports back onto their solo baselines.
-fn app_of_report(name: &str) -> SpecApp {
+pub(crate) fn app_of_report(name: &str) -> SpecApp {
     *FLEET_MIX
         .iter()
         .find(|app| name.ends_with(&format!("-{}", app.name())))
@@ -596,11 +604,13 @@ pub fn run_churn_cell(
     let initial = churn.cells * churn.initial_vms_per_cell;
     for i in 0..initial {
         let app = FLEET_MIX[i % FLEET_MIX.len()];
-        cluster.add_vm(
-            CellId(i / churn.initial_vms_per_cell),
-            VmConfig::new(format!("fvm{i}-{}", app.name())).with_llc_cap(calibration.permit),
-            Box::new(config.workload(app, app_salt(i))),
-        );
+        cluster
+            .add_vm(
+                CellId(i / churn.initial_vms_per_cell),
+                VmConfig::new(format!("fvm{i}-{}", app.name())).with_llc_cap(calibration.permit),
+                Box::new(config.workload(app, app_salt(i))),
+            )
+            .expect("seeding stays within cell capacity");
     }
     let drained = CellId(churn.cells - 1);
     let schedule = EventSchedule::new(
@@ -619,7 +629,9 @@ pub fn run_churn_cell(
             Box::new(config.workload(app, app_salt(k))),
         )
     };
-    cluster.run_epochs_with_schedule(&schedule, churn.epochs, &mut spawn);
+    cluster
+        .run_epochs_with_schedule(&schedule, churn.epochs, &mut spawn)
+        .expect("churn run is fault-free");
 
     let downtime_per_move = cluster.config().planner.cost.downtime_ticks;
     let mut sensitive = (0usize, 0.0f64);

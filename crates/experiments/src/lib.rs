@@ -23,10 +23,13 @@
 //!
 //! Beyond the paper, [`cloudscale`] models a cloud-scale consolidation
 //! machine (N sockets, dozens of VMs, placement policies) — the first
-//! scenario whose socket-parallel execution scales past two threads — and
+//! scenario whose socket-parallel execution scales past two threads —
 //! [`fleet`] models a whole cluster of such machines under a live-migrating
 //! control plane (`kyoto-cluster`), comparing load-balancing, bin-packing
-//! and pollution-aware consolidation.
+//! and pollution-aware consolidation, and [`failures`] drives that fleet
+//! through injected faults (cell crashes, slowdowns, mid-migration
+//! aborts), sweeping crash rate × policy × planner mode and re-proving VM
+//! conservation at scenario scale.
 //!
 //! (Fig. 7 is the Pisces architecture diagram; its description lives in
 //! `kyoto_hypervisor::pisces`.)
@@ -39,6 +42,7 @@
 
 pub mod cloudscale;
 pub mod config;
+pub mod failures;
 pub mod fig1;
 pub mod fig10;
 pub mod fig11;

@@ -39,6 +39,13 @@ pub enum HypervisorError {
         /// The VM id.
         vm: VmId,
     },
+    /// A vCPU's workload does not support state cloning
+    /// ([`Workload::try_clone_box`] returned `None`), so the hypervisor
+    /// cannot be checkpointed.
+    UncloneableWorkload {
+        /// The vCPU whose workload refused to clone.
+        vcpu: VcpuId,
+    },
 }
 
 impl fmt::Display for HypervisorError {
@@ -52,6 +59,9 @@ impl fmt::Display for HypervisorError {
                 write!(f, "vCPU pinned to non-existent core {core}")
             }
             HypervisorError::UnknownVm { vm } => write!(f, "unknown VM {vm}"),
+            HypervisorError::UncloneableWorkload { vcpu } => {
+                write!(f, "workload of vCPU {vcpu:?} does not support cloning")
+            }
         }
     }
 }
@@ -122,6 +132,26 @@ pub struct TakenVm {
     pub flushed_lines: u64,
 }
 
+impl TakenVm {
+    /// Deep-copies the extracted VM, workload execution state included, or
+    /// `None` when a workload does not support cloning
+    /// (see [`Workload::try_clone_box`]). Used to checkpoint VMs that are
+    /// in flight between hypervisors.
+    pub fn try_clone(&self) -> Option<TakenVm> {
+        let workloads = self
+            .workloads
+            .iter()
+            .map(|w| w.try_clone_box())
+            .collect::<Option<Vec<_>>>()?;
+        Some(TakenVm {
+            config: self.config.clone(),
+            workloads,
+            report: self.report.clone(),
+            flushed_lines: self.flushed_lines,
+        })
+    }
+}
+
 /// One row of the per-tick execution history.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TickSample {
@@ -145,11 +175,42 @@ struct VcpuRuntime {
     ticks_scheduled: u64,
 }
 
+impl VcpuRuntime {
+    fn try_clone(&self) -> Result<VcpuRuntime, HypervisorError> {
+        let workload = self
+            .workload
+            .try_clone_box()
+            .ok_or(HypervisorError::UncloneableWorkload { vcpu: self.id })?;
+        Ok(VcpuRuntime {
+            id: self.id,
+            workload,
+            pmcs: self.pmcs,
+            cycles_run: self.cycles_run,
+            ticks_scheduled: self.ticks_scheduled,
+        })
+    }
+}
+
 struct VmRuntime {
     id: VmId,
     config: VmConfig,
     vcpus: Vec<VcpuRuntime>,
     ticks_elapsed: u64,
+}
+
+impl VmRuntime {
+    fn try_clone(&self) -> Result<VmRuntime, HypervisorError> {
+        Ok(VmRuntime {
+            id: self.id,
+            config: self.config.clone(),
+            vcpus: self
+                .vcpus
+                .iter()
+                .map(VcpuRuntime::try_clone)
+                .collect::<Result<Vec<_>, _>>()?,
+            ticks_elapsed: self.ticks_elapsed,
+        })
+    }
 }
 
 /// The hypervisor: VMs + a scheduler + the simulated machine.
@@ -162,6 +223,9 @@ pub struct Hypervisor<S: Scheduler> {
     tick: u64,
     pmu: VirtualPmu,
     history: Vec<TickSample>,
+    /// Divides the per-tick cycle budget; 1 for a healthy machine. The fleet
+    /// layer raises it to model a degraded (slowed-down) cell.
+    budget_divisor: u64,
 }
 
 impl<S: Scheduler> fmt::Debug for Hypervisor<S> {
@@ -186,6 +250,7 @@ impl<S: Scheduler> Hypervisor<S> {
             tick: 0,
             pmu: VirtualPmu::new(),
             history: Vec::new(),
+            budget_divisor: 1,
         }
     }
 
@@ -194,9 +259,31 @@ impl<S: Scheduler> Hypervisor<S> {
         self.config
     }
 
-    /// Cycle budget of one tick on one core.
+    /// Cycle budget of one tick on one core, for a healthy machine
+    /// (divisor 1).
     pub fn cycles_per_tick(&self) -> u64 {
         self.engine.machine().config().freq_khz * self.config.tick_ms
+    }
+
+    /// The effective per-tick cycle budget after degradation: the nominal
+    /// budget divided by [`Hypervisor::cycle_budget_divisor`], floored at
+    /// one cycle so a degraded machine still makes progress.
+    pub fn effective_cycles_per_tick(&self) -> u64 {
+        (self.cycles_per_tick() / self.budget_divisor).max(1)
+    }
+
+    /// The current cycle-budget divisor (1 = healthy).
+    pub fn cycle_budget_divisor(&self) -> u64 {
+        self.budget_divisor
+    }
+
+    /// Degrades (or restores) the machine's per-tick cycle budget: every
+    /// tick runs with `1/divisor` of the nominal cycles. Models a slowed-down
+    /// host (thermal throttling, a failing disk stalling dom0, a noisy
+    /// co-tenant outside the simulation). `divisor` is clamped to at least 1;
+    /// pass 1 to restore full speed.
+    pub fn set_cycle_budget_divisor(&mut self, divisor: u64) {
+        self.budget_divisor = divisor.max(1);
     }
 
     /// The underlying simulation engine.
@@ -401,7 +488,7 @@ impl<S: Scheduler> Hypervisor<S> {
 
     /// Executes a single scheduler tick.
     pub fn step_tick(&mut self) {
-        let cycles_per_tick = self.cycles_per_tick();
+        let cycles_per_tick = self.effective_cycles_per_tick();
         let tick = self.tick;
         let tick_ms = self.config.tick_ms;
         let record_history = self.config.record_history;
@@ -575,6 +662,34 @@ impl<S: Scheduler> Hypervisor<S> {
             .copied()
             .filter(|sample| sample.vcpu == vcpu)
             .collect()
+    }
+}
+
+impl<S: Scheduler + Clone> Hypervisor<S> {
+    /// Deep-copies the hypervisor — machine state, scheduler, VMs and their
+    /// workloads' execution progress. The copy continues bit-identically to
+    /// the original, which is the foundation of fleet checkpointing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HypervisorError::UncloneableWorkload`] when a resident
+    /// workload does not implement [`Workload::try_clone_box`].
+    pub fn try_clone(&self) -> Result<Hypervisor<S>, HypervisorError> {
+        Ok(Hypervisor {
+            engine: self.engine.clone(),
+            scheduler: self.scheduler.clone(),
+            config: self.config,
+            vms: self
+                .vms
+                .iter()
+                .map(VmRuntime::try_clone)
+                .collect::<Result<Vec<_>, _>>()?,
+            next_vm_id: self.next_vm_id,
+            tick: self.tick,
+            pmu: self.pmu.clone(),
+            history: self.history.clone(),
+            budget_divisor: self.budget_divisor,
+        })
     }
 }
 
@@ -937,6 +1052,82 @@ mod tests {
             (reports, shadow)
         };
         assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn budget_divisor_degrades_and_restores_throughput() {
+        let mut hv = xen_hypervisor(machine());
+        let vm = hv
+            .add_vm_with(VmConfig::new("slowpoke"), Box::new(ComputeOnly::new(1)))
+            .unwrap();
+        assert_eq!(hv.effective_cycles_per_tick(), hv.cycles_per_tick());
+        hv.run_ticks(4);
+        let healthy = hv.report(vm).unwrap().cycles_run;
+
+        hv.set_cycle_budget_divisor(4);
+        assert_eq!(hv.cycle_budget_divisor(), 4);
+        assert_eq!(hv.effective_cycles_per_tick(), hv.cycles_per_tick() / 4);
+        hv.run_ticks(4);
+        let degraded = hv.report(vm).unwrap().cycles_run - healthy;
+        assert!(
+            degraded < healthy / 2,
+            "a /4 budget must at least halve per-window cycles ({degraded} vs {healthy})"
+        );
+
+        hv.set_cycle_budget_divisor(0); // clamps to 1 — full speed again
+        assert_eq!(hv.cycle_budget_divisor(), 1);
+        hv.run_ticks(4);
+        let restored = hv.report(vm).unwrap().cycles_run - healthy - degraded;
+        assert!(restored >= healthy, "{restored} vs {healthy}");
+    }
+
+    #[test]
+    fn try_clone_continues_bit_identically() {
+        let mut hv = xen_hypervisor(machine());
+        for (i, app) in [SpecApp::Gcc, SpecApp::Lbm].iter().enumerate() {
+            hv.add_vm_with(
+                VmConfig::new(format!("vm{i}")).pinned_to(vec![CoreId(i)]),
+                Box::new(SpecWorkload::new(*app, SCALE, i as u64)),
+            )
+            .unwrap();
+        }
+        hv.run_ticks(5);
+        let mut copy = hv.try_clone().unwrap();
+        assert_eq!(copy.current_tick(), hv.current_tick());
+        assert_eq!(copy.reports(), hv.reports());
+        hv.run_ticks(7);
+        copy.run_ticks(7);
+        assert_eq!(
+            copy.reports(),
+            hv.reports(),
+            "a clone must continue exactly like the original"
+        );
+        // Divergence after the fork stays confined to the copy.
+        copy.run_ticks(1);
+        assert_ne!(copy.reports(), hv.reports());
+    }
+
+    #[test]
+    fn try_clone_refuses_uncloneable_workloads() {
+        struct Opaque;
+        impl Workload for Opaque {
+            fn next_op(&mut self) -> kyoto_sim::workload::Op {
+                kyoto_sim::workload::Op::Compute { cycles: 1 }
+            }
+            fn name(&self) -> &str {
+                "opaque"
+            }
+            fn working_set_bytes(&self) -> u64 {
+                0
+            }
+        }
+        let mut hv = xen_hypervisor(machine());
+        hv.add_vm_with(VmConfig::new("opaque"), Box::new(Opaque))
+            .unwrap();
+        assert!(matches!(
+            hv.try_clone(),
+            Err(HypervisorError::UncloneableWorkload { .. })
+        ));
     }
 
     #[test]

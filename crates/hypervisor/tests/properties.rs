@@ -6,7 +6,9 @@ use kyoto_hypervisor::placement::{place_vms, PlacementPolicy};
 use kyoto_hypervisor::scheduler::{Scheduler, TickReport};
 use kyoto_hypervisor::vm::{VcpuId, VmConfig, VmId};
 use kyoto_sim::pmc::PmcSet;
-use kyoto_sim::topology::{CoreId, MachineConfig, NumaNode};
+use kyoto_sim::topology::{CoreId, Machine, MachineConfig, NumaNode};
+use kyoto_sim::workload::Workload;
+use kyoto_workloads::spec::SpecApp;
 use proptest::prelude::*;
 
 fn report(consumed: u64) -> TickReport {
@@ -104,6 +106,64 @@ proptest! {
         let spread = scheduler.vruntime(a).abs_diff(scheduler.vruntime(b));
         // One tick of weight-1024-normalised runtime for weight 256 is 400_000.
         prop_assert!(spread <= 100_000 * 1024 / 256);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `take_vm` → `admit_vm` is a lossless round trip: the extraction
+    /// report equals the pre-extraction report bit-for-bit, and the
+    /// workloads resume the exact op stream they would have produced had
+    /// they never been taken. This is the rollback primitive the fleet
+    /// layer's migration-abort recovery relies on.
+    #[test]
+    fn take_admit_round_trip_preserves_report_and_workload_state(
+        app in prop_oneof![
+            Just(SpecApp::Gcc), Just(SpecApp::Lbm), Just(SpecApp::Omnetpp),
+            Just(SpecApp::Mcf), Just(SpecApp::Soplex), Just(SpecApp::Blockie),
+        ],
+        seed in 0u64..1_000,
+        ticks in 1u64..10,
+    ) {
+        const SCALE: u64 = 256;
+        let build = || {
+            kyoto_hypervisor::xen_hypervisor(
+                Machine::new(MachineConfig::scaled_paper_machine(SCALE)),
+                kyoto_hypervisor::hypervisor::HypervisorConfig::default(),
+            )
+        };
+        let mut source = build();
+        let vm = source
+            .add_vm_with(
+                VmConfig::new("mover").pinned_to(vec![CoreId(0)]),
+                Box::new(kyoto_workloads::spec::SpecWorkload::new(app, SCALE, seed)),
+            )
+            .unwrap();
+        source.run_ticks(ticks);
+
+        let before = source.report(vm).unwrap();
+        let taken = source.take_vm(vm).unwrap();
+        prop_assert_eq!(&taken.report, &before, "extraction must not alter the report");
+
+        // Snapshot the workloads' execution state, then push the pieces
+        // through admit_vm → take_vm and compare the op streams.
+        let mut snapshots: Vec<Box<dyn Workload>> = taken
+            .workloads
+            .iter()
+            .map(|w| w.try_clone_box().expect("SPEC workloads are cloneable"))
+            .collect();
+        let mut dest = build();
+        let new_id = dest.admit_vm(taken).unwrap();
+        let mut retaken = dest.take_vm(new_id).unwrap();
+        prop_assert_eq!(retaken.workloads.len(), snapshots.len());
+        for (snapshot, survivor) in snapshots.iter_mut().zip(retaken.workloads.iter_mut()) {
+            prop_assert_eq!(snapshot.name(), survivor.name());
+            prop_assert_eq!(snapshot.working_set_bytes(), survivor.working_set_bytes());
+            for _ in 0..2048 {
+                prop_assert_eq!(snapshot.next_op(), survivor.next_op());
+            }
+        }
     }
 }
 

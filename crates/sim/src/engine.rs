@@ -149,7 +149,7 @@ impl QuantumReport {
 /// blocks, consumed one at a time. Unconsumed ops survive in the engine's
 /// carry map so the stream continues exactly where it stopped on the next
 /// call — batching is invisible to the simulation semantics.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 struct OpQueue {
     buf: Vec<Op>,
     head: usize,
@@ -354,14 +354,18 @@ fn run_epoch_interleaving<M: AccessMem>(
 
 /// A carried op buffer plus the call number that last touched it, so the
 /// stale sweep can prune buffers whose tag never reappears.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct CarriedOps {
     queue: OpQueue,
     last_used: u64,
 }
 
 /// The time-stepped simulation engine.
-#[derive(Debug)]
+///
+/// `Clone` deep-copies the whole machine state (cache hierarchies, shadow
+/// replay, carried op buffers), which is what fleet checkpointing relies on:
+/// a cloned engine continues bit-identically to the original.
+#[derive(Debug, Clone)]
 pub struct SimEngine {
     machine: Machine,
     shadow: Option<ShadowAttribution>,

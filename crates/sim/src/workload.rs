@@ -100,6 +100,17 @@ pub trait Workload: Send {
     /// Resets internal progress (e.g. restart the pointer chase). The default
     /// implementation does nothing, which is acceptable for stateless models.
     fn reset(&mut self) {}
+
+    /// Deep-copies the workload *including its execution progress*, so the
+    /// copy continues the exact op stream the original would have produced.
+    ///
+    /// This is the primitive behind fleet checkpointing: a hypervisor can
+    /// only be snapshotted if every resident workload is cloneable. All
+    /// built-in models support it; the default of `None` opts a workload out
+    /// of checkpointing without breaking anything else.
+    fn try_clone_box(&self) -> Option<Box<dyn Workload>> {
+        None
+    }
 }
 
 impl<W: Workload + ?Sized> Workload for Box<W> {
@@ -125,6 +136,10 @@ impl<W: Workload + ?Sized> Workload for Box<W> {
 
     fn reset(&mut self) {
         (**self).reset()
+    }
+
+    fn try_clone_box(&self) -> Option<Box<dyn Workload>> {
+        (**self).try_clone_box()
     }
 }
 
@@ -171,6 +186,10 @@ impl Workload for ComputeOnly {
 
     fn working_set_bytes(&self) -> u64 {
         0
+    }
+
+    fn try_clone_box(&self) -> Option<Box<dyn Workload>> {
+        Some(Box::new(*self))
     }
 }
 
@@ -247,6 +266,10 @@ impl Workload for FixedSequence {
     fn reset(&mut self) {
         self.next = 0;
     }
+
+    fn try_clone_box(&self) -> Option<Box<dyn Workload>> {
+        Some(Box::new(self.clone()))
+    }
 }
 
 #[cfg(test)]
@@ -322,5 +345,44 @@ mod tests {
         let mut wl: Box<dyn Workload> = Box::new(ComputeOnly::new(2));
         assert_eq!(wl.name(), "compute-only");
         assert!(matches!(wl.next_op(), Op::Compute { cycles: 2 }));
+    }
+
+    #[test]
+    fn try_clone_preserves_execution_progress() {
+        let mut wl = FixedSequence::new(
+            "seq",
+            vec![
+                Op::Load { addr: 0 },
+                Op::Load { addr: 64 },
+                Op::Compute { cycles: 1 },
+            ],
+        );
+        let _ = wl.next_op();
+        let mut copy = wl.try_clone_box().expect("fixed sequences are cloneable");
+        for _ in 0..7 {
+            assert_eq!(copy.next_op(), wl.next_op());
+        }
+        // The Box forwarder delegates rather than wrapping another box.
+        let boxed: Box<dyn Workload> = Box::new(ComputeOnly::new(3));
+        let mut dup = boxed.try_clone_box().expect("compute-only is cloneable");
+        assert!(matches!(dup.next_op(), Op::Compute { cycles: 3 }));
+    }
+
+    struct Opaque;
+    impl Workload for Opaque {
+        fn next_op(&mut self) -> Op {
+            Op::Compute { cycles: 1 }
+        }
+        fn name(&self) -> &str {
+            "opaque"
+        }
+        fn working_set_bytes(&self) -> u64 {
+            0
+        }
+    }
+
+    #[test]
+    fn workloads_opt_out_of_cloning_by_default() {
+        assert!(Opaque.try_clone_box().is_none());
     }
 }

@@ -42,16 +42,18 @@ fn main() {
         SpecApp::Lbm,
     ];
     for (i, app) in mix.iter().enumerate() {
-        cluster.add_vm(
-            CellId(i / 2),
-            VmConfig::new(format!("vm{i}-{}", app.name())).with_llc_cap(300.0),
-            Box::new(SpecWorkload::new(*app, EXAMPLE_SCALE, 0xf1ee7 + i as u64)),
-        );
+        cluster
+            .add_vm(
+                CellId(i / 2),
+                VmConfig::new(format!("vm{i}-{}", app.name())).with_llc_cap(300.0),
+                Box::new(SpecWorkload::new(*app, EXAMPLE_SCALE, 0xf1ee7 + i as u64)),
+            )
+            .expect("seeding stays within cell capacity");
     }
 
     println!("fleet of {cells} cells, 8 VMs (one polluter next to one victim per cell)\n");
     for _ in 0..5 {
-        let report = cluster.run_epoch();
+        let report = cluster.run_epoch().expect("example run is fault-free");
         println!(
             "epoch {}: {} migrations {}",
             report.epoch,
