@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Static-invariant gate.
+#
+# Builds and runs kyoto-lint over the whole workspace: nondet-iter,
+# wall-clock, unsafe-safety-comment, cluster-no-panic and the frozen-code
+# hash check against ci/frozen_hashes.txt. Any diagnostic fails the gate.
+#
+# Diagnostics are written to $LINT_OUT (default: target/lint) so CI can
+# upload them as an artifact on failure.
+#
+# Usage:
+#   ci/check_lint.sh
+set -euo pipefail
+
+out="${LINT_OUT:-target/lint}"
+mkdir -p "$out"
+
+echo "Static-invariant gate (kyoto-lint --workspace)"
+if cargo run --release -q -p kyoto-lint -- --workspace | tee "$out/diagnostics.txt"; then
+    echo "lint gate OK (diagnostics in $out/diagnostics.txt)"
+else
+    echo "lint gate FAILED: see $out/diagnostics.txt — suppress only with" >&2
+    echo "a reasoned 'kyoto-lint: allow(<rule>): <why>' on the flagged line" >&2
+    exit 1
+fi

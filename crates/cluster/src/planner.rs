@@ -553,9 +553,11 @@ impl MigrationPlanner {
                 break;
             }
             let cells = state.cores.len();
-            let src = (0..cells)
-                .max_by_key(|&c| (state.occupancy(c), std::cmp::Reverse(c)))
-                .expect("at least one cell");
+            let Some(src) = (0..cells).max_by_key(|&c| (state.occupancy(c), std::cmp::Reverse(c)))
+            else {
+                // Zero-cell fleet: nothing to balance.
+                break;
+            };
             let Some(dst) = (0..cells)
                 .filter(|&c| !state.blocked(c))
                 .min_by_key(|&c| (state.occupancy(c), c))

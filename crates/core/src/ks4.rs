@@ -26,7 +26,7 @@ use kyoto_hypervisor::scheduler::{ExecOverrides, Priority, Scheduler, TickReport
 use kyoto_hypervisor::vm::{VcpuId, VmConfig, VmId};
 use kyoto_sim::topology::{CoreId, Machine, MachineConfig};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Static configuration of a Kyoto scheduler.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -74,8 +74,8 @@ impl KyotoConfig {
 pub struct KyotoScheduler<S> {
     inner: S,
     config: KyotoConfig,
-    quotas: HashMap<VcpuId, PollutionQuota>,
-    estimates: HashMap<VcpuId, f64>,
+    quotas: BTreeMap<VcpuId, PollutionQuota>,
+    estimates: BTreeMap<VcpuId, f64>,
     sampler: Option<DedicationSampler>,
     vcpus: Vec<VcpuId>,
 }
@@ -99,8 +99,8 @@ impl<S> KyotoScheduler<S> {
         KyotoScheduler {
             inner,
             config,
-            quotas: HashMap::new(),
-            estimates: HashMap::new(),
+            quotas: BTreeMap::new(),
+            estimates: BTreeMap::new(),
             sampler,
             vcpus: Vec::new(),
         }
@@ -614,5 +614,37 @@ mod tests {
     fn config_slice_duration() {
         let c = config(MonitoringStrategy::DirectPmc);
         assert_eq!(c.slice_ms(), 30.0);
+    }
+
+    #[test]
+    fn quota_state_is_independent_of_registration_order() {
+        // The quota-earn fold at slice boundaries and the sampler's estimate
+        // walk iterate the quota/estimate maps; both are BTreeMaps so two
+        // fleets registered in opposite orders stay bit-identical.
+        let vms = [(5u16, 80.0), (1, 40.0), (3, 120.0), (2, 60.0)];
+        let mut forward = scheduler(MonitoringStrategy::DirectPmc);
+        for &(vm, cap) in &vms {
+            forward.add_vcpu(vcpu(vm), &VmConfig::new("p").with_llc_cap(cap));
+        }
+        let mut reverse = scheduler(MonitoringStrategy::DirectPmc);
+        for &(vm, cap) in vms.iter().rev() {
+            reverse.add_vcpu(vcpu(vm), &VmConfig::new("p").with_llc_cap(cap));
+        }
+        for tick in 0..3 * 20u64 {
+            for &(vm, _) in &vms {
+                let charge = polluting_report(u64::from(vm) * 500, 400_000);
+                forward.account(vcpu(vm), &charge);
+                reverse.account(vcpu(vm), &charge);
+            }
+            forward.on_tick(tick);
+            reverse.on_tick(tick);
+        }
+        for &(vm, _) in &vms {
+            assert_eq!(forward.punishments(vcpu(vm)), reverse.punishments(vcpu(vm)));
+            assert_eq!(forward.is_punished(vcpu(vm)), reverse.is_punished(vcpu(vm)));
+            let f = forward.quota(vcpu(vm)).map(|q| q.quota());
+            let r = reverse.quota(vcpu(vm)).map(|q| q.quota());
+            assert_eq!(f, r, "vcpu {vm} quota diverged on registration order");
+        }
     }
 }

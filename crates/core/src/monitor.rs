@@ -22,7 +22,7 @@
 
 use kyoto_hypervisor::vm::VcpuId;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Configuration of the socket-dedication monitor.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -182,7 +182,7 @@ impl DedicationSampler {
     /// Advances the state machine by one tick. `estimates` maps vCPUs to
     /// their last known pollution estimate (misses/ms) and feeds the two
     /// skip heuristics.
-    pub fn on_tick(&mut self, estimates: &HashMap<VcpuId, f64>) {
+    pub fn on_tick(&mut self, estimates: &BTreeMap<VcpuId, f64>) {
         match &mut self.phase {
             Phase::Sampling { remaining, .. } => {
                 *remaining = remaining.saturating_sub(1);
@@ -202,7 +202,7 @@ impl DedicationSampler {
         }
     }
 
-    fn start_next_window(&mut self, estimates: &HashMap<VcpuId, f64>) {
+    fn start_next_window(&mut self, estimates: &BTreeMap<VcpuId, f64>) {
         if self.rotation.is_empty() {
             self.phase = Phase::Idle {
                 remaining: self.config.interval_ticks,
@@ -232,7 +232,7 @@ impl DedicationSampler {
         };
     }
 
-    fn should_skip(&self, target: VcpuId, estimates: &HashMap<VcpuId, f64>) -> bool {
+    fn should_skip(&self, target: VcpuId, estimates: &BTreeMap<VcpuId, f64>) -> bool {
         let threshold = self.config.low_pollution_threshold;
         if self.config.skip_low_polluters {
             if let Some(&estimate) = estimates.get(&target) {
@@ -271,7 +271,7 @@ mod tests {
         s
     }
 
-    fn tick_n(s: &mut DedicationSampler, n: u64, estimates: &HashMap<VcpuId, f64>) {
+    fn tick_n(s: &mut DedicationSampler, n: u64, estimates: &BTreeMap<VcpuId, f64>) {
         for _ in 0..n {
             s.on_tick(estimates);
         }
@@ -285,7 +285,7 @@ mod tests {
             ..SocketDedicationConfig::default()
         };
         let mut s = sampler(config);
-        let estimates = HashMap::new();
+        let estimates = BTreeMap::new();
         assert_eq!(s.sampling_target(), None);
         tick_n(&mut s, 3, &estimates);
         let first = s.sampling_target().expect("a window should have opened");
@@ -306,7 +306,7 @@ mod tests {
             ..SocketDedicationConfig::default()
         };
         let mut s = sampler(config);
-        let estimates = HashMap::new();
+        let estimates = BTreeMap::new();
         tick_n(&mut s, 1, &estimates);
         let target = s.sampling_target().unwrap();
         let other = if target == vcpu(1) { vcpu(2) } else { vcpu(1) };
@@ -324,7 +324,7 @@ mod tests {
             interval_ticks: 1,
             ..SocketDedicationConfig::default()
         });
-        let estimates = HashMap::new();
+        let estimates = BTreeMap::new();
         tick_n(&mut s, 10, &estimates);
         assert_eq!(s.sampling_target(), None);
         assert!(!s.is_migrated(vcpu(1)));
@@ -342,7 +342,7 @@ mod tests {
         let mut s = DedicationSampler::new(config);
         s.register(vcpu(1));
         s.register(vcpu(2));
-        let mut estimates = HashMap::new();
+        let mut estimates = BTreeMap::new();
         estimates.insert(vcpu(1), 10.0); // hmmer-like: way below threshold
         estimates.insert(vcpu(2), 50_000.0); // polluter
         for _ in 0..40 {
@@ -373,7 +373,7 @@ mod tests {
             ..SocketDedicationConfig::default()
         };
         let mut s = sampler(config);
-        let mut estimates = HashMap::new();
+        let mut estimates = BTreeMap::new();
         estimates.insert(vcpu(1), 10.0);
         estimates.insert(vcpu(2), 20.0);
         tick_n(&mut s, 25, &estimates);
@@ -398,7 +398,7 @@ mod tests {
         let mut s = DedicationSampler::new(config);
         s.register(vcpu(1));
         s.register(vcpu(2));
-        let mut estimates = HashMap::new();
+        let mut estimates = BTreeMap::new();
         estimates.insert(vcpu(1), 10.0);
         estimates.insert(vcpu(2), 20.0);
         for _ in 0..40 {
@@ -420,7 +420,7 @@ mod tests {
             ..SocketDedicationConfig::default()
         };
         let mut s = sampler(config);
-        let estimates = HashMap::new();
+        let estimates = BTreeMap::new();
         tick_n(&mut s, 1, &estimates);
         let target = s.sampling_target().unwrap();
         s.unregister(target);

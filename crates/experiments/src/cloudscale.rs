@@ -575,6 +575,7 @@ pub fn measure_parallel_scaling(
         let run_config = config.with_parallel_engine(parallel);
         let mut best = f64::INFINITY;
         for _ in 0..reps.max(1) {
+            // kyoto-lint: allow(wall-clock): this function *measures* wall-clock speedup; timing never feeds back into simulated results
             let start = std::time::Instant::now();
             let cell = run_cell(
                 &run_config,

@@ -11,7 +11,7 @@
 use crate::scheduler::{Priority, Scheduler, TickReport};
 use crate::vm::{VcpuId, VmConfig};
 use kyoto_sim::topology::CoreId;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Default CFS weight corresponding to nice 0 (Linux's `NICE_0_LOAD`).
 pub const NICE_0_WEIGHT: u32 = 1024;
@@ -52,7 +52,7 @@ struct VcpuState {
 #[derive(Debug, Clone)]
 pub struct CfsScheduler {
     config: CfsConfig,
-    vcpus: HashMap<VcpuId, VcpuState>,
+    vcpus: BTreeMap<VcpuId, VcpuState>,
 }
 
 impl CfsScheduler {
@@ -60,7 +60,7 @@ impl CfsScheduler {
     pub fn new(config: CfsConfig) -> Self {
         CfsScheduler {
             config,
-            vcpus: HashMap::new(),
+            vcpus: BTreeMap::new(),
         }
     }
 
@@ -263,5 +263,39 @@ mod tests {
         s.remove_vcpu(vcpu(1));
         assert_eq!(s.pick_next(CoreId(0), &[vcpu(1)]), None);
         assert_eq!(s.name(), "cfs");
+    }
+
+    #[test]
+    fn vruntime_is_independent_of_registration_order() {
+        // Same population, different registration order: vruntimes and pick
+        // decisions must agree after identical histories (pinned by the
+        // BTreeMap state map — min_vruntime and the period-reset walk fold
+        // over it).
+        let vms = [(4u16, 512u32), (1, 64), (3, 256), (2, 128)];
+        let mut forward = scheduler();
+        for &(vm, weight) in &vms {
+            forward.add_vcpu(vcpu(vm), &VmConfig::new("a").with_weight(weight));
+        }
+        let mut reverse = scheduler();
+        for &(vm, weight) in vms.iter().rev() {
+            reverse.add_vcpu(vcpu(vm), &VmConfig::new("a").with_weight(weight));
+        }
+        let all: Vec<VcpuId> = vms.iter().map(|&(vm, _)| vcpu(vm)).collect();
+        for tick in 0..9u64 {
+            for &(vm, weight) in &vms {
+                let charge = report(u64::from(weight) * 50);
+                forward.account(vcpu(vm), &charge);
+                reverse.account(vcpu(vm), &charge);
+            }
+            forward.on_tick(tick);
+            reverse.on_tick(tick);
+            assert_eq!(
+                forward.pick_next(CoreId(0), &all),
+                reverse.pick_next(CoreId(0), &all)
+            );
+        }
+        for &(vm, _) in &vms {
+            assert_eq!(forward.vruntime(vcpu(vm)), reverse.vruntime(vcpu(vm)));
+        }
     }
 }

@@ -17,7 +17,7 @@
 use crate::scheduler::{Priority, Scheduler, TickReport};
 use crate::vm::{VcpuId, VmConfig};
 use kyoto_sim::topology::CoreId;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Timing parameters of the credit scheduler.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -64,7 +64,7 @@ struct VcpuState {
 #[derive(Debug, Clone)]
 pub struct CreditScheduler {
     config: CreditConfig,
-    vcpus: HashMap<VcpuId, VcpuState>,
+    vcpus: BTreeMap<VcpuId, VcpuState>,
     pick_clock: u64,
 }
 
@@ -73,7 +73,7 @@ impl CreditScheduler {
     pub fn new(config: CreditConfig) -> Self {
         CreditScheduler {
             config,
-            vcpus: HashMap::new(),
+            vcpus: BTreeMap::new(),
             pick_clock: 0,
         }
     }
@@ -106,7 +106,9 @@ impl CreditScheduler {
         }
     }
 
-    /// Registered vCPUs (in no particular order).
+    /// Registered vCPUs, in ascending id order (the map is a `BTreeMap`
+    /// precisely so this listing — and every credit-refill fold below — is
+    /// deterministic; see the kyoto-lint `nondet-iter` rule).
     pub fn vcpus(&self) -> impl Iterator<Item = VcpuId> + '_ {
         self.vcpus.keys().copied()
     }
@@ -367,5 +369,48 @@ mod tests {
     #[test]
     fn scheduler_name() {
         assert_eq!(scheduler().name(), "xcs");
+    }
+
+    #[test]
+    fn vcpu_listing_is_sorted_regardless_of_registration_order() {
+        let mut s = scheduler();
+        for vm in [9u16, 2, 7, 1] {
+            s.add_vcpu(vcpu(vm), &VmConfig::new("a"));
+        }
+        let expected: Vec<VcpuId> = [1u16, 2, 7, 9].into_iter().map(vcpu).collect();
+        assert_eq!(s.vcpus().collect::<Vec<_>>(), expected);
+    }
+
+    #[test]
+    fn accounting_is_independent_of_registration_order() {
+        // Two schedulers with the same vCPU population registered in
+        // different orders must agree on every credit balance after
+        // identical charge/refill histories (pinned by the BTreeMap state;
+        // a hash-ordered refill fold could round shares differently).
+        let weights = [(1u16, 64u32), (2, 256), (3, 512), (4, 128)];
+        let mut forward = scheduler();
+        for &(vm, weight) in &weights {
+            forward.add_vcpu(vcpu(vm), &VmConfig::new("a").with_weight(weight));
+        }
+        let mut reverse = scheduler();
+        for &(vm, weight) in weights.iter().rev() {
+            reverse.add_vcpu(vcpu(vm), &VmConfig::new("a").with_weight(weight));
+        }
+        for tick in 0..12u64 {
+            for &(vm, weight) in &weights {
+                let charge = report(u64::from(weight) * 100, 100_000);
+                forward.account(vcpu(vm), &charge);
+                reverse.account(vcpu(vm), &charge);
+            }
+            forward.on_tick(tick);
+            reverse.on_tick(tick);
+        }
+        for &(vm, _) in &weights {
+            assert_eq!(
+                forward.remaining_credit(vcpu(vm)),
+                reverse.remaining_credit(vcpu(vm)),
+                "vcpu {vm} diverged on registration order"
+            );
+        }
     }
 }

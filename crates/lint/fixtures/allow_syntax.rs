@@ -1,0 +1,30 @@
+//! Fixture: suppression-syntax corpus. Never compiled — linted by the
+//! self-tests to pin the `bad-allow` semantics.
+//!
+//! In prose, kyoto-lint: is harmless when followed by plain words.
+
+fn missing_reason(x: Option<u32>) -> u32 {
+    // kyoto-lint: allow(cluster-no-panic)
+    x.unwrap() // MARK: missing-reason
+}
+
+fn unknown_rule(x: Option<u32>) -> u32 {
+    // kyoto-lint: allow(made-up-rule): because I said so
+    x.unwrap() // MARK: unknown-rule
+}
+
+fn unknown_directive(x: Option<u32>) -> u32 {
+    // kyoto-lint: deny(cluster-no-panic): deny is not a directive
+    x.unwrap() // MARK: unknown-directive
+}
+
+fn unclosed(x: Option<u32>) -> u32 {
+    // kyoto-lint: allow(cluster-no-panic: forgot the close paren
+    x.unwrap() // MARK: unclosed
+}
+
+fn far_away_allow(x: Option<u32>) -> u32 {
+    // kyoto-lint: allow(cluster-no-panic): a reasoned allow two lines above the call does not reach it
+    let _ = &x;
+    x.unwrap() // MARK: far-away
+}

@@ -1,0 +1,19 @@
+//! Fixture: frozen-region extraction corpus. Never compiled — the
+//! self-tests extract `run_slots_reference` from this file to prove the
+//! brace matcher survives braces inside strings and comments.
+
+fn run_slots_reference(slots: &mut [u64]) -> u64 {
+    let tricky = "a { stray brace in a string }";
+    // and a } stray brace in a comment {
+    let mut total = 0;
+    for slot in slots.iter_mut() {
+        *slot += 1;
+        total += *slot;
+    }
+    let _ = tricky;
+    total
+}
+
+fn after_the_region() -> &'static str {
+    "this function is not part of the frozen region"
+}

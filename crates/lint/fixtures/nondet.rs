@@ -1,0 +1,43 @@
+//! Fixture: nondet-iter corpus. Never compiled — linted by the self-tests
+//! under a synthetic workspace-relative path to exercise rule scoping.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+fn flagged_method_call() -> usize {
+    let mut counts: HashMap<u32, u64> = HashMap::new();
+    counts.insert(1, 2);
+    counts.iter().count() // MARK: flagged-iter
+}
+
+fn flagged_for_loop() {
+    let lines: HashSet<u64> = HashSet::new();
+    for line in &lines { // MARK: flagged-for
+        let _ = line;
+    }
+}
+
+fn allowed_sum() -> u64 {
+    let totals = HashMap::from([(1u32, 2u64)]);
+    // kyoto-lint: allow(nondet-iter): summing u64 counters is commutative
+    totals.values().sum() // MARK: allowed-values
+}
+
+fn btree_is_fine() -> usize {
+    let ordered: BTreeMap<u32, u64> = BTreeMap::new();
+    ordered.iter().count() // MARK: btree-iter
+}
+
+fn keyed_lookup_is_fine(counts: &HashMap<u32, u64>) -> u64 {
+    counts.get(&1).copied().unwrap_or(0) // MARK: keyed-lookup
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_free_in_tests() {
+        let set: HashSet<u32> = HashSet::new();
+        assert_eq!(set.iter().count(), 0); // MARK: test-iter
+    }
+}

@@ -1,0 +1,16 @@
+//! Fixture: unsafe-safety-comment corpus. Never compiled — linted by the
+//! self-tests; the workspace itself is unsafe-free by invariant.
+
+fn documented(ptr: *const u8) -> u8 {
+    // SAFETY: the caller guarantees `ptr` points to a live, aligned byte.
+    unsafe { *ptr } // MARK: documented-unsafe
+}
+
+fn undocumented(ptr: *const u8) -> u8 {
+    unsafe { *ptr } // MARK: undocumented-unsafe
+}
+
+fn mentions_are_not_violations() -> &'static str {
+    // Writing the word unsafe in a comment is fine.
+    "and unsafe inside a string literal is fine too" // MARK: unsafe-string
+}

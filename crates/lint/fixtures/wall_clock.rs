@@ -1,0 +1,22 @@
+//! Fixture: wall-clock corpus. Never compiled — linted by the self-tests
+//! under experiment and bench paths to exercise the allowlist.
+
+fn flagged_instant() -> bool {
+    let start = std::time::Instant::now(); // MARK: flagged-instant
+    start.elapsed().as_nanos() == 0
+}
+
+fn flagged_system_time() -> bool {
+    let epoch = std::time::SystemTime::UNIX_EPOCH; // MARK: flagged-systemtime
+    epoch.elapsed().is_ok()
+}
+
+fn allowed_timing() -> f64 {
+    // kyoto-lint: allow(wall-clock): measures host speedup only; timing never feeds back into simulated results
+    let start = std::time::Instant::now(); // MARK: allowed-instant
+    start.elapsed().as_secs_f64()
+}
+
+fn instant_as_plain_type_is_fine(deadline: std::time::Instant) -> bool {
+    deadline.elapsed().as_nanos() == 0 // MARK: instant-type
+}

@@ -1,0 +1,347 @@
+//! A hand-rolled, line-oriented Rust lexer.
+//!
+//! The rules never need a full parse tree; they need to know, for every
+//! source line, (a) which characters are *code* and (b) what *comment* text
+//! the line carries. [`lex`] produces exactly that: a code view of the file
+//! with the contents of comments, string literals and char literals blanked
+//! out (delimiters kept, newlines preserved so line numbers survive), plus
+//! the comment text per line. [`tokenize`] then cuts the code view into a
+//! flat token stream for the pattern-matching rules.
+//!
+//! Handled: line comments, nested block comments, string literals with
+//! escapes, raw (and byte/raw-byte) strings with `#` fences, char and byte
+//! literals, and the lifetime-vs-char-literal ambiguity (`'a>` is a
+//! lifetime, `'a'` is a char).
+
+/// The lexed form of one source file.
+#[derive(Debug)]
+pub struct Lexed {
+    /// The source with comment and literal *contents* replaced by spaces.
+    /// Same length in lines as the input; newlines are preserved.
+    pub code: String,
+    /// Comment text carried by each line (line/block comment bodies, without
+    /// the `//`, `/*`, `*/` markers). Indexed by zero-based line.
+    pub comments: Vec<String>,
+}
+
+/// One token of the code view: an identifier/number word or a single
+/// punctuation character (`::` is kept as one token).
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// The token text.
+    pub text: String,
+    /// Zero-based source line the token starts on.
+    pub line: usize,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Splits `src` into a blanked code view plus per-line comment text.
+pub fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let n = chars.len();
+    let mut code = String::with_capacity(src.len());
+    let mut comments: Vec<String> = vec![String::new()];
+    let mut line = 0usize;
+    let mut prev_code: Option<char> = None;
+    let mut i = 0usize;
+
+    macro_rules! newline {
+        () => {{
+            code.push('\n');
+            comments.push(String::new());
+            line += 1;
+        }};
+    }
+
+    while i < n {
+        let c = chars[i];
+        if c == '\n' {
+            newline!();
+            i += 1;
+            continue;
+        }
+        // Line comment.
+        if c == '/' && i + 1 < n && chars[i + 1] == '/' {
+            code.push(' ');
+            code.push(' ');
+            i += 2;
+            while i < n && chars[i] != '\n' {
+                comments[line].push(chars[i]);
+                code.push(' ');
+                i += 1;
+            }
+            continue;
+        }
+        // Block comment (Rust block comments nest).
+        if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+            code.push(' ');
+            code.push(' ');
+            i += 2;
+            let mut depth = 1usize;
+            while i < n && depth > 0 {
+                if chars[i] == '\n' {
+                    newline!();
+                    i += 1;
+                } else if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                    depth += 1;
+                    code.push(' ');
+                    code.push(' ');
+                    i += 2;
+                } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                    depth -= 1;
+                    code.push(' ');
+                    code.push(' ');
+                    i += 2;
+                } else {
+                    comments[line].push(chars[i]);
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw string r"...", r#"..."#, br#"..."# — only when the leading
+        // r/b is not the tail of an identifier.
+        if (c == 'r' || c == 'b') && prev_code.is_none_or(|p| !is_ident_char(p)) {
+            let mut j = i + 1;
+            if c == 'b' && j < n && chars[j] == 'r' {
+                j += 1;
+            }
+            let fence_start = j;
+            while j < n && chars[j] == '#' {
+                j += 1;
+            }
+            let fences = j - fence_start;
+            let is_raw = (c == 'r' || j > i + 1) && j < n && chars[j] == '"';
+            if is_raw {
+                // Emit the opening delimiters as code.
+                for &d in &chars[i..=j] {
+                    code.push(d);
+                }
+                i = j + 1;
+                // Blank the body until `"` followed by `fences` hashes.
+                'raw: while i < n {
+                    if chars[i] == '"' {
+                        let mut k = i + 1;
+                        let mut seen = 0usize;
+                        while k < n && seen < fences && chars[k] == '#' {
+                            k += 1;
+                            seen += 1;
+                        }
+                        if seen == fences {
+                            for &d in &chars[i..k] {
+                                code.push(d);
+                            }
+                            i = k;
+                            break 'raw;
+                        }
+                    }
+                    if chars[i] == '\n' {
+                        newline!();
+                    } else {
+                        code.push(' ');
+                    }
+                    i += 1;
+                }
+                prev_code = Some('"');
+                continue;
+            }
+        }
+        // Ordinary string literal.
+        if c == '"' {
+            code.push('"');
+            i += 1;
+            while i < n {
+                if chars[i] == '\\' && i + 1 < n {
+                    code.push(' ');
+                    if chars[i + 1] == '\n' {
+                        newline!();
+                    } else {
+                        code.push(' ');
+                    }
+                    i += 2;
+                    continue;
+                }
+                if chars[i] == '"' {
+                    code.push('"');
+                    i += 1;
+                    break;
+                }
+                if chars[i] == '\n' {
+                    newline!();
+                } else {
+                    code.push(' ');
+                }
+                i += 1;
+            }
+            prev_code = Some('"');
+            continue;
+        }
+        // Char literal vs lifetime: 'x' / '\n' are literals, 'a in a
+        // generic position is a lifetime (no closing quote right after).
+        if c == '\'' {
+            let is_escape = i + 1 < n && chars[i + 1] == '\\';
+            let is_short = i + 2 < n && chars[i + 2] == '\'';
+            if is_escape {
+                code.push('\'');
+                i += 1;
+                // Blank to the closing quote.
+                while i < n && chars[i] != '\'' {
+                    if chars[i] == '\\' && i + 1 < n {
+                        code.push(' ');
+                        code.push(' ');
+                        i += 2;
+                    } else {
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+                if i < n {
+                    code.push('\'');
+                    i += 1;
+                }
+                prev_code = Some('\'');
+                continue;
+            }
+            if is_short {
+                code.push('\'');
+                code.push(' ');
+                code.push('\'');
+                i += 3;
+                prev_code = Some('\'');
+                continue;
+            }
+            // Lifetime: keep the quote as code, the following ident lexes
+            // normally.
+            code.push('\'');
+            prev_code = Some('\'');
+            i += 1;
+            continue;
+        }
+        code.push(c);
+        prev_code = Some(c);
+        i += 1;
+    }
+
+    Lexed { code, comments }
+}
+
+/// Cuts a code view (from [`lex`]) into a flat token stream.
+pub fn tokenize(code: &str) -> Vec<Token> {
+    let chars: Vec<char> = code.chars().collect();
+    let n = chars.len();
+    let mut out = Vec::new();
+    let mut line = 0usize;
+    let mut i = 0usize;
+    while i < n {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if is_ident_start(c) {
+            let start = i;
+            while i < n && is_ident_char(chars[i]) {
+                i += 1;
+            }
+            out.push(Token {
+                text: chars[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < n && (is_ident_char(chars[i])) {
+                i += 1;
+            }
+            out.push(Token {
+                text: chars[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        if c == ':' && i + 1 < n && chars[i + 1] == ':' {
+            out.push(Token {
+                text: "::".to_string(),
+                line,
+            });
+            i += 2;
+            continue;
+        }
+        out.push(Token {
+            text: c.to_string(),
+            line,
+        });
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_are_blanked_and_captured() {
+        let l = lex("let x = 1; // trailing note\n/* block\nspans */ let y = 2;\n");
+        assert!(l.code.contains("let x = 1;"));
+        assert!(!l.code.contains("trailing"));
+        assert_eq!(l.comments[0].trim(), "trailing note");
+        assert_eq!(l.comments[1].trim(), "block");
+        assert!(l.comments[2].contains("spans"));
+        assert!(l.code.contains("let y = 2;"));
+    }
+
+    #[test]
+    fn strings_are_blanked_but_quotes_kept() {
+        let l = lex("let s = \"unsafe { panic!() }\";\n");
+        assert!(!l.code.contains("unsafe"));
+        assert!(!l.code.contains("panic"));
+        assert!(l.code.contains('"'));
+    }
+
+    #[test]
+    fn raw_strings_with_fences_are_blanked() {
+        let l = lex("let s = r#\"one \" two\"#; let t = 3;\n");
+        assert!(!l.code.contains("one"));
+        assert!(l.code.contains("let t = 3;"));
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let l = lex("/* outer /* inner */ still comment */ let z = 4;\n");
+        assert!(l.code.contains("let z = 4;"));
+        assert!(!l.code.contains("inner"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let l = lex("fn f<'a>(x: &'a str) -> &'a str { x }\n");
+        assert!(l.code.contains("str"));
+        let l2 = lex("let c = 'x'; let d = '\\n'; let e = b'y';\n");
+        assert!(!l2.code.contains('x'));
+        assert!(!l2.code.contains('y'));
+    }
+
+    #[test]
+    fn tokens_carry_lines_and_double_colon() {
+        let toks = tokenize("foo::bar\nbaz.qux()\n");
+        let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, ["foo", "::", "bar", "baz", ".", "qux", "(", ")"]);
+        assert_eq!(toks[0].line, 0);
+        assert_eq!(toks[3].line, 1);
+    }
+}

@@ -1,0 +1,95 @@
+//! kyoto-lint CLI.
+//!
+//! ```text
+//! cargo run -p kyoto-lint -- --workspace          # lint the whole tree
+//! cargo run -p kyoto-lint -- --root /path --workspace
+//! cargo run -p kyoto-lint -- --pin                # re-pin ci/frozen_hashes.txt
+//! cargo run -p kyoto-lint -- crates/sim/src/engine.rs   # lint specific files
+//! ```
+//!
+//! Exits 0 on a clean run, 1 on any diagnostic, 2 on usage/setup errors.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut pin = false;
+    let mut files: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => {}
+            "--pin" => pin = true,
+            "--root" => match args.next() {
+                Some(path) => root = PathBuf::from(path),
+                None => {
+                    eprintln!("kyoto-lint: --root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: kyoto-lint [--root <dir>] [--workspace | <file.rs>...] [--pin]");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("kyoto-lint: unknown flag {other}");
+                return ExitCode::from(2);
+            }
+            file => files.push(file.to_string()),
+        }
+    }
+
+    if pin {
+        let contents = match kyoto_lint::render_pin_file(&root) {
+            Ok(contents) => contents,
+            Err(e) => {
+                eprintln!("kyoto-lint: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let target = root.join("ci/frozen_hashes.txt");
+        if let Err(e) = std::fs::write(&target, &contents) {
+            eprintln!("kyoto-lint: cannot write {}: {e}", target.display());
+            return ExitCode::from(2);
+        }
+        print!("{contents}");
+        eprintln!("kyoto-lint: pinned frozen hashes to {}", target.display());
+        return ExitCode::SUCCESS;
+    }
+
+    let (diags, checked) = if files.is_empty() {
+        let checked = kyoto_lint::workspace_files(&root).len();
+        (kyoto_lint::lint_workspace(&root), checked)
+    } else {
+        let mut diags = Vec::new();
+        for rel in &files {
+            match std::fs::read_to_string(root.join(rel)) {
+                Ok(source) => diags.extend(kyoto_lint::lint_source(rel, &source)),
+                Err(e) => {
+                    eprintln!("kyoto-lint: cannot read {rel}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        diags.sort();
+        let count = files.len();
+        (diags, count)
+    };
+
+    for diag in &diags {
+        println!("{diag}");
+    }
+    if diags.is_empty() {
+        eprintln!("kyoto-lint: OK — {checked} files, 0 diagnostics");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "kyoto-lint: FAILED — {} diagnostic(s) across {checked} files",
+            diags.len()
+        );
+        ExitCode::FAILURE
+    }
+}

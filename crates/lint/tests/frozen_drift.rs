@@ -1,0 +1,103 @@
+//! Frozen-hash drift detection, exercised against a scratch tree so the
+//! real pin file never has to be touched.
+
+use std::fs;
+use std::path::PathBuf;
+
+const LEGACY: &str = "//! Frozen baseline stand-in.\npub fn legacy() -> u32 {\n    41\n}\n";
+const ENGINE: &str = "fn run_slots_reference(slots: &mut [u64]) -> u64 {\n    let mut total = 0;\n    for slot in slots.iter_mut() {\n        *slot += 1;\n        total += *slot;\n    }\n    total\n}\n\nfn run_slots_fast() -> u64 {\n    0\n}\n";
+
+/// Builds a throwaway tree holding just the two frozen regions. The name is
+/// derived from the process id and a per-test tag, so parallel test binaries
+/// cannot collide.
+struct ScratchTree {
+    root: PathBuf,
+}
+
+impl ScratchTree {
+    fn new(tag: &str) -> Self {
+        let root =
+            std::env::temp_dir().join(format!("kyoto-lint-frozen-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        for dir in ["crates/bench/src", "crates/sim/src", "ci"] {
+            fs::create_dir_all(root.join(dir)).expect("scratch tree");
+        }
+        fs::write(root.join("crates/bench/src/legacy.rs"), LEGACY).expect("write legacy");
+        fs::write(root.join("crates/sim/src/engine.rs"), ENGINE).expect("write engine");
+        ScratchTree { root }
+    }
+
+    fn pin(&self) {
+        let contents = kyoto_lint::render_pin_file(&self.root).expect("renderable pin");
+        fs::write(self.root.join("ci/frozen_hashes.txt"), contents).expect("write pin");
+    }
+}
+
+impl Drop for ScratchTree {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}
+
+#[test]
+fn pinned_tree_passes_and_missing_pin_fails() {
+    let tree = ScratchTree::new("pin");
+    let diags = kyoto_lint::check_frozen(&tree.root);
+    assert_eq!(diags.len(), 1, "missing pin file must be a diagnostic");
+    assert_eq!(diags[0].rule, "frozen-code");
+    tree.pin();
+    assert!(kyoto_lint::check_frozen(&tree.root).is_empty());
+}
+
+#[test]
+fn editing_a_frozen_region_is_drift() {
+    let tree = ScratchTree::new("drift");
+    tree.pin();
+    fs::write(
+        tree.root.join("crates/bench/src/legacy.rs"),
+        LEGACY.replace("41", "42"),
+    )
+    .expect("mutate legacy");
+    let diags = kyoto_lint::check_frozen(&tree.root);
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].rule, "frozen-code");
+    assert!(diags[0].message.contains("kyoto-bench-legacy"));
+    assert_eq!(diags[0].file, "crates/bench/src/legacy.rs");
+}
+
+#[test]
+fn editing_the_reference_function_is_drift_but_neighbours_are_not() {
+    let tree = ScratchTree::new("region");
+    tree.pin();
+    // Changing code *outside* the frozen function is not drift.
+    fs::write(
+        tree.root.join("crates/sim/src/engine.rs"),
+        ENGINE.replace(
+            "fn run_slots_fast() -> u64 {\n    0\n}",
+            "fn run_slots_fast() -> u64 {\n    7\n}",
+        ),
+    )
+    .expect("mutate neighbour");
+    assert!(kyoto_lint::check_frozen(&tree.root).is_empty());
+    // Changing the frozen function itself is.
+    fs::write(
+        tree.root.join("crates/sim/src/engine.rs"),
+        ENGINE.replace("*slot += 1;", "*slot += 2;"),
+    )
+    .expect("mutate region");
+    let diags = kyoto_lint::check_frozen(&tree.root);
+    assert_eq!(diags.len(), 1);
+    assert!(diags[0].message.contains("run-slots-reference"));
+}
+
+#[test]
+fn whitespace_only_edits_are_not_drift() {
+    let tree = ScratchTree::new("ws");
+    tree.pin();
+    fs::write(
+        tree.root.join("crates/bench/src/legacy.rs"),
+        LEGACY.replace("41\n", "41   \n"),
+    )
+    .expect("trailing whitespace");
+    assert!(kyoto_lint::check_frozen(&tree.root).is_empty());
+}

@@ -1,0 +1,20 @@
+//! The workspace must lint clean: `cargo test` doubles as the lint and
+//! frozen-hash gate even where `ci/check_lint.sh` is not wired in.
+
+use std::path::Path;
+
+#[test]
+fn workspace_lints_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let diags = kyoto_lint::lint_workspace(&root);
+    assert!(
+        diags.is_empty(),
+        "kyoto-lint found {} diagnostic(s):\n{}",
+        diags.len(),
+        diags
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -93,9 +93,16 @@ impl ShadowAttribution {
         self.misses.remove(&owner);
     }
 
-    /// Owners currently tracked.
+    /// Owners currently tracked, in ascending id order.
+    ///
+    /// The backing store is a `HashMap` (lookups on the replay hot path),
+    /// so the keys are collected and sorted here rather than exposing the
+    /// hash-iteration order to callers.
     pub fn owners(&self) -> impl Iterator<Item = OwnerId> + '_ {
-        self.shadows.keys().copied()
+        // kyoto-lint: allow(nondet-iter): keys are sorted below before being exposed
+        let mut owners: Vec<OwnerId> = self.shadows.keys().copied().collect();
+        owners.sort_unstable();
+        owners.into_iter()
     }
 
     /// Moves the shadow state (cache contents and counters) of `owners` out
@@ -142,9 +149,11 @@ impl ShadowAttribution {
             "cannot merge shadow attributions of different geometry"
         );
         self.shadows.extend(part.shadows);
+        // kyoto-lint: allow(nondet-iter): summing u64 counters is commutative, order is immaterial
         for (owner, refs) in part.references {
             *self.references.entry(owner).or_insert(0) += refs;
         }
+        // kyoto-lint: allow(nondet-iter): summing u64 counters is commutative, order is immaterial
         for (owner, misses) in part.misses {
             *self.misses.entry(owner).or_insert(0) += misses;
         }
@@ -228,6 +237,15 @@ mod tests {
             s.observe(1, i * 64);
         }
         assert_eq!(s.solo_misses(1), 8);
+    }
+
+    #[test]
+    fn owners_listing_is_sorted_regardless_of_insertion_order() {
+        let mut s = shadow();
+        for owner in [7u16, 2, 9, 1, 5] {
+            s.observe(owner, 0);
+        }
+        assert_eq!(s.owners().collect::<Vec<_>>(), vec![1, 2, 5, 7, 9]);
     }
 
     #[test]
