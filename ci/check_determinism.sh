@@ -8,11 +8,14 @@
 # the fleet scenario, whose clusters run their cells on scoped threads
 # under the same flag, the churn scenario — fleet dynamics: seeded VM
 # arrival/departure streams plus a scripted drain/join cycle, in both
-# planner modes — and the failures scenario: injected cell crashes,
+# planner modes — the failures scenario: injected cell crashes,
 # slowdowns and mid-migration aborts, whose fault plan is a pure function
-# of (seed, epoch)) — and fails on any byte of divergence. A third serial
-# run guards against run-to-run nondeterminism (uninitialised state, map
-# iteration order, ...).
+# of (seed, epoch) — and the service scenario: a request trace replayed
+# through the kyoto-service admission controller, whose table embeds the
+# telemetry record stream and a mid-trace checkpoint/restore check that
+# panics on divergence) — and fails on any byte of divergence. A third
+# serial run guards against run-to-run nondeterminism (uninitialised
+# state, map iteration order, ...).
 #
 # `--no-timing` suppresses the wall-clock lines, so the whole report is
 # byte-comparable. Outputs land in $DETERMINISM_OUT (default:
@@ -25,7 +28,7 @@ set -euo pipefail
 
 bin="${FIGURES_BIN:-target/release/figures}"
 out="${DETERMINISM_OUT:-target/determinism}"
-targets=(fig1 fig9 cloudscale fleet churn failures)
+targets=(fig1 fig9 cloudscale fleet churn failures service)
 
 if [ ! -x "$bin" ]; then
     cargo build --release -p kyoto-bench --bin figures

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Documentation gate.
+#
+# Builds the rustdoc of every workspace crate (no dependencies) with
+# warnings promoted to errors: broken intra-doc links, malformed doc
+# markup and bare URLs all fail the gate. Combined with the
+# `#![warn(missing_docs)]` attribute every first-party crate root
+# carries, this keeps new public API from landing undocumented.
+#
+# Doc *examples* are not run here — they execute as doctests under plain
+# `cargo test`, which CI runs separately.
+#
+# Usage:
+#   ci/check_docs.sh
+set -euo pipefail
+
+echo "Documentation gate (cargo doc --no-deps, warnings are errors)"
+if RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace -q; then
+    echo "docs gate OK (rendered under target/doc)"
+else
+    echo "docs gate FAILED: fix the rustdoc warnings above (broken links," >&2
+    echo "missing docs on public items, malformed markup)" >&2
+    exit 1
+fi

@@ -38,6 +38,7 @@ use kyoto_experiments::cloudscale::{self, CloudscaleSweep};
 use kyoto_experiments::config::ExperimentConfig;
 use kyoto_experiments::failures::{self, FailureSweep};
 use kyoto_experiments::fleet::{self, FleetSweep};
+use kyoto_experiments::service::{self, ServiceSweep};
 use kyoto_experiments::{
     fig1, fig10, fig11, fig12, fig2, fig3, fig4, fig5, fig6, fig8, fig9, tables,
 };
@@ -45,7 +46,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-const ALL_TARGETS: [&str; 17] = [
+const ALL_TARGETS: [&str; 18] = [
     "table1",
     "table2",
     "fig1",
@@ -63,6 +64,7 @@ const ALL_TARGETS: [&str; 17] = [
     "fleet",
     "churn",
     "failures",
+    "service",
 ];
 
 fn render_target(
@@ -133,6 +135,19 @@ fn render_target(
                 FailureSweep::standard()
             };
             failures::run_with_sweep_jobs(config, &sweep, jobs).to_table()
+        }
+        "service" => {
+            // The fleet behind the kyoto-service control plane: a request
+            // trace replayed through the SLA-aware admission controller
+            // over arrival rate x admission policy, with a mid-trace
+            // checkpoint/restore check baked in — the CI determinism
+            // gate's service target.
+            let sweep = if quick {
+                ServiceSweep::small()
+            } else {
+                ServiceSweep::standard()
+            };
+            service::run_with_sweep_jobs(config, &sweep, jobs).to_table()
         }
         _ => return None,
     })

@@ -5,7 +5,7 @@
 //! A checkpoint is a *value*, not a view: every cell's machine (caches,
 //! PMCs), hypervisor (scheduler state, VM runtimes, workload progress),
 //! every in-flight arrival, the crash-retry queue, the installed
-//! [`FaultPlan`](crate::faults::FaultPlan) and all control-plane counters
+//! [`FaultPlan`] and all control-plane counters
 //! are cloned outright. Because the simulation is deterministic, resuming
 //! from the copy replays exactly the epochs the original would have run —
 //! `run(k) == restore(checkpoint(run(j))).run(k - j)` is property-tested

@@ -42,7 +42,7 @@
 //!
 //! [`Cluster::checkpoint`] deep-clones the entire fleet — machine state,
 //! hypervisors, in-flight arrivals, the retry queue, counters and history —
-//! into a [`FleetCheckpoint`](crate::checkpoint::FleetCheckpoint);
+//! into a [`FleetCheckpoint`];
 //! [`Cluster::restore`] rebuilds a cluster that resumes **bit-identically**
 //! (property-tested across policies and planner modes).
 
@@ -869,6 +869,32 @@ impl Cluster {
     /// * [`FleetEvent::VmArrival`] admits a new VM onto the open cell with
     ///   the most free cores (ties toward the lowest id), or rejects it
     ///   loudly in the counters when every cell is draining or full.
+    ///
+    /// # Example
+    ///
+    /// Drive one epoch with an inline event list — an arrival spawned from
+    /// the arrival index, then a scripted departure:
+    ///
+    /// ```
+    /// use kyoto_cluster::cluster::{Cluster, ClusterConfig};
+    /// use kyoto_cluster::events::FleetEvent;
+    /// use kyoto_hypervisor::vm::VmConfig;
+    /// use kyoto_workloads::spec::{SpecApp, SpecWorkload};
+    ///
+    /// let mut cluster = Cluster::new(ClusterConfig::new(2, 256).with_epoch_ticks(4));
+    /// let events = [FleetEvent::VmArrival, FleetEvent::VmDeparture { pick: 3 }];
+    /// let report = cluster
+    ///     .run_epoch_with_events(&events, &mut |index| {
+    ///         (
+    ///             VmConfig::new(format!("vm-{index}")),
+    ///             Box::new(SpecWorkload::new(SpecApp::Gcc, 256, 0xf1ee7 + index)) as _,
+    ///         )
+    ///     })
+    ///     .unwrap();
+    /// assert_eq!(report.events.arrivals, 1);
+    /// assert_eq!(report.events.departures, 1); // the arrival departed again
+    /// assert_eq!(cluster.epoch(), 1);
+    /// ```
     pub fn run_epoch_with_events(
         &mut self,
         events: &[FleetEvent],
@@ -934,7 +960,6 @@ impl Cluster {
             FleetEvent::VmDeparture { pick } => {
                 if self.depart_vm(pick)? {
                     counts.departures += 1;
-                    self.total_departures += 1;
                 }
             }
             FleetEvent::VmArrival => {
@@ -961,7 +986,11 @@ impl Cluster {
     /// the open (neither draining nor down) cell with the most free cores,
     /// ties toward the lowest id. `None` when every cell is draining, down
     /// or full.
-    fn admission_cell(&self) -> Option<CellId> {
+    ///
+    /// Public so external admission controllers (the `kyoto-service`
+    /// control plane) can reproduce the cluster's own placement choice —
+    /// and veto or re-rank it — before committing a request.
+    pub fn admission_cell(&self) -> Option<CellId> {
         let cores = self.cores_per_cell();
         let occupancy = self.occupancies();
         (0..self.cells.len())
@@ -977,7 +1006,11 @@ impl Cluster {
     /// cancel a VM that is waiting out a crash; it leaves the retry queue
     /// with its report archived). In-flight VMs (mid-migration) are not
     /// candidates. Returns `Ok(false)` on an empty fleet.
-    fn depart_vm(&mut self, pick: u64) -> Result<bool, ClusterError> {
+    ///
+    /// Public so request/reply fronts (the `kyoto-service` control plane)
+    /// can serve a `DepartVm` request between epochs with the same
+    /// fold-onto-population semantics as [`FleetEvent::VmDeparture`].
+    pub fn depart_vm(&mut self, pick: u64) -> Result<bool, ClusterError> {
         let candidates: Vec<usize> = self
             .vms
             .iter()
@@ -1010,12 +1043,13 @@ impl Cluster {
         }
         self.vms.remove(index);
         self.departed.push(report);
+        self.total_departures += 1;
         Ok(true)
     }
 
     /// The fleet at the last epoch boundary (epoch deltas relative to the
     /// boundary before it). Does not advance any bookkeeping — both the
-    /// control loop (via [`Cluster::snapshot_and_advance`]) and external
+    /// control loop (via the private `snapshot_and_advance`) and external
     /// observers share this one builder, so the planner can never see a
     /// different snapshot shape than a caller of `snapshot()`.
     pub fn snapshot(&self) -> ClusterSnapshot {

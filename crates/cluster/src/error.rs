@@ -10,6 +10,45 @@
 use crate::snapshot::{CellId, FleetVmId};
 use kyoto_hypervisor::hypervisor::HypervisorError;
 
+/// Why an admission controller turned a placement request away.
+///
+/// Rejection is a *decision*, not a malfunction: the control-plane service
+/// (`kyoto-service`) accounts every rejection in its telemetry ledger, and
+/// only its synchronous request/reply front surfaces one as a
+/// [`ClusterError::Rejected`]. The reasons are typed so callers (and the
+/// ledger) can distinguish a full fleet from an over-budget one.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum AdmissionRejection {
+    /// No open (non-draining, non-down) cell has a free core, and the
+    /// admission queue cannot hold the request either.
+    FleetSaturated,
+    /// Free cores exist, but placing the VM anywhere would push every
+    /// candidate cell's projected contention past the admission
+    /// controller's limit, and the admission queue is full.
+    ContentionOverBudget {
+        /// The lowest projected per-cell pollution (misses per CPU-ms) any
+        /// candidate cell would reach with the VM placed.
+        projected: f64,
+        /// The controller's per-cell contention limit.
+        limit: f64,
+    },
+}
+
+impl std::fmt::Display for AdmissionRejection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmissionRejection::FleetSaturated => {
+                write!(f, "fleet saturated: no open cell has a free core")
+            }
+            AdmissionRejection::ContentionOverBudget { projected, limit } => write!(
+                f,
+                "projected contention {projected:.1} misses/ms exceeds the {limit:.1} limit on every candidate cell"
+            ),
+        }
+    }
+}
+
 /// Anything that can go wrong while driving the fleet.
 #[derive(Debug)]
 #[non_exhaustive]
@@ -62,6 +101,13 @@ pub enum ClusterError {
         /// The fleet VM whose workload refused to clone.
         vm: FleetVmId,
     },
+    /// An admission controller rejected a placement request outright —
+    /// surfaced by synchronous request/reply fronts (the `kyoto-service`
+    /// control plane) where "no" is an answer, not an accident.
+    Rejected {
+        /// The typed rejection reason.
+        reason: AdmissionRejection,
+    },
 }
 
 impl std::fmt::Display for ClusterError {
@@ -86,6 +132,9 @@ impl std::fmt::Display for ClusterError {
                     f,
                     "cannot checkpoint {vm:?}: its workload does not support cloning"
                 )
+            }
+            ClusterError::Rejected { reason } => {
+                write!(f, "placement rejected: {reason}")
             }
         }
     }
@@ -114,6 +163,23 @@ mod tests {
             reason: "move 0: dest cell is down".to_string(),
         };
         assert!(err.to_string().contains("dest cell is down"));
+    }
+
+    #[test]
+    fn rejection_reasons_explain_themselves() {
+        let err = ClusterError::Rejected {
+            reason: AdmissionRejection::FleetSaturated,
+        };
+        assert!(err.to_string().contains("fleet saturated"));
+        let err = ClusterError::Rejected {
+            reason: AdmissionRejection::ContentionOverBudget {
+                projected: 12.5,
+                limit: 8.0,
+            },
+        };
+        let text = err.to_string();
+        assert!(text.contains("12.5"), "{text}");
+        assert!(text.contains("8.0"), "{text}");
     }
 
     #[test]

@@ -146,8 +146,9 @@ impl EventSchedule {
 
 /// Realises a fractional per-epoch rate as an integer count: the integer
 /// part always happens, the fractional part happens with its probability.
-/// Shared with the fault schedule in [`crate::faults`].
-pub(crate) fn draw_count(rng: &mut SmallRng, rate: f64) -> u64 {
+/// Shared with the fault schedule in [`crate::faults`] and the
+/// `kyoto-service` request-trace generators.
+pub fn draw_count(rng: &mut SmallRng, rate: f64) -> u64 {
     let base = rate.floor();
     let frac = rate - base;
     let extra = frac > 0.0 && rng.gen_bool(frac);

@@ -68,7 +68,7 @@ pub use checkpoint::FleetCheckpoint;
 pub use cluster::{
     Cell, CellEpochStats, Cluster, ClusterConfig, EpochReport, EventCounts, FleetVmReport,
 };
-pub use error::ClusterError;
+pub use error::{AdmissionRejection, ClusterError};
 pub use events::{EventSchedule, EventScheduleConfig, FleetEvent};
 pub use faults::{AbortPoint, FaultCounts, FaultEvent, FaultPlan, FaultPlanConfig};
 pub use planner::{

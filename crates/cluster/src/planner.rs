@@ -428,6 +428,35 @@ impl MigrationPlanner {
     /// With [`PlannerConfig::cost_aware`] set, policy moves are additionally
     /// filtered through the cost gate — the result is a subset of the
     /// fixed-budget plan.
+    ///
+    /// # Example
+    ///
+    /// Four VMs piled onto cell 0 of a two-cell fleet: load balancing must
+    /// move some of them to the empty cell, and the plan validates against
+    /// the snapshot it came from:
+    ///
+    /// ```
+    /// use kyoto_cluster::cluster::{Cluster, ClusterConfig};
+    /// use kyoto_cluster::planner::{ConsolidationPolicy, MigrationPlanner, PlannerConfig};
+    /// use kyoto_cluster::snapshot::CellId;
+    /// use kyoto_hypervisor::vm::VmConfig;
+    /// use kyoto_workloads::spec::{SpecApp, SpecWorkload};
+    ///
+    /// let mut cluster = Cluster::new(ClusterConfig::new(2, 256));
+    /// for i in 0..4u64 {
+    ///     cluster.add_vm(
+    ///         CellId(0),
+    ///         VmConfig::new(format!("vm-{i}")),
+    ///         Box::new(SpecWorkload::new(SpecApp::Lbm, 256, i)),
+    ///     ).unwrap();
+    /// }
+    /// let snapshot = cluster.snapshot();
+    /// let planner = MigrationPlanner::new(PlannerConfig::default());
+    /// let plan = planner.plan(&snapshot, ConsolidationPolicy::LoadBalance);
+    /// assert!(!plan.moves.is_empty());
+    /// assert!(plan.moves.iter().all(|m| m.to == CellId(1)));
+    /// assert!(plan.validate(&snapshot).is_ok());
+    /// ```
     pub fn plan(&self, snapshot: &ClusterSnapshot, policy: ConsolidationPolicy) -> MigrationPlan {
         if snapshot.cells.len() < 2 {
             return MigrationPlan::default();

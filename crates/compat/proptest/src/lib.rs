@@ -213,7 +213,7 @@ pub mod prop {
     pub mod collection {
         use crate::{Strategy, TestRng};
 
-        /// Length specification for [`vec`]: an exact length or a range.
+        /// Length specification for [`vec()`]: an exact length or a range.
         #[derive(Debug, Clone, Copy)]
         pub struct SizeRange {
             min: usize,
@@ -247,7 +247,7 @@ pub mod prop {
             }
         }
 
-        /// Output of [`vec`].
+        /// Output of [`vec()`].
         #[derive(Debug, Clone)]
         pub struct VecStrategy<S> {
             element: S,

@@ -26,10 +26,14 @@
 //! scenario whose socket-parallel execution scales past two threads —
 //! [`fleet`] models a whole cluster of such machines under a live-migrating
 //! control plane (`kyoto-cluster`), comparing load-balancing, bin-packing
-//! and pollution-aware consolidation, and [`failures`] drives that fleet
+//! and pollution-aware consolidation, [`failures`] drives that fleet
 //! through injected faults (cell crashes, slowdowns, mid-migration
 //! aborts), sweeping crash rate × policy × planner mode and re-proving VM
-//! conservation at scenario scale.
+//! conservation at scenario scale, and [`service`] puts the
+//! `kyoto-service` control plane in front of the fleet — replaying a
+//! request trace through the SLA-aware admission controller over an
+//! arrival-rate × admission-policy sweep, mid-trace checkpoint/restore
+//! included.
 //!
 //! (Fig. 7 is the Pisces architecture diagram; its description lives in
 //! `kyoto_hypervisor::pisces`.)
@@ -56,6 +60,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod fleet;
 pub mod harness;
+pub mod service;
 pub mod tables;
 
 pub use config::{ExperimentConfig, Fidelity};

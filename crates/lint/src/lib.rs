@@ -8,7 +8,7 @@
 //! * **nondet-iter** — order-dependent iteration over `HashMap`/`HashSet`
 //!   (`.iter()`, `.keys()`, `.values()`, `.drain()`, `for … in &map`, …) in
 //!   non-test code of the determinism-critical crates
-//!   (`sim`/`core`/`hypervisor`/`cluster`/`experiments`), where an unordered
+//!   (`sim`/`core`/`hypervisor`/`cluster`/`service`/`experiments`), where an unordered
 //!   fold breaks byte-determinism of the figure outputs.
 //! * **wall-clock** — `Instant::now`/`SystemTime` outside the bench/timing
 //!   allowlist (`crates/bench/`), so simulation results can never depend on
@@ -49,12 +49,13 @@ pub const RULE_IDS: [&str; 5] = [
 ];
 
 /// Crates whose non-test code must not fold over unordered containers.
-const NONDET_SCOPE: [&str; 5] = [
+const NONDET_SCOPE: [&str; 6] = [
     "crates/sim/src/",
     "crates/core/src/",
     "crates/hypervisor/src/",
     "crates/cluster/src/",
     "crates/experiments/src/",
+    "crates/service/src/",
 ];
 
 /// Order-dependent methods on `HashMap`/`HashSet` flagged by nondet-iter.

@@ -1,0 +1,366 @@
+//! The control-plane loop: a long-running service wrapping a [`Cluster`].
+//!
+//! [`FleetService`] is the RDA/TANGO-style front the related middleware
+//! systems put on their device models: a **request/reply** side (trace
+//! requests plus the synchronous [`FleetService::try_place`]) and a
+//! **publish-subscribe** side (the per-epoch [`TelemetryLog`] stream).
+//! One [`FleetService::run_epoch`] call serves one epoch boundary:
+//!
+//! 1. fetch the epoch's requests from the [`RequestTrace`];
+//! 2. apply maintenance (`DrainCell`/`JoinCell`) and `DepartVm` requests
+//!    in list order — capacity freed here is visible to admissions below;
+//! 3. build the [`BoundaryView`] and drain the admission queue (FIFO:
+//!    queued requests get first claim on freed capacity);
+//! 4. decide each new `PlaceVm` request (admit / queue / reject) and
+//!    serve each `QueryTelemetry` request;
+//! 5. run the epoch on the cluster (serial or cell-parallel — the results
+//!    are bit-identical either way);
+//! 6. publish one [`TelemetryRecord`] and, every
+//!    [`ServiceConfig::checkpoint_every`] epochs, take an automatic
+//!    [`ServiceCheckpoint`].
+//!
+//! # Restart story
+//!
+//! A [`ServiceCheckpoint`] carries the deep fleet checkpoint (PR 6's
+//! [`FleetCheckpoint`]) *plus* the service's own state: the trace, the
+//! admission queue, the ledger, the telemetry published so far and the
+//! next arrival index. [`FleetService::restore`] resumes mid-trace and
+//! replays the remaining epochs **bit-identically** — the telemetry a
+//! restored service publishes is byte-equal to what the original would
+//! have published, which CI checks on every push.
+
+use crate::admission::{AdmissionController, AdmissionOutcome, BoundaryView};
+use crate::request::{RequestTrace, ServiceRequest};
+use crate::telemetry::{
+    AdmissionLedger, CellTelemetry, TelemetryLog, TelemetryRecord, TELEMETRY_VERSION,
+};
+use kyoto_cluster::checkpoint::FleetCheckpoint;
+use kyoto_cluster::cluster::Cluster;
+use kyoto_cluster::error::{AdmissionRejection, ClusterError};
+use kyoto_cluster::snapshot::{CellId, FleetVmId};
+use kyoto_hypervisor::vm::VmConfig;
+use kyoto_sim::workload::Workload;
+use serde::{Deserialize, Serialize};
+
+use crate::admission::AdmissionConfig;
+
+/// Spawns the configuration and workload of a placement, keyed by the
+/// request's arrival index (monotonic across the service's lifetime,
+/// queued and rejected requests included) — the same convention as
+/// [`Cluster::run_epoch_with_events`], so the arrival stream is a pure
+/// function of the index sequence and replays are deterministic.
+pub type SpawnFn<'a> = &'a mut dyn FnMut(u64) -> (VmConfig, Box<dyn Workload>);
+
+/// Configuration of a [`FleetService`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ServiceConfig {
+    /// Admission policy and queue bound.
+    pub admission: AdmissionConfig,
+    /// Take an automatic [`ServiceCheckpoint`] every this many epochs
+    /// (`None` disables auto-checkpointing). The latest one is held until
+    /// [`FleetService::take_auto_checkpoint`] collects it.
+    pub checkpoint_every: Option<u64>,
+}
+
+/// A restartable copy of the whole service at an epoch boundary: the deep
+/// fleet checkpoint plus the service's own request-side state. Opaque by
+/// design; [`FleetService::restore`] is the only consumer.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct ServiceCheckpoint {
+    fleet: FleetCheckpoint,
+    trace: RequestTrace,
+    config: ServiceConfig,
+    queue: Vec<u64>,
+    ledger: AdmissionLedger,
+    records: Vec<TelemetryRecord>,
+    next_request_index: u64,
+}
+
+impl ServiceCheckpoint {
+    /// The epoch the checkpointed service had completed.
+    pub fn epoch(&self) -> u64 {
+        self.fleet.epoch()
+    }
+}
+
+/// The long-running control plane: a [`Cluster`] behind a request/reply
+/// and publish-subscribe front. See the module docs for the epoch
+/// procedure.
+pub struct FleetService {
+    cluster: Cluster,
+    trace: RequestTrace,
+    config: ServiceConfig,
+    controller: AdmissionController,
+    ledger: AdmissionLedger,
+    telemetry: TelemetryLog,
+    next_request_index: u64,
+    auto_checkpoint: Option<Box<ServiceCheckpoint>>,
+}
+
+impl FleetService {
+    /// Puts a service front on `cluster`, replaying `trace`.
+    pub fn new(cluster: Cluster, trace: RequestTrace, config: ServiceConfig) -> Self {
+        FleetService {
+            cluster,
+            trace,
+            config,
+            controller: AdmissionController::new(config.admission),
+            ledger: AdmissionLedger::default(),
+            telemetry: TelemetryLog::new(),
+            next_request_index: 0,
+            auto_checkpoint: None,
+        }
+    }
+
+    /// The wrapped cluster.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// The trace being replayed.
+    pub fn trace(&self) -> &RequestTrace {
+        &self.trace
+    }
+
+    /// The cumulative admission ledger.
+    pub fn ledger(&self) -> &AdmissionLedger {
+        &self.ledger
+    }
+
+    /// The published telemetry stream (the subscribe side).
+    pub fn telemetry(&self) -> &TelemetryLog {
+        &self.telemetry
+    }
+
+    /// Epochs completed so far.
+    pub fn epoch(&self) -> u64 {
+        self.cluster.epoch()
+    }
+
+    /// Whether the trace has been replayed to its end.
+    pub fn finished(&self) -> bool {
+        self.cluster.epoch() >= self.trace.config().epochs
+    }
+
+    /// Serves one epoch boundary and runs the epoch; returns the record
+    /// published for it. `spawn` supplies each admitted placement's
+    /// configuration and workload, keyed by arrival index (see
+    /// [`SpawnFn`]).
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClusterError`] the underlying cluster surfaces (admission
+    /// onto a hypervisor, event application, checkpointing). Admission
+    /// *rejections* are not errors on this path — they are ledger
+    /// entries.
+    pub fn run_epoch(&mut self, spawn: SpawnFn<'_>) -> Result<&TelemetryRecord, ClusterError> {
+        let epoch = self.cluster.epoch();
+        let requests = self.trace.requests_for_epoch(epoch);
+
+        // Pass 1: maintenance and departures, in request order. Capacity
+        // freed here is what the queue drain below gets first claim on.
+        for request in &requests {
+            match *request {
+                ServiceRequest::DrainCell(cell) => {
+                    self.cluster.set_draining(cell, true)?;
+                    self.ledger.drains += 1;
+                }
+                ServiceRequest::JoinCell(cell) => {
+                    self.cluster.set_draining(cell, false)?;
+                    self.ledger.joins += 1;
+                }
+                ServiceRequest::DepartVm { pick } => {
+                    if self.cluster.depart_vm(pick)? {
+                        self.ledger.departures_served += 1;
+                    } else {
+                        self.ledger.departures_noop += 1;
+                    }
+                }
+                ServiceRequest::PlaceVm | ServiceRequest::QueryTelemetry => {}
+            }
+        }
+
+        // Pass 2: admissions against a boundary-local view — queued
+        // requests first (FIFO), then this epoch's new placements.
+        let mut view = BoundaryView::of(&self.cluster.snapshot());
+        for (index, cell) in self.controller.drain_queue(&mut view) {
+            let (config, workload) = spawn(index);
+            self.cluster.add_vm(cell, config, workload)?;
+            self.ledger.admitted += 1;
+            self.ledger.admitted_from_queue += 1;
+        }
+        for request in &requests {
+            match *request {
+                ServiceRequest::PlaceVm => {
+                    let index = self.next_request_index;
+                    self.next_request_index += 1;
+                    self.ledger.requested += 1;
+                    match self.controller.decide(index, &mut view) {
+                        AdmissionOutcome::Admitted(cell) => {
+                            let (config, workload) = spawn(index);
+                            self.cluster.add_vm(cell, config, workload)?;
+                            self.ledger.admitted += 1;
+                        }
+                        AdmissionOutcome::Queued => {}
+                        AdmissionOutcome::Rejected(reason) => self.count_rejection(reason),
+                    }
+                }
+                ServiceRequest::QueryTelemetry => {
+                    // Request/reply read of the latest published record;
+                    // the reply itself is `self.telemetry.latest()`.
+                    self.ledger.queries += 1;
+                }
+                _ => {}
+            }
+        }
+        self.ledger.queue_len = self.controller.queued().len() as u64;
+        self.ledger.queue_peak = self.ledger.queue_peak.max(self.ledger.queue_len);
+
+        // Run the epoch, then publish.
+        self.cluster.run_epoch()?;
+        let record = self.build_record();
+        self.telemetry.publish(record);
+        if let Some(every) = self.config.checkpoint_every {
+            if every > 0 && self.cluster.epoch().is_multiple_of(every) {
+                self.auto_checkpoint = Some(Box::new(self.checkpoint()?));
+            }
+        }
+        Ok(self.telemetry.latest().expect("just published"))
+    }
+
+    /// Replays the trace to its end.
+    pub fn run_to_end(&mut self, spawn: SpawnFn<'_>) -> Result<(), ClusterError> {
+        while !self.finished() {
+            self.run_epoch(spawn)?;
+        }
+        Ok(())
+    }
+
+    /// The synchronous request/reply front: places one VM right now,
+    /// outside the trace, bypassing the queue — callers holding a live
+    /// connection get an immediate yes or no.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Rejected`] with the typed [`AdmissionRejection`]
+    /// when no cell qualifies; other [`ClusterError`]s if the placement
+    /// itself fails.
+    pub fn try_place(
+        &mut self,
+        config: VmConfig,
+        workload: Box<dyn Workload>,
+    ) -> Result<(FleetVmId, CellId), ClusterError> {
+        self.ledger.requested += 1;
+        let view = BoundaryView::of(&self.cluster.snapshot());
+        match self.controller.select(&view) {
+            Ok(cell) => {
+                let vm = self.cluster.add_vm(cell, config, workload)?;
+                self.ledger.admitted += 1;
+                Ok((vm, cell))
+            }
+            Err(reason) => {
+                self.count_rejection(reason);
+                Err(ClusterError::Rejected { reason })
+            }
+        }
+    }
+
+    fn count_rejection(&mut self, reason: AdmissionRejection) {
+        match reason {
+            AdmissionRejection::FleetSaturated => self.ledger.rejected_saturated += 1,
+            AdmissionRejection::ContentionOverBudget { .. } => self.ledger.rejected_contention += 1,
+            // Future rejection reasons (the enum is non_exhaustive) are
+            // still conserved: fold them into the saturation bucket.
+            _ => self.ledger.rejected_saturated += 1,
+        }
+    }
+
+    /// Builds the telemetry record for the epoch that just ran.
+    fn build_record(&self) -> TelemetryRecord {
+        let cores = self.cluster.cores_per_cell() as u64;
+        let report = self.cluster.history().last();
+        let cells: Vec<CellTelemetry> = report
+            .map(|report| {
+                report
+                    .cells
+                    .iter()
+                    .map(|stats| CellTelemetry {
+                        cell: stats.cell,
+                        vms: stats.vms as u64,
+                        free_cores: cores.saturating_sub(stats.vms as u64),
+                        draining: stats.draining,
+                        down: stats.down,
+                        pollution_rate: stats.pollution_rate,
+                        instructions: stats.instructions,
+                        llc_misses: stats.llc_misses,
+                        punishments: stats.punishments,
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        TelemetryRecord {
+            version: TELEMETRY_VERSION,
+            epoch: self.cluster.epoch().saturating_sub(1),
+            vms: cells.iter().map(|cell| cell.vms).sum(),
+            migrations: self.cluster.total_migrations(),
+            cells,
+            admission: self.ledger,
+            faults: self.cluster.total_faults(),
+        }
+    }
+
+    /// Takes a restartable copy of the whole service: fleet, trace,
+    /// queue, ledger and telemetry.
+    ///
+    /// # Errors
+    ///
+    /// Whatever [`Cluster::checkpoint`] surfaces (an uncloneable
+    /// workload, typically).
+    pub fn checkpoint(&self) -> Result<ServiceCheckpoint, ClusterError> {
+        Ok(ServiceCheckpoint {
+            fleet: self.cluster.checkpoint()?,
+            trace: self.trace.clone(),
+            config: self.config,
+            queue: self.controller.queued().to_vec(),
+            ledger: self.ledger,
+            records: self.telemetry.records().to_vec(),
+            next_request_index: self.next_request_index,
+        })
+    }
+
+    /// Resumes a service from a checkpoint, mid-trace. The resumed
+    /// service replays the remaining epochs bit-identically to the
+    /// original (property-tested and CI-gated).
+    pub fn restore(checkpoint: ServiceCheckpoint) -> FleetService {
+        FleetService {
+            cluster: Cluster::restore(checkpoint.fleet),
+            trace: checkpoint.trace,
+            config: checkpoint.config,
+            controller: AdmissionController::from_parts(
+                checkpoint.config.admission,
+                checkpoint.queue,
+            ),
+            ledger: checkpoint.ledger,
+            telemetry: TelemetryLog::from_records(checkpoint.records),
+            next_request_index: checkpoint.next_request_index,
+            auto_checkpoint: None,
+        }
+    }
+
+    /// Collects the latest automatic checkpoint, if one was taken since
+    /// the last collection (see [`ServiceConfig::checkpoint_every`]).
+    pub fn take_auto_checkpoint(&mut self) -> Option<ServiceCheckpoint> {
+        self.auto_checkpoint.take().map(|boxed| *boxed)
+    }
+
+    /// Checks every conservation invariant: the cluster's VM conservation
+    /// plus the admission ledger's request conservation.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first violated invariant.
+    pub fn verify_conservation(&self) -> Result<(), String> {
+        self.cluster.verify_conservation()?;
+        self.ledger.verify_conservation()
+    }
+}

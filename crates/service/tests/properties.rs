@@ -1,0 +1,215 @@
+//! Property-based tests of the control-plane service's claims:
+//!
+//! 1. admission decisions are **deterministic**: replaying the same trace
+//!    twice (same service config, same spawn function) publishes
+//!    byte-identical telemetry;
+//! 2. the serial and cell-parallel engines are **bit-identical** under
+//!    the service front too — replay(trace) byte-equals itself across
+//!    `parallel_cells`;
+//! 3. admission is **conservation-safe**: every requested VM ends in
+//!    exactly one of placed / queued / rejected, and the cluster's own
+//!    VM conservation holds, for any rates, policy and queue bound;
+//! 4. a **mid-trace checkpoint/restore resumes bit-identically**: the
+//!    telemetry a restored service publishes for the remaining epochs is
+//!    byte-equal to the original's.
+
+use kyoto_cluster::cluster::{Cluster, ClusterConfig};
+use kyoto_cluster::snapshot::CellId;
+use kyoto_hypervisor::vm::VmConfig;
+use kyoto_service::admission::{AdmissionConfig, AdmissionPolicy};
+use kyoto_service::request::{RequestTrace, RequestTraceConfig, ServiceRequest};
+use kyoto_service::service::{FleetService, ServiceConfig};
+use kyoto_sim::workload::Workload;
+use kyoto_workloads::spec::{SpecApp, SpecWorkload};
+use proptest::prelude::*;
+
+const SCALE: u64 = 256;
+
+/// The spawn function every replay in this suite shares: app and seed are
+/// pure functions of the arrival index, so two replays of one trace see
+/// identical arrival streams.
+fn spawn(index: u64) -> (VmConfig, Box<dyn Workload>) {
+    const APPS: [SpecApp; 4] = [SpecApp::Gcc, SpecApp::Lbm, SpecApp::Omnetpp, SpecApp::Mcf];
+    let app = APPS[(index % APPS.len() as u64) as usize];
+    (
+        VmConfig::new(format!("req{index}-{}", app.name())),
+        Box::new(SpecWorkload::new(app, SCALE, 0x5eed ^ index)),
+    )
+}
+
+fn cluster(cells: usize, parallel: bool) -> Cluster {
+    Cluster::new(
+        ClusterConfig::new(cells, SCALE)
+            .with_epoch_ticks(4)
+            .with_parallel_cells(parallel),
+    )
+}
+
+fn trace(seed: u64, epochs: u64, place: f64, depart: f64) -> RequestTrace {
+    RequestTrace::new(
+        RequestTraceConfig::new(seed, epochs)
+            .with_place_rate(place)
+            .with_depart_rate(depart)
+            .with_query_rate(0.25)
+            .with_scripted(2, ServiceRequest::DrainCell(CellId(0)))
+            .with_scripted(4, ServiceRequest::JoinCell(CellId(0))),
+    )
+}
+
+fn service_config(policy: AdmissionPolicy, queue_capacity: usize) -> ServiceConfig {
+    ServiceConfig {
+        admission: AdmissionConfig {
+            policy,
+            queue_capacity,
+        },
+        checkpoint_every: None,
+    }
+}
+
+/// Replays `trace` to the end and returns the rendered telemetry stream.
+fn replay(cells: usize, parallel: bool, trace: &RequestTrace, config: ServiceConfig) -> String {
+    let mut service = FleetService::new(cluster(cells, parallel), trace.clone(), config);
+    service.run_to_end(&mut spawn).unwrap();
+    service.verify_conservation().unwrap();
+    service.telemetry().render()
+}
+
+fn arb_policy() -> impl Strategy<Value = AdmissionPolicy> {
+    prop_oneof![
+        Just(AdmissionPolicy::FreeCores),
+        (5.0f64..500.0).prop_map(|limit| AdmissionPolicy::ContentionAware { limit }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Claims 1 + 2: the same trace replays byte-identically against a
+    /// fresh cluster — and against the cell-parallel engine.
+    #[test]
+    fn replays_are_byte_identical_serial_and_parallel(
+        seed in 0u64..1_000,
+        cells in 2usize..4,
+        place in 0.0f64..3.0,
+        depart in 0.0f64..1.0,
+        policy in arb_policy(),
+        queue_capacity in 0usize..6,
+    ) {
+        let trace = trace(seed, 6, place, depart);
+        let config = service_config(policy, queue_capacity);
+        let serial = replay(cells, false, &trace, config);
+        prop_assert_eq!(&serial, &replay(cells, false, &trace, config));
+        prop_assert_eq!(&serial, &replay(cells, true, &trace, config));
+    }
+
+    /// Claim 3: request conservation holds for any trace shape — checked
+    /// inside `replay` via `verify_conservation`, and re-checked here
+    /// against the final record's ledger arithmetic.
+    #[test]
+    fn every_request_is_placed_queued_or_rejected(
+        seed in 0u64..1_000,
+        place in 0.0f64..4.0,
+        depart in 0.0f64..2.0,
+        policy in arb_policy(),
+        queue_capacity in 0usize..4,
+    ) {
+        let trace = trace(seed, 8, place, depart);
+        let mut service = FleetService::new(
+            cluster(2, false),
+            trace,
+            service_config(policy, queue_capacity),
+        );
+        service.run_to_end(&mut spawn).unwrap();
+        service.verify_conservation().unwrap();
+        let ledger = *service.ledger();
+        prop_assert_eq!(
+            ledger.requested,
+            ledger.admitted + ledger.rejected() + ledger.queue_len
+        );
+        prop_assert!(ledger.queue_len <= queue_capacity as u64);
+        prop_assert!(ledger.queue_peak <= queue_capacity as u64);
+        prop_assert!(ledger.admitted_from_queue <= ledger.admitted);
+    }
+
+    /// Claim 4: checkpoint mid-trace, keep running the original, restore
+    /// the copy — both publish byte-identical telemetry for the remaining
+    /// epochs.
+    #[test]
+    fn restored_service_resumes_bit_identically(
+        seed in 0u64..1_000,
+        place in 0.5f64..3.0,
+        depart in 0.0f64..1.0,
+        policy in arb_policy(),
+    ) {
+        let trace = trace(seed, 8, place, depart);
+        let config = service_config(policy, 4);
+        let mut original = FleetService::new(cluster(2, false), trace, config);
+        for _ in 0..3 {
+            original.run_epoch(&mut spawn).unwrap();
+        }
+        let checkpoint = original.checkpoint().unwrap();
+        original.run_to_end(&mut spawn).unwrap();
+        let mut restored = FleetService::restore(checkpoint);
+        prop_assert_eq!(restored.epoch(), 3);
+        restored.run_to_end(&mut spawn).unwrap();
+        prop_assert_eq!(original.telemetry().render(), restored.telemetry().render());
+        restored.verify_conservation().unwrap();
+    }
+}
+
+/// The automatic checkpoint cadence: with `checkpoint_every: Some(2)` on
+/// a 6-epoch trace, the last auto checkpoint is from epoch 6 and restores
+/// to a finished service.
+#[test]
+fn auto_checkpoints_fire_on_cadence() {
+    let trace = trace(7, 6, 1.0, 0.25);
+    let config = ServiceConfig {
+        admission: AdmissionConfig::default(),
+        checkpoint_every: Some(2),
+    };
+    let mut service = FleetService::new(cluster(2, false), trace, config);
+    service.run_epoch(&mut spawn).unwrap();
+    assert!(
+        service.take_auto_checkpoint().is_none(),
+        "epoch 1 is off-cadence"
+    );
+    service.run_epoch(&mut spawn).unwrap();
+    let auto = service
+        .take_auto_checkpoint()
+        .expect("epoch 2 is on-cadence");
+    assert_eq!(auto.epoch(), 2);
+    service.run_to_end(&mut spawn).unwrap();
+    let last = service
+        .take_auto_checkpoint()
+        .expect("epoch 6 is on-cadence");
+    assert_eq!(last.epoch(), 6);
+    let restored = FleetService::restore(last);
+    assert!(restored.finished());
+    assert_eq!(restored.telemetry().render(), service.telemetry().render());
+}
+
+/// The synchronous front returns typed rejections once the fleet fills:
+/// a 1-cell fleet accepts `cores` placements then rejects with
+/// `FleetSaturated` folded into `ClusterError::Rejected`.
+#[test]
+fn try_place_rejects_with_typed_reasons_when_saturated() {
+    use kyoto_cluster::error::{AdmissionRejection, ClusterError};
+    let mut service = FleetService::new(
+        cluster(1, false),
+        RequestTrace::new(RequestTraceConfig::new(1, 1)),
+        service_config(AdmissionPolicy::FreeCores, 0),
+    );
+    let cores = service.cluster().cores_per_cell();
+    for i in 0..cores as u64 {
+        let (config, workload) = spawn(i);
+        service.try_place(config, workload).unwrap();
+    }
+    let (config, workload) = spawn(cores as u64);
+    match service.try_place(config, workload) {
+        Err(ClusterError::Rejected { reason }) => {
+            assert_eq!(reason, AdmissionRejection::FleetSaturated)
+        }
+        other => panic!("expected a typed rejection, got {other:?}"),
+    }
+    service.verify_conservation().unwrap();
+}

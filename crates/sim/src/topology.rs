@@ -576,7 +576,7 @@ impl SocketView<'_> {
 
     /// Performs a memory access along a pre-resolved route, exactly like
     /// [`Machine::access_routed`] restricted to this socket (both delegate
-    /// to the same [`Socket::walk_routed`] body, so the serial and parallel
+    /// to the same private `Socket::walk_routed` body, so the serial and parallel
     /// engine paths cannot drift apart).
     ///
     /// Routes resolved for another socket are a programming error (checked

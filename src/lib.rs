@@ -15,12 +15,17 @@
 //! * [`cluster`] — fleet-scale simulation: many machines under one
 //!   deterministic control plane, VM live migration and pollution-aware
 //!   consolidation;
+//! * [`service`] — the fleet-as-a-service control plane: replayable
+//!   request traces, SLA-aware admission (admit/queue/reject by projected
+//!   contention) and the versioned per-epoch telemetry stream;
 //! * [`metrics`] — IPC, degradation, Kendall's tau, summary statistics;
 //! * [`experiments`] — one module per table/figure of the paper's
-//!   evaluation, plus the beyond-paper `cloudscale` and `fleet` scenarios.
+//!   evaluation, plus the beyond-paper `cloudscale`, `fleet` and
+//!   `service` scenarios.
 //!
-//! See the `examples/` directory for runnable end-to-end scenarios and
-//! `EXPERIMENTS.md` for the paper-vs-measured record.
+//! See the `examples/` directory for runnable end-to-end scenarios,
+//! `README.md` for the quickstart and scenario catalog, and `DESIGN.md`
+//! for the architecture and the invariants every PR preserves.
 //!
 //! # Quickstart
 //!
@@ -58,6 +63,7 @@ pub use kyoto_core as core;
 pub use kyoto_experiments as experiments;
 pub use kyoto_hypervisor as hypervisor;
 pub use kyoto_metrics as metrics;
+pub use kyoto_service as service;
 pub use kyoto_sim as sim;
 pub use kyoto_workloads as workloads;
 
