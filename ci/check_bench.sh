@@ -13,7 +13,12 @@
 #      engine on cloud machines (`parallel_vs_serial_speedup_cloud`) — drop
 #      below their floor, *provided the host can parallelise at all*, or
 #
-#   3. installing a zero-rate fault plan costs measurable throughput
+#   3. disabled cycle-domain tracing costs measurable throughput
+#      (`trace_overhead.off_vs_untraced`): the trace plane branches out on
+#      an enum when off, so the trace-off batched rate must stay at the
+#      untraced batched rate (~1.0 up to wall-clock noise), or
+#
+#   4. installing a zero-rate fault plan costs measurable throughput
 #      (`fault_machinery_overhead.zero_rate_plan_vs_no_plan`): a plan that
 #      schedules nothing must be free, so the epoch-rate ratio should sit
 #      near 1.0. The floor is tolerant (wall-clock noise on a short run)
@@ -31,12 +36,14 @@
 #   BENCH_MIN_SPEEDUP=1.7 ci/check_bench.sh       # override the serial floor
 #   PARALLEL_MIN_SPEEDUP=1.3 ci/check_bench.sh    # override the parallel floor
 #   KYOTO_MIN_FAULT_OVERHEAD_RATIO=0.9 ci/check_bench.sh  # override the fault floor
+#   KYOTO_MIN_TRACE_OFF_RATIO=0.9 ci/check_bench.sh       # override the trace floor
 set -euo pipefail
 
 file="${1:-BENCH_substrate.json}"
 floor="${BENCH_MIN_SPEEDUP:-1.5}"
 parallel_floor="${PARALLEL_MIN_SPEEDUP:-1.1}"
 fault_floor="${KYOTO_MIN_FAULT_OVERHEAD_RATIO:-0.8}"
+trace_floor="${KYOTO_MIN_TRACE_OFF_RATIO:-0.95}"
 
 if [ ! -f "$file" ]; then
     echo "error: $file not found (run: cargo run --release -p kyoto-bench --bin substrate_baseline)" >&2
@@ -111,6 +118,31 @@ else
         }
     ' "$file"
 fi
+
+echo "Checking trace-off overhead in $file (floor: ${trace_floor}x)"
+awk -v floor="$trace_floor" '
+    /"trace_overhead"/ { in_block = 1; next }
+    in_block && /}/ { in_block = 0 }
+    in_block && /off_vs_untraced/ {
+        line = $0
+        gsub(/[",]/, "", line)
+        split(line, kv, ":")
+        value = kv[2] + 0
+        seen += 1
+        printf "  off_vs_untraced: %.2fx\n", value
+        if (value < floor) {
+            printf "  ^^^ below the %.2fx floor: disabled tracing must be ~free\n", floor
+            bad = 1
+        }
+    }
+    END {
+        if (seen == 0) {
+            print "error: no trace_overhead entry found" > "/dev/stderr"
+            exit 2
+        }
+        exit bad
+    }
+' "$file"
 
 echo "Checking fault-machinery overhead in $file (floor: ${fault_floor}x)"
 awk -v floor="$fault_floor" '

@@ -17,9 +17,18 @@
 # serial run guards against run-to-run nondeterminism (uninitialised
 # state, map iteration order, ...).
 #
+# The cycle-domain trace plane is held to the same bar: a second pass runs
+# a traced target set (fig9, fleet, service) with `--trace-out`, byte-
+# comparing the trace files across serial, `--parallel-engine` and a serial
+# rerun — trace timestamps are simulated cycles, so any drift is a real
+# determinism bug, not clock noise. One extra run exports Chrome JSON and
+# validates it (the figures binary validates before writing; `python3 -m
+# json.tool` re-checks externally when python3 is on PATH).
+#
 # `--no-timing` suppresses the wall-clock lines, so the whole report is
 # byte-comparable. Outputs land in $DETERMINISM_OUT (default:
-# target/determinism) so CI can upload them as artifacts.
+# target/determinism) so CI can upload them as artifacts — trace files
+# included.
 #
 # Usage:
 #   ci/check_determinism.sh                 # builds figures if needed
@@ -47,5 +56,27 @@ fi
 if ! diff -u "$out/serial.txt" "$out/serial-rerun.txt"; then
     echo "determinism gate FAILED: two serial runs disagree" >&2
     exit 1
+fi
+
+trace_targets=(fig9 fleet service)
+echo "Trace determinism gate over: ${trace_targets[*]} (quick fidelity)"
+"$bin" --quick --no-timing "${trace_targets[@]}" --trace-out "$out/trace-serial.txt" > /dev/null
+"$bin" --quick --no-timing --parallel-engine "${trace_targets[@]}" --trace-out "$out/trace-parallel-engine.txt" > /dev/null
+"$bin" --quick --no-timing "${trace_targets[@]}" --trace-out "$out/trace-serial-rerun.txt" > /dev/null
+
+if ! diff -u "$out/trace-serial.txt" "$out/trace-parallel-engine.txt"; then
+    echo "determinism gate FAILED: --parallel-engine changed trace bytes" >&2
+    exit 1
+fi
+if ! diff -u "$out/trace-serial.txt" "$out/trace-serial-rerun.txt"; then
+    echo "determinism gate FAILED: two serial trace runs disagree" >&2
+    exit 1
+fi
+
+# Perfetto export: the binary validates the JSON before writing (it aborts
+# on malformed output); re-check with python when available.
+"$bin" --quick --no-timing service --trace-out "$out/trace-service.json" > /dev/null
+if command -v python3 > /dev/null 2>&1; then
+    python3 -m json.tool "$out/trace-service.json" > /dev/null
 fi
 echo "determinism gate OK (outputs in $out)"

@@ -13,6 +13,8 @@
 //! cargo run --release -p kyoto-bench --bin figures -- --scenario churn
 //! cargo run --release -p kyoto-bench --bin figures -- --scenario failures
 //! cargo run --release -p kyoto-bench --bin figures -- --no-timing all
+//! cargo run --release -p kyoto-bench --bin figures -- --scenario service --trace-out t.txt
+//! cargo run --release -p kyoto-bench --bin figures -- --trace-out trace.json all
 //! ```
 //!
 //! Figure scenarios are independent: each builds its own machine, engine and
@@ -32,6 +34,14 @@
 //! wall-clock lines, making the *entire* output byte-deterministic — the CI
 //! determinism gate diffs two such runs. `--scenario NAME` is an explicit
 //! way to select one target (identical to passing `NAME` positionally).
+//! `--trace-out PATH` additionally captures one representative cycle-domain
+//! trace per selected target domain ([`kyoto_experiments::trace`]) and
+//! writes the merged document to PATH — Chrome trace-event JSON (open in
+//! Perfetto) when PATH ends in `.json`, text format v1 with the
+//! `CycleProfile` rollup appended as comments otherwise. Trace timestamps
+//! are simulated cycles, so the file is byte-identical across reruns and
+//! `--parallel-engine`; the status note goes to stderr, keeping stdout
+//! unchanged.
 
 use kyoto_bench::{figures_config, figures_quick_config};
 use kyoto_experiments::cloudscale::{self, CloudscaleSweep};
@@ -212,6 +222,38 @@ fn parse_jobs(args: &[String]) -> usize {
     default()
 }
 
+fn parse_trace_out(args: &[String]) -> Option<String> {
+    for (i, arg) in args.iter().enumerate() {
+        if let Some(path) = arg.strip_prefix("--trace-out=") {
+            return Some(path.to_string());
+        }
+        if arg == "--trace-out" {
+            return args.get(i + 1).cloned();
+        }
+    }
+    None
+}
+
+/// Captures the selected targets' representative traces and writes the
+/// merged document to `path` — Chrome JSON for `.json`, text v1 with the
+/// cycle-profile rollup otherwise. Status goes to stderr so stdout stays
+/// byte-identical with and without the flag.
+fn write_trace(path: &str, targets: &[&str], config: &ExperimentConfig) {
+    let doc = kyoto_experiments::trace::capture_merged(targets, config);
+    let output = if path.ends_with(".json") {
+        let json = kyoto_trace::to_chrome_json(&doc);
+        kyoto_trace::validate_json(&json).expect("chrome trace export is valid JSON");
+        json
+    } else {
+        kyoto_experiments::trace::render_with_profile(&doc)
+    };
+    if let Err(error) = std::fs::write(path, output) {
+        eprintln!("failed to write trace to `{path}`: {error}");
+        std::process::exit(1);
+    }
+    eprintln!("[trace written to {path}]");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -224,10 +266,17 @@ fn main() {
         figures_config()
     }
     .with_parallel_engine(parallel_engine);
+    let trace_out = parse_trace_out(&args);
     let mut skip_next = false;
+    let mut skip_path = false;
     let mut targets: Vec<&str> = args
         .iter()
         .filter(|a| {
+            if skip_path {
+                // `--trace-out`'s follower is always its value.
+                skip_path = false;
+                return false;
+            }
             if skip_next {
                 skip_next = false;
                 // Consume the value only when it is numeric; `--jobs fig1`
@@ -238,6 +287,10 @@ fn main() {
             }
             if a.as_str() == "--jobs" {
                 skip_next = true;
+                return false;
+            }
+            if a.as_str() == "--trace-out" {
+                skip_path = true;
                 return false;
             }
             !a.starts_with("--")
@@ -284,5 +337,8 @@ fn main() {
     }
     if !no_timing {
         println!("[all targets done in {:.1?}]", start.elapsed());
+    }
+    if let Some(path) = trace_out {
+        write_trace(&path, &targets, &config);
     }
 }

@@ -164,6 +164,38 @@ fn engine_rate(slots: usize, scale: u64, batched: bool) -> f64 {
     })
 }
 
+/// Throughput of the batched path with the cycle-domain trace plane
+/// explicitly off (the default: the sink exists but `record_batch_trace`
+/// branches out on the enum) or on (every batch emits an
+/// `engine.run_slots` span and bumps the op/miss counters; the sink is
+/// drained inside the timed region, so the rate includes the full traced
+/// cost). Compared against the plain batched row, the off rate proves
+/// disabled tracing is noise-level — `ci/check_bench.sh` gates the ratio.
+fn traced_engine_rate(slots: usize, scale: u64, enabled: bool) -> f64 {
+    const BUDGET: u64 = 100_000;
+    let machine = Machine::new(MachineConfig::scaled_paper_machine(scale));
+    let mut engine = SimEngine::new(machine);
+    if enabled {
+        engine.trace_mut().enable();
+    }
+    let mut workloads: Vec<SpecWorkload> = (0..slots)
+        .map(|i| SpecWorkload::new(SpecApp::Gcc, scale, i as u64))
+        .collect();
+    best_rate((BUDGET * slots as u64) as f64, || {
+        let mut slot_refs: Vec<ExecSlot<'_>> = workloads
+            .iter_mut()
+            .enumerate()
+            .map(|(i, w)| ExecSlot::new(CoreId(i), i as u16 + 1, w))
+            .collect();
+        black_box(engine.run_slots(&mut slot_refs, BUDGET));
+        if enabled {
+            // Keep the sink from growing across repetitions; the drain is
+            // part of the traced cost.
+            black_box(engine.trace_mut().drain());
+        }
+    })
+}
+
 /// Throughput of the serial (`run_slots`) or socket-parallel
 /// (`run_slots_parallel`) path on the two-socket NUMA machine, with `slots`
 /// gcc-like workloads spread evenly across both sockets (4 cores per
@@ -332,8 +364,12 @@ fn main() {
 
     let mut speedups: Vec<(usize, f64)> = Vec::new();
     let mut seed_speedups: Vec<(usize, f64)> = Vec::new();
+    let mut untraced_4slots = f64::NAN;
     for slots in [1usize, 2, 4] {
         let batched = engine_rate(slots, config.scale, true);
+        if slots == 4 {
+            untraced_4slots = batched;
+        }
         let reference = engine_rate(slots, config.scale, false);
         let seed = seed_engine_rate(slots, config.scale);
         let name: &'static str = match slots {
@@ -369,6 +405,26 @@ fn main() {
         speedups.push((slots, batched / reference));
         seed_speedups.push((slots, batched / seed));
     }
+
+    // Trace-plane overhead on the 4-slot batched scenario: explicitly-off
+    // tracing must be indistinguishable from the plain batched row
+    // (branch-on-enum; `off_vs_untraced` ~1.0, CI gates the floor), and
+    // `off_vs_on` records what full span/counter recording costs.
+    let (trace_off_vs_untraced, trace_off_vs_on) = {
+        let off = traced_engine_rate(4, config.scale, false);
+        let on = traced_engine_rate(4, config.scale, true);
+        samples.push(Sample {
+            name: "run_slots_trace_off_4slots",
+            unit: "Msimcycles/s",
+            value: off / 1e6,
+        });
+        samples.push(Sample {
+            name: "run_slots_trace_on_4slots",
+            unit: "Msimcycles/s",
+            value: on / 1e6,
+        });
+        (off / untraced_4slots, off / on)
+    };
 
     // Socket-parallel engine on the two-socket machine: slots split evenly
     // across both sockets, serial `run_slots` vs `run_slots_parallel`.
@@ -578,6 +634,10 @@ fn main() {
         json,
         "    \"zero_rate_plan_vs_no_plan\": {fault_overhead_ratio:.2}"
     );
+    json.push_str("  },\n");
+    json.push_str("  \"trace_overhead\": {\n");
+    let _ = writeln!(json, "    \"off_vs_untraced\": {trace_off_vs_untraced:.2},");
+    let _ = writeln!(json, "    \"off_vs_on\": {trace_off_vs_on:.2}");
     json.push_str("  },\n");
     json.push_str("  \"fleet_churn_parallel_vs_serial\": {\n");
     for (i, (cells, speedup)) in churn_speedups.iter().enumerate() {

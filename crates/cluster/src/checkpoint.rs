@@ -18,6 +18,7 @@
 
 use crate::cluster::{Cell, ClusterConfig, EpochReport, FleetVm, FleetVmReport, Orphan};
 use crate::faults::{FaultCounts, FaultPlan};
+use kyoto_trace::TraceSink;
 use serde::{Deserialize, Serialize};
 
 /// A deep copy of a [`Cluster`](crate::cluster::Cluster) at an epoch
@@ -43,6 +44,8 @@ pub struct FleetCheckpoint {
     pub(crate) readmission_latency_epochs: u64,
     pub(crate) history: Vec<EpochReport>,
     pub(crate) freq_khz: u64,
+    pub(crate) trace: TraceSink,
+    pub(crate) control_cursor: u64,
 }
 
 impl FleetCheckpoint {

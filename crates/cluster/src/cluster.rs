@@ -61,8 +61,15 @@ use kyoto_hypervisor::vm::{VcpuId, VmConfig, VmId, VmReport};
 use kyoto_sim::pmc::PmcSet;
 use kyoto_sim::topology::{CoreId, Machine, MachineConfig, SocketId};
 use kyoto_sim::workload::Workload;
+use kyoto_trace::{TraceConfig, TraceSink};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+
+/// Control-cursor positions reserved per epoch: at every epoch boundary the
+/// cursor realigns to `(epoch + 1) * CONTROL_EPOCH_STRIDE`, so boundary
+/// spans of different epochs land in disjoint, stably-spaced windows
+/// regardless of how many control-plane events each epoch recorded.
+const CONTROL_EPOCH_STRIDE: u64 = 1 << 20;
 
 /// Static configuration of a cluster.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -90,6 +97,10 @@ pub struct ClusterConfig {
     pub hypervisor: HypervisorConfig,
     /// Pollution-monitoring strategy of each cell's KS4Xen scheduler.
     pub strategy: MonitoringStrategy,
+    /// Whether the cluster and every cell engine record cycle-domain
+    /// traces (see `kyoto-trace`). Off by default; the disabled path is a
+    /// single branch per record site, bench-gated by `trace_overhead`.
+    pub trace: TraceConfig,
 }
 
 impl ClusterConfig {
@@ -106,7 +117,16 @@ impl ClusterConfig {
             planner: PlannerConfig::default(),
             hypervisor: HypervisorConfig::default(),
             strategy: MonitoringStrategy::DirectPmc,
+            trace: TraceConfig::Off,
         }
+    }
+
+    /// Enables or disables cycle-domain tracing for the cluster and every
+    /// cell engine. Tracing never changes simulation results — figures and
+    /// telemetry are byte-identical with it on or off (property-tested).
+    pub fn with_trace(mut self, trace: TraceConfig) -> Self {
+        self.trace = trace;
+        self
     }
 
     /// Sets the number of sockets per cell.
@@ -242,29 +262,41 @@ impl Cell {
             );
             return Ok(Vec::new());
         }
+        let span_start = self.hv.engine().elapsed_cycles();
         let arrivals = std::mem::take(&mut self.arrivals);
         let phantoms = std::mem::take(&mut self.phantom_blackouts);
         let stall = (downtime_ticks * phantoms).min(epoch_ticks);
         let remaining = epoch_ticks - stall;
+        let mut placed = Vec::with_capacity(arrivals.len());
         if arrivals.is_empty() {
             self.hv.run_ticks(remaining);
-            return Ok(Vec::new());
+        } else {
+            let blackout = downtime_ticks.min(remaining);
+            self.hv.run_ticks(blackout);
+            for arrival in arrivals {
+                let local =
+                    self.hv
+                        .admit_vm(arrival.taken)
+                        .map_err(|source| ClusterError::Admission {
+                            cell: self.id,
+                            vm: arrival.fleet,
+                            source,
+                        })?;
+                placed.push((arrival.fleet, local));
+            }
+            self.hv.run_ticks(remaining - blackout);
         }
-        let blackout = downtime_ticks.min(remaining);
-        self.hv.run_ticks(blackout);
-        let mut placed = Vec::with_capacity(arrivals.len());
-        for arrival in arrivals {
-            let local =
-                self.hv
-                    .admit_vm(arrival.taken)
-                    .map_err(|source| ClusterError::Admission {
-                        cell: self.id,
-                        vm: arrival.fleet,
-                        source,
-                    })?;
-            placed.push((arrival.fleet, local));
+        // The whole epoch body becomes one span on the cell engine's own
+        // cycle clock, enclosing the per-batch `engine.run_slots` spans it
+        // ran (its self-time in the profile rollup is the cell's
+        // stall/blackout overhead).
+        let engine = self.hv.engine_mut();
+        if engine.trace().is_enabled() {
+            let dur = engine.elapsed_cycles() - span_start;
+            engine
+                .trace_mut()
+                .span("engine", "cell.epoch", span_start, dur);
         }
-        self.hv.run_ticks(remaining - blackout);
         Ok(placed)
     }
 }
@@ -505,6 +537,17 @@ pub struct Cluster {
     pub(crate) readmission_latency_epochs: u64,
     pub(crate) history: Vec<EpochReport>,
     pub(crate) freq_khz: u64,
+    /// The cluster-level trace sink: boundary-phase spans and fault/event
+    /// instants in the control-cursor domain, plus every cell engine's
+    /// per-epoch trace absorbed under a `cellN.` prefix — always in
+    /// cell-id order after all cells finish, so serial and cell-parallel
+    /// epochs merge byte-identically.
+    pub(crate) trace: TraceSink,
+    /// Monotone control-plane clock (in "operations", not cycles): the
+    /// timestamp domain of boundary spans and control-plane instants.
+    /// Realigned to an epoch-proportional base at every boundary (see
+    /// [`CONTROL_EPOCH_STRIDE`]); bumped once per recorded control event.
+    pub(crate) control_cursor: u64,
 }
 
 /// Builds one cell's hypervisor (shared by construction and post-crash
@@ -520,6 +563,11 @@ fn build_cell_hv(config: &ClusterConfig, machine_config: &MachineConfig) -> Hype
             .enable_shadow_attribution()
             // kyoto-lint: allow(cluster-no-panic): Machine::new above already validated this exact LLC geometry
             .expect("valid LLC geometry");
+    }
+    // Enabled here — the one construction path — so a cell rebooted after
+    // a crash traces exactly like a fresh one.
+    if config.trace.is_on() {
+        hv.engine_mut().trace_mut().enable();
     }
     hv
 }
@@ -542,6 +590,8 @@ impl Cluster {
             .collect();
         Cluster {
             planner: MigrationPlanner::new(config.planner),
+            trace: TraceSink::new(config.trace),
+            control_cursor: 0,
             config,
             cells,
             vms: Vec::new(),
@@ -572,6 +622,29 @@ impl Cluster {
     /// The installed fault plan, if any.
     pub fn faults(&self) -> Option<&FaultPlan> {
         self.faults.as_ref()
+    }
+
+    /// The cluster-level trace sink (control-plane spans plus absorbed
+    /// per-cell engine traces; empty and disabled unless the configuration
+    /// enabled tracing).
+    pub fn trace(&self) -> &TraceSink {
+        &self.trace
+    }
+
+    /// Mutable access to the cluster trace sink. Upper layers (the
+    /// kyoto-service control plane) record their control-plane events
+    /// here, in the same control-cursor timestamp domain.
+    pub fn trace_mut(&mut self) -> &mut TraceSink {
+        &mut self.trace
+    }
+
+    /// Advances the control-plane trace cursor by one event slot and
+    /// returns the new position — the timestamp an upper layer should
+    /// stamp on a control-plane instant it records via
+    /// [`Cluster::trace_mut`].
+    pub fn trace_cursor_bump(&mut self) -> u64 {
+        self.control_cursor += 1;
+        self.control_cursor
     }
 
     /// The cluster configuration.
@@ -777,6 +850,13 @@ impl Cluster {
     /// planner emits a plan that fails validation — both indicate control-
     /// plane bugs, surfaced instead of panicking the fleet.
     pub fn run_epoch(&mut self) -> Result<&EpochReport, ClusterError> {
+        // Realign the control-plane clock to this epoch's window. Events
+        // recorded *before* this boundary (fleet dynamics, service
+        // admissions) keep their earlier positions, so the cursor stays
+        // monotone and chronological.
+        self.control_cursor = self
+            .control_cursor
+            .max((self.epoch + 1) * CONTROL_EPOCH_STRIDE);
         let mut faults = FaultCounts::default();
         let aborts = self.apply_fault_boundary(&mut faults)?;
         let epoch_ticks = self.config.epoch_ticks;
@@ -811,6 +891,7 @@ impl Cluster {
                 vm.local = Some(local);
             }
         }
+        self.absorb_cell_traces();
         let snapshot = self.snapshot_and_advance();
         let plan = self.planner.plan(&snapshot, self.config.policy);
         if let Err(reason) = plan.validate(&snapshot) {
@@ -838,9 +919,125 @@ impl Cluster {
             events: EventCounts::default(),
             faults,
         });
+        self.record_boundary_trace();
         self.epoch += 1;
-        // kyoto-lint: allow(cluster-no-panic): history.push two statements up makes last() infallible
+        // kyoto-lint: allow(cluster-no-panic): history.push above makes last() infallible
         Ok(self.history.last().expect("just pushed"))
+    }
+
+    /// Drains each cell engine's per-epoch trace into the cluster sink
+    /// under a `cellN.` prefix — strictly in cell-id order, after every
+    /// cell has finished the epoch, so the serial and cell-parallel paths
+    /// merge byte-identically (property-tested).
+    fn absorb_cell_traces(&mut self) {
+        if !self.trace.is_enabled() {
+            return;
+        }
+        for (index, cell) in self.cells.iter_mut().enumerate() {
+            let drained = cell.hv.engine_mut().trace_mut().drain();
+            self.trace.absorb(&drained, &format!("cell{index}."));
+        }
+    }
+
+    /// Records the just-pushed epoch's boundary phases as spans in the
+    /// control-cursor domain — fault handling, planning, plan application
+    /// (with one `cluster.migrate` instant per planned move) and the
+    /// retry queue, wrapped in one `cluster.boundary` span — plus the
+    /// control-plane counters. Phase durations are `1 + <operation
+    /// count>`, so span widths read as operation volume.
+    fn record_boundary_trace(&mut self) {
+        if !self.trace.is_enabled() {
+            return;
+        }
+        let Some(report) = self.history.last() else {
+            return;
+        };
+        let migrations = report.migrations.clone();
+        let faults = report.faults;
+        let epoch = report.epoch;
+        let start = self.control_cursor + 1;
+        let mut cursor = start;
+
+        let fault_ops = faults.crashes
+            + faults.recoveries
+            + faults.slowdowns
+            + faults.aborted_migrations()
+            + faults.orphaned;
+        let fault_dur = 1 + fault_ops;
+        self.trace.span_with(
+            "cluster",
+            "cluster.faults",
+            cursor,
+            fault_dur,
+            format!(
+                "crashes={} recoveries={} slowdowns={} aborts={}",
+                faults.crashes,
+                faults.recoveries,
+                faults.slowdowns,
+                faults.aborted_migrations()
+            ),
+        );
+        cursor += fault_dur;
+
+        let plan_dur = 1 + migrations.len() as u64;
+        self.trace.span_with(
+            "cluster",
+            "planner.plan",
+            cursor,
+            plan_dur,
+            format!("moves={}", migrations.len()),
+        );
+        cursor += plan_dur;
+
+        let apply_start = cursor;
+        for mv in &migrations {
+            cursor += 1;
+            self.trace.instant_with(
+                "cluster",
+                "cluster.migrate",
+                cursor,
+                format!("vm={} from={} to={}", mv.vm.0, mv.from.0, mv.to.0),
+            );
+        }
+        cursor += 1;
+        self.trace.span(
+            "cluster",
+            "cluster.apply",
+            apply_start,
+            cursor - apply_start,
+        );
+
+        let retry_ops = faults.readmitted + faults.retry_backoffs + faults.rejected_orphans;
+        let retry_dur = 1 + retry_ops;
+        self.trace.span_with(
+            "cluster",
+            "cluster.retry",
+            cursor,
+            retry_dur,
+            format!(
+                "readmitted={} backoffs={} rejected={}",
+                faults.readmitted, faults.retry_backoffs, faults.rejected_orphans
+            ),
+        );
+        cursor += retry_dur;
+
+        self.trace.span_with(
+            "cluster",
+            "cluster.boundary",
+            start,
+            cursor - start,
+            format!("epoch={epoch}"),
+        );
+        self.control_cursor = cursor;
+
+        self.trace.counter_add("cluster.epochs", 1);
+        self.trace
+            .counter_add("cluster.migrations", migrations.len() as u64);
+        self.trace.counter_add("cluster.crashes", faults.crashes);
+        self.trace
+            .counter_add("cluster.aborted_migrations", faults.aborted_migrations());
+        self.trace
+            .counter_add("cluster.readmitted", faults.readmitted);
     }
 
     /// Runs `epochs` epochs, stopping at the first error.
@@ -944,6 +1141,15 @@ impl Cluster {
                 if !self.cells[cell.0].draining {
                     self.cells[cell.0].draining = true;
                     counts.drains += 1;
+                    if self.trace.is_enabled() {
+                        let ts = self.trace_cursor_bump();
+                        self.trace.instant_with(
+                            "cluster",
+                            "cluster.drain",
+                            ts,
+                            format!("cell={}", cell.0),
+                        );
+                    }
                 }
             }
             FleetEvent::CellJoin(cell) => {
@@ -955,11 +1161,24 @@ impl Cluster {
                 if self.cells[cell.0].draining {
                     self.cells[cell.0].draining = false;
                     counts.joins += 1;
+                    if self.trace.is_enabled() {
+                        let ts = self.trace_cursor_bump();
+                        self.trace.instant_with(
+                            "cluster",
+                            "cluster.join",
+                            ts,
+                            format!("cell={}", cell.0),
+                        );
+                    }
                 }
             }
             FleetEvent::VmDeparture { pick } => {
                 if self.depart_vm(pick)? {
                     counts.departures += 1;
+                    if self.trace.is_enabled() {
+                        let ts = self.trace_cursor_bump();
+                        self.trace.instant("cluster", "cluster.depart", ts);
+                    }
                 }
             }
             FleetEvent::VmArrival => {
@@ -971,10 +1190,23 @@ impl Cluster {
                         self.add_vm(cell, config, workload)?;
                         counts.arrivals += 1;
                         self.total_arrivals += 1;
+                        if self.trace.is_enabled() {
+                            let ts = self.trace_cursor_bump();
+                            self.trace.instant_with(
+                                "cluster",
+                                "cluster.arrival",
+                                ts,
+                                format!("cell={}", cell.0),
+                            );
+                        }
                     }
                     None => {
                         counts.rejected_arrivals += 1;
                         self.rejected_arrivals += 1;
+                        if self.trace.is_enabled() {
+                            let ts = self.trace_cursor_bump();
+                            self.trace.instant("cluster", "cluster.reject_arrival", ts);
+                        }
                     }
                 }
             }
@@ -1292,16 +1524,31 @@ impl Cluster {
         let params = plan.recovery();
         let planned = plan.faults_for_epoch(self.epoch);
         let epoch = self.epoch;
-        for cell in &mut self.cells {
-            if cell.down_until.is_some_and(|until| epoch >= until) {
+        for index in 0..self.cells.len() {
+            if self.cells[index]
+                .down_until
+                .is_some_and(|until| epoch >= until)
+            {
                 // The machine finished rebooting: it rejoins empty (its
                 // hypervisor was rebuilt fresh at crash time).
-                cell.down_until = None;
+                self.cells[index].down_until = None;
                 counts.recoveries += 1;
+                if self.trace.is_enabled() {
+                    let ts = self.trace_cursor_bump();
+                    self.trace.instant_with(
+                        "cluster",
+                        "cluster.recover",
+                        ts,
+                        format!("cell={index}"),
+                    );
+                }
             }
-            if cell.slow_until.is_some_and(|until| epoch >= until) {
-                cell.slow_until = None;
-                cell.hv.set_cycle_budget_divisor(1);
+            if self.cells[index]
+                .slow_until
+                .is_some_and(|until| epoch >= until)
+            {
+                self.cells[index].slow_until = None;
+                self.cells[index].hv.set_cycle_budget_divisor(1);
             }
         }
         let mut aborts = Vec::new();
@@ -1324,10 +1571,20 @@ impl Cluster {
                     if up.is_empty() {
                         continue;
                     }
-                    let victim = &mut self.cells[up[(pick % up.len() as u64) as usize]];
+                    let victim_index = up[(pick % up.len() as u64) as usize];
+                    let victim = &mut self.cells[victim_index];
                     victim.hv.set_cycle_budget_divisor(params.slowdown_factor);
                     victim.slow_until = Some(epoch + params.slowdown_epochs);
                     counts.slowdowns += 1;
+                    if self.trace.is_enabled() {
+                        let ts = self.trace_cursor_bump();
+                        self.trace.instant_with(
+                            "cluster",
+                            "cluster.slowdown",
+                            ts,
+                            format!("cell={victim_index} factor={}", params.slowdown_factor),
+                        );
+                    }
                 }
                 FaultEvent::MigrationAbort { pick, at } => aborts.push((pick, at)),
             }
@@ -1352,6 +1609,11 @@ impl Cluster {
     ) -> Result<(), ClusterError> {
         let epoch = self.epoch;
         counts.crashes += 1;
+        if self.trace.is_enabled() {
+            let ts = self.trace_cursor_bump();
+            self.trace
+                .instant_with("cluster", "cluster.crash", ts, format!("cell={}", cell.0));
+        }
         let residents: Vec<usize> = self
             .vms
             .iter()
@@ -1446,6 +1708,15 @@ impl Cluster {
                     });
                     counts.readmitted += 1;
                     self.readmission_latency_epochs += epoch - orphan.crashed_at;
+                    if self.trace.is_enabled() {
+                        let ts = self.trace_cursor_bump();
+                        self.trace.instant_with(
+                            "cluster",
+                            "cluster.readmit",
+                            ts,
+                            format!("vm={} cell={}", orphan.fleet.0, cell.0),
+                        );
+                    }
                 }
                 None => {
                     self.retry[index].attempts += 1;
@@ -1462,10 +1733,29 @@ impl Cluster {
                         self.vms.remove(position);
                         self.departed.push(report);
                         counts.rejected_orphans += 1;
+                        if self.trace.is_enabled() {
+                            let ts = self.trace_cursor_bump();
+                            self.trace.instant_with(
+                                "cluster",
+                                "cluster.reject_orphan",
+                                ts,
+                                format!("vm={}", orphan.fleet.0),
+                            );
+                        }
                     } else {
                         let attempts = self.retry[index].attempts;
                         self.retry[index].next_attempt = epoch + (1u64 << attempts.min(6));
                         counts.retry_backoffs += 1;
+                        if self.trace.is_enabled() {
+                            let vm = self.retry[index].fleet.0;
+                            let ts = self.trace_cursor_bump();
+                            self.trace.instant_with(
+                                "cluster",
+                                "cluster.retry_backoff",
+                                ts,
+                                format!("vm={vm}"),
+                            );
+                        }
                         index += 1;
                     }
                 }
@@ -1612,6 +1902,8 @@ impl Cluster {
             readmission_latency_epochs: self.readmission_latency_epochs,
             history: self.history.clone(),
             freq_khz: self.freq_khz,
+            trace: self.trace.clone(),
+            control_cursor: self.control_cursor,
         })
     }
 
@@ -1639,6 +1931,8 @@ impl Cluster {
             readmission_latency_epochs: checkpoint.readmission_latency_epochs,
             history: checkpoint.history,
             freq_khz: checkpoint.freq_khz,
+            trace: checkpoint.trace,
+            control_cursor: checkpoint.control_cursor,
         }
     }
 

@@ -76,3 +76,7 @@ pub use planner::{
     PlannerConfig,
 };
 pub use snapshot::{CellId, CellSnapshot, ClusterSnapshot, FleetVmId, VmSnapshot};
+
+// Re-exported so fleet consumers can configure tracing without a direct
+// `kyoto-trace` dependency: `ClusterConfig::with_trace(TraceConfig::On)`.
+pub use kyoto_trace::{TraceConfig, TraceSink};

@@ -515,3 +515,127 @@ proptest! {
         prop_assert_eq!(run(false), run(true));
     }
 }
+
+proptest! {
+    // Trace runs execute three full clusters per case (untraced, traced
+    // serial, traced cell-parallel); a handful of cases covers the grid
+    // because any divergence is deterministic.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Tracing is pure observability: with identical seeds, a traced run's
+    /// reports, history and occupancies byte-equal an untraced run's (the
+    /// trace plane never perturbs the simulation) — and with a fault plan
+    /// installed, the serial and cell-parallel merged traces render
+    /// byte-identically (cell sinks are absorbed in cell-id order after
+    /// every cell finishes, so thread scheduling cannot leak in).
+    #[test]
+    fn tracing_never_perturbs_results_and_merges_deterministically(
+        cells in 2usize..4,
+        vm_count in 2usize..7,
+        policy in arb_policy(),
+        seed in 0u64..1_000,
+    ) {
+        use kyoto_cluster::TraceConfig;
+        use kyoto_trace::TraceDoc;
+        let apps = [SpecApp::Gcc, SpecApp::Lbm, SpecApp::Omnetpp, SpecApp::Mcf];
+        let run = |parallel: bool, trace: TraceConfig| {
+            let config = ClusterConfig::new(cells, 256)
+                .with_epoch_ticks(3)
+                .with_policy(policy)
+                .with_planner(
+                    PlannerConfig::default()
+                        .with_max_moves(3)
+                        .with_polluter_threshold(200.0),
+                )
+                .with_parallel_cells(parallel)
+                .with_trace(trace);
+            let mut cluster = Cluster::new(config);
+            for i in 0..vm_count {
+                let app = apps[i % apps.len()];
+                cluster
+                    .add_vm(
+                        CellId(i % cells),
+                        VmConfig::new(format!("vm{i}-{}", app.name())).with_llc_cap(50.0),
+                        Box::new(SpecWorkload::new(app, 256, seed.wrapping_add(i as u64))),
+                    )
+                    .unwrap();
+            }
+            cluster.install_faults(FaultPlan::new(
+                FaultPlanConfig::new(seed ^ 0x7AACE)
+                    .with_crash_rate(0.4)
+                    .with_abort_rate(0.6)
+                    .with_down_epochs(2),
+            ));
+            cluster.run_epochs(5).unwrap();
+            let rendered = TraceDoc::from_sink(cluster.trace()).render();
+            (
+                (
+                    cluster.all_reports(),
+                    cluster.history().to_vec(),
+                    cluster.occupancies(),
+                    cluster.total_faults(),
+                ),
+                rendered,
+            )
+        };
+        let (untraced, off_render) = run(false, TraceConfig::Off);
+        let (serial, serial_render) = run(false, TraceConfig::On);
+        let (parallel, parallel_render) = run(true, TraceConfig::On);
+        prop_assert_eq!(&untraced, &serial, "tracing must not change results");
+        prop_assert_eq!(&serial, &parallel);
+        prop_assert_eq!(&serial_render, &parallel_render, "merged traces must not depend on cell parallelism");
+        prop_assert!(TraceDoc::parse(&off_render).unwrap().is_empty(), "a disabled sink records nothing");
+        prop_assert!(!TraceDoc::parse(&serial_render).unwrap().is_empty(), "an enabled sink records the run");
+    }
+}
+
+/// A restored cluster's trace continues bit-identically: the checkpoint
+/// carries the cluster sink, the control-plane cursor and every cell
+/// engine's sink, so `trace(run(k))` equals
+/// `trace(restore(checkpoint(run(j))).run(k - j))`.
+#[test]
+fn restored_cluster_trace_resumes_bit_identically() {
+    use kyoto_cluster::TraceConfig;
+    use kyoto_trace::TraceDoc;
+    let apps = [SpecApp::Gcc, SpecApp::Lbm, SpecApp::Omnetpp, SpecApp::Mcf];
+    let build = || {
+        let config = ClusterConfig::new(3, 256)
+            .with_epoch_ticks(3)
+            .with_policy(ConsolidationPolicy::PollutionAware)
+            .with_planner(
+                PlannerConfig::default()
+                    .with_max_moves(3)
+                    .with_polluter_threshold(200.0),
+            )
+            .with_trace(TraceConfig::On);
+        let mut cluster = Cluster::new(config);
+        for i in 0..6 {
+            let app = apps[i % apps.len()];
+            cluster
+                .add_vm(
+                    CellId(i % 3),
+                    VmConfig::new(format!("vm{i}-{}", app.name())).with_llc_cap(50.0),
+                    Box::new(SpecWorkload::new(app, 256, 0xABC + i as u64)),
+                )
+                .unwrap();
+        }
+        cluster.install_faults(FaultPlan::new(
+            FaultPlanConfig::new(0xC4EC)
+                .with_crash_rate(0.4)
+                .with_abort_rate(0.6)
+                .with_down_epochs(2),
+        ));
+        cluster
+    };
+    let mut straight = build();
+    straight.run_epochs(6).unwrap();
+    let mut first = build();
+    first.run_epochs(2).unwrap();
+    let mut resumed = Cluster::restore(first.checkpoint().unwrap());
+    resumed.run_epochs(4).unwrap();
+    assert_eq!(
+        TraceDoc::from_sink(straight.trace()).render(),
+        TraceDoc::from_sink(resumed.trace()).render()
+    );
+    assert_eq!(straight.all_reports(), resumed.all_reports());
+}

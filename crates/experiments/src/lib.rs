@@ -33,7 +33,9 @@
 //! `kyoto-service` control plane in front of the fleet — replaying a
 //! request trace through the SLA-aware admission controller over an
 //! arrival-rate × admission-policy sweep, mid-trace checkpoint/restore
-//! included.
+//! included. [`trace`] maps every one of those targets to a
+//! representative cycle-domain traced run (`kyoto-trace`), backing
+//! `figures --trace-out <path>`.
 //!
 //! (Fig. 7 is the Pisces architecture diagram; its description lives in
 //! `kyoto_hypervisor::pisces`.)
@@ -62,6 +64,7 @@ pub mod fleet;
 pub mod harness;
 pub mod service;
 pub mod tables;
+pub mod trace;
 
 pub use config::{ExperimentConfig, Fidelity};
 pub use harness::{

@@ -532,6 +532,26 @@ impl<S: Scheduler> Hypervisor<S> {
             ..
         } = self;
 
+        // Scheduler decisions become trace instants on the `hv` track,
+        // timestamped at the engine's simulated clock *before* the tick's
+        // execution (the instant marks when the decision was made). One
+        // branch when tracing is off.
+        let trace_on = engine.trace().is_enabled();
+        if trace_on {
+            let ts = engine.elapsed_cycles();
+            for (core, vcpu) in &assignment {
+                engine.trace_mut().instant_with(
+                    "hv",
+                    "hv.pick",
+                    ts,
+                    format!("core={} vm={} vcpu={}", core.0, vcpu.vm.0, vcpu.index),
+                );
+            }
+            engine
+                .trace_mut()
+                .counter_add("hv.picks", assignment.len() as u64);
+        }
+
         let shadow_before: Vec<Option<u64>> = assignment
             .iter()
             .map(|(_, vcpu)| engine.shadow().map(|s| s.solo_misses(vcpu.vm.0)))
@@ -594,8 +614,31 @@ impl<S: Scheduler> Hypervisor<S> {
         }
 
         for (vcpu_id, tick_report) in &scheduled_info {
+            let punishments_before = if trace_on {
+                scheduler.punishments(*vcpu_id)
+            } else {
+                0
+            };
             scheduler.account(*vcpu_id, tick_report);
             pmu.record_for(vcpu_id.as_key(), tick_report.pmc_delta);
+            if trace_on {
+                // Punishment decisions (Kyoto descheduling) surface as
+                // instants with the per-tick delta of the scheduler's
+                // cumulative punishment count.
+                let delta = scheduler
+                    .punishments(*vcpu_id)
+                    .saturating_sub(punishments_before);
+                if delta > 0 {
+                    let ts = engine.elapsed_cycles();
+                    engine.trace_mut().instant_with(
+                        "hv",
+                        "hv.punish",
+                        ts,
+                        format!("vm={} vcpu={} n={}", vcpu_id.vm.0, vcpu_id.index, delta),
+                    );
+                    engine.trace_mut().counter_add("hv.punishments", delta);
+                }
+            }
         }
 
         for vm in vms.iter_mut() {

@@ -49,13 +49,14 @@ pub const RULE_IDS: [&str; 5] = [
 ];
 
 /// Crates whose non-test code must not fold over unordered containers.
-const NONDET_SCOPE: [&str; 6] = [
+const NONDET_SCOPE: [&str; 7] = [
     "crates/sim/src/",
     "crates/core/src/",
     "crates/hypervisor/src/",
     "crates/cluster/src/",
     "crates/experiments/src/",
     "crates/service/src/",
+    "crates/trace/src/",
 ];
 
 /// Order-dependent methods on `HashMap`/`HashSet` flagged by nondet-iter.

@@ -64,4 +64,6 @@ pub mod telemetry;
 pub use admission::{AdmissionConfig, AdmissionController, AdmissionOutcome, AdmissionPolicy};
 pub use request::{RequestTrace, RequestTraceConfig, ServiceRequest, TraceParseError};
 pub use service::{FleetService, ServiceCheckpoint, ServiceConfig};
-pub use telemetry::{AdmissionLedger, CellTelemetry, TelemetryLog, TelemetryRecord};
+pub use telemetry::{
+    AdmissionLedger, CellTelemetry, TelemetryLog, TelemetryQueryReply, TelemetryRecord,
+};

@@ -32,7 +32,8 @@
 use crate::admission::{AdmissionController, AdmissionOutcome, BoundaryView};
 use crate::request::{RequestTrace, ServiceRequest};
 use crate::telemetry::{
-    AdmissionLedger, CellTelemetry, TelemetryLog, TelemetryRecord, TELEMETRY_VERSION,
+    AdmissionLedger, CellTelemetry, TelemetryLog, TelemetryQueryReply, TelemetryRecord,
+    TELEMETRY_VERSION,
 };
 use kyoto_cluster::checkpoint::FleetCheckpoint;
 use kyoto_cluster::cluster::Cluster;
@@ -95,6 +96,10 @@ pub struct FleetService {
     telemetry: TelemetryLog,
     next_request_index: u64,
     auto_checkpoint: Option<Box<ServiceCheckpoint>>,
+    /// The reply served to the most recent `QueryTelemetry` request.
+    /// Transient request/reply state — deliberately not checkpointed (a
+    /// restored service has no outstanding replies).
+    last_query: Option<TelemetryQueryReply>,
 }
 
 impl FleetService {
@@ -109,6 +114,7 @@ impl FleetService {
             telemetry: TelemetryLog::new(),
             next_request_index: 0,
             auto_checkpoint: None,
+            last_query: None,
         }
     }
 
@@ -125,6 +131,41 @@ impl FleetService {
     /// The cumulative admission ledger.
     pub fn ledger(&self) -> &AdmissionLedger {
         &self.ledger
+    }
+
+    /// The reply served to the most recent `QueryTelemetry` request, if
+    /// any were served yet (see [`TelemetryQueryReply`] for where the
+    /// numbers come from).
+    pub fn last_query(&self) -> Option<&TelemetryQueryReply> {
+        self.last_query.as_ref()
+    }
+
+    /// Answers a `QueryTelemetry` request. With tracing on, the answer
+    /// comes from the **live trace plane**: the `service.*` counter
+    /// mirrors in the cluster sink plus the fleet-wide sum of per-cell
+    /// `engine.cycles` counters. With tracing off it falls back to the
+    /// in-memory ledger (cycles 0).
+    pub fn query_telemetry(&self) -> TelemetryQueryReply {
+        let sink = self.cluster.trace();
+        if sink.is_enabled() {
+            TelemetryQueryReply {
+                epoch: self.cluster.epoch(),
+                requested: sink.counter_value("service.requested"),
+                admitted: sink.counter_value("service.admitted"),
+                rejected: sink.counter_value("service.rejected"),
+                queries: sink.counter_value("service.queries"),
+                engine_cycles: sink.sum_counters_with_suffix(".engine.cycles"),
+            }
+        } else {
+            TelemetryQueryReply {
+                epoch: self.cluster.epoch(),
+                requested: self.ledger.requested,
+                admitted: self.ledger.admitted,
+                rejected: self.ledger.rejected(),
+                queries: self.ledger.queries,
+                engine_cycles: 0,
+            }
+        }
     }
 
     /// The published telemetry stream (the subscribe side).
@@ -156,6 +197,12 @@ impl FleetService {
     pub fn run_epoch(&mut self, spawn: SpawnFn<'_>) -> Result<&TelemetryRecord, ClusterError> {
         let epoch = self.cluster.epoch();
         let requests = self.trace.requests_for_epoch(epoch);
+        let trace_on = self.cluster.trace().is_enabled();
+        let admission_start = if trace_on {
+            self.cluster.trace_cursor_bump()
+        } else {
+            0
+        };
 
         // Pass 1: maintenance and departures, in request order. Capacity
         // freed here is what the queue drain below gets first claim on.
@@ -164,16 +211,44 @@ impl FleetService {
                 ServiceRequest::DrainCell(cell) => {
                     self.cluster.set_draining(cell, true)?;
                     self.ledger.drains += 1;
+                    if trace_on {
+                        let ts = self.cluster.trace_cursor_bump();
+                        self.cluster.trace_mut().instant_with(
+                            "service",
+                            "service.drain",
+                            ts,
+                            format!("cell={}", cell.0),
+                        );
+                    }
                 }
                 ServiceRequest::JoinCell(cell) => {
                     self.cluster.set_draining(cell, false)?;
                     self.ledger.joins += 1;
+                    if trace_on {
+                        let ts = self.cluster.trace_cursor_bump();
+                        self.cluster.trace_mut().instant_with(
+                            "service",
+                            "service.join",
+                            ts,
+                            format!("cell={}", cell.0),
+                        );
+                    }
                 }
                 ServiceRequest::DepartVm { pick } => {
-                    if self.cluster.depart_vm(pick)? {
+                    let served = self.cluster.depart_vm(pick)?;
+                    if served {
                         self.ledger.departures_served += 1;
                     } else {
                         self.ledger.departures_noop += 1;
+                    }
+                    if trace_on {
+                        let ts = self.cluster.trace_cursor_bump();
+                        self.cluster.trace_mut().instant_with(
+                            "service",
+                            "service.depart",
+                            ts,
+                            format!("served={}", u8::from(served)),
+                        );
                     }
                 }
                 ServiceRequest::PlaceVm | ServiceRequest::QueryTelemetry => {}
@@ -185,9 +260,18 @@ impl FleetService {
         let mut view = BoundaryView::of(&self.cluster.snapshot());
         for (index, cell) in self.controller.drain_queue(&mut view) {
             let (config, workload) = spawn(index);
-            self.cluster.add_vm(cell, config, workload)?;
+            let vm = self.cluster.add_vm(cell, config, workload)?;
             self.ledger.admitted += 1;
             self.ledger.admitted_from_queue += 1;
+            if trace_on {
+                let ts = self.cluster.trace_cursor_bump();
+                self.cluster.trace_mut().instant_with(
+                    "service",
+                    "service.place",
+                    ts,
+                    format!("req={index} vm={} cell={} from=queue", vm.0, cell.0),
+                );
+            }
         }
         for request in &requests {
             match *request {
@@ -195,26 +279,105 @@ impl FleetService {
                     let index = self.next_request_index;
                     self.next_request_index += 1;
                     self.ledger.requested += 1;
+                    if trace_on {
+                        let ts = self.cluster.trace_cursor_bump();
+                        self.cluster.trace_mut().instant_with(
+                            "service",
+                            "service.request",
+                            ts,
+                            format!("req={index}"),
+                        );
+                    }
                     match self.controller.decide(index, &mut view) {
                         AdmissionOutcome::Admitted(cell) => {
                             let (config, workload) = spawn(index);
-                            self.cluster.add_vm(cell, config, workload)?;
+                            let vm = self.cluster.add_vm(cell, config, workload)?;
                             self.ledger.admitted += 1;
+                            if trace_on {
+                                let ts = self.cluster.trace_cursor_bump();
+                                self.cluster.trace_mut().instant_with(
+                                    "service",
+                                    "service.admit",
+                                    ts,
+                                    format!("req={index} cell={}", cell.0),
+                                );
+                                let ts = self.cluster.trace_cursor_bump();
+                                self.cluster.trace_mut().instant_with(
+                                    "service",
+                                    "service.place",
+                                    ts,
+                                    format!("req={index} vm={} cell={}", vm.0, cell.0),
+                                );
+                            }
                         }
-                        AdmissionOutcome::Queued => {}
-                        AdmissionOutcome::Rejected(reason) => self.count_rejection(reason),
+                        AdmissionOutcome::Queued => {
+                            if trace_on {
+                                let ts = self.cluster.trace_cursor_bump();
+                                self.cluster.trace_mut().instant_with(
+                                    "service",
+                                    "service.queue",
+                                    ts,
+                                    format!("req={index}"),
+                                );
+                            }
+                        }
+                        AdmissionOutcome::Rejected(reason) => {
+                            self.count_rejection(reason);
+                            if trace_on {
+                                let ts = self.cluster.trace_cursor_bump();
+                                self.cluster.trace_mut().instant_with(
+                                    "service",
+                                    "service.reject",
+                                    ts,
+                                    format!("req={index}"),
+                                );
+                            }
+                        }
                     }
                 }
                 ServiceRequest::QueryTelemetry => {
-                    // Request/reply read of the latest published record;
-                    // the reply itself is `self.telemetry.latest()`.
+                    // Request/reply read: answered from the live trace
+                    // counters when tracing is on, the ledger otherwise
+                    // (see [`FleetService::query_telemetry`]).
                     self.ledger.queries += 1;
+                    if trace_on {
+                        let ts = self.cluster.trace_cursor_bump();
+                        let queries = self.ledger.queries;
+                        self.cluster.trace_mut().instant_with(
+                            "service",
+                            "service.query",
+                            ts,
+                            format!("n={queries}"),
+                        );
+                    }
+                    self.last_query = Some(self.query_telemetry());
                 }
                 _ => {}
             }
         }
         self.ledger.queue_len = self.controller.queued().len() as u64;
         self.ledger.queue_peak = self.ledger.queue_peak.max(self.ledger.queue_len);
+        if trace_on {
+            // Mirror the cumulative ledger into the trace plane (these
+            // counters are what `query_telemetry` answers from) and close
+            // the boundary's admission span.
+            let ledger = self.ledger;
+            let requests_served = requests.len();
+            let admission_end = self.cluster.trace_cursor_bump();
+            let trace = self.cluster.trace_mut();
+            trace.counter_set_max("service.requested", ledger.requested);
+            trace.counter_set_max("service.admitted", ledger.admitted);
+            trace.counter_set_max("service.rejected", ledger.rejected());
+            trace.counter_set_max("service.queries", ledger.queries);
+            trace.counter_set_max("service.queue_peak", ledger.queue_peak);
+            trace.span_with(
+                "service",
+                "service.admission",
+                admission_start,
+                admission_end - admission_start,
+                format!("epoch={epoch} requests={requests_served}"),
+            );
+        }
 
         // Run the epoch, then publish.
         self.cluster.run_epoch()?;
@@ -256,10 +419,25 @@ impl FleetService {
             Ok(cell) => {
                 let vm = self.cluster.add_vm(cell, config, workload)?;
                 self.ledger.admitted += 1;
+                if self.cluster.trace().is_enabled() {
+                    let ts = self.cluster.trace_cursor_bump();
+                    self.cluster.trace_mut().instant_with(
+                        "service",
+                        "service.place",
+                        ts,
+                        format!("vm={} cell={} from=sync", vm.0, cell.0),
+                    );
+                }
                 Ok((vm, cell))
             }
             Err(reason) => {
                 self.count_rejection(reason);
+                if self.cluster.trace().is_enabled() {
+                    let ts = self.cluster.trace_cursor_bump();
+                    self.cluster
+                        .trace_mut()
+                        .instant("service", "service.reject", ts);
+                }
                 Err(ClusterError::Rejected { reason })
             }
         }
@@ -344,6 +522,7 @@ impl FleetService {
             telemetry: TelemetryLog::from_records(checkpoint.records),
             next_request_index: checkpoint.next_request_index,
             auto_checkpoint: None,
+            last_query: None,
         }
     }
 

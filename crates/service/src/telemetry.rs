@@ -187,6 +187,48 @@ impl TelemetryRecord {
     }
 }
 
+/// The reply to a [`QueryTelemetry`] request, answered from the **live
+/// trace plane** when tracing is on: the admission counters are the
+/// `service.*` mirrors in the cluster's [`TraceSink`](kyoto_cluster::TraceSink)
+/// (refreshed at each epoch boundary — the same freshness as the published
+/// stream) and `engine_cycles` is the fleet-wide sum of the per-cell
+/// `cellN.engine.cycles` counters. With tracing off the admission fields
+/// fall back to the in-memory ledger and `engine_cycles` is 0.
+///
+/// [`QueryTelemetry`]: crate::request::ServiceRequest::QueryTelemetry
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TelemetryQueryReply {
+    /// Epochs the fleet had completed when the query was served.
+    pub epoch: u64,
+    /// Cumulative placement requests (ledger mirror).
+    pub requested: u64,
+    /// Cumulative admissions (ledger mirror).
+    pub admitted: u64,
+    /// Cumulative rejections, any reason (ledger mirror).
+    pub rejected: u64,
+    /// Cumulative `QueryTelemetry` requests served (ledger mirror).
+    pub queries: u64,
+    /// Fleet-wide simulated engine cycles, summed across cells from the
+    /// live trace counters (0 when tracing is off).
+    pub engine_cycles: u64,
+}
+
+impl TelemetryQueryReply {
+    /// Renders the reply in a stable one-line text form (pinned by the
+    /// service tests).
+    pub fn render(&self) -> String {
+        format!(
+            "query epoch={} req={} adm={} rej={} queries={} cycles={}",
+            self.epoch,
+            self.requested,
+            self.admitted,
+            self.rejected,
+            self.queries,
+            self.engine_cycles,
+        )
+    }
+}
+
 /// The append-only record stream the service publishes onto.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct TelemetryLog {

@@ -213,3 +213,108 @@ fn try_place_rejects_with_typed_reasons_when_saturated() {
     }
     service.verify_conservation().unwrap();
 }
+
+proptest! {
+    // Each case replays three full services (untraced, traced serial,
+    // traced cell-parallel); a few cases suffice because any divergence
+    // is deterministic.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Tracing is pure observability at the service layer too: with the
+    /// trace plane on, the published telemetry stream stays byte-identical
+    /// to an untraced replay — and the merged trace itself renders
+    /// byte-identically across the serial and cell-parallel engines.
+    #[test]
+    fn tracing_leaves_telemetry_bytes_identical(
+        seed in 0u64..1_000,
+        place in 0.5f64..3.0,
+        policy in arb_policy(),
+    ) {
+        use kyoto_cluster::TraceConfig;
+        use kyoto_trace::TraceDoc;
+        let requests = trace(seed, 6, place, 0.5);
+        let config = service_config(policy, 4);
+        let run = |trace_config: TraceConfig, parallel: bool| {
+            let cluster = Cluster::new(
+                ClusterConfig::new(2, SCALE)
+                    .with_epoch_ticks(4)
+                    .with_parallel_cells(parallel)
+                    .with_trace(trace_config),
+            );
+            let mut service = FleetService::new(cluster, requests.clone(), config);
+            service.run_to_end(&mut spawn).unwrap();
+            service.verify_conservation().unwrap();
+            let rendered = TraceDoc::from_sink(service.cluster().trace()).render();
+            (service.telemetry().render(), rendered)
+        };
+        let (off_telemetry, off_trace) = run(TraceConfig::Off, false);
+        let (on_telemetry, on_trace) = run(TraceConfig::On, false);
+        let (par_telemetry, par_trace) = run(TraceConfig::On, true);
+        prop_assert_eq!(&off_telemetry, &on_telemetry, "tracing must not change the telemetry bytes");
+        prop_assert_eq!(&on_telemetry, &par_telemetry);
+        prop_assert_eq!(&on_trace, &par_trace, "merged traces must not depend on cell parallelism");
+        prop_assert!(TraceDoc::parse(&off_trace).unwrap().is_empty());
+    }
+}
+
+/// `QueryTelemetry` requests are answered from the **live trace plane**
+/// when tracing is on: the ledger mirrors in the cluster sink match the
+/// in-memory ledger exactly, the fleet-wide cycle total is real, and the
+/// reply's render is pinned. With tracing off the same call falls back to
+/// the ledger with zero cycles.
+#[test]
+fn query_telemetry_answers_from_live_trace_counters() {
+    use kyoto_cluster::TraceConfig;
+    let requests = RequestTrace::new(
+        RequestTraceConfig::new(11, 5)
+            .with_place_rate(1.5)
+            .with_query_rate(1.0),
+    );
+    let run = |trace_config: TraceConfig| {
+        let cluster = Cluster::new(
+            ClusterConfig::new(2, SCALE)
+                .with_epoch_ticks(4)
+                .with_trace(trace_config),
+        );
+        let mut service = FleetService::new(cluster, requests.clone(), ServiceConfig::default());
+        service.run_to_end(&mut spawn).unwrap();
+        service
+    };
+
+    let traced = run(TraceConfig::On);
+    let ledger = *traced.ledger();
+    assert!(ledger.queries > 0, "the trace must carry queries");
+    let reply = traced.query_telemetry();
+    assert_eq!(reply.epoch, 5);
+    assert_eq!(reply.requested, ledger.requested);
+    assert_eq!(reply.admitted, ledger.admitted);
+    assert_eq!(reply.rejected, ledger.rejected());
+    assert_eq!(reply.queries, ledger.queries);
+    assert!(
+        reply.engine_cycles > 0,
+        "cycle totals come from the live per-cell engine counters"
+    );
+    assert_eq!(
+        reply.render(),
+        format!(
+            "query epoch=5 req={} adm={} rej={} queries={} cycles={}",
+            ledger.requested,
+            ledger.admitted,
+            ledger.rejected(),
+            ledger.queries,
+            reply.engine_cycles
+        )
+    );
+    let last = traced.last_query().expect("queries were served");
+    assert!(last.queries >= 1);
+
+    let untraced = run(TraceConfig::Off);
+    let fallback = untraced.query_telemetry();
+    assert_eq!(fallback.requested, untraced.ledger().requested);
+    assert_eq!(fallback.engine_cycles, 0, "no trace plane, no cycle totals");
+    assert_eq!(
+        *untraced.ledger(),
+        ledger,
+        "tracing must not change the ledger"
+    );
+}

@@ -27,6 +27,7 @@ use crate::pmc::PmcSet;
 use crate::shadow::ShadowAttribution;
 use crate::topology::{AccessRoute, CoreId, Machine, NumaNode, SocketView};
 use crate::workload::{Op, Workload};
+use kyoto_trace::TraceSink;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
@@ -382,6 +383,10 @@ pub struct SimEngine {
     /// spawned (0 when it fell back to the serial path). Diagnostics only —
     /// lets tests pin which batches actually parallelise.
     last_parallel_groups: usize,
+    /// The cycle-domain trace sink (disabled by default; one enabled-branch
+    /// per batched call when off, bench-gated by `trace_overhead`). Cloned
+    /// with the engine, so checkpoints carry trace state bit-identically.
+    trace: TraceSink,
 }
 
 impl SimEngine {
@@ -394,7 +399,24 @@ impl SimEngine {
             op_carry: HashMap::new(),
             run_calls: 0,
             last_parallel_groups: 0,
+            trace: TraceSink::default(),
         }
+    }
+
+    /// The engine's trace sink. Disabled by default; when enabled via
+    /// [`SimEngine::trace_mut`], every batched call records an
+    /// `engine.run_slots` span (timestamped in [`SimEngine::elapsed_cycles`],
+    /// the simulated clock), per-batch instruction/LLC-miss counters and a
+    /// batch-cycles histogram.
+    pub fn trace(&self) -> &TraceSink {
+        &self.trace
+    }
+
+    /// Mutable access to the trace sink — enable recording with
+    /// [`TraceSink::enable`], or drain per-epoch data into an upper-layer
+    /// sink with [`TraceSink::drain`].
+    pub fn trace_mut(&mut self) -> &mut TraceSink {
+        &mut self.trace
     }
 
     /// Worker threads the most recent [`SimEngine::run_slots_parallel`] call
@@ -523,6 +545,7 @@ impl SimEngine {
         if n == 0 || cycle_budget == 0 {
             return reports;
         }
+        let trace_start = self.elapsed_cycles;
         self.resolve_data_nodes(slots);
         debug_assert!(
             {
@@ -573,7 +596,34 @@ impl SimEngine {
         drop(slot_refs);
 
         self.finish_batched_call(slots, queues, &reports);
+        self.record_batch_trace(trace_start, &reports);
         reports
+    }
+
+    /// Records one batched call into the trace sink: the `engine.run_slots`
+    /// span covering `[start, elapsed)` on the simulated clock, plus PMC
+    /// counters and the batch-cycles histogram. A single branch when
+    /// tracing is off. Both the serial and socket-parallel paths call this
+    /// exactly once per top-level batched call (the parallel path's serial
+    /// fallbacks record through `run_slots` itself), so traces are
+    /// byte-identical across the two modes.
+    fn record_batch_trace(&mut self, start: u64, reports: &[QuantumReport]) {
+        if !self.trace.is_enabled() {
+            return;
+        }
+        let dur = self.elapsed_cycles - start;
+        self.trace.span("engine", "engine.run_slots", start, dur);
+        self.trace.counter_add("engine.batches", 1);
+        self.trace.counter_add("engine.cycles", dur);
+        let mut instructions = 0u64;
+        let mut llc_misses = 0u64;
+        for report in reports {
+            instructions += report.pmc_delta.instructions;
+            llc_misses += report.pmc_delta.llc_misses;
+        }
+        self.trace.counter_add("engine.instructions", instructions);
+        self.trace.counter_add("engine.llc_misses", llc_misses);
+        self.trace.hist_record("engine.batch_cycles", dur);
     }
 
     /// Folds a call's counter deltas into the slots' cumulative PMCs (done
@@ -711,6 +761,7 @@ impl SimEngine {
         if n == 0 || cycle_budget == 0 {
             return vec![QuantumReport::default(); n];
         }
+        let trace_start = self.elapsed_cycles;
         // Decide the serial fallback before resolving any routes: on a
         // single-socket machine (the default `figures` machine) every tick
         // takes this exit, so it must stay allocation-free beyond the
@@ -938,6 +989,7 @@ impl SimEngine {
             }
         }
         self.finish_batched_call(slots, merged_queues, &reports);
+        self.record_batch_trace(trace_start, &reports);
         reports
     }
 

@@ -1,0 +1,332 @@
+//! Text format v1 for trace documents: render/parse canonical inverses.
+//!
+//! The format is line-oriented, in the same family as the kyoto-service
+//! request-trace format: a `version` directive first, then one line per
+//! counter, histogram and event. Blank lines and `#` comments are
+//! ignored, so writers may append human-oriented annotations (the
+//! `figures --trace-out` writer appends the [`CycleProfile`] rollup as
+//! comments) without affecting what parses back.
+//!
+//! ```text
+//! # kyoto cycle trace
+//! version 1
+//! counter <name> <value>
+//! hist <name> <count> <total> <b0> ... <b16>
+//! span <track> <name> <ts> <dur> [<arg...>]
+//! instant <track> <name> <ts> [<arg...>]
+//! ```
+//!
+//! Names and tracks are single whitespace-free tokens; the optional
+//! argument is the remainder of the line and may contain spaces.
+//! Timestamps and durations are simulated time (engine cycles or the
+//! cluster control cursor) — the format has no wall-clock fields by
+//! construction. [`render`](TraceDoc::render) and
+//! [`parse`](TraceDoc::parse) are inverses: parsing a rendered document
+//! reproduces it exactly, and rendering a parsed document reproduces the
+//! canonical text (comments and blank lines excluded).
+//!
+//! [`CycleProfile`]: crate::profile::CycleProfile
+
+use crate::sink::{Histogram, TraceSink, HIST_BUCKETS};
+use std::fmt;
+
+/// The text format version this module renders and parses.
+pub const TRACE_FORMAT_VERSION: u32 = 1;
+
+/// A resolved trace event: interned ids replaced by owned names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DocEvent {
+    /// Track (Perfetto lane) the event belongs to.
+    pub track: String,
+    /// Event name.
+    pub name: String,
+    /// Start timestamp in the recording component's simulated-time domain.
+    pub ts: u64,
+    /// `Some(duration)` for a span, `None` for an instant.
+    pub dur: Option<u64>,
+    /// Free-form single-line argument (empty when absent).
+    pub arg: String,
+}
+
+/// A self-contained, serialisable snapshot of a [`TraceSink`]: the
+/// exchange value between the sink, the text format, the Chrome JSON
+/// exporter and the profile rollup.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TraceDoc {
+    /// Counters as `(name, value)` in registration order.
+    pub counters: Vec<(String, u64)>,
+    /// Histograms as `(name, histogram)` in registration order.
+    pub histograms: Vec<(String, Histogram)>,
+    /// Events in record order.
+    pub events: Vec<DocEvent>,
+}
+
+/// Why a trace document failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceFormatError {
+    /// The `version` directive named a version this parser does not read.
+    UnsupportedVersion(u64),
+    /// A line did not match any directive of the format.
+    MalformedLine {
+        /// One-based line number in the input.
+        line: usize,
+        /// The offending line text.
+        text: String,
+    },
+}
+
+impl fmt::Display for TraceFormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceFormatError::UnsupportedVersion(v) => {
+                write!(f, "unsupported trace format version {v}")
+            }
+            TraceFormatError::MalformedLine { line, text } => {
+                write!(f, "malformed trace line {line}: {text:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceFormatError {}
+
+impl TraceDoc {
+    /// Snapshots a sink into a document.
+    pub fn from_sink(sink: &TraceSink) -> Self {
+        let mut doc = TraceDoc::default();
+        doc.absorb(sink, "");
+        doc
+    }
+
+    /// Appends a sink's contents, prefixing tracks, counters and
+    /// histograms with `prefix` (event names are kept unprefixed, as in
+    /// [`TraceSink::absorb`]). Used by `figures --trace-out` to merge the
+    /// traced scenarios into one document, one prefix per scenario.
+    pub fn absorb(&mut self, sink: &TraceSink, prefix: &str) {
+        for (name, value) in sink.counters() {
+            self.counters.push((format!("{prefix}{name}"), value));
+        }
+        for (name, hist) in sink.histograms() {
+            self.histograms.push((format!("{prefix}{name}"), *hist));
+        }
+        for event in sink.events() {
+            self.events.push(DocEvent {
+                track: format!("{prefix}{}", sink.name(event.track)),
+                name: sink.name(event.name).to_string(),
+                ts: event.ts,
+                dur: event.dur,
+                arg: event.arg.clone(),
+            });
+        }
+    }
+
+    /// Renders the canonical text form (format v1).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("# kyoto cycle trace\n");
+        out.push_str(&format!("version {TRACE_FORMAT_VERSION}\n"));
+        for (name, value) in &self.counters {
+            out.push_str(&format!("counter {name} {value}\n"));
+        }
+        for (name, hist) in &self.histograms {
+            out.push_str(&format!("hist {name} {} {}", hist.count, hist.total));
+            for bucket in &hist.buckets {
+                out.push_str(&format!(" {bucket}"));
+            }
+            out.push('\n');
+        }
+        for event in &self.events {
+            match event.dur {
+                Some(dur) => out.push_str(&format!(
+                    "span {} {} {} {dur}",
+                    event.track, event.name, event.ts
+                )),
+                None => out.push_str(&format!(
+                    "instant {} {} {}",
+                    event.track, event.name, event.ts
+                )),
+            }
+            if !event.arg.is_empty() {
+                out.push(' ');
+                out.push_str(&event.arg);
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses text format v1 back into a document (the inverse of
+    /// [`TraceDoc::render`]).
+    pub fn parse(text: &str) -> Result<TraceDoc, TraceFormatError> {
+        let mut doc = TraceDoc::default();
+        let mut saw_version = false;
+        for (index, raw) in text.lines().enumerate() {
+            let line = raw.trim_end();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let malformed = || TraceFormatError::MalformedLine {
+                line: index + 1,
+                text: raw.to_string(),
+            };
+            if !saw_version {
+                let rest = line.strip_prefix("version ").ok_or_else(malformed)?;
+                let version: u64 = rest.trim().parse().map_err(|_| malformed())?;
+                if version != u64::from(TRACE_FORMAT_VERSION) {
+                    return Err(TraceFormatError::UnsupportedVersion(version));
+                }
+                saw_version = true;
+            } else if let Some(rest) = line.strip_prefix("counter ") {
+                let (name, value) = rest.split_once(' ').ok_or_else(malformed)?;
+                let value: u64 = value.trim().parse().map_err(|_| malformed())?;
+                doc.counters.push((name.to_string(), value));
+            } else if let Some(rest) = line.strip_prefix("hist ") {
+                let mut words = rest.split_whitespace();
+                let name = words.next().ok_or_else(malformed)?;
+                let mut numbers = Vec::with_capacity(2 + HIST_BUCKETS);
+                for word in words {
+                    numbers.push(word.parse::<u64>().map_err(|_| malformed())?);
+                }
+                if numbers.len() != 2 + HIST_BUCKETS {
+                    return Err(malformed());
+                }
+                let mut hist = Histogram {
+                    count: numbers[0],
+                    total: numbers[1],
+                    ..Histogram::default()
+                };
+                hist.buckets.copy_from_slice(&numbers[2..]);
+                doc.histograms.push((name.to_string(), hist));
+            } else if let Some(rest) = line.strip_prefix("span ") {
+                let mut fields = rest.splitn(5, ' ');
+                let track = fields.next().ok_or_else(malformed)?;
+                let name = fields.next().ok_or_else(malformed)?;
+                let ts = fields.next().ok_or_else(malformed)?;
+                let dur = fields.next().ok_or_else(malformed)?;
+                let arg = fields.next().unwrap_or("");
+                doc.events.push(DocEvent {
+                    track: track.to_string(),
+                    name: name.to_string(),
+                    ts: ts.parse().map_err(|_| malformed())?,
+                    dur: Some(dur.parse().map_err(|_| malformed())?),
+                    arg: arg.to_string(),
+                });
+            } else if let Some(rest) = line.strip_prefix("instant ") {
+                let mut fields = rest.splitn(4, ' ');
+                let track = fields.next().ok_or_else(malformed)?;
+                let name = fields.next().ok_or_else(malformed)?;
+                let ts = fields.next().ok_or_else(malformed)?;
+                let arg = fields.next().unwrap_or("");
+                doc.events.push(DocEvent {
+                    track: track.to_string(),
+                    name: name.to_string(),
+                    ts: ts.parse().map_err(|_| malformed())?,
+                    dur: None,
+                    arg: arg.to_string(),
+                });
+            } else {
+                return Err(malformed());
+            }
+        }
+        if !saw_version && !doc.is_empty() {
+            // Unreachable in practice (any directive before `version`
+            // errors above); kept for clarity.
+            return Err(TraceFormatError::UnsupportedVersion(0));
+        }
+        Ok(doc)
+    }
+
+    /// `true` when the document holds no metrics and no events.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty() && self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::TraceConfig;
+
+    fn sample_doc() -> TraceDoc {
+        let mut sink = TraceSink::new(TraceConfig::On);
+        sink.counter_add("engine.cycles", 123);
+        sink.counter_add("engine.batches", 2);
+        sink.hist_record("engine.batch_cycles", 100);
+        sink.hist_record("engine.batch_cycles", 23);
+        sink.span("engine", "engine.run_slots", 0, 100);
+        sink.span_with("engine", "engine.run_slots", 100, 23, "batch=2".to_string());
+        sink.instant_with("service", "service.admit", 7, "req=1 cell=0".to_string());
+        TraceDoc::from_sink(&sink)
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let doc = sample_doc();
+        let text = doc.render();
+        let parsed = TraceDoc::parse(&text).unwrap();
+        assert_eq!(parsed, doc);
+        // Rendering the parse reproduces the canonical text.
+        assert_eq!(parsed.render(), text);
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored() {
+        let doc = sample_doc();
+        let mut text = doc.render();
+        text.push_str("\n# cycle profile\n# engine.run_slots 2 123 123\n\n");
+        assert_eq!(TraceDoc::parse(&text).unwrap(), doc);
+    }
+
+    #[test]
+    fn version_must_come_first_and_match() {
+        assert_eq!(
+            TraceDoc::parse("version 2\n"),
+            Err(TraceFormatError::UnsupportedVersion(2))
+        );
+        assert_eq!(
+            TraceDoc::parse("counter a 1\nversion 1\n"),
+            Err(TraceFormatError::MalformedLine {
+                line: 1,
+                text: "counter a 1".to_string()
+            })
+        );
+        assert_eq!(
+            TraceDoc::parse("# only comments\n\n").unwrap(),
+            TraceDoc::default()
+        );
+    }
+
+    #[test]
+    fn malformed_lines_are_reported_with_position() {
+        let text = "version 1\nspan engine engine.run_slots zero 1\n";
+        assert_eq!(
+            TraceDoc::parse(text),
+            Err(TraceFormatError::MalformedLine {
+                line: 2,
+                text: "span engine engine.run_slots zero 1".to_string()
+            })
+        );
+        let text = "version 1\nhist h 1 2 3\n";
+        assert!(matches!(
+            TraceDoc::parse(text),
+            Err(TraceFormatError::MalformedLine { line: 2, .. })
+        ));
+        let text = "version 1\nwibble\n";
+        assert!(matches!(
+            TraceDoc::parse(text),
+            Err(TraceFormatError::MalformedLine { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let err = TraceFormatError::MalformedLine {
+            line: 3,
+            text: "bad".to_string(),
+        };
+        assert!(err.to_string().contains("line 3"));
+        assert!(TraceFormatError::UnsupportedVersion(9)
+            .to_string()
+            .contains('9'));
+    }
+}

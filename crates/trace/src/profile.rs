@@ -1,0 +1,150 @@
+//! `CycleProfile`: the self/total-cycles rollup over a trace document —
+//! the repo's flamegraph substitute.
+//!
+//! Spans on one track form a nesting forest (a span is a child of the
+//! innermost earlier span on the same track whose `[ts, ts + dur)` range
+//! contains its start). The profile aggregates, per span *name* across
+//! all tracks: how many spans carried the name, their summed duration
+//! (**total** cycles) and the summed duration minus the duration of
+//! direct children (**self** cycles). Rows sort by total descending, then
+//! name, so the hottest span family leads — exactly the reading order of
+//! a flamegraph, without the SVG.
+
+use crate::format::TraceDoc;
+use std::collections::BTreeMap;
+
+/// One aggregated profile row (per span name).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileRow {
+    /// Span name the row aggregates.
+    pub name: String,
+    /// Number of spans with this name.
+    pub count: u64,
+    /// Summed span durations, in the spans' simulated-time domain.
+    pub total: u64,
+    /// Summed durations minus the durations of direct children.
+    pub self_cycles: u64,
+}
+
+/// The self/total rollup of every span in a document.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CycleProfile {
+    /// Rows sorted by total cycles descending, then name.
+    pub rows: Vec<ProfileRow>,
+}
+
+impl CycleProfile {
+    /// Builds the rollup from a document's spans (instants are ignored).
+    pub fn from_doc(doc: &TraceDoc) -> Self {
+        // Collect spans per track, preserving record order.
+        let mut per_track: BTreeMap<&str, Vec<(u64, u64, &str)>> = BTreeMap::new();
+        for event in &doc.events {
+            if let Some(dur) = event.dur {
+                per_track.entry(event.track.as_str()).or_default().push((
+                    event.ts,
+                    dur,
+                    event.name.as_str(),
+                ));
+            }
+        }
+        let mut rows: BTreeMap<&str, ProfileRow> = BTreeMap::new();
+        for spans in per_track.values_mut() {
+            // Sort by start, widest-first on ties, so parents precede the
+            // children they contain.
+            spans.sort_by(|a, b| a.0.cmp(&b.0).then(b.1.cmp(&a.1)));
+            // (end, name) stack of currently-open spans.
+            let mut stack: Vec<(u64, &str)> = Vec::new();
+            for &(ts, dur, name) in spans.iter() {
+                while let Some(&(end, _)) = stack.last() {
+                    if end <= ts {
+                        stack.pop();
+                    } else {
+                        break;
+                    }
+                }
+                if let Some(&(_, parent)) = stack.last() {
+                    if let Some(row) = rows.get_mut(parent) {
+                        row.self_cycles = row.self_cycles.saturating_sub(dur);
+                    }
+                }
+                let row = rows.entry(name).or_insert_with(|| ProfileRow {
+                    name: name.to_string(),
+                    count: 0,
+                    total: 0,
+                    self_cycles: 0,
+                });
+                row.count += 1;
+                row.total += dur;
+                row.self_cycles += dur;
+                stack.push((ts + dur, name));
+            }
+        }
+        let mut rows: Vec<ProfileRow> = rows.into_values().collect();
+        rows.sort_by(|a, b| b.total.cmp(&a.total).then(a.name.cmp(&b.name)));
+        CycleProfile { rows }
+    }
+
+    /// Renders the rollup as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out =
+            String::from("span                              count        total         self\n");
+        for row in &self.rows {
+            out.push_str(&format!(
+                "{:<32} {:>6} {:>12} {:>12}\n",
+                row.name, row.count, row.total, row.self_cycles
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::{TraceConfig, TraceSink};
+
+    #[test]
+    fn self_cycles_subtract_direct_children() {
+        let mut sink = TraceSink::new(TraceConfig::On);
+        // epoch [0, 100) contains two run_slots spans [0, 40) and [40, 90).
+        sink.span("engine", "cell.epoch", 0, 100);
+        sink.span("engine", "engine.run_slots", 0, 40);
+        sink.span("engine", "engine.run_slots", 40, 50);
+        // An unrelated track does not nest into the first.
+        sink.span("other", "other.work", 10, 5);
+        let profile = CycleProfile::from_doc(&TraceDoc::from_sink(&sink));
+        let get = |name: &str| profile.rows.iter().find(|r| r.name == name).unwrap();
+        assert_eq!(get("cell.epoch").total, 100);
+        assert_eq!(get("cell.epoch").self_cycles, 10);
+        assert_eq!(get("engine.run_slots").count, 2);
+        assert_eq!(get("engine.run_slots").total, 90);
+        assert_eq!(get("engine.run_slots").self_cycles, 90);
+        assert_eq!(get("other.work").self_cycles, 5);
+        // Hottest first.
+        assert_eq!(profile.rows[0].name, "cell.epoch");
+    }
+
+    #[test]
+    fn grandchildren_only_subtract_from_their_parent() {
+        let mut sink = TraceSink::new(TraceConfig::On);
+        sink.span("t", "a", 0, 100);
+        sink.span("t", "b", 10, 50);
+        sink.span("t", "c", 20, 10);
+        let profile = CycleProfile::from_doc(&TraceDoc::from_sink(&sink));
+        let get = |name: &str| profile.rows.iter().find(|r| r.name == name).unwrap();
+        assert_eq!(get("a").self_cycles, 50);
+        assert_eq!(get("b").self_cycles, 40);
+        assert_eq!(get("c").self_cycles, 10);
+    }
+
+    #[test]
+    fn render_is_aligned_and_deterministic() {
+        let mut sink = TraceSink::new(TraceConfig::On);
+        sink.span("t", "a", 0, 10);
+        let profile = CycleProfile::from_doc(&TraceDoc::from_sink(&sink));
+        let text = profile.render();
+        assert!(text.starts_with("span"));
+        assert!(text.contains('a'));
+        assert_eq!(text, profile.render());
+    }
+}

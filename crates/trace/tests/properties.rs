@@ -1,0 +1,77 @@
+//! Property tests of the trace text format: render/parse are inverses
+//! over arbitrary event streams, and the Chrome JSON conversion of any
+//! document stays syntactically valid.
+
+use kyoto_trace::{to_chrome_json, validate_json, DocEvent, Histogram, TraceDoc};
+use proptest::prelude::*;
+
+const NAMES: [&str; 8] = [
+    "engine.run_slots",
+    "cell.epoch",
+    "cluster.boundary",
+    "planner.plan",
+    "service.admission",
+    "hv.pick",
+    "engine.cycles",
+    "engine.batch_cycles",
+];
+const TRACKS: [&str; 4] = ["engine", "cell0.engine", "cluster", "service"];
+const ARGS: [&str; 5] = [
+    "",
+    "req=7",
+    "cell=0 vm=3",
+    "kind=place cell=1",
+    "a=1 b=2 c=3",
+];
+
+proptest! {
+    #[test]
+    fn render_parse_round_trips_arbitrary_streams(
+        counters in prop::collection::vec((0usize..8, 0u64..1 << 62), 0..8),
+        hists in prop::collection::vec(
+            (0usize..8, prop::collection::vec(0u64..1_000_000, 0..6)),
+            0..4,
+        ),
+        events in prop::collection::vec(
+            ((0usize..4, 0usize..8), 0u64..1_000_000, prop::option::of(0u64..10_000), 0usize..5),
+            0..32,
+        ),
+    ) {
+        let mut doc = TraceDoc::default();
+        for (name, value) in counters {
+            doc.counters.push((NAMES[name].to_string(), value));
+        }
+        for (name, values) in hists {
+            let mut hist = Histogram::default();
+            for value in values {
+                hist.record(value);
+            }
+            doc.histograms.push((NAMES[name].to_string(), hist));
+        }
+        for ((track, name), ts, dur, arg) in events {
+            doc.events.push(DocEvent {
+                track: TRACKS[track].to_string(),
+                name: NAMES[name].to_string(),
+                ts,
+                dur,
+                arg: ARGS[arg].to_string(),
+            });
+        }
+
+        // parse(render(doc)) == doc ...
+        let text = doc.render();
+        let parsed = TraceDoc::parse(&text).expect("rendered documents parse");
+        prop_assert_eq!(&parsed, &doc);
+        // ... and render(parse(text)) == text (canonical inverse).
+        prop_assert_eq!(parsed.render(), text);
+
+        // Appended comments never change the parse.
+        let mut annotated = text.clone();
+        annotated.push_str("\n# cycle profile\n# engine.run_slots 1 2 3\n");
+        prop_assert_eq!(TraceDoc::parse(&annotated).expect("comments ignored"), doc.clone());
+
+        // The Perfetto export of any document is well-formed JSON.
+        let json = to_chrome_json(&doc);
+        prop_assert!(validate_json(&json).is_ok(), "invalid chrome JSON: {:?}", validate_json(&json));
+    }
+}

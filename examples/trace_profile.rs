@@ -1,0 +1,93 @@
+//! Cycle-domain tracing: capture, profile and export a traced fleet run.
+//!
+//! Builds a two-cell cluster behind a `FleetService` front with the
+//! `kyoto-trace` plane switched on, replays a seeded request trace, and
+//! then works through everything the trace plane offers: the raw text
+//! format v1 (and proof it parses back to the same document), the
+//! `CycleProfile` rollup — count, total and self cycles per span name,
+//! the flamegraph substitute — the live-counter telemetry query, and the
+//! Chrome trace-event export that Perfetto opens directly. Every
+//! timestamp is simulated time (engine cycles, cluster control cursor),
+//! so rerunning this example reproduces the trace byte-for-byte.
+//!
+//! Run with: `cargo run --release --example trace_profile`
+
+use kyoto::cluster::cluster::{Cluster, ClusterConfig};
+use kyoto::cluster::TraceConfig;
+use kyoto::hypervisor::VmConfig;
+use kyoto::service::{FleetService, RequestTrace, RequestTraceConfig, ServiceConfig};
+use kyoto::sim::workload::Workload;
+use kyoto::trace::{to_chrome_json, validate_json, CycleProfile, TraceDoc};
+use kyoto::workloads::spec::{SpecApp, SpecWorkload};
+use kyoto::EXAMPLE_SCALE;
+
+/// Arrival stream: a pure function of the request index, so every rerun
+/// spawns byte-identical VMs.
+fn spawn(index: u64) -> (VmConfig, Box<dyn Workload>) {
+    let mix = [SpecApp::Gcc, SpecApp::Lbm, SpecApp::Mcf, SpecApp::Omnetpp];
+    let app = mix[index as usize % mix.len()];
+    (
+        VmConfig::new(format!("req{index}-{}", app.name())),
+        Box::new(SpecWorkload::new(app, EXAMPLE_SCALE, 0x7ace ^ index)),
+    )
+}
+
+fn main() {
+    // A two-cell fleet with the trace plane on: every cell engine records
+    // batch spans and op/miss counters, the cluster records boundary
+    // phases and migration/fault events, the service records the
+    // request -> admission -> placement chain.
+    let cluster = Cluster::new(
+        ClusterConfig::new(2, EXAMPLE_SCALE)
+            .with_epoch_ticks(3)
+            .with_trace(TraceConfig::On),
+    );
+    let requests = RequestTrace::new(
+        RequestTraceConfig::new(0x7ace, 6)
+            .with_place_rate(1.5)
+            .with_depart_rate(0.5)
+            .with_query_rate(0.5),
+    );
+    let mut service = FleetService::new(cluster, requests, ServiceConfig::default());
+    service.run_to_end(&mut spawn).expect("trace replay");
+
+    // The merged document: cell sinks were drained into the cluster sink
+    // in cell-id order at each epoch boundary, so serial and
+    // cell-parallel runs produce the same bytes.
+    let doc = TraceDoc::from_sink(service.cluster().trace());
+    let text = doc.render();
+    println!(
+        "=== text format v1 (first 14 lines of {}) ===",
+        text.lines().count()
+    );
+    for line in text.lines().take(14) {
+        println!("{line}");
+    }
+    let reparsed = TraceDoc::parse(&text).expect("text format round-trips");
+    assert_eq!(reparsed, doc);
+    println!("\n[parse(render(doc)) == doc: the text format is lossless]");
+
+    // The flamegraph substitute: cycles per span name, callees separated
+    // out (`self`), sorted hottest-first.
+    println!("\n=== cycle profile ===");
+    print!("{}", CycleProfile::from_doc(&doc).render());
+
+    // Telemetry answered straight from the live trace counters.
+    let reply = service.query_telemetry();
+    println!("\n=== live telemetry query ===");
+    println!("{}", reply.render());
+
+    // Perfetto: write this to a .json file (or use
+    // `figures --scenario service --trace-out t.json`) and open it at
+    // https://ui.perfetto.dev — spans land on per-track rows, instants
+    // on the same timeline, all in simulated cycles.
+    let json = to_chrome_json(&doc);
+    validate_json(&json).expect("chrome export is valid JSON");
+    println!(
+        "\n=== chrome trace-event export (first 3 of {} lines) ===",
+        json.lines().count()
+    );
+    for line in json.lines().take(3) {
+        println!("{line}");
+    }
+}

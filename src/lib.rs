@@ -19,6 +19,10 @@
 //!   request traces, SLA-aware admission (admit/queue/reject by projected
 //!   contention) and the versioned per-epoch telemetry stream;
 //! * [`metrics`] — IPC, degradation, Kendall's tau, summary statistics;
+//! * [`trace`] — the deterministic cycle-domain tracing + metrics plane:
+//!   spans/counters/histograms in simulated time, text format v1 and
+//!   Perfetto-loadable Chrome JSON export, and the `CycleProfile`
+//!   flamegraph substitute (`figures --trace-out <path>`);
 //! * [`experiments`] — one module per table/figure of the paper's
 //!   evaluation, plus the beyond-paper `cloudscale`, `fleet` and
 //!   `service` scenarios.
@@ -65,6 +69,7 @@ pub use kyoto_hypervisor as hypervisor;
 pub use kyoto_metrics as metrics;
 pub use kyoto_service as service;
 pub use kyoto_sim as sim;
+pub use kyoto_trace as trace;
 pub use kyoto_workloads as workloads;
 
 /// The scale factor used by the examples: the paper's machine divided by 128
