@@ -10,15 +10,20 @@
 # arrival/departure streams plus a scripted drain/join cycle, in both
 # planner modes — the failures scenario: injected cell crashes,
 # slowdowns and mid-migration aborts, whose fault plan is a pure function
-# of (seed, epoch) — and the service scenario: a request trace replayed
+# of (seed, epoch) — the service scenario: a request trace replayed
 # through the kyoto-service admission controller, whose table embeds the
 # telemetry record stream and a mid-trace checkpoint/restore check that
-# panics on divergence) — and fails on any byte of divergence. A third
+# panics on divergence — and the interactive scenario: sleep-mostly VMs
+# whose Ready/Running/Blocked lifecycle exercises the engine's
+# blocked-slot skip and the seeded wake-event sources under both
+# engines) — and fails on any byte of divergence. A third
 # serial run guards against run-to-run nondeterminism (uninitialised
 # state, map iteration order, ...).
 #
 # The cycle-domain trace plane is held to the same bar: a second pass runs
-# a traced target set (fig9, fleet, service) with `--trace-out`, byte-
+# a traced target set (fig9, fleet, service, interactive — the last one
+# covering vm.block/vm.wake instants and blocked-cycle counters) with
+# `--trace-out`, byte-
 # comparing the trace files across serial, `--parallel-engine` and a serial
 # rerun — trace timestamps are simulated cycles, so any drift is a real
 # determinism bug, not clock noise. One extra run exports Chrome JSON and
@@ -37,7 +42,7 @@ set -euo pipefail
 
 bin="${FIGURES_BIN:-target/release/figures}"
 out="${DETERMINISM_OUT:-target/determinism}"
-targets=(fig1 fig9 cloudscale fleet churn failures service)
+targets=(fig1 fig9 cloudscale fleet churn failures service interactive)
 
 if [ ! -x "$bin" ]; then
     cargo build --release -p kyoto-bench --bin figures
@@ -58,7 +63,7 @@ if ! diff -u "$out/serial.txt" "$out/serial-rerun.txt"; then
     exit 1
 fi
 
-trace_targets=(fig9 fleet service)
+trace_targets=(fig9 fleet service interactive)
 echo "Trace determinism gate over: ${trace_targets[*]} (quick fidelity)"
 "$bin" --quick --no-timing "${trace_targets[@]}" --trace-out "$out/trace-serial.txt" > /dev/null
 "$bin" --quick --no-timing --parallel-engine "${trace_targets[@]}" --trace-out "$out/trace-parallel-engine.txt" > /dev/null

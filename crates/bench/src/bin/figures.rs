@@ -50,13 +50,13 @@ use kyoto_experiments::failures::{self, FailureSweep};
 use kyoto_experiments::fleet::{self, FleetSweep};
 use kyoto_experiments::service::{self, ServiceSweep};
 use kyoto_experiments::{
-    fig1, fig10, fig11, fig12, fig2, fig3, fig4, fig5, fig6, fig8, fig9, tables,
+    fig1, fig10, fig11, fig12, fig2, fig3, fig4, fig5, fig6, fig8, fig9, interactive, tables,
 };
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-const ALL_TARGETS: [&str; 18] = [
+const ALL_TARGETS: [&str; 19] = [
     "table1",
     "table2",
     "fig1",
@@ -75,6 +75,7 @@ const ALL_TARGETS: [&str; 18] = [
     "churn",
     "failures",
     "service",
+    "interactive",
 ];
 
 fn render_target(
@@ -158,6 +159,12 @@ fn render_target(
                 ServiceSweep::standard()
             };
             service::run_with_sweep_jobs(config, &sweep, jobs).to_table()
+        }
+        "interactive" => {
+            // Sleep-mostly latency-sensitive VMs (Ready/Running/Blocked
+            // lifecycle, timer wakes) consolidated with batch polluters
+            // under KS4Xen — the CI determinism gate's interactive target.
+            interactive::run(config).to_table()
         }
         _ => return None,
     })

@@ -228,6 +228,37 @@ fn numa_engine_rate(slots: usize, scale: u64, parallel: bool) -> f64 {
     })
 }
 
+/// Throughput of the serial path on the two-socket NUMA machine with eight
+/// gcc-like slots (same core mapping as [`numa_engine_rate`]), with either
+/// every slot runnable or every other slot marked [`ExecSlot::blocked`].
+/// Blocked slots are skipped without charging cycles, so the rate — in
+/// nominal cycles over the full slot set, blocked or not — should rise
+/// well past the all-runnable row; `ci/check_bench.sh` gates the ratio
+/// (`blocked_skip_benefit`) so the skip path never silently degrades into
+/// "walk the slot anyway and discard the work".
+fn blocked_engine_rate(scale: u64, half_blocked: bool) -> f64 {
+    const BUDGET: u64 = 100_000;
+    const SLOTS: usize = 8;
+    let machine = Machine::new(MachineConfig::scaled_paper_numa_machine(scale));
+    let cores_per_socket = machine.config().cores_per_socket;
+    let mut engine = SimEngine::new(machine);
+    let mut workloads: Vec<SpecWorkload> = (0..SLOTS)
+        .map(|i| SpecWorkload::new(SpecApp::Gcc, scale, i as u64))
+        .collect();
+    best_rate((BUDGET * SLOTS as u64) as f64, || {
+        let mut slot_refs: Vec<ExecSlot<'_>> = workloads
+            .iter_mut()
+            .enumerate()
+            .map(|(i, w)| {
+                let core = (i % 2) * cores_per_socket + i / 2;
+                ExecSlot::new(CoreId(core), i as u16 + 1, w)
+                    .with_blocked(half_blocked && i % 2 == 1)
+            })
+            .collect();
+        black_box(engine.run_slots(&mut slot_refs, BUDGET));
+    })
+}
+
 /// Throughput of the serial or socket-parallel path on an N-socket cloud
 /// machine with two gcc-like slots per socket (slot `i` runs on core
 /// `(i % sockets) * cores_per_socket + i / sockets`, so every socket hosts
@@ -424,6 +455,25 @@ fn main() {
             value: on / 1e6,
         });
         (off / untraced_4slots, off / on)
+    };
+
+    // Blocked-slot skip benefit: eight slots with half of them parked must
+    // finish the same nominal cycle budget measurably faster than the
+    // all-runnable run, because the engine never walks a blocked slot.
+    let blocked_skip_benefit = {
+        let all_runnable = blocked_engine_rate(config.scale, false);
+        let half_blocked = blocked_engine_rate(config.scale, true);
+        samples.push(Sample {
+            name: "run_slots_all_runnable_8slots",
+            unit: "Msimcycles/s",
+            value: all_runnable / 1e6,
+        });
+        samples.push(Sample {
+            name: "run_slots_half_blocked_8slots",
+            unit: "Msimcycles/s",
+            value: half_blocked / 1e6,
+        });
+        half_blocked / all_runnable
     };
 
     // Socket-parallel engine on the two-socket machine: slots split evenly
@@ -638,6 +688,12 @@ fn main() {
     json.push_str("  \"trace_overhead\": {\n");
     let _ = writeln!(json, "    \"off_vs_untraced\": {trace_off_vs_untraced:.2},");
     let _ = writeln!(json, "    \"off_vs_on\": {trace_off_vs_on:.2}");
+    json.push_str("  },\n");
+    json.push_str("  \"blocked_skip_benefit\": {\n");
+    let _ = writeln!(
+        json,
+        "    \"half_blocked_vs_all_runnable\": {blocked_skip_benefit:.2}"
+    );
     json.push_str("  },\n");
     json.push_str("  \"fleet_churn_parallel_vs_serial\": {\n");
     for (i, (cells, speedup)) in churn_speedups.iter().enumerate() {

@@ -57,6 +57,7 @@ use crate::snapshot::{CellId, CellSnapshot, ClusterSnapshot, FleetVmId, VmSnapsh
 use kyoto_core::ks4::{ks4xen_hypervisor, Ks4Xen};
 use kyoto_core::monitor::MonitoringStrategy;
 use kyoto_hypervisor::hypervisor::{Hypervisor, HypervisorConfig, TakenVm};
+use kyoto_hypervisor::lifecycle::VcpuState;
 use kyoto_hypervisor::vm::{VcpuId, VmConfig, VmId, VmReport};
 use kyoto_sim::pmc::PmcSet;
 use kyoto_sim::topology::{CoreId, Machine, MachineConfig, SocketId};
@@ -310,6 +311,7 @@ struct Totals {
     ticks_scheduled: u64,
     ticks_elapsed: u64,
     punishments: u64,
+    ticks_blocked: u64,
 }
 
 impl Totals {
@@ -320,6 +322,7 @@ impl Totals {
             ticks_scheduled: report.ticks_scheduled,
             ticks_elapsed: report.ticks_elapsed,
             punishments: report.punishments,
+            ticks_blocked: report.ticks_blocked,
         }
     }
 
@@ -329,6 +332,7 @@ impl Totals {
         self.ticks_scheduled += other.ticks_scheduled;
         self.ticks_elapsed += other.ticks_elapsed;
         self.punishments += other.punishments;
+        self.ticks_blocked += other.ticks_blocked;
         self
     }
 
@@ -339,6 +343,7 @@ impl Totals {
             ticks_scheduled: self.ticks_scheduled.saturating_sub(earlier.ticks_scheduled),
             ticks_elapsed: self.ticks_elapsed.saturating_sub(earlier.ticks_elapsed),
             punishments: self.punishments.saturating_sub(earlier.punishments),
+            ticks_blocked: self.ticks_blocked.saturating_sub(earlier.ticks_blocked),
         }
     }
 }
@@ -478,6 +483,9 @@ pub struct FleetVmReport {
     /// Warm cache lines the VM's migrations dropped at their source cells —
     /// the footprint it had to re-fetch cold on arrival.
     pub flushed_lines: u64,
+    /// Ticks the VM spent Blocked (WFI) across all cells — no cycles are
+    /// charged for these, whatever cell the VM slept on.
+    pub ticks_blocked: u64,
 }
 
 impl FleetVmReport {
@@ -1350,6 +1358,11 @@ impl Cluster {
                     .sum()
             })
             .unwrap_or(0);
+        let blocked_fraction = if delta.ticks_elapsed == 0 {
+            0.0
+        } else {
+            delta.ticks_blocked as f64 / delta.ticks_elapsed as f64
+        };
         VmSnapshot {
             vm: vm.id,
             name: vm.name.clone(),
@@ -1360,6 +1373,7 @@ impl Cluster {
             ipc: delta.pmcs.ipc(),
             working_set_bytes: vm.working_set_bytes,
             resident_lines,
+            blocked_fraction,
         }
     }
 
@@ -1952,7 +1966,27 @@ impl Cluster {
             punishments: total.punishments,
             migrations: vm.migrations,
             flushed_lines: vm.flushed_lines,
+            ticks_blocked: total.ticks_blocked,
         })
+    }
+
+    /// The lifecycle state of a fleet VM's vCPU 0 on its current cell, or
+    /// `None` while the VM is in flight between cells or crash-orphaned.
+    /// Between epochs this is always `Ready` or `Blocked`, and a Blocked
+    /// VM stays Blocked across migrations until its wake source fires.
+    pub fn vcpu_state(&self, fleet: FleetVmId) -> Option<VcpuState> {
+        let vm = self.vms.iter().find(|vm| vm.id == fleet)?;
+        let local = vm.local?;
+        self.cells[vm.cell.0].hv.vcpu_state(VcpuId::new(local, 0))
+    }
+
+    /// The wake-event clock of a fleet VM on its current cell (`None`
+    /// while in flight or orphaned). The clock travels with the VM, so
+    /// pending timer wakes stay scheduled across migrations and crashes.
+    pub fn wake_clock(&self, fleet: FleetVmId) -> Option<u64> {
+        let vm = self.vms.iter().find(|vm| vm.id == fleet)?;
+        let local = vm.local?;
+        self.cells[vm.cell.0].hv.wake_clock(local)
     }
 
     /// Fleet-wide reports of every VM, in fleet-id order.

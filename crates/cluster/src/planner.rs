@@ -900,6 +900,7 @@ mod tests {
             ipc: 1.0,
             working_set_bytes: 64 * 1024,
             resident_lines: 256,
+            blocked_fraction: 0.0,
         }
     }
 

@@ -57,6 +57,10 @@ pub struct VmSnapshot {
     /// therefore the cold-cache refill bill the cost-aware planner charges a
     /// candidate move.
     pub resident_lines: u64,
+    /// Fraction of the epoch's vCPU-ticks the VM spent Blocked (WFI-style
+    /// sleep). `0.0` for always-runnable VMs; close to `1.0` for
+    /// sleep-mostly interactive VMs.
+    pub blocked_fraction: f64,
 }
 
 /// One cell at an epoch boundary: capacity plus the VMs it hosts.
@@ -146,6 +150,7 @@ mod tests {
             ipc: 1.0,
             working_set_bytes: 4096,
             resident_lines: 64,
+            blocked_fraction: 0.0,
         }
     }
 

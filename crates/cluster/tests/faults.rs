@@ -543,3 +543,74 @@ fn unknown_cells_surface_typed_errors() {
         .unwrap_err();
     assert!(err.to_string().contains("unknown cell"));
 }
+
+/// A crash preserves the vCPU lifecycle through the orphan retry queue: a
+/// service that parked after its first burst is orphaned mid-sleep, waits
+/// out the retry backoff, is re-admitted still Blocked with its wake clock
+/// intact, and its pending timer fires on the recovery cell at exactly the
+/// resident tick the clock reaches the scripted wake — never earlier.
+#[test]
+fn a_blocked_vm_rides_through_a_crash_and_its_pending_wake_still_fires() {
+    use kyoto_cluster::snapshot::FleetVmId;
+    use kyoto_hypervisor::lifecycle::{VcpuState, WakeSource};
+    use kyoto_workloads::interactive::Interactive;
+    let mut cluster = Cluster::new(ClusterConfig::new(2, SCALE).with_epoch_ticks(4));
+    cluster
+        .add_vm(
+            CellId(0),
+            VmConfig::new("sleeper").with_wake_source(WakeSource::new(3).with_timer(10)),
+            Box::new(Interactive::new(
+                SpecWorkload::new(SpecApp::Gcc, SCALE, 3),
+                48,
+            )),
+        )
+        .unwrap();
+    cluster
+        .add_vm(CellId(1), VmConfig::new("batch"), workload(0xbb))
+        .unwrap();
+    let sleeper = FleetVmId(1);
+    cluster.install_faults(FaultPlan::new(
+        FaultPlanConfig::new(0)
+            .with_down_epochs(2)
+            .with_scripted(1, FaultEvent::CellCrash { pick: 0 }),
+    ));
+
+    // Epoch 0: the first burst runs one tick, then the vCPU parks.
+    cluster.run_epoch().unwrap();
+    assert_eq!(cluster.vcpu_state(sleeper), Some(VcpuState::Blocked));
+    assert_eq!(cluster.wake_clock(sleeper), Some(4));
+
+    // Epoch 1: cell 0 crashes at the boundary before its ticks run — the
+    // sleeper is orphaned mid-sleep with wake clock 4.
+    cluster.run_epoch().unwrap();
+    assert_eq!(cluster.orphan_count(), 1);
+    assert_eq!(cluster.vcpu_state(sleeper), None, "orphans are resident nowhere");
+    assert_eq!(cluster.wake_clock(sleeper), None);
+
+    // Epoch 2: the retry is due; the sleeper lands on cell 1 *still
+    // Blocked* after the admission blackout and sleeps through the rest of
+    // the epoch (clock 4 -> 7). Re-admission must not fake a wake.
+    cluster.run_epoch().unwrap();
+    assert_eq!(cluster.total_faults().readmitted, 1);
+    assert_eq!(cluster.vcpu_state(sleeper), Some(VcpuState::Blocked));
+    assert_eq!(cluster.wake_clock(sleeper), Some(7));
+    assert_eq!(
+        cluster.report(sleeper).unwrap().ticks_scheduled,
+        1,
+        "only the pre-crash burst has ever run"
+    );
+
+    // Epoch 3: the clock sweeps 7..=10, so the scripted timer fires on the
+    // recovery cell's fourth resident tick: one more scheduled tick, then
+    // the drained burst parks the vCPU again.
+    cluster.run_epoch().unwrap();
+    let report = cluster.report(sleeper).unwrap();
+    assert_eq!(report.ticks_scheduled, 2, "the pending wake fired after recovery");
+    assert_eq!(cluster.wake_clock(sleeper), Some(11));
+    assert_eq!(cluster.vcpu_state(sleeper), Some(VcpuState::Blocked));
+    assert_eq!(
+        report.ticks_blocked, 9,
+        "3 blocked ticks before the crash, 3 after re-admission, 3 before the wake"
+    );
+    cluster.verify_conservation().unwrap();
+}

@@ -62,6 +62,7 @@ fn snapshot_with_drains(
             ipc: 1.0,
             working_set_bytes: 64 * 1024,
             resident_lines: (pollution_rate * 2.0) as u64 + i as u64 * 16,
+            blocked_fraction: 0.0,
         });
     }
     ClusterSnapshot {
@@ -638,4 +639,134 @@ fn restored_cluster_trace_resumes_bit_identically() {
         TraceDoc::from_sink(resumed.trace()).render()
     );
     assert_eq!(straight.all_reports(), resumed.all_reports());
+}
+
+/// Builds the lifecycle fixture: one sleep-mostly service (interactive
+/// burst, wake timer scripted at `wake_at`) plus one batch VM on cell 0
+/// and one batch VM on every other cell. The planner only ever moves VMs
+/// for drains (the pollution threshold is unreachable), so migrations in
+/// these tests are exactly the ones the test scripts.
+fn lifecycle_cluster(cells: usize, epoch_ticks: u64, wake_at: u64, seed: u64) -> Cluster {
+    use kyoto_hypervisor::lifecycle::WakeSource;
+    use kyoto_workloads::interactive::Interactive;
+    let mut cluster = Cluster::new(
+        ClusterConfig::new(cells, 256)
+            .with_epoch_ticks(epoch_ticks)
+            .with_policy(ConsolidationPolicy::PollutionAware)
+            .with_planner(
+                PlannerConfig::default()
+                    .with_max_moves(4)
+                    .with_polluter_threshold(1e12),
+            ),
+    );
+    cluster
+        .add_vm(
+            CellId(0),
+            VmConfig::new("sleeper").with_wake_source(WakeSource::new(seed).with_timer(wake_at)),
+            Box::new(Interactive::new(
+                SpecWorkload::new(SpecApp::Gcc, 256, seed),
+                48,
+            )),
+        )
+        .unwrap();
+    for cell in 0..cells {
+        cluster
+            .add_vm(
+                CellId(cell),
+                VmConfig::new(format!("batch{cell}")),
+                Box::new(SpecWorkload::new(SpecApp::Lbm, 256, seed + 1 + cell as u64)),
+            )
+            .unwrap();
+    }
+    cluster
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Live migration preserves the vCPU lifecycle exactly: a service that
+    /// blocked after its first burst (its wake timer never fires) stays
+    /// Blocked through an arbitrary drain-driven migration — it is never
+    /// spuriously scheduled, accrues no further cycles, and only its
+    /// blocked-tick counter grows — while batch VMs never block at all.
+    #[test]
+    fn migration_never_disturbs_a_blocked_vm(
+        cells in 2usize..4,
+        epoch_ticks in 2u64..6,
+        drain_epoch in 0u64..3,
+        seed in 0u64..1000,
+    ) {
+        use kyoto_hypervisor::lifecycle::VcpuState;
+        let mut cluster = lifecycle_cluster(cells, epoch_ticks, u64::MAX, seed);
+        let sleeper = FleetVmId(1);
+        let mut last_blocked = 0u64;
+        for epoch in 0..6u64 {
+            if epoch == drain_epoch {
+                cluster.set_draining(CellId(0), true).unwrap();
+            }
+            cluster.run_epoch().unwrap();
+            let report = cluster.report(sleeper).unwrap();
+            prop_assert_eq!(
+                report.ticks_scheduled, 1,
+                "a blocked service must never run again (epoch {})", epoch
+            );
+            let state = cluster.vcpu_state(sleeper);
+            prop_assert!(
+                state.is_none() || state == Some(VcpuState::Blocked),
+                "between epochs a sleeper is Blocked or in flight, got {:?}",
+                state
+            );
+            prop_assert!(report.ticks_blocked >= last_blocked, "blocked time is monotone");
+            last_blocked = report.ticks_blocked;
+            for batch in cluster.reports() {
+                if batch.vm != sleeper {
+                    prop_assert_eq!(batch.ticks_blocked, 0, "batch VMs never block");
+                }
+            }
+        }
+        let report = cluster.report(sleeper).unwrap();
+        prop_assert!(report.migrations >= 1, "the drain must have evacuated the sleeper");
+        prop_assert!(report.ticks_blocked > 0);
+        cluster.verify_conservation().unwrap();
+    }
+}
+
+/// A pending timer wake travels with the VM: the sleeper blocks on cell 0,
+/// is evacuated by a drain while asleep, and its timer — scripted at
+/// wake-clock 10 — fires on the destination cell at exactly the resident
+/// tick the clock reaches 10, not an epoch earlier or later.
+#[test]
+fn a_pending_wake_survives_migration_and_fires_on_the_destination() {
+    use kyoto_hypervisor::lifecycle::VcpuState;
+    let mut cluster = lifecycle_cluster(2, 4, 10, 7);
+    let sleeper = FleetVmId(1);
+
+    // Epoch 0: the first burst runs one tick, then the vCPU parks.
+    cluster.run_epoch().unwrap();
+    assert_eq!(cluster.vcpu_state(sleeper), Some(VcpuState::Blocked));
+    assert_eq!(cluster.wake_clock(sleeper), Some(4));
+    assert_eq!(cluster.report(sleeper).unwrap().ticks_scheduled, 1);
+
+    // Epoch 1 runs with cell 0 draining: at its boundary the sleeper is
+    // taken mid-sleep (wake clock 8) and goes in flight.
+    cluster.set_draining(CellId(0), true).unwrap();
+    cluster.run_epoch().unwrap();
+    assert_eq!(cluster.vcpu_state(sleeper), None, "in flight between cells");
+    assert_eq!(cluster.report(sleeper).unwrap().migrations, 1);
+    assert_eq!(cluster.report(sleeper).unwrap().ticks_scheduled, 1);
+
+    // Epoch 2: one blackout tick, then the sleeper lands on cell 1 still
+    // Blocked. Its clock resumes at 8, so the timer fires on this cell's
+    // third resident tick (clock 10): exactly one more scheduled tick,
+    // after which the drained burst parks the vCPU again.
+    cluster.run_epoch().unwrap();
+    let report = cluster.report(sleeper).unwrap();
+    assert_eq!(report.ticks_scheduled, 2, "the pending wake fired on arrival's cell");
+    assert_eq!(cluster.wake_clock(sleeper), Some(11));
+    assert_eq!(cluster.vcpu_state(sleeper), Some(VcpuState::Blocked));
+    assert_eq!(
+        report.ticks_blocked, 9,
+        "3 blocked ticks on cell 0's first epoch, 4 on its second, 2 on cell 1"
+    );
+    cluster.verify_conservation().unwrap();
 }

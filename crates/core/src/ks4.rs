@@ -26,7 +26,7 @@ use kyoto_hypervisor::scheduler::{ExecOverrides, Priority, Scheduler, TickReport
 use kyoto_hypervisor::vm::{VcpuId, VmConfig, VmId};
 use kyoto_sim::topology::{CoreId, Machine, MachineConfig};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Static configuration of a Kyoto scheduler.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -78,6 +78,11 @@ pub struct KyotoScheduler<S> {
     estimates: BTreeMap<VcpuId, f64>,
     sampler: Option<DedicationSampler>,
     vcpus: Vec<VcpuId>,
+    /// vCPUs currently Blocked (WFI). Their quota accounting stands
+    /// completely still — no debits (they never run) and no slice
+    /// earnings: a VM cannot bank pollution budget, or serve out a
+    /// punishment, by sleeping.
+    blocked: BTreeSet<VcpuId>,
 }
 
 /// KS4Xen: the Kyoto extension of the Xen credit scheduler.
@@ -103,6 +108,7 @@ impl<S> KyotoScheduler<S> {
             estimates: BTreeMap::new(),
             sampler,
             vcpus: Vec::new(),
+            blocked: BTreeSet::new(),
         }
     }
 
@@ -226,6 +232,7 @@ impl<S: Scheduler> Scheduler for KyotoScheduler<S> {
         self.vcpus.retain(|&v| v != vcpu);
         self.quotas.remove(&vcpu);
         self.estimates.remove(&vcpu);
+        self.blocked.remove(&vcpu);
         if let Some(sampler) = self.sampler.as_mut() {
             sampler.unregister(vcpu);
         }
@@ -255,6 +262,22 @@ impl<S: Scheduler> Scheduler for KyotoScheduler<S> {
         self.inner.pick_next(core, &filtered)
     }
 
+    fn set_runnable(&mut self, vcpu: VcpuId, runnable: bool) {
+        // Blocked vCPUs leave the sampling rotation for as long as they
+        // sleep: dedicating the socket to a parked vCPU would measure an
+        // empty window, and the abort path frees a window already open.
+        // Their quota accounting freezes with them (see `on_tick`).
+        if runnable {
+            self.blocked.remove(&vcpu);
+        } else {
+            self.blocked.insert(vcpu);
+        }
+        if let Some(sampler) = self.sampler.as_mut() {
+            sampler.set_blocked(vcpu, !runnable);
+        }
+        self.inner.set_runnable(vcpu, runnable);
+    }
+
     fn account(&mut self, vcpu: VcpuId, report: &TickReport) {
         let (attributed_misses, new_estimate) = self.attribute(vcpu, report);
         if let Some(estimate) = new_estimate {
@@ -276,8 +299,13 @@ impl<S: Scheduler> Scheduler for KyotoScheduler<S> {
         }
         if (tick + 1).is_multiple_of(u64::from(self.config.ticks_per_slice)) {
             let slice_ms = self.config.slice_ms();
-            for quota in self.quotas.values_mut() {
-                quota.earn(slice_ms);
+            for (vcpu, quota) in self.quotas.iter_mut() {
+                // A Blocked vCPU's quota stands still: no earnings accrue
+                // while it sleeps, so a punished VM cannot serve out its
+                // punishment — nor bank fresh budget — by blocking.
+                if !self.blocked.contains(vcpu) {
+                    quota.earn(slice_ms);
+                }
             }
         }
     }

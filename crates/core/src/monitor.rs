@@ -22,7 +22,7 @@
 
 use kyoto_hypervisor::vm::VcpuId;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Configuration of the socket-dedication monitor.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -106,6 +106,10 @@ enum Phase {
 pub struct DedicationSampler {
     config: SocketDedicationConfig,
     rotation: Vec<VcpuId>,
+    /// vCPUs currently Blocked (WFI): they execute nothing, so dedicating
+    /// the socket to one would measure an empty window. They stay in the
+    /// rotation and are sampled again once they wake.
+    blocked: BTreeSet<VcpuId>,
     next_index: usize,
     phase: Phase,
     samples_taken: u64,
@@ -118,6 +122,7 @@ impl DedicationSampler {
         DedicationSampler {
             config,
             rotation: Vec::new(),
+            blocked: BTreeSet::new(),
             next_index: 0,
             phase: Phase::Idle {
                 remaining: config.interval_ticks,
@@ -137,6 +142,7 @@ impl DedicationSampler {
     /// Removes a vCPU from the rotation.
     pub fn unregister(&mut self, vcpu: VcpuId) {
         self.rotation.retain(|&v| v != vcpu);
+        self.blocked.remove(&vcpu);
         if let Phase::Sampling { target, .. } = self.phase {
             if target == vcpu {
                 self.phase = Phase::Idle {
@@ -144,6 +150,29 @@ impl DedicationSampler {
                 };
             }
         }
+    }
+
+    /// Marks a vCPU Blocked (parked on a WFI) or runnable again. Blocked
+    /// vCPUs are passed over when a sampling window opens, and a target
+    /// that blocks *mid-window* aborts its window on the spot — the socket
+    /// would otherwise stay dedicated to a vCPU that executes nothing. The
+    /// aborted window counts neither as taken nor as heuristically skipped.
+    pub fn set_blocked(&mut self, vcpu: VcpuId, blocked: bool) {
+        if blocked {
+            self.blocked.insert(vcpu);
+            if self.sampling_target() == Some(vcpu) {
+                self.phase = Phase::Idle {
+                    remaining: self.config.interval_ticks,
+                };
+            }
+        } else {
+            self.blocked.remove(&vcpu);
+        }
+    }
+
+    /// Whether a vCPU is currently marked Blocked.
+    pub fn is_blocked(&self, vcpu: VcpuId) -> bool {
+        self.blocked.contains(&vcpu)
     }
 
     /// The vCPU currently being sampled, if any.
@@ -210,10 +239,17 @@ impl DedicationSampler {
             return;
         }
         // Try each vCPU in rotation order until one needs isolation.
+        // Blocked vCPUs are passed over outright — they execute nothing,
+        // so a window dedicated to one would measure an empty socket.
+        let mut heuristic_skip = false;
         for _ in 0..self.rotation.len() {
             let target = self.rotation[self.next_index % self.rotation.len()];
             self.next_index = (self.next_index + 1) % self.rotation.len();
+            if self.blocked.contains(&target) {
+                continue;
+            }
             if self.should_skip(target, estimates) {
+                heuristic_skip = true;
                 continue;
             }
             self.phase = Phase::Sampling {
@@ -222,11 +258,13 @@ impl DedicationSampler {
             };
             return;
         }
-        // Every candidate was skipped: the whole window is saved. Count the
-        // skipped *window* once (not once per candidate — see
-        // [`DedicationSampler::samples_skipped`]) and stay idle for another
-        // interval.
-        self.samples_skipped += 1;
+        // Every candidate was passed over. The window counts as a heuristic
+        // saving only when a heuristic did the skipping (once per window,
+        // not per candidate — see [`DedicationSampler::samples_skipped`]);
+        // a rotation that is merely asleep saves nothing worth reporting.
+        if heuristic_skip {
+            self.samples_skipped += 1;
+        }
         self.phase = Phase::Idle {
             remaining: self.config.interval_ticks,
         };
@@ -425,6 +463,71 @@ mod tests {
         let target = s.sampling_target().unwrap();
         s.unregister(target);
         assert_eq!(s.sampling_target(), None);
+    }
+
+    #[test]
+    fn blocked_vcpus_are_passed_over_when_a_window_opens() {
+        let config = SocketDedicationConfig {
+            sampling_ticks: 2,
+            interval_ticks: 3,
+            ..SocketDedicationConfig::default()
+        };
+        let mut s = sampler(config);
+        let estimates = BTreeMap::new();
+        s.set_blocked(vcpu(1), true);
+        assert!(s.is_blocked(vcpu(1)));
+        // Three windows in a row: each must target the runnable vCPU 2.
+        for _ in 0..3 {
+            tick_n(&mut s, 3, &estimates);
+            assert_eq!(s.sampling_target(), Some(vcpu(2)));
+            tick_n(&mut s, 2, &estimates);
+        }
+        // Waking vCPU 1 puts it straight back into the rotation.
+        s.set_blocked(vcpu(1), false);
+        tick_n(&mut s, 3, &estimates);
+        assert_eq!(s.sampling_target(), Some(vcpu(1)));
+    }
+
+    #[test]
+    fn a_target_blocking_mid_window_aborts_the_window() {
+        let config = SocketDedicationConfig {
+            sampling_ticks: 5,
+            interval_ticks: 1,
+            ..SocketDedicationConfig::default()
+        };
+        let mut s = sampler(config);
+        let estimates = BTreeMap::new();
+        tick_n(&mut s, 1, &estimates);
+        let target = s.sampling_target().unwrap();
+        s.set_blocked(target, true);
+        assert_eq!(
+            s.sampling_target(),
+            None,
+            "the socket must not stay dedicated to a sleeping vCPU"
+        );
+        assert_eq!(s.samples_taken(), 0, "an aborted window is not a sample");
+        assert_eq!(s.samples_skipped(), 0, "nor a heuristic saving");
+    }
+
+    #[test]
+    fn an_all_blocked_rotation_opens_no_window_and_claims_no_savings() {
+        let config = SocketDedicationConfig {
+            sampling_ticks: 2,
+            interval_ticks: 3,
+            ..SocketDedicationConfig::default()
+        };
+        let mut s = sampler(config);
+        let estimates = BTreeMap::new();
+        s.set_blocked(vcpu(1), true);
+        s.set_blocked(vcpu(2), true);
+        tick_n(&mut s, 20, &estimates);
+        assert_eq!(s.sampling_target(), None);
+        assert_eq!(s.samples_taken(), 0);
+        assert_eq!(
+            s.samples_skipped(),
+            0,
+            "sleeping vCPUs are not a Fig. 10 heuristic saving"
+        );
     }
 
     #[test]

@@ -62,6 +62,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod fleet;
 pub mod harness;
+pub mod interactive;
 pub mod service;
 pub mod tables;
 pub mod trace;

@@ -47,6 +47,7 @@ pub fn capture_kind(target: &str) -> Option<&'static str> {
         "churn" => Some("churn"),
         "failures" => Some("failures"),
         "service" => Some("service"),
+        "interactive" => Some("interactive"),
         _ => None,
     }
 }
@@ -57,6 +58,7 @@ pub fn capture(target: &str, config: &ExperimentConfig) -> Option<TraceSink> {
     Some(match capture_kind(target)? {
         "engine" => engine_capture(config),
         "service" => service_capture(config),
+        "interactive" => interactive_capture(config),
         kind => cluster_capture(kind, config),
     })
 }
@@ -181,6 +183,42 @@ fn cluster_capture(kind: &str, config: &ExperimentConfig) -> TraceSink {
     cluster.trace().clone()
 }
 
+/// A traced run of the interactive scenario's VM mix: sleep-mostly
+/// services block (WFI) and wake on their timers next to batch polluters,
+/// leaving `vm.block`/`vm.wake` instants and per-VM blocked-cycles
+/// counters on the `hv` track alongside the usual engine spans.
+fn interactive_capture(config: &ExperimentConfig) -> TraceSink {
+    use crate::interactive::WAKE_PERIOD_TICKS;
+    use kyoto_hypervisor::lifecycle::WakeSource;
+    use kyoto_workloads::interactive::Interactive;
+    use kyoto_workloads::spec::SpecWorkload;
+    let mut hv = ks4xen_hypervisor(
+        config.machine(),
+        config.hypervisor_config(),
+        MonitoringStrategy::DirectPmc,
+    );
+    hv.engine_mut().trace_mut().enable();
+    for (i, app) in APPS.iter().enumerate() {
+        let mut vm = VmConfig::new(format!("trace-{}", app.name()));
+        let seed = 0xb10c + i as u64;
+        let workload: Box<dyn Workload> = if i % 2 == 0 {
+            vm = vm.with_wake_source(
+                WakeSource::new(config.seed.wrapping_add(seed))
+                    .with_timer_period(WAKE_PERIOD_TICKS),
+            );
+            Box::new(Interactive::new(
+                SpecWorkload::new(*app, config.scale, seed),
+                48,
+            ))
+        } else {
+            Box::new(SpecWorkload::new(*app, config.scale, seed))
+        };
+        hv.add_vm_with(vm, workload).expect("valid VM");
+    }
+    hv.run_ticks(config.total_ticks());
+    hv.engine().trace().clone()
+}
+
 /// A traced control-plane replay: placements, queries and departures
 /// through the SLA-aware admission front, leaving request → admission →
 /// placement chains on the `service` track.
@@ -227,7 +265,7 @@ mod tests {
 
     #[test]
     fn every_known_target_has_a_kind_and_unknowns_do_not() {
-        for target in ["fig1", "fig12", "table1", "fleet", "service"] {
+        for target in ["fig1", "fig12", "table1", "fleet", "service", "interactive"] {
             assert!(capture_kind(target).is_some(), "{target}");
         }
         assert_eq!(capture_kind("fig7"), None);
@@ -246,6 +284,18 @@ mod tests {
             TraceDoc::parse(&text).unwrap(),
             a,
             "profile comments must not affect the parse"
+        );
+    }
+
+    #[test]
+    fn the_interactive_capture_records_block_and_wake_instants() {
+        let doc = TraceDoc::from_sink(&capture("interactive", &tiny()).unwrap());
+        let names: Vec<&str> = doc.events.iter().map(|e| e.name.as_str()).collect();
+        assert!(names.contains(&"vm.block"), "services must park (WFI)");
+        assert!(names.contains(&"vm.wake"), "timer wakes must be recorded");
+        assert!(
+            doc.counters.iter().any(|(name, value)| name.contains("blocked_cycles") && *value > 0),
+            "blocked-cycles counters must be exported"
         );
     }
 

@@ -6,6 +6,7 @@
 //! contention physically happens), then feeds the per-vCPU execution reports
 //! back into the scheduler for accounting.
 
+use crate::lifecycle::VcpuState;
 use crate::scheduler::{Scheduler, TickReport};
 use crate::vm::{VcpuId, VmConfig, VmId, VmReport};
 use kyoto_sim::engine::{ExecSlot, SimEngine};
@@ -130,6 +131,15 @@ pub struct TakenVm {
     /// Cache lines (all levels) the extraction invalidated at the source —
     /// the warm state the VM must rebuild wherever it lands.
     pub flushed_lines: u64,
+    /// Per-vCPU lifecycle states at extraction time. Extraction happens
+    /// between ticks, so each entry is Ready or Blocked — a Blocked vCPU
+    /// stays Blocked across the migration and only wakes when the VM's wake
+    /// source fires at the destination.
+    pub vcpu_states: Vec<VcpuState>,
+    /// The VM-local wake clock at extraction time. Unlike the report
+    /// counters (which restart per residency), the wake clock travels with
+    /// the VM so its wake-event stream continues bit-identically.
+    pub wake_clock: u64,
 }
 
 impl TakenVm {
@@ -148,6 +158,8 @@ impl TakenVm {
             workloads,
             report: self.report.clone(),
             flushed_lines: self.flushed_lines,
+            vcpu_states: self.vcpu_states.clone(),
+            wake_clock: self.wake_clock,
         })
     }
 }
@@ -173,6 +185,9 @@ struct VcpuRuntime {
     pmcs: PmcSet,
     cycles_run: u64,
     ticks_scheduled: u64,
+    state: VcpuState,
+    ticks_blocked: u64,
+    blocked_cycles: u64,
 }
 
 impl VcpuRuntime {
@@ -187,6 +202,9 @@ impl VcpuRuntime {
             pmcs: self.pmcs,
             cycles_run: self.cycles_run,
             ticks_scheduled: self.ticks_scheduled,
+            state: self.state,
+            ticks_blocked: self.ticks_blocked,
+            blocked_cycles: self.blocked_cycles,
         })
     }
 }
@@ -196,6 +214,10 @@ struct VmRuntime {
     config: VmConfig,
     vcpus: Vec<VcpuRuntime>,
     ticks_elapsed: u64,
+    /// VM-local tick counter the wake source is keyed on. Unlike
+    /// `ticks_elapsed` it survives `take_vm`/`admit_vm`, so wake events keep
+    /// their schedule across migrations.
+    wake_clock: u64,
 }
 
 impl VmRuntime {
@@ -209,6 +231,7 @@ impl VmRuntime {
                 .map(VcpuRuntime::try_clone)
                 .collect::<Result<Vec<_>, _>>()?,
             ticks_elapsed: self.ticks_elapsed,
+            wake_clock: self.wake_clock,
         })
     }
 }
@@ -369,6 +392,9 @@ impl<S: Scheduler> Hypervisor<S> {
                 pmcs: PmcSet::default(),
                 cycles_run: 0,
                 ticks_scheduled: 0,
+                state: VcpuState::Ready,
+                ticks_blocked: 0,
+                blocked_cycles: 0,
             });
         }
         self.vms.push(VmRuntime {
@@ -376,6 +402,7 @@ impl<S: Scheduler> Hypervisor<S> {
             config,
             vcpus,
             ticks_elapsed: 0,
+            wake_clock: 0,
         });
         Ok(vm_id)
     }
@@ -423,10 +450,12 @@ impl<S: Scheduler> Hypervisor<S> {
         let report = self.report(vm).expect("VM exists");
         let runtime = self.vms.remove(pos);
         let mut workloads = Vec::with_capacity(runtime.vcpus.len());
+        let mut vcpu_states = Vec::with_capacity(runtime.vcpus.len());
         for vcpu in runtime.vcpus {
             self.scheduler.remove_vcpu(vcpu.id);
             self.pmu.unregister(vcpu.id.as_key());
             self.engine.clear_op_buffer(vcpu.id.as_key());
+            vcpu_states.push(vcpu.state);
             workloads.push(vcpu.workload);
         }
         let flushed_lines = self.engine.machine_mut().flush_owner(vm.0);
@@ -438,6 +467,8 @@ impl<S: Scheduler> Hypervisor<S> {
             workloads,
             report,
             flushed_lines,
+            vcpu_states,
+            wake_clock: runtime.wake_clock,
         })
     }
 
@@ -446,6 +477,10 @@ impl<S: Scheduler> Hypervisor<S> {
     /// extraction half. The workloads resume exactly where they stopped;
     /// nothing of the VM's cache footprint arrives with them, so the first
     /// post-admission ticks re-fetch the working set through a cold cache.
+    /// The lifecycle payload is restored too: a vCPU that was Blocked at the
+    /// source arrives Blocked here, and the VM's wake clock continues where
+    /// it stopped, so pending wake events fire at the same VM-local tick
+    /// they would have fired at without the migration.
     ///
     /// The source-side report and flushed-line count travel inside `taken`
     /// for the control plane's bookkeeping but play no role here.
@@ -456,7 +491,24 @@ impl<S: Scheduler> Hypervisor<S> {
     /// valid on *this* machine — re-place before admitting when topologies
     /// differ).
     pub fn admit_vm(&mut self, taken: TakenVm) -> Result<VmId, HypervisorError> {
-        self.add_vm(taken.config, taken.workloads)
+        let TakenVm {
+            config,
+            workloads,
+            vcpu_states,
+            wake_clock,
+            ..
+        } = taken;
+        let vm_id = self.add_vm(config, workloads)?;
+        let vm = self.vms.last_mut().expect("add_vm just pushed this VM");
+        debug_assert_eq!(vm.id, vm_id);
+        vm.wake_clock = wake_clock;
+        for (vcpu, state) in vm.vcpus.iter_mut().zip(vcpu_states) {
+            vcpu.state = state;
+            if !state.is_runnable() {
+                self.scheduler.set_runnable(vcpu.id, false);
+            }
+        }
+        Ok(vm_id)
     }
 
     /// The ids of every VM currently managed, in creation order.
@@ -494,8 +546,46 @@ impl<S: Scheduler> Hypervisor<S> {
         let record_history = self.config.record_history;
         let parallel_engine = self.config.parallel_engine;
 
+        // Phase 0: wake delivery. Blocked vCPUs whose VM's wake source fires
+        // at the current VM-local wake clock become Ready *before* placement,
+        // so a woken vCPU can be picked this very tick. Wake events are a
+        // pure function of (source, wake clock, vCPU index) — see
+        // [`crate::lifecycle::WakeSource`] — so this phase is deterministic
+        // and independent of scheduling history.
+        let wake_trace_on = self.engine.trace().is_enabled();
+        let wake_ts = if wake_trace_on {
+            self.engine.elapsed_cycles()
+        } else {
+            0
+        };
+        for vm in self.vms.iter_mut() {
+            let Some(source) = vm.config.wake_source.as_ref() else {
+                continue;
+            };
+            let wake_clock = vm.wake_clock;
+            for vcpu in vm.vcpus.iter_mut() {
+                if vcpu.state == VcpuState::Blocked
+                    && source.fires(wake_clock, vcpu.id.index as usize)
+                {
+                    vcpu.state = VcpuState::Ready;
+                    vcpu.workload.on_wake();
+                    self.scheduler.set_runnable(vcpu.id, true);
+                    if wake_trace_on {
+                        self.engine.trace_mut().instant_with(
+                            "hv",
+                            "vm.wake",
+                            wake_ts,
+                            format!("vm={} vcpu={}", vcpu.id.vm.0, vcpu.id.index),
+                        );
+                    }
+                }
+            }
+        }
+
         // Phase 1: placement. Ask the scheduler, core by core, which vCPU
-        // runs next. A vCPU runs on at most one core per tick.
+        // runs next. A vCPU runs on at most one core per tick. Blocked
+        // vCPUs are filtered out here: the scheduler only ever sees
+        // runnable candidates.
         let cores: Vec<CoreId> = self.engine.machine().cores().collect();
         let mut placed: HashSet<VcpuId> = HashSet::new();
         let mut assignment: Vec<(CoreId, VcpuId)> = Vec::new();
@@ -510,7 +600,7 @@ impl<S: Scheduler> Hypervisor<S> {
                             Some(pinned) => pinned == core,
                             None => true,
                         };
-                        allowed.then_some(vcpu.id)
+                        (allowed && vcpu.state.is_runnable()).then_some(vcpu.id)
                     })
                 })
                 .filter(|vcpu| !placed.contains(vcpu))
@@ -564,6 +654,7 @@ impl<S: Scheduler> Hypervisor<S> {
             let numa_node = vm.config.numa_node;
             for vcpu in vm.vcpus.iter_mut() {
                 if let Some((core, _)) = assignment.iter().find(|(_, v)| *v == vcpu.id) {
+                    vcpu.state = VcpuState::Running;
                     let overrides = scheduler.overrides(vcpu.id);
                     // The vCPU key identifies the op stream across ticks so
                     // the engine's batched op buffers follow the vCPU even
@@ -641,8 +732,10 @@ impl<S: Scheduler> Hypervisor<S> {
             }
         }
 
+        let end_ts = if trace_on { engine.elapsed_cycles() } else { 0 };
         for vm in vms.iter_mut() {
             vm.ticks_elapsed += 1;
+            let mut vm_blocked_cycles = 0u64;
             for vcpu in vm.vcpus.iter_mut() {
                 let scheduled = scheduled_info.iter().find(|(v, _)| *v == vcpu.id);
                 if let Some((_, tick_report)) = scheduled {
@@ -659,11 +752,62 @@ impl<S: Scheduler> Hypervisor<S> {
                         pmc_delta: scheduled.map(|(_, r)| r.pmc_delta).unwrap_or_default(),
                     });
                 }
+                // Lifecycle epilogue. A vCPU that ran this tick either
+                // blocks (the workload executed a WFI) or is preempted back
+                // to Ready — the tick boundary always ends its quantum. A
+                // vCPU that stayed Blocked through the whole tick accrues
+                // blocked time but is never charged cycles: the engine
+                // never saw it.
+                if vcpu.state == VcpuState::Running {
+                    if vcpu.workload.wants_block() {
+                        vcpu.state = VcpuState::Blocked;
+                        scheduler.set_runnable(vcpu.id, false);
+                        if trace_on {
+                            engine.trace_mut().instant_with(
+                                "hv",
+                                "vm.block",
+                                end_ts,
+                                format!("vm={} vcpu={}", vcpu.id.vm.0, vcpu.id.index),
+                            );
+                        }
+                    } else {
+                        vcpu.state = VcpuState::Ready;
+                    }
+                } else if vcpu.state == VcpuState::Blocked {
+                    vcpu.ticks_blocked += 1;
+                    vcpu.blocked_cycles += cycles_per_tick;
+                    vm_blocked_cycles += cycles_per_tick;
+                }
             }
+            if trace_on && vm_blocked_cycles > 0 {
+                engine
+                    .trace_mut()
+                    .counter_add(&format!("vm{}.blocked_cycles", vm.id.0), vm_blocked_cycles);
+            }
+            vm.wake_clock += 1;
         }
 
         scheduler.on_tick(tick);
         self.tick += 1;
+    }
+
+    /// The current lifecycle state of a vCPU, or `None` for an unknown id.
+    /// Between ticks this is always `Ready` or `Blocked` (`Running` only
+    /// exists inside [`Hypervisor::step_tick`]).
+    pub fn vcpu_state(&self, vcpu: VcpuId) -> Option<VcpuState> {
+        self.vms
+            .iter()
+            .find(|v| v.id == vcpu.vm)?
+            .vcpus
+            .iter()
+            .find(|v| v.id == vcpu)
+            .map(|v| v.state)
+    }
+
+    /// The VM-local wake clock (ticks since the VM was first created,
+    /// surviving migration), or `None` for an unknown VM.
+    pub fn wake_clock(&self, vm: VmId) -> Option<u64> {
+        self.vms.iter().find(|v| v.id == vm).map(|v| v.wake_clock)
     }
 
     /// The execution report of one VM.
@@ -673,11 +817,15 @@ impl<S: Scheduler> Hypervisor<S> {
         let mut cycles_run = 0;
         let mut ticks_scheduled = 0;
         let mut punishments = 0;
+        let mut ticks_blocked = 0;
+        let mut blocked_cycles = 0;
         for vcpu in &runtime.vcpus {
             pmcs += vcpu.pmcs;
             cycles_run += vcpu.cycles_run;
             ticks_scheduled += vcpu.ticks_scheduled;
             punishments += self.scheduler.punishments(vcpu.id);
+            ticks_blocked += vcpu.ticks_blocked;
+            blocked_cycles += vcpu.blocked_cycles;
         }
         Some(VmReport {
             vm,
@@ -687,6 +835,8 @@ impl<S: Scheduler> Hypervisor<S> {
             ticks_scheduled,
             ticks_elapsed: runtime.ticks_elapsed,
             punishments,
+            ticks_blocked,
+            blocked_cycles,
         })
     }
 
@@ -1171,6 +1321,151 @@ mod tests {
             hv.try_clone(),
             Err(HypervisorError::UncloneableWorkload { .. })
         ));
+    }
+
+    /// A WFI-style workload: emits `burst_ops` compute ops, then asks to
+    /// block until woken (each wake grants a fresh burst). With bursts below
+    /// the engine's fetch chunk the whole burst drains during the first
+    /// scheduled tick, so the vCPU runs exactly one tick per wake.
+    #[derive(Clone)]
+    struct Wfi {
+        burst_ops: u32,
+        remaining: u32,
+    }
+
+    impl Wfi {
+        fn new(burst_ops: u32) -> Self {
+            Wfi {
+                burst_ops,
+                remaining: burst_ops,
+            }
+        }
+    }
+
+    impl Workload for Wfi {
+        fn next_op(&mut self) -> kyoto_sim::workload::Op {
+            self.remaining = self.remaining.saturating_sub(1);
+            kyoto_sim::workload::Op::Compute { cycles: 1 }
+        }
+        fn name(&self) -> &str {
+            "wfi"
+        }
+        fn working_set_bytes(&self) -> u64 {
+            0
+        }
+        fn wants_block(&self) -> bool {
+            self.remaining == 0
+        }
+        fn on_wake(&mut self) {
+            self.remaining = self.burst_ops;
+        }
+        fn try_clone_box(&self) -> Option<Box<dyn Workload>> {
+            Some(Box::new(self.clone()))
+        }
+    }
+
+    #[test]
+    fn a_wfi_vm_without_wake_source_sleeps_forever() {
+        use crate::lifecycle::VcpuState;
+        let mut hv = xen_hypervisor(machine());
+        let vm = hv
+            .add_vm_with(VmConfig::new("sleepy"), Box::new(Wfi::new(8)))
+            .unwrap();
+        hv.run_ticks(10);
+        let report = hv.report(vm).unwrap();
+        assert_eq!(hv.vcpu_state(VcpuId::new(vm, 0)), Some(VcpuState::Blocked));
+        assert_eq!(report.ticks_scheduled, 1, "one burst, then WFI with no wakes");
+        assert_eq!(report.ticks_blocked, 9);
+        assert_eq!(report.ticks_elapsed, 10);
+        assert!((report.blocked_fraction() - 0.9).abs() < 1e-12);
+        assert_eq!(
+            report.blocked_cycles,
+            9 * hv.cycles_per_tick(),
+            "blocked ticks are tracked but never charged"
+        );
+        assert!(
+            report.cycles_run <= hv.cycles_per_tick(),
+            "a blocked vCPU accrues zero engine cycles"
+        );
+    }
+
+    #[test]
+    fn periodic_wakes_run_one_tick_per_period() {
+        use crate::lifecycle::WakeSource;
+        let mut hv = xen_hypervisor(machine());
+        let vm = hv
+            .add_vm_with(
+                VmConfig::new("interactive")
+                    .with_wake_source(WakeSource::new(1).with_timer_period(4)),
+                Box::new(Wfi::new(8)),
+            )
+            .unwrap();
+        hv.run_ticks(16);
+        let report = hv.report(vm).unwrap();
+        // Runs at wake-clock 0 (initially Ready), then at every periodic
+        // wake: ticks 4, 8 and 12.
+        assert_eq!(report.ticks_scheduled, 4);
+        assert_eq!(report.ticks_blocked, 12);
+    }
+
+    #[test]
+    fn a_blocked_vcpu_frees_its_core_for_others() {
+        use crate::lifecycle::WakeSource;
+        let mut hv = xen_hypervisor(machine());
+        let sleepy = hv
+            .add_vm_with(
+                VmConfig::new("sleepy")
+                    .pinned_to(vec![CoreId(0)])
+                    .with_wake_source(WakeSource::new(1).with_timer_period(5)),
+                Box::new(Wfi::new(8)),
+            )
+            .unwrap();
+        let busy = hv
+            .add_vm_with(
+                VmConfig::new("busy").pinned_to(vec![CoreId(0)]),
+                Box::new(ComputeOnly::new(1)),
+            )
+            .unwrap();
+        hv.run_ticks(20);
+        let rs = hv.report(sleepy).unwrap();
+        let rb = hv.report(busy).unwrap();
+        assert_eq!(
+            rs.ticks_scheduled + rb.ticks_scheduled,
+            20,
+            "core 0 never idles while a runnable vCPU exists"
+        );
+        assert!(rs.ticks_scheduled >= 1);
+        assert!(
+            rb.ticks_scheduled > 10,
+            "the busy VM must get the core whenever its neighbour sleeps, got {}",
+            rb.ticks_scheduled
+        );
+    }
+
+    #[test]
+    fn migration_preserves_blocked_state_and_wake_clock() {
+        use crate::lifecycle::{VcpuState, WakeSource};
+        let mut hv = xen_hypervisor(machine());
+        let vm = hv
+            .add_vm_with(
+                VmConfig::new("mig").with_wake_source(WakeSource::new(2).with_timer(10)),
+                Box::new(Wfi::new(8)),
+            )
+            .unwrap();
+        hv.run_ticks(5); // runs tick 0, blocks, sleeps ticks 1..4
+        let taken = hv.take_vm(vm).unwrap();
+        assert_eq!(taken.vcpu_states, vec![VcpuState::Blocked]);
+        assert_eq!(taken.wake_clock, 5);
+
+        let mut dest = xen_hypervisor(machine());
+        let new = dest.admit_vm(taken).unwrap();
+        assert_eq!(dest.vcpu_state(VcpuId::new(new, 0)), Some(VcpuState::Blocked));
+        assert_eq!(dest.wake_clock(new), Some(5));
+        dest.run_ticks(5); // wake clock 5..9: the tick-10 timer is still pending
+        assert_eq!(dest.vcpu_state(VcpuId::new(new, 0)), Some(VcpuState::Blocked));
+        assert_eq!(dest.report(new).unwrap().ticks_scheduled, 0);
+        dest.run_ticks(1); // wake clock 10: the timer fires at its original VM-local tick
+        assert_eq!(dest.report(new).unwrap().ticks_scheduled, 1);
     }
 
     #[test]

@@ -10,6 +10,8 @@
 //!   permit, pinning) and execution reports;
 //! * [`scheduler`] — the [`scheduler::Scheduler`] trait every scheduler
 //!   implements, and that the Kyoto schedulers of `kyoto-core` wrap;
+//! * [`lifecycle`] — the Ready/Running/Blocked vCPU state machine and the
+//!   deterministic [`lifecycle::WakeSource`] that wakes sleeping vCPUs;
 //! * [`credit`] — the Xen credit scheduler (XCS, Section 3.2 of the paper);
 //! * [`cfs`] — a simplified Linux CFS (the KVM substrate);
 //! * [`pisces`] — a Pisces-like static core partitioner (the HPC co-kernel
@@ -58,6 +60,7 @@
 pub mod cfs;
 pub mod credit;
 pub mod hypervisor;
+pub mod lifecycle;
 pub mod pisces;
 pub mod placement;
 pub mod scheduler;
@@ -66,6 +69,7 @@ pub mod vm;
 pub use cfs::{CfsConfig, CfsScheduler};
 pub use credit::{CreditConfig, CreditScheduler};
 pub use hypervisor::{Hypervisor, HypervisorConfig, HypervisorError, TakenVm, TickSample};
+pub use lifecycle::{VcpuState, WakeSource};
 pub use pisces::PiscesScheduler;
 pub use placement::{place_vms, Placement, PlacementPolicy};
 pub use scheduler::{ExecOverrides, Priority, Scheduler, TickReport};

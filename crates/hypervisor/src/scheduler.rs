@@ -68,9 +68,11 @@ pub trait Scheduler {
 
     /// Chooses which of `candidates` should run on `core` for the next tick.
     ///
-    /// `candidates` only contains vCPUs that are allowed on `core` (pinning
-    /// already filtered) and not already placed on another core this tick.
-    /// Returning `None` leaves the core idle.
+    /// `candidates` only contains *runnable* vCPUs: the hypervisor filters
+    /// out Blocked vCPUs (see `kyoto_hypervisor::lifecycle::VcpuState`) in
+    /// addition to pinning constraints and vCPUs already placed on another
+    /// core this tick. A scheduler therefore never sees — and must never
+    /// return — a sleeping vCPU. Returning `None` leaves the core idle.
     fn pick_next(&mut self, core: CoreId, candidates: &[VcpuId]) -> Option<VcpuId>;
 
     /// Feeds the execution report of the tick back for accounting (credit
@@ -96,6 +98,15 @@ pub trait Scheduler {
     fn overrides(&self, vcpu: VcpuId) -> ExecOverrides {
         let _ = vcpu;
         ExecOverrides::default()
+    }
+
+    /// Notifies the scheduler that `vcpu` became runnable (`true`, woken
+    /// from Blocked) or unrunnable (`false`, blocked). Most schedulers can
+    /// ignore this — a Blocked vCPU simply stops appearing in `pick_next`
+    /// candidate lists — but schedulers with out-of-band sampling (the Kyoto
+    /// dedication sampler) use it to avoid targeting sleeping vCPUs.
+    fn set_runnable(&mut self, vcpu: VcpuId, runnable: bool) {
+        let _ = (vcpu, runnable);
     }
 
     /// Short name used in reports ("xcs", "ks4xen", "cfs", ...).
@@ -129,11 +140,14 @@ mod tests {
 
     #[test]
     fn default_trait_methods() {
-        let scheduler = FirstComeScheduler;
+        let mut scheduler = FirstComeScheduler;
         let vcpu = VcpuId::new(VmId(1), 0);
         assert_eq!(scheduler.punishments(vcpu), 0);
         assert_eq!(scheduler.overrides(vcpu), ExecOverrides::default());
         assert!(!scheduler.overrides(vcpu).force_remote);
+        // set_runnable is a default no-op; it must at least be callable.
+        scheduler.set_runnable(vcpu, false);
+        scheduler.set_runnable(vcpu, true);
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! provides the configuration and runtime bookkeeping shared by every
 //! scheduler implementation.
 
+use crate::lifecycle::WakeSource;
 use kyoto_sim::pmc::PmcSet;
 use kyoto_sim::topology::{CoreId, NumaNode};
 use serde::{Deserialize, Serialize};
@@ -72,6 +73,10 @@ pub struct VmConfig {
     /// NUMA node holding the VM's memory. `None` means "local to wherever
     /// the vCPU runs".
     pub numa_node: Option<NumaNode>,
+    /// Wake-event source for vCPUs that block (WFI-style sleeping
+    /// workloads). `None` means no wake events are ever injected — fine for
+    /// workloads that never block (the default for every built-in model).
+    pub wake_source: Option<WakeSource>,
 }
 
 impl VmConfig {
@@ -86,6 +91,7 @@ impl VmConfig {
             llc_cap: None,
             pinning: None,
             numa_node: None,
+            wake_source: None,
         }
     }
 
@@ -129,6 +135,13 @@ impl VmConfig {
         self
     }
 
+    /// Attaches a deterministic wake-event source for blocking workloads
+    /// (see [`WakeSource`]).
+    pub fn with_wake_source(mut self, source: WakeSource) -> Self {
+        self.wake_source = Some(source);
+        self
+    }
+
     /// The core vCPU `index` is pinned to, if any.
     pub fn pinned_core(&self, index: u32) -> Option<CoreId> {
         self.pinning
@@ -154,6 +167,12 @@ pub struct VmReport {
     pub ticks_elapsed: u64,
     /// Times the scheduler punished the VM (Kyoto schedulers only).
     pub punishments: u64,
+    /// Total vCPU-ticks spent Blocked (summed over all vCPUs).
+    pub ticks_blocked: u64,
+    /// Cycles of engine budget the VM's vCPUs slept through while Blocked.
+    /// These cycles were *not* executed or charged; the counter exists so
+    /// traces and snapshots can report how much CPU time blocking saved.
+    pub blocked_cycles: u64,
 }
 
 impl VmReport {
@@ -191,6 +210,18 @@ impl VmReport {
             self.pmcs.instructions as f64 / self.ticks_elapsed as f64
         }
     }
+
+    /// Fraction of vCPU-ticks the VM spent Blocked (asleep). For the
+    /// single-vCPU VMs of the paper's experiments this is simply the share
+    /// of elapsed ticks during which the VM slept.
+    pub fn blocked_fraction(&self) -> f64 {
+        let vcpu_ticks = self.ticks_elapsed;
+        if vcpu_ticks == 0 {
+            0.0
+        } else {
+            self.ticks_blocked as f64 / vcpu_ticks as f64
+        }
+    }
 }
 
 #[cfg(test)]
@@ -205,6 +236,7 @@ mod tests {
         assert_eq!(config.cap_percent, None);
         assert_eq!(config.llc_cap, None);
         assert_eq!(config.pinned_core(0), None);
+        assert_eq!(config.wake_source, None);
     }
 
     #[test]
@@ -258,12 +290,15 @@ mod tests {
             ticks_scheduled: 5,
             ticks_elapsed: 10,
             punishments: 0,
+            ticks_blocked: 4,
+            blocked_cycles: 800,
         };
         assert!((report.ipc() - 0.5).abs() < 1e-12);
         assert!((report.cpu_share() - 0.5).abs() < 1e-12);
         assert!((report.instructions_per_tick() - 100.0).abs() < 1e-12);
         // 100 misses over 2000 cycles at 1000 kHz (cycles/ms) = 50 misses/ms.
         assert!((report.llc_misses_per_cpu_ms(1000) - 50.0).abs() < 1e-12);
+        assert!((report.blocked_fraction() - 0.4).abs() < 1e-12);
     }
 
     #[test]
@@ -276,10 +311,13 @@ mod tests {
             ticks_scheduled: 0,
             ticks_elapsed: 0,
             punishments: 0,
+            ticks_blocked: 0,
+            blocked_cycles: 0,
         };
         assert_eq!(report.ipc(), 0.0);
         assert_eq!(report.cpu_share(), 0.0);
         assert_eq!(report.llc_misses_per_cpu_ms(1000), 0.0);
         assert_eq!(report.instructions_per_tick(), 0.0);
+        assert_eq!(report.blocked_fraction(), 0.0);
     }
 }

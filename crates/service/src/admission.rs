@@ -269,6 +269,7 @@ mod tests {
             ipc: 1.0,
             working_set_bytes: 4096,
             resident_lines: 0,
+            blocked_fraction: 0.0,
         }
     }
 

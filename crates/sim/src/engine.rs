@@ -75,6 +75,12 @@ pub struct ExecSlot<'a> {
     /// core-independent tag via [`ExecSlot::with_tag`]; the hypervisor uses
     /// the vCPU key.
     pub tag: u64,
+    /// A blocked (sleeping) vCPU slot: the engine executes nothing for it
+    /// and charges zero cycles, but keeps the ops already prefetched under
+    /// its tag parked so the stream resumes exactly where it stopped when
+    /// the slot wakes. The hypervisor passes its Blocked vCPUs this way so
+    /// per-core schedules keep their shape while idle slots stay free.
+    pub blocked: bool,
     /// Cumulative counters across every call this slot participated in.
     pub pmcs: PmcSet,
 }
@@ -88,6 +94,7 @@ impl std::fmt::Debug for ExecSlot<'_> {
             .field("data_node", &self.data_node)
             .field("force_remote", &self.force_remote)
             .field("tag", &self.tag)
+            .field("blocked", &self.blocked)
             .field("pmcs", &self.pmcs)
             .finish()
     }
@@ -104,6 +111,7 @@ impl<'a> ExecSlot<'a> {
             workload,
             data_node: NumaNode(usize::MAX), // resolved lazily to the core's node
             force_remote: false,
+            blocked: false,
             pmcs: PmcSet::default(),
         }
     }
@@ -123,6 +131,12 @@ impl<'a> ExecSlot<'a> {
     /// Forces LLC misses to pay the remote-memory latency.
     pub fn with_force_remote(mut self, force: bool) -> Self {
         self.force_remote = force;
+        self
+    }
+
+    /// Marks the slot blocked (see [`ExecSlot::blocked`]).
+    pub fn with_blocked(mut self, blocked: bool) -> Self {
+        self.blocked = blocked;
         self
     }
 }
@@ -531,6 +545,12 @@ impl SimEngine {
     /// [`SimEngine::run_slots_reference`] does, which a property test
     /// asserts; only the bookkeeping cost per op differs.
     ///
+    /// Slots marked [`ExecSlot::blocked`] are skipped entirely: they
+    /// execute no ops, consume zero cycles, report all-zero deltas, and
+    /// their prefetched op buffers stay parked under their tag for the
+    /// wake-up call. The runnable slots behave bit-identically to a call
+    /// made without the blocked slots present.
+    ///
     /// # Panics
     ///
     /// Panics if a slot references a core that does not exist on the machine
@@ -556,48 +576,84 @@ impl SimEngine {
             "slot tags must be unique within one run_slots call"
         );
         self.begin_batched_call();
+        self.refresh_blocked_carries(slots);
+
+        // Blocked slots execute nothing and charge nothing: the active
+        // (runnable) slots run exactly the interleaving they would run in a
+        // call without the blocked slots, and the blocked slots keep their
+        // all-zero default reports. The mapping from active position to
+        // original index is monotone, so the epoch tie-break (local array
+        // index) preserves relative order — bit-identity discipline holds.
+        let active: Vec<usize> = (0..n).filter(|&i| !slots[i].blocked).collect();
 
         // Pick the op streams up exactly where the previous call left them.
-        let mut queues: Vec<OpQueue> = slots
+        let mut queues: Vec<OpQueue> = active
             .iter()
-            .map(|slot| {
+            .map(|&i| {
                 self.op_carry
-                    .remove(&slot.tag)
+                    .remove(&slots[i].tag)
                     .map(|carried| carried.queue)
                     .unwrap_or_default()
             })
             .collect();
         // Memory-level parallelism and the access route are static per
         // slot; hoist both out of the per-op loop.
-        let mlps: Vec<f64> = slots
+        let mlps: Vec<f64> = active
             .iter()
-            .map(|slot| slot.workload.mem_parallelism().max(1.0))
+            .map(|&i| slots[i].workload.mem_parallelism().max(1.0))
             .collect();
-        let routes: Vec<AccessRoute> = slots
+        let routes: Vec<AccessRoute> = active
             .iter()
-            .map(|slot| {
+            .map(|&i| {
+                let slot = &slots[i];
                 self.machine
                     .route(slot.core, slot.data_node, slot.force_remote)
                     .expect("slot references an unknown core")
             })
             .collect();
 
-        let mut slot_refs: Vec<&mut ExecSlot<'_>> = slots.iter_mut().collect();
-        run_epoch_interleaving(
-            &mut self.machine,
-            &mut self.shadow,
-            &mut slot_refs,
-            &mut queues,
-            &routes,
-            &mlps,
-            &mut reports,
-            cycle_budget,
-        );
-        drop(slot_refs);
+        let mut sub_reports = vec![QuantumReport::default(); active.len()];
+        if !active.is_empty() {
+            let mut slot_refs: Vec<&mut ExecSlot<'_>> =
+                slots.iter_mut().filter(|slot| !slot.blocked).collect();
+            run_epoch_interleaving(
+                &mut self.machine,
+                &mut self.shadow,
+                &mut slot_refs,
+                &mut queues,
+                &routes,
+                &mlps,
+                &mut sub_reports,
+                cycle_budget,
+            );
+        }
 
-        self.finish_batched_call(slots, queues, &reports);
+        // Scatter the active results back to original slot order; blocked
+        // positions keep default reports and default (drained) queues, so
+        // `finish_batched_call` leaves their carried ops untouched.
+        let mut full_queues: Vec<OpQueue> = Vec::with_capacity(n);
+        full_queues.resize_with(n, OpQueue::default);
+        for ((&i, report), queue) in active.iter().zip(&sub_reports).zip(queues) {
+            reports[i] = *report;
+            full_queues[i] = queue;
+        }
+
+        self.finish_batched_call(slots, full_queues, &reports);
         self.record_batch_trace(trace_start, &reports);
         reports
+    }
+
+    /// Keeps the carried op buffers of blocked slots alive: they are not
+    /// consumed this call, but the stream is merely sleeping, not abandoned
+    /// — without the refresh a long block would trip the stale-carry sweep
+    /// and silently restart the stream on wake.
+    fn refresh_blocked_carries(&mut self, slots: &[ExecSlot<'_>]) {
+        let run_calls = self.run_calls;
+        for slot in slots.iter().filter(|slot| slot.blocked) {
+            if let Some(carried) = self.op_carry.get_mut(&slot.tag) {
+                carried.last_used = run_calls;
+            }
+        }
     }
 
     /// Records one batched call into the trace sink: the `engine.run_slots`
@@ -747,6 +803,11 @@ impl SimEngine {
     /// *earlier* calls, or that merely have shadow state but no slot in this
     /// batch, never affect the decision.
     ///
+    /// [`ExecSlot::blocked`] slots are skipped exactly as in the serial
+    /// path — they populate no socket group, couple no sockets, execute
+    /// nothing and keep their carried ops parked — so the two paths stay
+    /// bit-identical under blocking too.
+    ///
     /// # Panics
     ///
     /// Panics if a slot references a core that does not exist on the machine
@@ -775,7 +836,13 @@ impl SimEngine {
                 .socket_of(slot.core)
                 .expect("slot references an unknown core")
                 .0;
-            groups[socket].push(i);
+            // Blocked slots execute nothing: they neither populate a socket
+            // group nor couple sockets via shadow owners. The serial path
+            // applies the same filter, so the per-socket active order — and
+            // with it bit-identity — is preserved.
+            if !slot.blocked {
+                groups[socket].push(i);
+            }
             slot_sockets.push(socket);
         }
         let populated = groups.iter().filter(|group| !group.is_empty()).count();
@@ -799,6 +866,9 @@ impl SimEngine {
         if self.shadow.is_some() {
             let mut owner_socket: HashMap<OwnerId, usize> = HashMap::with_capacity(n);
             for (slot, &socket) in slots.iter().zip(&slot_sockets) {
+                if slot.blocked {
+                    continue;
+                }
                 if let Some(&previous) = owner_socket.get(&slot.owner) {
                     let a = find(&mut component, previous);
                     let b = find(&mut component, socket);
@@ -852,10 +922,18 @@ impl SimEngine {
             "slot tags must be unique within one run_slots_parallel call"
         );
         self.begin_batched_call();
+        self.refresh_blocked_carries(slots);
 
         let mut queues: Vec<Option<OpQueue>> = slots
             .iter()
-            .map(|slot| self.op_carry.remove(&slot.tag).map(|carried| carried.queue))
+            .map(|slot| {
+                if slot.blocked {
+                    // The stream stays parked in the carry map.
+                    None
+                } else {
+                    self.op_carry.remove(&slot.tag).map(|carried| carried.queue)
+                }
+            })
             .collect();
         let mlps: Vec<f64> = slots
             .iter()
@@ -908,6 +986,9 @@ impl SimEngine {
             }
         }
         for (i, slot) in slots.iter_mut().enumerate() {
+            if slot.blocked {
+                continue;
+            }
             let w = work_of_socket[routes[i].socket_index()].expect("populated socket");
             work[w].slots.push(slot);
         }
@@ -1558,5 +1639,142 @@ mod tests {
         // After clearing, running again must still work (fresh fetch).
         let reports = e.run_slots(std::slice::from_mut(&mut slot), 1_000);
         assert!(reports[0].consumed_cycles >= 1_000);
+    }
+
+    #[test]
+    fn blocked_slots_report_nothing_and_charge_nothing() {
+        // A blocked slot must produce an all-zero report, leave its own
+        // PMCs untouched, and leave the runnable slots' results exactly as
+        // a call without it would.
+        let ops = lcg_ops(3, 2048);
+        let run = |with_blocked: bool| {
+            let mut e = engine();
+            let mut runnable = FixedSequence::new("runnable", ops.clone());
+            let mut sleeper = FixedSequence::new("sleeper", ops.clone());
+            let mut slots = vec![ExecSlot::new(CoreId(0), 1, &mut runnable).with_tag(1)];
+            if with_blocked {
+                slots.push(
+                    ExecSlot::new(CoreId(1), 2, &mut sleeper)
+                        .with_tag(2)
+                        .with_blocked(true),
+                );
+            }
+            let reports = e.run_slots(&mut slots, 10_000);
+            if with_blocked {
+                assert_eq!(reports[1], QuantumReport::default());
+                assert_eq!(slots[1].pmcs, PmcSet::default());
+            }
+            (reports[0], slots[0].pmcs, e.elapsed_cycles())
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn an_all_blocked_call_is_free_and_preserves_carries() {
+        let ops: Vec<Op> = (0..1024u64).map(|i| Op::Load { addr: i * 64 }).collect();
+        let mut e = engine();
+        let mut wl = FixedSequence::new("seq", ops);
+        let mut slot = ExecSlot::new(CoreId(0), 1, &mut wl).with_tag(9);
+        e.run_slots(std::slice::from_mut(&mut slot), 3_000);
+        let elapsed = e.elapsed_cycles();
+        let carried = e.carried_op_buffers();
+        let mut blocked = ExecSlot::new(CoreId(0), 1, &mut wl)
+            .with_tag(9)
+            .with_blocked(true);
+        let reports = e.run_slots(std::slice::from_mut(&mut blocked), 3_000);
+        assert_eq!(reports[0], QuantumReport::default());
+        assert_eq!(e.elapsed_cycles(), elapsed, "blocked calls charge no cycles");
+        assert_eq!(e.carried_op_buffers(), carried);
+    }
+
+    #[test]
+    fn a_long_block_does_not_lose_the_prefetched_op_stream() {
+        // The stale-carry sweep reclaims tags unseen for CARRY_STALE_AFTER
+        // calls; a blocked slot *is* seen, so its prefetched ops must
+        // survive arbitrarily long sleeps and the stream must continue
+        // seamlessly on wake — same distinct-line continuity check as
+        // `op_buffers_carry_across_calls_per_tag`.
+        let ops: Vec<Op> = (0..1024u64).map(|i| Op::Load { addr: i * 64 }).collect();
+        let run = |sleep_calls: u64| -> u64 {
+            let mut e = engine();
+            let mut wl = FixedSequence::new("seq", ops.clone());
+            let mut slot = ExecSlot::new(CoreId(0), 1, &mut wl).with_tag(7);
+            e.run_slots(std::slice::from_mut(&mut slot), 3_000);
+            for _ in 0..sleep_calls {
+                let mut blocked = ExecSlot::new(CoreId(0), 1, &mut wl)
+                    .with_tag(7)
+                    .with_blocked(true);
+                e.run_slots(std::slice::from_mut(&mut blocked), 3_000);
+            }
+            assert_eq!(e.carried_op_buffers(), 1, "the sleeping stream survives");
+            let mut slot = ExecSlot::new(CoreId(0), 1, &mut wl).with_tag(7);
+            e.run_slots(std::slice::from_mut(&mut slot), 3_000);
+            e.machine()
+                .socket(crate::topology::SocketId(0))
+                .unwrap()
+                .llc()
+                .stats()
+                .accesses
+        };
+        // Sleep well past CARRY_STALE_AFTER (1024) + the prune interval.
+        let slept = run(1300);
+        let awake = run(0);
+        assert!(
+            slept.abs_diff(awake) <= 4,
+            "slept={slept}, awake={awake}"
+        );
+    }
+
+    #[test]
+    fn parallel_path_matches_serial_with_blocked_slots() {
+        // The four-slot two-socket scenario with a rotating blocked slot:
+        // both paths must agree bit-for-bit, including rounds where a whole
+        // socket is asleep (serial fallback) and rounds where both sockets
+        // stay populated.
+        let config = MachineConfig::scaled_paper_numa_machine(64);
+        let run = |parallel: bool| {
+            let mut e = SimEngine::new(Machine::new(config.clone()));
+            let mut workloads: Vec<FixedSequence> = (0..4)
+                .map(|w| {
+                    FixedSequence::new(format!("wl{w}"), lcg_ops(w as u64 + 1, 2048))
+                        .with_mem_parallelism(1.0 + w as f64)
+                })
+                .collect();
+            let mut all_reports = Vec::new();
+            for round in 0..6usize {
+                let mut slots: Vec<ExecSlot<'_>> = workloads
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(w, wl)| {
+                        let core = CoreId(if w < 2 { w } else { w + 2 });
+                        // Rounds 0-3 block one slot each; round 4 blocks all
+                        // of socket 1; round 5 runs everyone.
+                        let blocked = match round {
+                            0..=3 => w == round,
+                            4 => w >= 2,
+                            _ => false,
+                        };
+                        ExecSlot::new(core, w as OwnerId + 1, wl)
+                            .with_tag(w as u64 + 1)
+                            .with_blocked(blocked)
+                    })
+                    .collect();
+                let reports = if parallel {
+                    e.run_slots_parallel(&mut slots, 8_000)
+                } else {
+                    e.run_slots(&mut slots, 8_000)
+                };
+                for (slot, report) in slots.iter().zip(&reports) {
+                    if slot.blocked {
+                        assert_eq!(*report, QuantumReport::default());
+                    }
+                }
+                all_reports.push(reports);
+            }
+            let llc0 = e.machine().llc_stats(crate::topology::SocketId(0)).unwrap();
+            let llc1 = e.machine().llc_stats(crate::topology::SocketId(1)).unwrap();
+            (all_reports, llc0, llc1, e.elapsed_cycles())
+        };
+        assert_eq!(run(false), run(true));
     }
 }

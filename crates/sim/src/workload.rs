@@ -101,6 +101,28 @@ pub trait Workload: Send {
     /// implementation does nothing, which is acceptable for stateless models.
     fn reset(&mut self) {}
 
+    /// Whether the workload wants to block (WFI-style) instead of emitting
+    /// more ops.
+    ///
+    /// The hypervisor polls this after every scheduled tick; a `true` parks
+    /// the vCPU in the Blocked state until a wake event arrives, at which
+    /// point [`Workload::on_wake`] is called. Note that the engine
+    /// *prefetches* ops in chunks, so by the time a tick finishes the
+    /// workload may have emitted ops that are still queued — implementations
+    /// should report the intent to block based on their own emission
+    /// progress, and the default of `false` keeps every existing workload
+    /// always runnable.
+    fn wants_block(&self) -> bool {
+        false
+    }
+
+    /// Delivers a wake event (interrupt or timer) to a blocked workload.
+    ///
+    /// Implementations typically refill a request burst here; the default
+    /// does nothing, matching the always-runnable default of
+    /// [`Workload::wants_block`].
+    fn on_wake(&mut self) {}
+
     /// Deep-copies the workload *including its execution progress*, so the
     /// copy continues the exact op stream the original would have produced.
     ///
@@ -132,6 +154,14 @@ impl<W: Workload + ?Sized> Workload for Box<W> {
 
     fn mem_parallelism(&self) -> f64 {
         (**self).mem_parallelism()
+    }
+
+    fn wants_block(&self) -> bool {
+        (**self).wants_block()
+    }
+
+    fn on_wake(&mut self) {
+        (**self).on_wake()
     }
 
     fn reset(&mut self) {
@@ -384,5 +414,38 @@ mod tests {
     #[test]
     fn workloads_opt_out_of_cloning_by_default() {
         assert!(Opaque.try_clone_box().is_none());
+    }
+
+    #[test]
+    fn workloads_never_block_by_default_and_boxes_forward() {
+        let mut opaque = Opaque;
+        assert!(!opaque.wants_block());
+        opaque.on_wake(); // default is a no-op
+        assert!(!opaque.wants_block());
+
+        struct Sleepy {
+            asleep: bool,
+        }
+        impl Workload for Sleepy {
+            fn next_op(&mut self) -> Op {
+                Op::Compute { cycles: 1 }
+            }
+            fn name(&self) -> &str {
+                "sleepy"
+            }
+            fn working_set_bytes(&self) -> u64 {
+                0
+            }
+            fn wants_block(&self) -> bool {
+                self.asleep
+            }
+            fn on_wake(&mut self) {
+                self.asleep = false;
+            }
+        }
+        let mut boxed: Box<dyn Workload> = Box::new(Sleepy { asleep: true });
+        assert!(boxed.wants_block(), "the Box forwarder must delegate");
+        boxed.on_wake();
+        assert!(!boxed.wants_block(), "on_wake must reach the inner model");
     }
 }

@@ -38,11 +38,13 @@
 #![warn(missing_docs)]
 
 pub mod category;
+pub mod interactive;
 pub mod micro;
 pub mod spec;
 pub mod synthetic;
 
 pub use category::Category;
+pub use interactive::Interactive;
 pub use micro::PointerChase;
 pub use spec::{SpecApp, SpecProfile, SpecWorkload};
 pub use synthetic::{RandomAccess, Streaming};
